@@ -1,0 +1,144 @@
+//! Measurement accounting — the cost currency of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-measurement tester overhead in microseconds (pattern load, settle,
+/// strobe arm). A realistic figure for a memory tester applying a short
+/// pattern.
+const MEASUREMENT_OVERHEAD_US: f64 = 50.0;
+
+/// Counts every measurement the tester performs and estimates test time.
+///
+/// §4's entire motivation is measurement economy ("characterization is a
+/// lengthy process since it involves multiple repetitions of a test"), and
+/// fig. 3's saving is denominated in search steps. The ledger gives every
+/// experiment the same cost axis.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::MeasurementLedger;
+///
+/// let mut ledger = MeasurementLedger::new();
+/// ledger.record(640, 100.0); // one 640-cycle pattern at 100 MHz
+/// assert_eq!(ledger.measurements(), 1);
+/// assert_eq!(ledger.cycles(), 640);
+/// assert!(ledger.test_time_ms() > 0.05, "overhead dominates short patterns");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementLedger {
+    measurements: u64,
+    cycles: u64,
+    pattern_time_us: f64,
+}
+
+impl MeasurementLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one measurement of a `cycles`-long pattern at `clock_mhz`.
+    pub fn record(&mut self, cycles: u64, clock_mhz: f64) {
+        self.measurements += 1;
+        self.cycles += cycles;
+        if clock_mhz > 0.0 {
+            self.pattern_time_us += cycles as f64 / clock_mhz;
+        }
+    }
+
+    /// Total measurements performed.
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Total vector cycles applied.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Estimated tester-occupancy time in milliseconds (pattern time plus
+    /// per-measurement overhead).
+    pub fn test_time_ms(&self) -> f64 {
+        (self.pattern_time_us + self.measurements as f64 * MEASUREMENT_OVERHEAD_US) / 1000.0
+    }
+
+    /// Measurements performed since `baseline` (for scoping one search
+    /// inside a longer session).
+    pub fn measurements_since(&self, baseline: &MeasurementLedger) -> u64 {
+        self.measurements - baseline.measurements
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for MeasurementLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} measurements, {} cycles, {:.2} ms tester time",
+            self.measurements,
+            self.cycles,
+            self.test_time_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut l = MeasurementLedger::new();
+        l.record(100, 100.0);
+        l.record(900, 50.0);
+        assert_eq!(l.measurements(), 2);
+        assert_eq!(l.cycles(), 1000);
+    }
+
+    #[test]
+    fn test_time_includes_overhead_and_pattern() {
+        let mut l = MeasurementLedger::new();
+        l.record(1000, 100.0); // 10 µs pattern + 50 µs overhead
+        assert!((l.test_time_ms() - 0.060).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurements_since_scopes_a_window() {
+        let mut l = MeasurementLedger::new();
+        l.record(100, 100.0);
+        let baseline = l;
+        l.record(100, 100.0);
+        l.record(100, 100.0);
+        assert_eq!(l.measurements_since(&baseline), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut l = MeasurementLedger::new();
+        l.record(500, 100.0);
+        l.reset();
+        assert_eq!(l, MeasurementLedger::new());
+    }
+
+    #[test]
+    fn zero_clock_is_tolerated() {
+        let mut l = MeasurementLedger::new();
+        l.record(100, 0.0);
+        assert_eq!(l.measurements(), 1);
+        assert!(l.test_time_ms() > 0.0, "overhead still counted");
+    }
+
+    #[test]
+    fn display_reports_all_counters() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        let s = l.to_string();
+        assert!(s.contains("1 measurements") && s.contains("640 cycles"), "{s}");
+    }
+}

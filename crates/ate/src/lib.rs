@@ -1,0 +1,62 @@
+//! Automatic test equipment (ATE) simulator.
+//!
+//! The paper runs every measurement through industrial ATE (Teradyne,
+//! Advantest, HP class — its refs [1–7]). This crate is the simulated
+//! stand-in: an [`Ate`] loads a [`MemoryDevice`](cichar_dut::MemoryDevice),
+//! executes tests with selected parameters *forced* to chosen values, and
+//! returns pass/fail verdicts — never the device's true numbers. Everything
+//! the characterization stack learns, it learns the way the paper's stack
+//! does: one strobed measurement at a time.
+//!
+//! On top of the raw verdict channel the crate provides:
+//!
+//! * [`MeasuredParam`] — the three characterization parameters with their
+//!   region orientation, generous default range and resolution;
+//! * [`TripOracle`] — the adapter that lets any `cichar-search` algorithm
+//!   drive the tester;
+//! * [`MeasurementLedger`] — measurement and test-time accounting (the
+//!   cost axis of fig. 3);
+//! * noise and session drift injection ([`NoiseModel`], [`DriftModel`]) —
+//!   the "specification parameter changes over time due to device heating"
+//!   of §1;
+//! * a [`shmoo`] engine that rasterizes pass/fail over two parameter axes
+//!   and renders the fig. 8 plot.
+//!
+//! # Examples
+//!
+//! ```
+//! use cichar_ate::{Ate, MeasuredParam};
+//! use cichar_dut::MemoryDevice;
+//! use cichar_patterns::{march, Test};
+//! use cichar_search::{BinarySearch, PassFailOracle};
+//!
+//! let mut ate = Ate::new(MemoryDevice::nominal());
+//! let test = Test::deterministic("march_c-", march::march_c_minus(64));
+//!
+//! // Search the T_DQ trip point the way fig. 1 does.
+//! let param = MeasuredParam::DataValidTime;
+//! let search = BinarySearch::new(param.generous_range(), param.resolution());
+//! let outcome = search.run(param.region_order(), ate.trip_oracle(&test, param));
+//! let trip = outcome.trip_point.expect("trip point in range");
+//! assert!(trip > 30.0, "March leaves a wide valid window");
+//! assert_eq!(ate.ledger().measurements(), outcome.measurements() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drift;
+mod ledger;
+mod noise;
+mod oracle;
+mod params;
+pub mod shmoo;
+mod tester;
+
+pub use drift::DriftModel;
+pub use ledger::MeasurementLedger;
+pub use noise::NoiseModel;
+pub use oracle::TripOracle;
+pub use params::MeasuredParam;
+pub use shmoo::{OverlayShmoo, ShmooPlot};
+pub use tester::{Ate, AteConfig};

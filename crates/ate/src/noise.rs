@@ -1,0 +1,125 @@
+//! Measurement noise.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian measurement noise, per parameter, applied at every strobe.
+///
+/// Real ATE comparators and timing generators jitter; §1 lists inaccurate
+/// readings among the pitfalls of slow searches. The defaults model a
+/// well-maintained production tester.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::NoiseModel;
+///
+/// let quiet = NoiseModel::noiseless();
+/// assert_eq!(quiet.t_dq_sigma(), 0.0);
+/// let real = NoiseModel::default();
+/// assert!(real.t_dq_sigma() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    t_dq_sigma: f64,
+    f_max_sigma: f64,
+    vdd_min_sigma: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with explicit sigmas (ns, MHz, V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is negative or non-finite.
+    pub fn new(t_dq_sigma: f64, f_max_sigma: f64, vdd_min_sigma: f64) -> Self {
+        for s in [t_dq_sigma, f_max_sigma, vdd_min_sigma] {
+            assert!(s.is_finite() && s >= 0.0, "invalid sigma {s}");
+        }
+        Self {
+            t_dq_sigma,
+            f_max_sigma,
+            vdd_min_sigma,
+        }
+    }
+
+    /// A perfectly quiet tester (unit tests use this to assert physics).
+    pub fn noiseless() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Timing-strobe jitter sigma in nanoseconds.
+    pub fn t_dq_sigma(&self) -> f64 {
+        self.t_dq_sigma
+    }
+
+    /// Clock-generator sigma in megahertz.
+    pub fn f_max_sigma(&self) -> f64 {
+        self.f_max_sigma
+    }
+
+    /// Supply-forcing sigma in volts.
+    pub fn vdd_min_sigma(&self) -> f64 {
+        self.vdd_min_sigma
+    }
+
+    /// Draws one noise sample with the given sigma.
+    pub(crate) fn sample<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
+    }
+}
+
+impl Default for NoiseModel {
+    /// 50 ps timing jitter, 0.1 MHz clock accuracy, 2 mV supply accuracy.
+    fn default() -> Self {
+        Self::new(0.05, 0.1, 0.002)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_samples_are_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(NoiseModel::sample(&mut rng, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_have_requested_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 0.05;
+        let n = 5000;
+        let samples: Vec<f64> = (0..n).map(|_| NoiseModel::sample(&mut rng, sigma)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sigma")]
+    fn rejects_negative_sigma() {
+        let _ = NoiseModel::new(-0.1, 0.0, 0.0);
+    }
+
+    #[test]
+    fn default_is_quieter_than_resolutions() {
+        // Noise must not swamp the search resolutions or trip points
+        // become unrepeatable.
+        let n = NoiseModel::default();
+        assert!(n.t_dq_sigma() <= 0.05 + 1e-12);
+        assert!(n.f_max_sigma() <= 0.25);
+        assert!(n.vdd_min_sigma() <= 0.005);
+    }
+}

@@ -1,0 +1,114 @@
+//! Adapter: the tester as a search oracle.
+
+use crate::params::MeasuredParam;
+use crate::tester::Ate;
+use cichar_patterns::{PatternFeatures, Test};
+use cichar_search::{PassFailOracle, Probe};
+
+/// Borrows an [`Ate`] as a [`PassFailOracle`] for one test and one
+/// parameter, so any `cichar-search` algorithm can drive the tester.
+///
+/// Pattern features are extracted once at construction: a trip-point search
+/// applies the *same* stimulus at many parameter points, so the (pure)
+/// feature extraction is hoisted out of the probe loop, mirroring how real
+/// ATE loads the pattern into vector memory once per search.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{Ate, MeasuredParam};
+/// use cichar_dut::MemoryDevice;
+/// use cichar_patterns::{march, Test};
+/// use cichar_search::{RegionOrder, SearchUntilTrip};
+///
+/// let mut ate = Ate::noiseless(MemoryDevice::nominal());
+/// let test = Test::deterministic("march_y", march::march_y(96));
+/// let param = MeasuredParam::MaxFrequency;
+/// let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
+/// let outcome = stp.run(108.0, param.region_order(), ate.trip_oracle(&test, param));
+/// assert!(outcome.converged);
+/// ```
+#[derive(Debug)]
+pub struct TripOracle<'a> {
+    ate: &'a mut Ate,
+    test: &'a Test,
+    param: MeasuredParam,
+    features: PatternFeatures,
+    pattern_cycles: u64,
+}
+
+impl<'a> TripOracle<'a> {
+    /// Creates the adapter (called via [`Ate::trip_oracle`]).
+    pub(crate) fn new(ate: &'a mut Ate, test: &'a Test, param: MeasuredParam) -> Self {
+        let pattern = test.pattern();
+        Self {
+            ate,
+            test,
+            param,
+            features: PatternFeatures::extract(&pattern),
+            pattern_cycles: pattern.len() as u64,
+        }
+    }
+
+    /// The parameter this oracle strobes.
+    pub fn param(&self) -> MeasuredParam {
+        self.param
+    }
+
+    /// The test this oracle applies.
+    pub fn test(&self) -> &Test {
+        self.test
+    }
+}
+
+impl PassFailOracle for TripOracle<'_> {
+    fn probe(&mut self, value: f64) -> Probe {
+        // §4 relaxation: non-measured parameters are forced to relaxed
+        // values so only the strobed parameter can cause failure.
+        let mut forces: Vec<_> = self.param.relax_forces().to_vec();
+        forces.push((self.param.kind(), value));
+        self.ate
+            .measure_features(&self.features, self.pattern_cycles, self.test, &forces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_dut::MemoryDevice;
+    use cichar_patterns::march;
+    use cichar_search::{BinarySearch, RegionOrder};
+
+    #[test]
+    fn oracle_probe_matches_direct_measure() {
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let mut a = Ate::noiseless(MemoryDevice::nominal());
+        let mut b = Ate::noiseless(MemoryDevice::nominal());
+        let direct = a.measure(&test, MeasuredParam::DataValidTime, 30.0);
+        let via_oracle = b
+            .trip_oracle(&test, MeasuredParam::DataValidTime)
+            .probe(30.0);
+        assert_eq!(direct, via_oracle);
+    }
+
+    #[test]
+    fn oracle_accessors_expose_context() {
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let oracle = ate.trip_oracle(&test, MeasuredParam::MinVoltage);
+        assert_eq!(oracle.param(), MeasuredParam::MinVoltage);
+        assert_eq!(oracle.test().name(), "march_x");
+    }
+
+    #[test]
+    fn searches_through_oracle_record_in_ledger() {
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let param = MeasuredParam::DataValidTime;
+        let outcome = BinarySearch::new(param.generous_range(), param.resolution()).run(
+            RegionOrder::PassBelowFail,
+            ate.trip_oracle(&test, param),
+        );
+        assert_eq!(ate.ledger().measurements(), outcome.measurements() as u64);
+    }
+}

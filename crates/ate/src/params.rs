@@ -1,0 +1,163 @@
+//! The characterization parameters the ATE can strobe or force.
+
+use cichar_search::RegionOrder;
+use cichar_units::{ParamKind, ParamRange};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A device parameter whose trip point the ATE can search.
+///
+/// Each parameter knows its [`RegionOrder`] (which of §4's eq. 3 / eq. 4
+/// applies), a *generous* default search range ("very generous starting
+/// ranges should be selected", §4) and a sensible resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeasuredParam {
+    /// Data-output valid time `T_DQ`, measured by sweeping the output
+    /// strobe delay. Pass at or below the window, fail beyond → eq. (3).
+    DataValidTime,
+    /// Maximum operating frequency, measured by sweeping the vector clock.
+    /// Pass below `f_max`, fail above → eq. (3). §4's worked example.
+    MaxFrequency,
+    /// Minimum operating voltage, measured by sweeping Vdd downward.
+    /// Pass above `vdd_min`, fail below → eq. (4).
+    MinVoltage,
+}
+
+impl MeasuredParam {
+    /// All searchable parameters.
+    pub const ALL: [MeasuredParam; 3] = [
+        MeasuredParam::DataValidTime,
+        MeasuredParam::MaxFrequency,
+        MeasuredParam::MinVoltage,
+    ];
+
+    /// The unit-tagged kind this parameter forces on the tester.
+    pub fn kind(self) -> ParamKind {
+        match self {
+            MeasuredParam::DataValidTime => ParamKind::StrobeDelay,
+            MeasuredParam::MaxFrequency => ParamKind::ClockFrequency,
+            MeasuredParam::MinVoltage => ParamKind::SupplyVoltage,
+        }
+    }
+
+    /// Which side of the trip point passes.
+    pub fn region_order(self) -> RegionOrder {
+        match self {
+            MeasuredParam::DataValidTime => RegionOrder::PassBelowFail,
+            MeasuredParam::MaxFrequency => RegionOrder::PassBelowFail,
+            MeasuredParam::MinVoltage => RegionOrder::PassAboveFail,
+        }
+    }
+
+    /// The generous default search range (§4's `CR`).
+    ///
+    /// For [`MeasuredParam::MaxFrequency`] this is the paper's own worked
+    /// example: `S1 = 80 MHz`, `S2 = 130 MHz`, `CR = 50 MHz`.
+    pub fn generous_range(self) -> ParamRange {
+        match self {
+            MeasuredParam::DataValidTime => ParamRange::new(5.0, 40.0),
+            MeasuredParam::MaxFrequency => ParamRange::new(80.0, 130.0),
+            MeasuredParam::MinVoltage => ParamRange::new(1.1, 2.1),
+        }
+        .expect("static ranges are valid")
+    }
+
+    /// Default search resolution.
+    pub fn resolution(self) -> f64 {
+        match self {
+            MeasuredParam::DataValidTime => 0.05,
+            MeasuredParam::MaxFrequency => 0.25,
+            MeasuredParam::MinVoltage => 0.005,
+        }
+    }
+
+    /// The forces that *relax* every non-measured parameter while this one
+    /// is searched.
+    ///
+    /// §4: "characterization tests are aimed at characterizing independent
+    /// parameters one at a time. The test conditions must be such that only
+    /// the parameters being tested can cause test failure. All the other
+    /// parameters must be relaxed so they can not cause test failures and
+    /// false convergence." Concretely: timing is strobed at the specified
+    /// 100 MHz operating rate regardless of the test's own clock, and the
+    /// `Vdd_min` sweep slows the vector rate to 60 MHz so the frequency
+    /// envelope can never masquerade as a voltage trip.
+    pub fn relax_forces(self) -> &'static [(ParamKind, f64)] {
+        match self {
+            MeasuredParam::DataValidTime => &[(ParamKind::ClockFrequency, 100.0)],
+            MeasuredParam::MinVoltage => &[(ParamKind::ClockFrequency, 60.0)],
+            MeasuredParam::MaxFrequency => &[],
+        }
+    }
+
+    /// Default search factor `SF` for search-until-trip-point (§4 suggests
+    /// "1 MHz or 2 MHz per step" for the frequency example).
+    pub fn search_factor(self) -> f64 {
+        match self {
+            MeasuredParam::DataValidTime => 0.25,
+            MeasuredParam::MaxFrequency => 1.0,
+            MeasuredParam::MinVoltage => 0.02,
+        }
+    }
+}
+
+impl fmt::Display for MeasuredParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MeasuredParam::DataValidTime => "T_DQ (data output valid time)",
+            MeasuredParam::MaxFrequency => "f_max (maximum operating frequency)",
+            MeasuredParam::MinVoltage => "Vdd_min (minimum operating voltage)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientations_match_equations() {
+        assert_eq!(
+            MeasuredParam::DataValidTime.region_order(),
+            RegionOrder::PassBelowFail
+        );
+        assert_eq!(
+            MeasuredParam::MaxFrequency.region_order(),
+            RegionOrder::PassBelowFail
+        );
+        assert_eq!(
+            MeasuredParam::MinVoltage.region_order(),
+            RegionOrder::PassAboveFail
+        );
+    }
+
+    #[test]
+    fn frequency_range_is_the_papers_example() {
+        let r = MeasuredParam::MaxFrequency.generous_range();
+        assert_eq!(r.start(), 80.0);
+        assert_eq!(r.end(), 130.0);
+        assert_eq!(r.width(), 50.0);
+    }
+
+    #[test]
+    fn kinds_carry_matching_units() {
+        assert_eq!(MeasuredParam::DataValidTime.kind().unit_symbol(), "ns");
+        assert_eq!(MeasuredParam::MaxFrequency.kind().unit_symbol(), "MHz");
+        assert_eq!(MeasuredParam::MinVoltage.kind().unit_symbol(), "V");
+    }
+
+    #[test]
+    fn resolutions_are_finer_than_ranges() {
+        for p in MeasuredParam::ALL {
+            assert!(p.resolution() < p.generous_range().width() / 10.0);
+            assert!(p.search_factor() >= p.resolution());
+        }
+    }
+
+    #[test]
+    fn display_names_every_param() {
+        for p in MeasuredParam::ALL {
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

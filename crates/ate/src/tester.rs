@@ -1,0 +1,396 @@
+//! The tester: executes tests with forced parameters, returns verdicts.
+
+use crate::drift::DriftModel;
+use crate::ledger::MeasurementLedger;
+use crate::noise::NoiseModel;
+use crate::oracle::TripOracle;
+use crate::params::MeasuredParam;
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{PatternFeatures, Test};
+use cichar_search::Probe;
+use cichar_units::{Celsius, Megahertz, ParamKind, Volts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tester configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AteConfig {
+    /// Measurement noise model.
+    pub noise: NoiseModel,
+    /// Session thermal drift.
+    pub drift: DriftModel,
+    /// RNG seed for the noise stream (sessions are reproducible).
+    pub seed: u64,
+}
+
+impl Default for AteConfig {
+    fn default() -> Self {
+        Self {
+            noise: NoiseModel::default(),
+            drift: DriftModel::none(),
+            seed: 0x1CA7_ACE5,
+        }
+    }
+}
+
+/// The simulated automatic test equipment.
+///
+/// One `Ate` holds one device on its load board. A *measurement* applies a
+/// test's pattern at its conditions — with zero or more parameters forced
+/// to explicit values — and compares against the device's (noisy) limits:
+///
+/// * the forced strobe delay must lie within the data-valid window,
+/// * the effective clock must not exceed `f_max`,
+/// * the effective supply must not drop below `vdd_min`.
+///
+/// Only the [`Probe`] verdict leaves the tester; true parametrics stay
+/// hidden, exactly like real ATE.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{Ate, MeasuredParam};
+/// use cichar_dut::MemoryDevice;
+/// use cichar_patterns::{march, Test};
+/// use cichar_search::Probe;
+///
+/// let mut ate = Ate::new(MemoryDevice::nominal());
+/// let test = Test::deterministic("march_x", march::march_x(96));
+/// // Strobing far inside the valid window passes…
+/// assert_eq!(ate.measure(&test, MeasuredParam::DataValidTime, 15.0), Probe::Pass);
+/// // …strobing far beyond it fails.
+/// assert_eq!(ate.measure(&test, MeasuredParam::DataValidTime, 39.0), Probe::Fail);
+/// ```
+#[derive(Debug)]
+pub struct Ate {
+    device: MemoryDevice,
+    config: AteConfig,
+    ledger: MeasurementLedger,
+    rng: StdRng,
+}
+
+impl Ate {
+    /// Loads a device with the default configuration.
+    pub fn new(device: MemoryDevice) -> Self {
+        Self::with_config(device, AteConfig::default())
+    }
+
+    /// Loads a device with an explicit configuration.
+    pub fn with_config(device: MemoryDevice, config: AteConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            device,
+            config,
+            ledger: MeasurementLedger::new(),
+            rng,
+        }
+    }
+
+    /// A noiseless, drift-free tester — physics assertions in tests and
+    /// reproducible examples use this.
+    pub fn noiseless(device: MemoryDevice) -> Self {
+        Self::with_config(
+            device,
+            AteConfig {
+                noise: NoiseModel::noiseless(),
+                drift: DriftModel::none(),
+                seed: 0,
+            },
+        )
+    }
+
+    /// The measurement ledger (running totals for this session).
+    pub fn ledger(&self) -> &MeasurementLedger {
+        &self.ledger
+    }
+
+    /// The loaded device (read-only; the characterization stack must not
+    /// peek at true values, but reports may describe the die).
+    pub fn device(&self) -> &MemoryDevice {
+        &self.device
+    }
+
+    /// The tester configuration.
+    pub fn config(&self) -> &AteConfig {
+        &self.config
+    }
+
+    /// Measures the test with one parameter forced to `value`.
+    ///
+    /// This is the elementary trip-point probe: for
+    /// [`MeasuredParam::DataValidTime`] the strobe delay is forced, for
+    /// [`MeasuredParam::MaxFrequency`] the vector clock, for
+    /// [`MeasuredParam::MinVoltage`] the supply.
+    pub fn measure(&mut self, test: &Test, param: MeasuredParam, value: f64) -> Probe {
+        let mut forces: Vec<(ParamKind, f64)> = param.relax_forces().to_vec();
+        forces.push((param.kind(), value));
+        self.measure_forced(test, &forces)
+    }
+
+    /// Measures the test with an arbitrary set of forced parameters
+    /// (the shmoo engine forces two at once).
+    pub fn measure_forced(&mut self, test: &Test, forces: &[(ParamKind, f64)]) -> Probe {
+        let pattern = test.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        self.measure_features(&features, pattern.len() as u64, test, forces)
+    }
+
+    /// Hot path: measure with pre-extracted features (search loops apply
+    /// the same pattern at many parameter points; extraction is pure so it
+    /// can be hoisted).
+    pub fn measure_features(
+        &mut self,
+        features: &PatternFeatures,
+        pattern_cycles: u64,
+        test: &Test,
+        forces: &[(ParamKind, f64)],
+    ) -> Probe {
+        // Apply forced environmental conditions.
+        let mut conditions = *test.conditions();
+        let mut strobe: Option<f64> = None;
+        for &(kind, value) in forces {
+            match kind {
+                ParamKind::StrobeDelay => strobe = Some(value),
+                ParamKind::SupplyVoltage => conditions = conditions.with_vdd(Volts::new(value)),
+                ParamKind::ClockFrequency => {
+                    conditions = conditions.with_clock(Megahertz::new(value))
+                }
+                ParamKind::Temperature => {
+                    conditions = conditions.with_temperature(Celsius::new(value))
+                }
+            }
+        }
+        // Session drift heats the die on top of the forced ambient.
+        let rise = self.config.drift.temperature_rise(self.ledger.cycles());
+        if rise > 0.0 {
+            conditions =
+                conditions.with_temperature(conditions.temperature + Celsius::new(rise));
+        }
+
+        self.ledger.record(pattern_cycles, conditions.clock.value());
+
+        let true_params = self.device.evaluate_features(features, &conditions);
+        let noise = &self.config.noise;
+        let t_dq = true_params.t_dq.value() + NoiseModel::sample(&mut self.rng, noise.t_dq_sigma());
+        let f_max =
+            true_params.f_max.value() + NoiseModel::sample(&mut self.rng, noise.f_max_sigma());
+        let vdd_min = true_params.vdd_min.value()
+            + NoiseModel::sample(&mut self.rng, noise.vdd_min_sigma());
+
+        let strobe_ok = strobe.is_none_or(|s| s <= t_dq);
+        let clock_ok = conditions.clock.value() <= f_max;
+        let vdd_ok = conditions.vdd.value() >= vdd_min;
+        if strobe_ok && clock_ok && vdd_ok {
+            Probe::Pass
+        } else {
+            Probe::Fail
+        }
+    }
+
+    /// Borrows the tester as a search oracle for one test and parameter.
+    pub fn trip_oracle<'a>(&'a mut self, test: &'a Test, param: MeasuredParam) -> TripOracle<'a> {
+        TripOracle::new(self, test, param)
+    }
+
+    /// One production-style application: the pattern runs once with
+    /// `param` forced to `limit`, and the verdict combines the parametric
+    /// envelope with a cycle-accurate data compare against the device's
+    /// fault model — §1's "determines if the device meets its design
+    /// specification", in a single measurement.
+    pub fn measure_production(
+        &mut self,
+        test: &Test,
+        param: MeasuredParam,
+        limit: f64,
+    ) -> Probe {
+        let parametric = self.measure(test, param, limit);
+        if parametric != Probe::Pass {
+            return Probe::Fail;
+        }
+        // Same pattern application: the data compare costs no extra
+        // tester time, so it is not charged to the ledger again.
+        if self.device.execute_pattern(&test.pattern()).pass() {
+            Probe::Pass
+        } else {
+            Probe::Fail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_patterns::{march, TestConditions};
+    use cichar_search::{BinarySearch, SuccessiveApproximation};
+
+    fn march_test() -> Test {
+        Test::deterministic("march_c-", march::march_c_minus(64))
+    }
+
+    #[test]
+    fn strobe_verdicts_bracket_t_dq() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        // March C- true t_dq ≈ 32.3 ns on the nominal die.
+        assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 30.0), Probe::Pass);
+        assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 34.0), Probe::Fail);
+    }
+
+    #[test]
+    fn frequency_verdicts_bracket_f_max() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        assert_eq!(ate.measure(&t, MeasuredParam::MaxFrequency, 100.0), Probe::Pass);
+        assert_eq!(ate.measure(&t, MeasuredParam::MaxFrequency, 125.0), Probe::Fail);
+    }
+
+    #[test]
+    fn voltage_verdicts_bracket_vdd_min() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        assert_eq!(ate.measure(&t, MeasuredParam::MinVoltage, 1.8), Probe::Pass);
+        assert_eq!(ate.measure(&t, MeasuredParam::MinVoltage, 1.2), Probe::Fail);
+    }
+
+    #[test]
+    fn ledger_counts_each_measurement() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        for _ in 0..5 {
+            let _ = ate.measure(&t, MeasuredParam::DataValidTime, 20.0);
+        }
+        assert_eq!(ate.ledger().measurements(), 5);
+        assert_eq!(ate.ledger().cycles(), 5 * 640);
+    }
+
+    #[test]
+    fn binary_search_recovers_true_t_dq() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        let param = MeasuredParam::DataValidTime;
+        let search = BinarySearch::new(param.generous_range(), 0.02);
+        let outcome = search.run(param.region_order(), ate.trip_oracle(&t, param));
+        let trip = outcome.trip_point.expect("in range");
+        assert!((trip - 32.3).abs() < 0.5, "trip = {trip}");
+    }
+
+    #[test]
+    fn vdd_min_search_uses_eq4_orientation() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        let param = MeasuredParam::MinVoltage;
+        let search = BinarySearch::new(param.generous_range(), param.resolution());
+        let outcome = search.run(param.region_order(), ate.trip_oracle(&t, param));
+        let trip = outcome.trip_point.expect("in range");
+        assert!((1.3..1.5).contains(&trip), "vdd_min trip = {trip}");
+    }
+
+    #[test]
+    fn forcing_vdd_shifts_the_t_dq_verdict() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let t = march_test();
+        // Passing strobe at nominal Vdd…
+        let nominal = ate.measure_forced(
+            &t,
+            &[(ParamKind::StrobeDelay, 31.0), (ParamKind::SupplyVoltage, 1.8)],
+        );
+        // …fails when the supply is starved (window shrinks below 31 ns).
+        let starved = ate.measure_forced(
+            &t,
+            &[(ParamKind::StrobeDelay, 31.0), (ParamKind::SupplyVoltage, 1.5)],
+        );
+        assert_eq!(nominal, Probe::Pass);
+        assert_eq!(starved, Probe::Fail);
+    }
+
+    #[test]
+    fn noise_flips_verdicts_only_near_the_boundary() {
+        let device = MemoryDevice::nominal();
+        let mut noisy = Ate::with_config(
+            device,
+            AteConfig {
+                noise: NoiseModel::new(0.05, 0.0, 0.0),
+                drift: DriftModel::none(),
+                seed: 7,
+            },
+        );
+        let t = march_test();
+        let mut far_flips = 0;
+        let mut near_mixed = (0, 0);
+        for _ in 0..100 {
+            if !matches!(noisy.measure(&t, MeasuredParam::DataValidTime, 20.0), Probe::Pass) {
+                far_flips += 1;
+            }
+            match noisy.measure(&t, MeasuredParam::DataValidTime, 32.3) {
+                Probe::Pass => near_mixed.0 += 1,
+                Probe::Fail => near_mixed.1 += 1,
+            }
+        }
+        assert_eq!(far_flips, 0, "20 ns is 12σ from the boundary");
+        assert!(
+            near_mixed.0 > 5 && near_mixed.1 > 5,
+            "at the boundary noise must produce both verdicts, got {near_mixed:?}"
+        );
+    }
+
+    #[test]
+    fn drift_erodes_margin_over_long_sessions() {
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::new(60.0, 2e5),
+            seed: 0,
+        };
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
+        let t = march_test();
+        // Just inside the window when cold…
+        assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 32.0), Probe::Pass);
+        // …after a long session the die is hot and the window shrank.
+        for _ in 0..2000 {
+            let _ = ate.measure(&t, MeasuredParam::DataValidTime, 5.0);
+        }
+        assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 32.0), Probe::Fail);
+    }
+
+    #[test]
+    fn drifting_session_still_converges_with_successive_approximation() {
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::new(20.0, 5e4),
+            seed: 0,
+        };
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
+        let t = march_test();
+        let param = MeasuredParam::DataValidTime;
+        let search = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let outcome = search.run(param.region_order(), ate.trip_oracle(&t, param));
+        assert!(outcome.converged, "drift-tolerant search should converge");
+    }
+
+    #[test]
+    fn sessions_are_seed_reproducible() {
+        let run = || {
+            let mut ate = Ate::with_config(MemoryDevice::nominal(), AteConfig::default());
+            let t = march_test();
+            (0..50)
+                .map(|i| {
+                    ate.measure(&t, MeasuredParam::DataValidTime, 31.0 + 0.05 * f64::from(i))
+                        .is_pass()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn conditions_from_test_are_respected() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let cold = march_test();
+        let starved = cold.with_conditions(TestConditions::nominal().with_vdd(Volts::new(1.5)));
+        // The same strobe passes at nominal but fails on the starved test.
+        assert_eq!(ate.measure(&cold, MeasuredParam::DataValidTime, 31.0), Probe::Pass);
+        assert_eq!(
+            ate.measure(&starved, MeasuredParam::DataValidTime, 31.0),
+            Probe::Fail
+        );
+    }
+}

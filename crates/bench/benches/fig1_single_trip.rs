@@ -1,0 +1,49 @@
+//! Criterion bench for fig. 1 (exp. id F1): single-trip-point searches —
+//! linear vs binary vs successive approximation on the same device.
+
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{march, Test};
+use cichar_search::{BinarySearch, LinearSearch, SuccessiveApproximation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_searches(c: &mut Criterion) {
+    let test = Test::deterministic("march_c-", march::march_c_minus(64));
+    let param = MeasuredParam::DataValidTime;
+    let mut group = c.benchmark_group("fig1_single_trip");
+
+    group.bench_function("binary", |b| {
+        let search = BinarySearch::new(param.generous_range(), param.resolution());
+        b.iter(|| {
+            let mut ate = Ate::noiseless(MemoryDevice::nominal());
+            let outcome = search.run(param.region_order(), ate.trip_oracle(black_box(&test), param));
+            black_box(outcome.trip_point)
+        });
+    });
+
+    group.bench_function("successive_approximation", |b| {
+        let search = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        b.iter(|| {
+            let mut ate = Ate::noiseless(MemoryDevice::nominal());
+            let outcome = search.run(param.region_order(), ate.trip_oracle(black_box(&test), param));
+            black_box(outcome.trip_point)
+        });
+    });
+
+    group.bench_function("linear", |b| {
+        // Coarser step, or the §1 "time consuming" warning dominates the
+        // whole bench run.
+        let search = LinearSearch::new(param.generous_range(), 0.5);
+        b.iter(|| {
+            let mut ate = Ate::noiseless(MemoryDevice::nominal());
+            let outcome = search.run(param.region_order(), ate.trip_oracle(black_box(&test), param));
+            black_box(outcome.trip_point)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_searches);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for fig. 8 (exp. id F8): shmoo capture and overlay
+//! accumulation.
+
+use cichar_ate::{Ate, OverlayShmoo, ShmooPlot};
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{march, Test};
+use cichar_search::RegionOrder;
+use cichar_units::{Axis, ParamKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn axes() -> (Axis, Axis) {
+    (
+        Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 41).expect("static axis"),
+        Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 13).expect("static axis"),
+    )
+}
+
+fn bench_shmoo(c: &mut Criterion) {
+    let test = Test::deterministic("march_c-", march::march_c_minus(64));
+
+    c.bench_function("fig8_shmoo/capture_41x13", |b| {
+        b.iter(|| {
+            let mut ate = Ate::noiseless(MemoryDevice::nominal());
+            let (x, y) = axes();
+            black_box(ShmooPlot::capture(&mut ate, black_box(&test), x, y))
+        });
+    });
+
+    c.bench_function("fig8_shmoo/overlay_add", |b| {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let (x, y) = axes();
+        let plot = ShmooPlot::capture(&mut ate, &test, x, y);
+        b.iter(|| {
+            let (x, y) = axes();
+            let mut overlay = OverlayShmoo::new(x, y, RegionOrder::PassBelowFail);
+            overlay.add(black_box(&plot));
+            black_box(overlay.worst_spread())
+        });
+    });
+
+    c.bench_function("fig8_shmoo/render_ascii", |b| {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let (x, y) = axes();
+        let plot = ShmooPlot::capture(&mut ate, &test, x, y);
+        b.iter(|| black_box(black_box(&plot).render_ascii()));
+    });
+}
+
+criterion_group!(benches, bench_shmoo);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 2**: the multiple-trip-point concept — trip points
+//! of many non-deterministic random tests over one parameter axis, with
+//! the worst-case trip-point variation band.
+//!
+//! ```text
+//! cargo run --release -p cichar-bench --bin repro_fig2
+//! ```
+
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_bench::Scale;
+use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
+use cichar_core::report::render_multi_trip;
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{random, Test, TestConditions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let shown = 24usize;
+    let total = scale.random_tests().max(shown);
+    let mut rng = StdRng::seed_from_u64(scale.seed());
+    let tests: Vec<Test> = (0..total)
+        .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
+        .collect();
+
+    let mut ate = Ate::new(MemoryDevice::nominal());
+    let param = MeasuredParam::DataValidTime;
+    let runner = MultiTripRunner::new(param);
+    let report = runner.run(&mut ate, &tests, SearchStrategy::SearchUntilTrip);
+
+    println!("== Fig. 2 reproduction: multiple trip points ({total} random tests) ==\n");
+    // Show a readable subset of bars, then the full-population statistics.
+    let mut subset = report.clone();
+    subset.entries.truncate(shown);
+    print!("{}", render_multi_trip(&subset, param.kind().unit_symbol()));
+    println!("\nfull population statistics:");
+    println!("  tests measured:    {}", report.entries.len());
+    println!(
+        "  trip point range:  [{:.3}, {:.3}] ns",
+        report.min().expect("converged"),
+        report.max().expect("converged")
+    );
+    println!(
+        "  worst-case band:   {:.3} ns (mean {:.3}, std {:.3})",
+        report.spread().expect("converged"),
+        report.mean().expect("converged"),
+        report.std_dev().expect("converged")
+    );
+    println!(
+        "  worst-case test:   {}",
+        report.worst_entry().expect("converged").test_name
+    );
+    println!("  reference (eq. 2): {:.3} ns", report.reference_trip_point.expect("converged"));
+    println!("\n{}", ate.ledger());
+}

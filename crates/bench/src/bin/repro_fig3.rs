@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 3**: the search-until-trip-point economics — the
+//! same multiple-trip-point run measured with full-range searches and with
+//! STP, with per-test and total measurement counts.
+//!
+//! ```text
+//! cargo run --release -p cichar-bench --bin repro_fig3
+//! ```
+
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_bench::Scale;
+use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
+use cichar_core::report::render_stp_saving;
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{random, Test, TestConditions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let total = scale.random_tests();
+    let mut rng = StdRng::seed_from_u64(scale.seed());
+    let tests: Vec<Test> = (0..total)
+        .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
+        .collect();
+
+    let param = MeasuredParam::DataValidTime;
+    let runner = MultiTripRunner::new(param);
+    let mut ate_full = Ate::new(MemoryDevice::nominal());
+    let full = runner.run(&mut ate_full, &tests, SearchStrategy::FullRange);
+    let mut ate_stp = Ate::new(MemoryDevice::nominal());
+    let stp = runner.run(&mut ate_stp, &tests, SearchStrategy::SearchUntilTrip);
+
+    println!("== Fig. 3 reproduction: search-until-trip-point saving ({total} tests) ==\n");
+    // Per-test table for a readable subset, then totals for the whole run.
+    let mut full_subset = full.clone();
+    let mut stp_subset = stp.clone();
+    full_subset.entries.truncate(16);
+    stp_subset.entries.truncate(16);
+    print!("{}", render_stp_saving(&full_subset, &stp_subset));
+    println!("\nwhole population:");
+    println!(
+        "  full-range:        {} measurements ({:.1}/test), {:.1} ms tester time",
+        full.total_measurements,
+        full.mean_measurements_per_test(),
+        ate_full.ledger().test_time_ms()
+    );
+    println!(
+        "  search-until-trip: {} measurements ({:.1}/test), {:.1} ms tester time",
+        stp.total_measurements,
+        stp.mean_measurements_per_test(),
+        ate_stp.ledger().test_time_ms()
+    );
+    let saving = 100.0 * (1.0 - stp.total_measurements as f64 / full.total_measurements as f64);
+    println!("  saving:            {saving:.1}% of measurements");
+    let max_delta = full
+        .entries
+        .iter()
+        .zip(&stp.entries)
+        .filter_map(|(a, b)| Some((a.trip_point? - b.trip_point?).abs()))
+        .fold(0.0, f64::max);
+    println!("  trip-point agreement: max |delta| = {max_delta:.4} ns");
+}

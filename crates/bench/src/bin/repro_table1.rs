@@ -1,0 +1,37 @@
+//! Regenerates **Table 1**: comparison of `T_DQ` with different
+//! approaches at Vdd = 1.8 V (deterministic March vs random vs NN+GA).
+//!
+//! ```text
+//! cargo run --release -p cichar-bench --bin repro_table1
+//! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_table1
+//! ```
+
+use cichar_ate::Ate;
+use cichar_bench::Scale;
+use cichar_core::compare::Comparison;
+use cichar_dut::MemoryDevice;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let config = scale.compare_config();
+    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut rng = StdRng::seed_from_u64(scale.seed());
+
+    println!("== Table 1 reproduction ({scale:?} scale) ==\n");
+    let comparison = Comparison::run(&mut ate, &config, &mut rng);
+    println!("{}", comparison.render());
+    println!(
+        "paper reference:   March 0.619 / 32.3 ns | Random 0.701 / 28.5 ns | NNGA 0.904 / 22.1 ns"
+    );
+    println!(
+        "\nwinner: {} ({}), class {}",
+        comparison.winner().test_name,
+        comparison.winner().technique,
+        comparison.winner().class
+    );
+    println!("\nworst-case database after optimization:");
+    print!("{}", comparison.optimization.database);
+    println!("\ntotal tester session: {}", ate.ledger());
+}

@@ -1,0 +1,106 @@
+//! Shared scaffolding for the reproduction binaries and benches.
+//!
+//! Every `repro_*` binary regenerates one table or figure of the paper
+//! (see `DESIGN.md` §5 and `EXPERIMENTS.md`). Budgets follow the
+//! `CICHAR_SCALE` environment variable: `quick` (default — seconds) or
+//! `full` (minutes, closer to the paper's measurement counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cichar_core::compare::{quick_config, CompareConfig};
+use cichar_core::learning::LearningConfig;
+use cichar_core::optimization::OptimizationConfig;
+use cichar_genetic::GaConfig;
+use cichar_neural::TrainConfig;
+
+/// The run scale selected through `CICHAR_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long budgets for CI and smoke runs.
+    Quick,
+    /// The budget used for `EXPERIMENTS.md` numbers.
+    Full,
+}
+
+impl Scale {
+    /// Reads `CICHAR_SCALE` (`quick` unless set to `full`).
+    pub fn from_env() -> Self {
+        match std::env::var("CICHAR_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Number of random tests for the fig. 2 / fig. 8 style sweeps
+    /// (the paper overlays 1000).
+    pub fn random_tests(self) -> usize {
+        match self {
+            Scale::Quick => 120,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// The Table 1 comparison configuration at this scale.
+    pub fn compare_config(self) -> CompareConfig {
+        match self {
+            Scale::Quick => quick_config(),
+            Scale::Full => CompareConfig {
+                random_tests: 1000,
+                learning: LearningConfig {
+                    tests_per_round: 300,
+                    max_rounds: 3,
+                    committee_size: 5,
+                    hidden: vec![16, 8],
+                    train: TrainConfig {
+                        epochs: 300,
+                        ..TrainConfig::default()
+                    },
+                    ..LearningConfig::default()
+                },
+                nn_candidates: 5000,
+                nn_seeds: 40,
+                optimization: OptimizationConfig {
+                    ga: GaConfig {
+                        population_size: 40,
+                        islands: 3,
+                        generations: 80,
+                        stagnation_restart: 12,
+                        target_fitness: Some(1.0),
+                        ..GaConfig::default()
+                    },
+                    ..OptimizationConfig::default()
+                },
+                ..CompareConfig::default()
+            },
+        }
+    }
+
+    /// Deterministic RNG seed shared by all repro binaries.
+    pub fn seed(self) -> u64 {
+        0xDA7E_2005
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The test environment does not set CICHAR_SCALE=full.
+        if std::env::var("CICHAR_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn full_scale_is_larger_everywhere() {
+        let q = Scale::Quick.compare_config();
+        let f = Scale::Full.compare_config();
+        assert!(f.random_tests > q.random_tests);
+        assert!(f.learning.tests_per_round > q.learning.tests_per_round);
+        assert!(f.optimization.ga.generations > q.optimization.ga.generations);
+        assert_eq!(Scale::Full.random_tests(), 1000, "the paper's 1000 tests");
+    }
+}

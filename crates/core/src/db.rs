@@ -1,0 +1,327 @@
+//! The worst-case test database (fig. 5's final artifact).
+//!
+//! "At last, final worst case tests are generated and stored in the
+//! database. … Functional failure patterns (if any) are stored
+//! separately."
+
+use crate::wcr::WcrClass;
+use cichar_patterns::Test;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One database record: a test with its measured outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorstCaseTest {
+    /// The test itself.
+    pub test: Test,
+    /// Measured trip point.
+    pub trip_point: f64,
+    /// Measured worst-case ratio.
+    pub wcr: f64,
+    /// Fig. 6 classification.
+    pub class: WcrClass,
+    /// The committee's pre-measurement severity prediction, when the test
+    /// came through the fuzzy-neural generator.
+    pub predicted_severity: Option<f64>,
+}
+
+impl fmt::Display for WorstCaseTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: trip {:.3}, WCR {:.3} ({})",
+            self.test.name(),
+            self.trip_point,
+            self.wcr,
+            self.class
+        )
+    }
+}
+
+/// A bounded, deduplicated, WCR-ordered store of worst-case tests, with
+/// functional failures kept separately.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_core::db::{WorstCaseDatabase, WorstCaseTest};
+/// use cichar_core::wcr::WcrClass;
+/// use cichar_patterns::{march, Test};
+///
+/// let mut db = WorstCaseDatabase::new(8);
+/// db.insert(WorstCaseTest {
+///     test: Test::deterministic("m", march::march_c_minus(64)),
+///     trip_point: 22.1,
+///     wcr: 0.904,
+///     class: WcrClass::Weakness,
+///     predicted_severity: None,
+/// });
+/// assert_eq!(db.len(), 1);
+/// assert_eq!(db.worst().expect("non-empty").wcr, 0.904);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorstCaseDatabase {
+    capacity: usize,
+    entries: Vec<WorstCaseTest>,
+    failures: Vec<WorstCaseTest>,
+    #[serde(skip)]
+    seen: HashSet<u64>,
+}
+
+impl WorstCaseDatabase {
+    /// Creates a database keeping at most `capacity` worst-case entries
+    /// (functional failures are kept unbounded — each is a finding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            entries: Vec::new(),
+            failures: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Inserts a record: failures go to the failure store, everything else
+    /// competes for the WCR-ordered worst-case slots. Duplicate tests
+    /// (same stimulus and conditions) are ignored.
+    ///
+    /// Returns `true` if the record was stored.
+    pub fn insert(&mut self, record: WorstCaseTest) -> bool {
+        let id = record.test.identity();
+        if !self.seen.insert(id) {
+            return false;
+        }
+        if record.class == WcrClass::Fail {
+            self.failures.push(record);
+            return true;
+        }
+        self.entries.push(record);
+        self.entries.sort_by(|a, b| b.wcr.total_cmp(&a.wcr));
+        if self.entries.len() > self.capacity {
+            let evicted = self.entries.pop().expect("over capacity");
+            self.seen.remove(&evicted.test.identity());
+            // Report stored=false if the new record itself was evicted.
+            return !self.seen.is_empty() && self.seen.contains(&id);
+        }
+        true
+    }
+
+    /// Worst-case entries, largest WCR first.
+    pub fn entries(&self) -> &[WorstCaseTest] {
+        &self.entries
+    }
+
+    /// Functional failures (WCR > 1), in insertion order.
+    pub fn failures(&self) -> &[WorstCaseTest] {
+        &self.failures
+    }
+
+    /// Number of (non-failure) worst-case entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the worst-case store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The single worst entry, if any.
+    pub fn worst(&self) -> Option<&WorstCaseTest> {
+        self.entries.first()
+    }
+
+    /// Serializes the database to pretty JSON at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(path, json)
+    }
+
+    /// Loads a database saved by [`Self::save`], rebuilding the dedup
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and deserialization errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        let mut db: Self = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        db.seen = db
+            .entries
+            .iter()
+            .chain(&db.failures)
+            .map(|r| r.test.identity())
+            .collect();
+        Ok(db)
+    }
+}
+
+impl fmt::Display for WorstCaseDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "worst-case database: {} entries, {} functional failures",
+            self.entries.len(),
+            self.failures.len()
+        )?;
+        for e in &self.entries {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_patterns::march;
+    use cichar_units::Volts;
+
+    fn record(name: &str, wcr: f64, vdd_mv: u32) -> WorstCaseTest {
+        // Distinct conditions make distinct identities.
+        let test = Test::deterministic(name, march::march_c_minus(64)).with_conditions(
+            cichar_patterns::TestConditions::nominal()
+                .with_vdd(Volts::new(f64::from(vdd_mv) / 1000.0)),
+        );
+        WorstCaseTest {
+            test,
+            trip_point: 20.0 / wcr,
+            wcr,
+            class: WcrClass::from_wcr(wcr),
+            predicted_severity: None,
+        }
+    }
+
+    #[test]
+    fn keeps_entries_sorted_by_wcr() {
+        let mut db = WorstCaseDatabase::new(10);
+        db.insert(record("a", 0.6, 1700));
+        db.insert(record("b", 0.9, 1710));
+        db.insert(record("c", 0.7, 1720));
+        let wcrs: Vec<f64> = db.entries().iter().map(|e| e.wcr).collect();
+        assert_eq!(wcrs, vec![0.9, 0.7, 0.6]);
+        assert_eq!(db.worst().expect("non-empty").test.name(), "b");
+    }
+
+    #[test]
+    fn capacity_evicts_smallest_wcr() {
+        let mut db = WorstCaseDatabase::new(2);
+        db.insert(record("a", 0.6, 1700));
+        db.insert(record("b", 0.9, 1710));
+        db.insert(record("c", 0.7, 1720));
+        assert_eq!(db.len(), 2);
+        let names: Vec<&str> = db.entries().iter().map(|e| e.test.name()).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut db = WorstCaseDatabase::new(10);
+        assert!(db.insert(record("a", 0.6, 1700)));
+        assert!(!db.insert(record("a_again", 0.6, 1700)), "same identity");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn failures_stored_separately_and_unbounded() {
+        let mut db = WorstCaseDatabase::new(1);
+        db.insert(record("w", 0.9, 1700));
+        db.insert(record("f1", 1.1, 1710));
+        db.insert(record("f2", 1.3, 1720));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.failures().len(), 2);
+    }
+
+    #[test]
+    fn evicted_entry_can_reenter_later() {
+        let mut db = WorstCaseDatabase::new(1);
+        db.insert(record("small", 0.5, 1700));
+        db.insert(record("big", 0.9, 1710));
+        // `small` was evicted; its identity must be free again.
+        assert!(db.insert(record("small", 0.5, 1700)) || db.len() == 1);
+        assert_eq!(db.worst().expect("non-empty").wcr, 0.9);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut db = WorstCaseDatabase::new(4);
+        db.insert(record("a", 0.85, 1700));
+        db.insert(record("f", 1.2, 1710));
+        let dir = std::env::temp_dir().join("cichar_db_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("wc.json");
+        db.save(&path).expect("save");
+        let loaded = WorstCaseDatabase::load(&path).expect("load");
+        assert_eq!(loaded.entries(), db.entries());
+        assert_eq!(loaded.failures(), db.failures());
+        // Dedup index was rebuilt.
+        let mut loaded = loaded;
+        assert!(!loaded.insert(record("a", 0.85, 1700)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = WorstCaseDatabase::new(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn arbitrary_inserts_keep_invariants(
+                capacity in 1usize..6,
+                wcrs in proptest::collection::vec(0.3f64..1.3, 1..24),
+            ) {
+                let mut db = WorstCaseDatabase::new(capacity);
+                for (i, wcr) in wcrs.iter().enumerate() {
+                    db.insert(record(&format!("t{i}"), *wcr, 1500 + i as u32));
+                }
+                // Capacity bound holds.
+                prop_assert!(db.len() <= capacity);
+                // Entries stay sorted, all non-fail.
+                for pair in db.entries().windows(2) {
+                    prop_assert!(pair[0].wcr >= pair[1].wcr);
+                }
+                prop_assert!(db.entries().iter().all(|e| e.wcr <= 1.0));
+                prop_assert!(db.failures().iter().all(|e| e.wcr > 1.0));
+                // The database keeps exactly the top non-fail WCRs.
+                let mut non_fail: Vec<f64> =
+                    wcrs.iter().copied().filter(|w| *w <= 1.0).collect();
+                non_fail.sort_by(|a, b| b.total_cmp(a));
+                non_fail.truncate(capacity);
+                let kept: Vec<f64> = db.entries().iter().map(|e| e.wcr).collect();
+                prop_assert_eq!(kept.len(), non_fail.len());
+                for (a, b) in kept.iter().zip(&non_fail) {
+                    prop_assert!((a - b).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut db = WorstCaseDatabase::new(4);
+        db.insert(record("a", 0.85, 1700));
+        let s = db.to_string();
+        assert!(s.contains("1 entries") && s.contains("a:"), "{s}");
+    }
+}

@@ -1,0 +1,455 @@
+//! Multiple-trip-point characterization (§3, eq. 1).
+//!
+//! `DSV = TPV(T_1 .. T_N)`: the device specification becomes the *set* of
+//! trip points over many tests. The first test runs a full-range
+//! successive-approximation search (eq. 2 — the reference trip point);
+//! every further test runs search-until-trip-point around that reference
+//! (eqs. 3–4), which is where the measurement saving of fig. 3 comes from.
+
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_patterns::Test;
+use cichar_search::{SearchUntilTrip, SuccessiveApproximation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How each test's trip point is searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Every test gets a full-range successive-approximation search — the
+    /// §1 state of the art, used as the fig. 3 cost baseline.
+    FullRange,
+    /// Eq. 2 for the first test, then eqs. 3–4 around the reference trip
+    /// point — the paper's method.
+    SearchUntilTrip,
+}
+
+/// One test's entry in the DSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsvEntry {
+    /// Name of the test.
+    pub test_name: String,
+    /// The measured trip point, if the search converged.
+    pub trip_point: Option<f64>,
+    /// Measurements this test's search consumed.
+    pub measurements: u64,
+}
+
+/// The design-specification-value set of eq. 1 plus cost accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsvReport {
+    /// Parameter that was characterized.
+    pub param: MeasuredParam,
+    /// Strategy used.
+    pub strategy: SearchStrategy,
+    /// The reference trip point (the first converged trip point; with RTP
+    /// refresh enabled, the most recently re-anchored one).
+    pub reference_trip_point: Option<f64>,
+    /// Per-test results, in execution order.
+    pub entries: Vec<DsvEntry>,
+    /// Total measurements across all searches.
+    pub total_measurements: u64,
+}
+
+impl DsvReport {
+    /// Converged trip points in execution order.
+    pub fn trip_points(&self) -> Vec<f64> {
+        self.entries.iter().filter_map(|e| e.trip_point).collect()
+    }
+
+    /// Smallest trip point (the §6 worst case for minimization).
+    pub fn min(&self) -> Option<f64> {
+        self.trip_points().into_iter().min_by(f64::total_cmp)
+    }
+
+    /// Largest trip point.
+    pub fn max(&self) -> Option<f64> {
+        self.trip_points().into_iter().max_by(f64::total_cmp)
+    }
+
+    /// The worst-case trip-point variation band (fig. 2): `max − min`.
+    pub fn spread(&self) -> Option<f64> {
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => Some(hi - lo),
+            _ => None,
+        }
+    }
+
+    /// Mean of converged trip points.
+    pub fn mean(&self) -> Option<f64> {
+        let tps = self.trip_points();
+        if tps.is_empty() {
+            return None;
+        }
+        Some(tps.iter().sum::<f64>() / tps.len() as f64)
+    }
+
+    /// Sample standard deviation of converged trip points.
+    pub fn std_dev(&self) -> Option<f64> {
+        let tps = self.trip_points();
+        if tps.len() < 2 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let var = tps.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (tps.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Mean measurements per test — fig. 3's cost axis.
+    pub fn mean_measurements_per_test(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.total_measurements as f64 / self.entries.len() as f64
+    }
+
+    /// The entry with the smallest trip point, if any converged.
+    pub fn worst_entry(&self) -> Option<&DsvEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.trip_point.is_some())
+            .min_by(|a, b| {
+                a.trip_point
+                    .expect("filtered")
+                    .total_cmp(&b.trip_point.expect("filtered"))
+            })
+    }
+}
+
+impl fmt::Display for DsvReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DSV over {} tests: [{:.3}, {:.3}] spread {:.3}, {:.1} measurements/test",
+            self.entries.len(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN),
+            self.spread().unwrap_or(f64::NAN),
+            self.mean_measurements_per_test(),
+        )
+    }
+}
+
+/// Runs multiple-trip-point characterization over a set of tests.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{Ate, MeasuredParam};
+/// use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
+/// use cichar_dut::MemoryDevice;
+/// use cichar_patterns::{march, Test};
+///
+/// let mut ate = Ate::noiseless(MemoryDevice::nominal());
+/// let tests: Vec<Test> = cichar_patterns::march::standard_suite()
+///     .into_iter()
+///     .map(|(name, p)| Test::deterministic(name, p))
+///     .collect();
+/// let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+/// let report = runner.run(&mut ate, &tests, SearchStrategy::SearchUntilTrip);
+/// assert_eq!(report.entries.len(), 8);
+/// assert!(report.spread().expect("converged") > 0.0, "trip point is test dependent");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTripRunner {
+    param: MeasuredParam,
+    refine: bool,
+    rtp_refresh: Option<usize>,
+}
+
+impl MultiTripRunner {
+    /// Creates a runner for a parameter, with STP refinement enabled (the
+    /// measured trip points then carry full search resolution).
+    pub fn new(param: MeasuredParam) -> Self {
+        Self {
+            param,
+            refine: true,
+            rtp_refresh: None,
+        }
+    }
+
+    /// Disables STP bisection refinement — the raw §4 algorithm.
+    pub fn without_refinement(mut self) -> Self {
+        self.refine = false;
+        self
+    }
+
+    /// Re-establishes the reference trip point with a fresh full-range
+    /// search every `every` tests. Long sessions drift (§1's device
+    /// heating); a stale reference slowly inflates STP walk lengths, and a
+    /// periodic refresh keeps the reference tracking the drifted device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_rtp_refresh(mut self, every: usize) -> Self {
+        assert!(every > 0, "refresh interval must be positive");
+        self.rtp_refresh = Some(every);
+        self
+    }
+
+    /// The characterized parameter.
+    pub fn param(&self) -> MeasuredParam {
+        self.param
+    }
+
+    /// Runs the characterization, consuming measurements from `ate`.
+    pub fn run(&self, ate: &mut Ate, tests: &[Test], strategy: SearchStrategy) -> DsvReport {
+        let param = self.param;
+        let order = param.region_order();
+        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let mut stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
+        if self.refine {
+            stp = stp.with_refinement(param.resolution());
+        }
+
+        let mut entries = Vec::with_capacity(tests.len());
+        let mut rtp: Option<f64> = None;
+        let mut total = 0u64;
+        for (index, test) in tests.iter().enumerate() {
+            // Periodic reference refresh: drop the stale RTP so the next
+            // search runs full-range and re-anchors the reference.
+            if let Some(every) = self.rtp_refresh {
+                if index > 0 && index % every == 0 {
+                    rtp = None;
+                }
+            }
+            let baseline = *ate.ledger();
+            let outcome = match (strategy, rtp) {
+                // Eq. 2: the first (or any un-referenced) test searches the
+                // full generous range.
+                (SearchStrategy::FullRange, _) | (SearchStrategy::SearchUntilTrip, None) => {
+                    full.run(order, ate.trip_oracle(test, param))
+                }
+                // Eqs. 3–4: subsequent tests search around the RTP.
+                (SearchStrategy::SearchUntilTrip, Some(reference)) => {
+                    stp.run(reference, order, ate.trip_oracle(test, param))
+                }
+            };
+            let measurements = ate.ledger().measurements_since(&baseline);
+            total += measurements;
+            if strategy == SearchStrategy::SearchUntilTrip {
+                if let (None, Some(tp)) = (rtp, outcome.trip_point) {
+                    rtp = Some(tp);
+                }
+            }
+            entries.push(DsvEntry {
+                test_name: test.name().to_string(),
+                trip_point: outcome.trip_point,
+                measurements,
+            });
+        }
+        DsvReport {
+            param,
+            strategy,
+            reference_trip_point: rtp,
+            entries,
+            total_measurements: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_dut::MemoryDevice;
+    use cichar_patterns::{march, random, ConditionSpace, TestConditions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn suite() -> Vec<Test> {
+        march::standard_suite()
+            .into_iter()
+            .map(|(name, p)| Test::deterministic(name, p))
+            .collect()
+    }
+
+    fn random_tests(n: usize) -> Vec<Test> {
+        let mut rng = StdRng::seed_from_u64(21);
+        (0..n)
+            .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
+            .collect()
+    }
+
+    #[test]
+    fn stp_converges_to_same_trip_points_as_full_search() {
+        let tests = suite();
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        let mut ate_a = Ate::noiseless(MemoryDevice::nominal());
+        let full = runner.run(&mut ate_a, &tests, SearchStrategy::FullRange);
+        let mut ate_b = Ate::noiseless(MemoryDevice::nominal());
+        let stp = runner.run(&mut ate_b, &tests, SearchStrategy::SearchUntilTrip);
+        for (a, b) in full.entries.iter().zip(&stp.entries) {
+            let (ta, tb) = (
+                a.trip_point.expect("full converges"),
+                b.trip_point.expect("stp converges"),
+            );
+            assert!(
+                (ta - tb).abs() <= 2.0 * MeasuredParam::DataValidTime.resolution(),
+                "{}: {ta} vs {tb}",
+                a.test_name
+            );
+        }
+    }
+
+    #[test]
+    fn stp_costs_fewer_measurements_than_full_search() {
+        // The fig. 3 claim, on a 30-test random batch.
+        let tests = random_tests(30);
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        let mut ate_a = Ate::noiseless(MemoryDevice::nominal());
+        let full = runner.run(&mut ate_a, &tests, SearchStrategy::FullRange);
+        let mut ate_b = Ate::noiseless(MemoryDevice::nominal());
+        let stp = runner.run(&mut ate_b, &tests, SearchStrategy::SearchUntilTrip);
+        assert!(
+            (stp.total_measurements as f64) < 0.8 * full.total_measurements as f64,
+            "stp {} vs full {}",
+            stp.total_measurements,
+            full.total_measurements
+        );
+    }
+
+    #[test]
+    fn trip_points_are_test_dependent() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        assert!(report.spread().expect("converged") > 0.5, "{report}");
+    }
+
+    #[test]
+    fn first_converged_trip_becomes_reference() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        let first = report.entries[0].trip_point.expect("converges");
+        assert_eq!(report.reference_trip_point, Some(first));
+    }
+
+    #[test]
+    fn full_range_strategy_has_no_reference() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite()[..2],
+            SearchStrategy::FullRange,
+        );
+        assert_eq!(report.reference_trip_point, None);
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        let min = report.min().expect("converged");
+        let max = report.max().expect("converged");
+        let mean = report.mean().expect("converged");
+        assert!(min <= mean && mean <= max);
+        assert!(report.std_dev().expect("n >= 2") >= 0.0);
+        assert_eq!(
+            report.total_measurements,
+            report.entries.iter().map(|e| e.measurements).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn worst_entry_is_minimum_trip_point() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        let worst = report.worst_entry().expect("converged");
+        assert_eq!(worst.trip_point, report.min());
+    }
+
+    #[test]
+    fn works_for_eq4_parameter_too() {
+        // Vdd_min characterization: pass region above the fail region.
+        let report = MultiTripRunner::new(MeasuredParam::MinVoltage).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        for entry in &report.entries {
+            let tp = entry.trip_point.expect("converges");
+            assert!((1.3..1.6).contains(&tp), "{}: {tp}", entry.test_name);
+        }
+    }
+
+    #[test]
+    fn random_condition_tests_widen_the_band() {
+        // Fig. 2's point: non-deterministic tests (varying conditions too)
+        // fluctuate the trip point far more than the deterministic suite.
+        let mut rng = StdRng::seed_from_u64(33);
+        let space = ConditionSpace::default();
+        let tests: Vec<Test> = (0..20).map(|_| random::random_test(&mut rng, &space)).collect();
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+        );
+        assert!(report.spread().expect("converged") > 3.0, "{report}");
+    }
+
+    #[test]
+    fn rtp_refresh_tracks_a_drifting_session() {
+        use cichar_ate::{AteConfig, DriftModel, NoiseModel};
+        // Strong thermal drift: by the end of a 60-test session the die is
+        // tens of degrees hotter and the true window has shrunk.
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::new(40.0, 3e5),
+            seed: 0,
+        };
+        let tests = random_tests(60);
+        let stale = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::with_config(MemoryDevice::nominal(), config.clone()),
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+        );
+        let refreshed = MultiTripRunner::new(MeasuredParam::DataValidTime)
+            .with_rtp_refresh(10)
+            .run(
+                &mut Ate::with_config(MemoryDevice::nominal(), config),
+                &tests,
+                SearchStrategy::SearchUntilTrip,
+            );
+        // Both converge on every test (STP's accelerating walk absorbs the
+        // drift either way), but only the refreshed session's reference
+        // tracks the heated device: it ends well below the cold reference.
+        assert!(refreshed.entries.iter().all(|e| e.trip_point.is_some()));
+        assert!(stale.entries.iter().all(|e| e.trip_point.is_some()));
+        let cold_ref = stale.reference_trip_point.expect("converged");
+        let tracked_ref = refreshed.reference_trip_point.expect("converged");
+        assert!(
+            tracked_ref < cold_ref - 0.3,
+            "tracked {tracked_ref} must sit below cold {cold_ref}"
+        );
+        // And the refresh costs only a handful of extra full searches.
+        let overhead =
+            refreshed.total_measurements as f64 / stale.total_measurements as f64;
+        assert!(overhead < 1.5, "refresh overhead {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh interval must be positive")]
+    fn zero_refresh_interval_rejected() {
+        let _ = MultiTripRunner::new(MeasuredParam::DataValidTime).with_rtp_refresh(0);
+    }
+
+    #[test]
+    fn display_summarizes_cost() {
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite()[..2],
+            SearchStrategy::SearchUntilTrip,
+        );
+        assert!(report.to_string().contains("measurements/test"));
+    }
+}

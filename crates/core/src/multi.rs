@@ -1,0 +1,328 @@
+//! Multi-parameter characterization campaigns.
+//!
+//! §5: "It is very complicated to model a NN with multiple output
+//! classification ability. Thus we propose to pre-select a set of DC or AC
+//! critical parameters; and generate NNs individually for each parameter
+//! or each characterization analysis task." And fig. 5's closing: "at the
+//! end of the complete iterative analysis, a final set of worst case tests
+//! is identified, covering all considered fitness variables."
+//!
+//! [`MultiParamCampaign`] runs the full learning + optimization pipeline
+//! once per parameter — one committee, one GA, one database each — and
+//! merges the results into a cross-parameter worst-case suite.
+
+use crate::db::WorstCaseTest;
+use crate::generator::NeuralTestGenerator;
+use crate::learning::{LearnedModel, LearningConfig, LearningScheme};
+use crate::optimization::{OptimizationConfig, OptimizationOutcome, OptimizationScheme};
+use crate::wcr::CharacterizationObjective;
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_patterns::TestConditions;
+use rand::Rng;
+use std::fmt;
+
+/// One parameter's analysis task: which parameter, which drift objective.
+///
+/// The objectives mirror the device's data sheet: `T_DQ` and `f_max` are
+/// minimum-limited for the reading below... more precisely `T_DQ` is
+/// minimum-limited (eq. 6), `f_max` maximum-referenced against the
+/// operating point, `Vdd_min` maximum-limited (a rising `vdd_min` is the
+/// drift direction that hurts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisTask {
+    /// The measured parameter.
+    pub param: MeasuredParam,
+    /// Its WCR objective.
+    pub objective: CharacterizationObjective,
+}
+
+impl AnalysisTask {
+    /// The default data-sheet task set:
+    ///
+    /// * `T_DQ` ≥ 20 ns (eq. 6, §6's experiment),
+    /// * `f_max` must stay above the 100 MHz operating point (eq. 6 on a
+    ///   minimum-limited reading of the spec),
+    /// * `Vdd_min` must stay below 1.62 V, the minimum supported supply
+    ///   rail minus margin (eq. 5).
+    pub fn data_sheet() -> Vec<AnalysisTask> {
+        vec![
+            AnalysisTask {
+                param: MeasuredParam::DataValidTime,
+                objective: CharacterizationObjective::drift_to_minimum(20.0),
+            },
+            AnalysisTask {
+                param: MeasuredParam::MaxFrequency,
+                objective: CharacterizationObjective::drift_to_minimum(100.0),
+            },
+            AnalysisTask {
+                param: MeasuredParam::MinVoltage,
+                objective: CharacterizationObjective::drift_to_maximum(1.62),
+            },
+        ]
+    }
+}
+
+/// One parameter's campaign result.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// The analysis task.
+    pub task: AnalysisTask,
+    /// The trained per-parameter model (fig. 4's "generate NNs
+    /// individually for each parameter").
+    pub model: LearnedModel,
+    /// The optimization result with its database.
+    pub optimization: OptimizationOutcome,
+}
+
+/// The merged multi-parameter result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-task outcomes, in task order.
+    pub tasks: Vec<TaskOutcome>,
+    /// Total ATE measurements across the campaign.
+    pub total_measurements: u64,
+}
+
+impl CampaignReport {
+    /// The final cross-parameter worst-case suite: each task's worst test,
+    /// labelled with its parameter — "covering all considered fitness
+    /// variables".
+    pub fn worst_case_suite(&self) -> Vec<(MeasuredParam, WorstCaseTest)> {
+        self.tasks
+            .iter()
+            .map(|t| (t.task.param, t.optimization.best.clone()))
+            .collect()
+    }
+
+    /// Whether any parameter's worst case crossed into fig. 6's weakness
+    /// or fail band.
+    pub fn has_findings(&self) -> bool {
+        self.tasks.iter().any(|t| t.optimization.best.wcr > 0.8)
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "multi-parameter campaign: {} tasks, {} measurements",
+            self.tasks.len(),
+            self.total_measurements
+        )?;
+        for t in &self.tasks {
+            writeln!(
+                f,
+                "  {}: worst {} (WCR {:.3}, {})",
+                t.task.param,
+                t.optimization.best.test.name(),
+                t.optimization.best.wcr,
+                t.optimization.best.class
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the figs. 4+5 pipeline once per analysis task.
+#[derive(Debug, Clone)]
+pub struct MultiParamCampaign {
+    tasks: Vec<AnalysisTask>,
+    learning: LearningConfig,
+    optimization: OptimizationConfig,
+    nn_candidates: usize,
+    nn_seeds: usize,
+    conditions: TestConditions,
+}
+
+impl MultiParamCampaign {
+    /// Creates a campaign over the given tasks with shared phase budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(
+        tasks: Vec<AnalysisTask>,
+        learning: LearningConfig,
+        optimization: OptimizationConfig,
+    ) -> Self {
+        assert!(!tasks.is_empty(), "campaign needs at least one task");
+        Self {
+            tasks,
+            learning,
+            optimization,
+            nn_candidates: 600,
+            nn_seeds: 16,
+            conditions: TestConditions::nominal(),
+        }
+    }
+
+    /// Sets the fuzzy-neural screening budget.
+    pub fn with_screening(mut self, candidates: usize, seeds: usize) -> Self {
+        self.nn_candidates = candidates;
+        self.nn_seeds = seeds;
+        self
+    }
+
+    /// The campaign's tasks.
+    pub fn tasks(&self) -> &[AnalysisTask] {
+        &self.tasks
+    }
+
+    /// Runs every task against the tester.
+    pub fn run<R: Rng + ?Sized>(&self, ate: &mut Ate, rng: &mut R) -> CampaignReport {
+        let start = *ate.ledger();
+        let mut outcomes = Vec::with_capacity(self.tasks.len());
+        for task in &self.tasks {
+            let learning = LearningConfig {
+                param: task.param,
+                objective: task.objective,
+                ..self.learning.clone()
+            };
+            let model = LearningScheme::new(learning).run(ate, rng);
+            let generator = NeuralTestGenerator::new(&model);
+            let seeds =
+                generator.propose(self.nn_candidates, self.nn_seeds, Some(self.conditions), rng);
+            let optimization = OptimizationConfig {
+                param: task.param,
+                objective: task.objective,
+                pinned_conditions: self.conditions,
+                ..self.optimization.clone()
+            };
+            let outcome = OptimizationScheme::new(optimization).run(
+                ate,
+                &seeds,
+                Some(model.reference_trip_point),
+                rng,
+            );
+            outcomes.push(TaskOutcome {
+                task: *task,
+                model,
+                optimization: outcome,
+            });
+        }
+        CampaignReport {
+            tasks: outcomes,
+            total_measurements: ate.ledger().measurements_since(&start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_dut::MemoryDevice;
+    use cichar_fuzzy::coding::CodingScheme;
+    use cichar_genetic::GaConfig;
+    use cichar_neural::TrainConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_campaign() -> MultiParamCampaign {
+        MultiParamCampaign::new(
+            AnalysisTask::data_sheet(),
+            LearningConfig {
+                tests_per_round: 50,
+                max_rounds: 1,
+                committee_size: 2,
+                hidden: vec![10],
+                coding: CodingScheme::Numeric,
+                train: TrainConfig {
+                    epochs: 100,
+                    ..TrainConfig::default()
+                },
+                ..LearningConfig::default()
+            },
+            OptimizationConfig {
+                ga: GaConfig {
+                    population_size: 14,
+                    islands: 1,
+                    generations: 8,
+                    target_fitness: Some(1.0),
+                    ..GaConfig::default()
+                },
+                database_capacity: 8,
+                ..OptimizationConfig::default()
+            },
+        )
+        .with_screening(200, 8)
+    }
+
+    #[test]
+    fn campaign_covers_all_parameters() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(31);
+        let report = tiny_campaign().run(&mut ate, &mut rng);
+        assert_eq!(report.tasks.len(), 3);
+        let suite = report.worst_case_suite();
+        let params: Vec<MeasuredParam> = suite.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            params,
+            vec![
+                MeasuredParam::DataValidTime,
+                MeasuredParam::MaxFrequency,
+                MeasuredParam::MinVoltage
+            ]
+        );
+    }
+
+    #[test]
+    fn per_parameter_models_are_independent() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(32);
+        let report = tiny_campaign().run(&mut ate, &mut rng);
+        // Each task trained its own committee against its own objective.
+        let rtps: Vec<f64> = report.tasks.iter().map(|t| t.model.reference_trip_point).collect();
+        assert!(rtps[0] > 20.0 && rtps[0] < 36.0, "t_dq rtp {}", rtps[0]);
+        assert!(rtps[1] > 90.0 && rtps[1] < 120.0, "f_max rtp {}", rtps[1]);
+        assert!(rtps[2] > 1.3 && rtps[2] < 1.6, "vdd_min rtp {}", rtps[2]);
+    }
+
+    #[test]
+    fn worst_cases_are_physically_ordered() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(33);
+        let report = tiny_campaign().run(&mut ate, &mut rng);
+        // The t_dq worst case provokes a deeper window than the March
+        // baseline (the GA found something), and the vdd_min worst case
+        // pushed vdd_min up, not down.
+        let t_dq = &report.tasks[0].optimization.best;
+        assert!(t_dq.trip_point < 30.0, "{}", t_dq.trip_point);
+        let vdd_min = &report.tasks[2].optimization.best;
+        assert!(vdd_min.trip_point > 1.36, "{}", vdd_min.trip_point);
+    }
+
+    #[test]
+    fn measurements_accumulate_across_tasks() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(34);
+        let report = tiny_campaign().run(&mut ate, &mut rng);
+        assert_eq!(report.total_measurements, ate.ledger().measurements());
+        let per_task: u64 = report
+            .tasks
+            .iter()
+            .map(|t| t.model.measurements_used + t.optimization.measurements_used)
+            .sum();
+        assert_eq!(report.total_measurements, per_task);
+    }
+
+    #[test]
+    fn display_names_every_parameter() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(35);
+        let report = tiny_campaign().run(&mut ate, &mut rng);
+        let text = report.to_string();
+        assert!(text.contains("T_DQ"), "{text}");
+        assert!(text.contains("f_max"), "{text}");
+        assert!(text.contains("Vdd_min"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn rejects_empty_task_list() {
+        let _ = MultiParamCampaign::new(
+            vec![],
+            LearningConfig::default(),
+            OptimizationConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! The fig. 5 optimization scheme: GA-refined worst-case test generation.
+//!
+//! Step by step:
+//!
+//! 1. GA populations are initialized by the fuzzy-neural generator's
+//!    sub-optimal tests (see [`crate::generator`]);
+//! 2. the characterization objective fixes the drift direction (eq. 5 or
+//!    eq. 6 — [`CharacterizationObjective`]);
+//! 3. the GA evolves two chromosome species — the test-sequence genes
+//!    ([`SegmentProgram`]'s encoding) and the test-condition genes — with
+//!    `fitness = WCR of the TPV measured on the ATE` via
+//!    search-until-trip-point;
+//! 4. stagnating islands restart with brand-new populations; the run ends
+//!    at the generation budget or when the worst-case-ratio target trips;
+//!    the surviving tests land in the [`WorstCaseDatabase`].
+
+use crate::db::{WorstCaseDatabase, WorstCaseTest};
+use crate::generator::Candidate;
+use crate::wcr::CharacterizationObjective;
+use cichar_ate::{Ate, MeasuredParam};
+use cichar_genetic::{GaConfig, GaEngine, GaResult, GenomeSpec, Individual, SpeciesLayout};
+use cichar_patterns::{
+    ConditionSpace, SegmentProgram, Stimulus, Test, TestConditions, TestSource,
+};
+use cichar_search::{SearchUntilTrip, SuccessiveApproximation};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the optimization scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationConfig {
+    /// GA hyper-parameters (fig. 5's step budget lives in
+    /// `ga.generations`; the WCR-theorem stop in `ga.target_fitness`).
+    pub ga: GaConfig,
+    /// The characterized parameter.
+    pub param: MeasuredParam,
+    /// The drift objective (fitness = its WCR).
+    pub objective: CharacterizationObjective,
+    /// Condition space for the condition chromosome.
+    pub space: ConditionSpace,
+    /// Evolve the condition chromosome too (`true`, the paper's two
+    /// species), or pin every individual to `pinned_conditions` (Table 1's
+    /// fixed Vdd = 1.8 V corner).
+    pub evolve_conditions: bool,
+    /// Conditions used when `evolve_conditions` is `false`.
+    pub pinned_conditions: TestConditions,
+    /// Worst-case entries kept in the database.
+    pub database_capacity: usize,
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaConfig {
+                generations: 40,
+                target_fitness: Some(1.0),
+                ..GaConfig::default()
+            },
+            param: MeasuredParam::DataValidTime,
+            objective: CharacterizationObjective::drift_to_minimum(20.0),
+            space: ConditionSpace::default(),
+            evolve_conditions: false,
+            pinned_conditions: TestConditions::nominal(),
+            database_capacity: 16,
+        }
+    }
+}
+
+/// The scheme's product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationOutcome {
+    /// The database of worst-case tests (fig. 5's final box).
+    pub database: WorstCaseDatabase,
+    /// Raw GA statistics.
+    pub ga: GaResult,
+    /// ATE measurements consumed by the whole optimization.
+    pub measurements_used: u64,
+    /// The single worst test found.
+    pub best: WorstCaseTest,
+}
+
+impl fmt::Display for OptimizationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimization: best {} | {} ATE measurements | GA {}",
+            self.best, self.measurements_used, self.ga
+        )
+    }
+}
+
+/// Runs the fig. 5 scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationScheme {
+    config: OptimizationConfig,
+}
+
+impl OptimizationScheme {
+    /// Creates the scheme.
+    pub fn new(config: OptimizationConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OptimizationConfig {
+        &self.config
+    }
+
+    /// The chromosome layout: sequence genes, plus condition genes when
+    /// conditions evolve.
+    pub fn layout(&self) -> SpeciesLayout {
+        let mut specs = vec![GenomeSpec::new(SegmentProgram::gene_bounds())];
+        if self.config.evolve_conditions {
+            specs.push(GenomeSpec::new(self.config.space.gene_bounds()));
+        }
+        SpeciesLayout::new(specs)
+    }
+
+    /// Decodes a GA individual into a concrete test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the individual does not match [`Self::layout`] — the GA
+    /// engine guarantees it does.
+    pub fn decode(&self, individual: &Individual, name: impl Into<String>) -> Test {
+        let program = SegmentProgram::from_genes(individual.chromosome(0))
+            .expect("layout bounds make every chromosome decodable");
+        let conditions = if self.config.evolve_conditions {
+            self.config.space.from_genes(individual.chromosome(1))
+        } else {
+            self.config.pinned_conditions
+        };
+        Test::from_program(name, TestSource::NeuralGa, program, conditions)
+    }
+
+    /// Encodes a candidate test back into an individual, when its stimulus
+    /// is a segment program (random and NN-generated tests are; raw
+    /// deterministic patterns are not and yield `None`).
+    pub fn encode_seed(&self, candidate: &Candidate) -> Option<Individual> {
+        let Stimulus::Program(program) = candidate.test.stimulus() else {
+            return None;
+        };
+        let mut chromosomes = vec![program.to_genes()];
+        if self.config.evolve_conditions {
+            chromosomes.push(self.config.space.to_genes(candidate.test.conditions()));
+        }
+        Some(Individual::new(chromosomes))
+    }
+
+    /// Runs the GA with ATE-measured fitness.
+    ///
+    /// `seeds` are the fuzzy-neural generator's sub-optimal tests (may be
+    /// empty — fig. 5 degrades to a plain GA then). `reference_trip_point`
+    /// usually comes from the learning phase; when `None`, the first
+    /// evaluated individual establishes it with a full-range search.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        seeds: &[Candidate],
+        reference_trip_point: Option<f64>,
+        rng: &mut R,
+    ) -> OptimizationOutcome {
+        let c = &self.config;
+        let param = c.param;
+        let order = param.region_order();
+        let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor())
+            .with_refinement(param.resolution());
+        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let start_ledger = *ate.ledger();
+
+        let mut database = WorstCaseDatabase::new(c.database_capacity);
+        let mut rtp = reference_trip_point;
+        let mut counter = 0usize;
+
+        let seed_individuals: Vec<Individual> = seeds
+            .iter()
+            .filter_map(|cand| self.encode_seed(cand))
+            .collect();
+        // Severity predictions, indexed by the seed's stimulus identity so
+        // database records can carry them.
+        let engine = GaEngine::new(c.ga, self.layout());
+
+        let result = {
+            let database = &mut database;
+            let rtp = &mut rtp;
+            let counter = &mut counter;
+            engine.run_seeded(
+                seed_individuals,
+                |individual| {
+                    *counter += 1;
+                    let test = self.decode(individual, format!("ga_{:06}", *counter));
+                    // GA fitness = TPV measurement via ATE (fig. 5 step 3),
+                    // using eq. 2 (full search) only until a reference
+                    // exists, then eqs. 3/4 (STP).
+                    let outcome = match *rtp {
+                        Some(reference) => {
+                            stp.run(reference, order, ate.trip_oracle(&test, param))
+                        }
+                        None => full.run(order, ate.trip_oracle(&test, param)),
+                    };
+                    let Some(tp) = outcome.trip_point else {
+                        // Unmeasurable individuals are worthless, not worst.
+                        return f64::NEG_INFINITY;
+                    };
+                    // Functional verification: re-probe at the pass-region
+                    // extreme, where only outright functional failure can
+                    // reject. A test living on the edge of its functional
+                    // envelope flickers under measurement noise and can
+                    // fake a deep trip point (§4's "false convergence");
+                    // such candidates must not enter the database.
+                    let extreme = match order {
+                        cichar_search::RegionOrder::PassBelowFail => {
+                            param.generous_range().start()
+                        }
+                        cichar_search::RegionOrder::PassAboveFail => param.generous_range().end(),
+                    };
+                    for _ in 0..2 {
+                        if ate.measure(&test, param, extreme) != cichar_search::Probe::Pass {
+                            return f64::NEG_INFINITY;
+                        }
+                    }
+                    if rtp.is_none() {
+                        *rtp = Some(tp);
+                    }
+                    let wcr = c.objective.wcr(tp);
+                    database.insert(WorstCaseTest {
+                        test,
+                        trip_point: tp,
+                        wcr,
+                        class: c.objective.classify(tp),
+                        predicted_severity: None,
+                    });
+                    wcr
+                },
+                rng,
+            )
+        };
+
+        let best = database
+            .entries()
+            .first()
+            .or_else(|| database.failures().first())
+            .expect("at least one individual measured")
+            .clone();
+        OptimizationOutcome {
+            database,
+            ga: result,
+            measurements_used: ate.ledger().measurements_since(&start_ledger),
+            best,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsv::{MultiTripRunner, SearchStrategy};
+    use crate::wcr::WcrClass;
+    use cichar_dut::MemoryDevice;
+    use cichar_patterns::random;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> OptimizationConfig {
+        OptimizationConfig {
+            ga: GaConfig {
+                population_size: 16,
+                islands: 2,
+                generations: 12,
+                stagnation_restart: 8,
+                target_fitness: Some(1.0),
+                ..GaConfig::default()
+            },
+            ..OptimizationConfig::default()
+        }
+    }
+
+    #[test]
+    fn ga_finds_worse_tests_than_random_sampling() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(41);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+
+        // Random baseline with the same measurement style.
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let randoms: Vec<Test> = (0..60)
+            .map(|_| random::random_test_at(&mut rng2, TestConditions::nominal()))
+            .collect();
+        let mut ate2 = Ate::noiseless(MemoryDevice::nominal());
+        let report = runner.run(&mut ate2, &randoms, SearchStrategy::SearchUntilTrip);
+        let random_best = report.min().expect("converged");
+
+        assert!(
+            outcome.best.trip_point < random_best,
+            "GA best {} should beat 60 random tests' best {random_best}",
+            outcome.best.trip_point
+        );
+    }
+
+    #[test]
+    fn database_is_populated_and_sorted() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(43);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+        assert!(!outcome.database.is_empty());
+        let wcrs: Vec<f64> = outcome.database.entries().iter().map(|e| e.wcr).collect();
+        for pair in wcrs.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert_eq!(outcome.best.wcr, wcrs[0].max(outcome.best.wcr));
+    }
+
+    #[test]
+    fn measurements_are_accounted() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(44);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+        assert_eq!(outcome.measurements_used, ate.ledger().measurements());
+        assert!(outcome.measurements_used > outcome.ga.evaluations as u64);
+    }
+
+    #[test]
+    fn known_reference_skips_full_searches() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut ate_a = Ate::noiseless(MemoryDevice::nominal());
+        let with_ref = scheme.run(&mut ate_a, &[], Some(30.0), &mut rng);
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut ate_b = Ate::noiseless(MemoryDevice::nominal());
+        let without_ref = scheme.run(&mut ate_b, &[], None, &mut rng);
+        // Same GA trajectory (same seeds), one full search less.
+        assert!(with_ref.measurements_used <= without_ref.measurements_used);
+    }
+
+    #[test]
+    fn decode_respects_pinned_conditions() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut rng = StdRng::seed_from_u64(46);
+        let ind = scheme.layout().random(&mut rng);
+        let test = scheme.decode(&ind, "t");
+        assert_eq!(*test.conditions(), TestConditions::nominal());
+        assert_eq!(test.source(), TestSource::NeuralGa);
+    }
+
+    #[test]
+    fn two_species_layout_when_conditions_evolve() {
+        let scheme = OptimizationScheme::new(OptimizationConfig {
+            evolve_conditions: true,
+            ..small_config()
+        });
+        assert_eq!(scheme.layout().chromosome_count(), 2);
+        let mut rng = StdRng::seed_from_u64(47);
+        let ind = scheme.layout().random(&mut rng);
+        let test = scheme.decode(&ind, "t");
+        assert!(scheme.config().space.validate(test.conditions()).is_ok());
+    }
+
+    #[test]
+    fn evolved_conditions_find_harsher_corners() {
+        // With the condition species active the GA should discover that
+        // low Vdd / high temperature / fast clock shrink the window.
+        let scheme = OptimizationScheme::new(OptimizationConfig {
+            evolve_conditions: true,
+            ga: GaConfig {
+                population_size: 16,
+                islands: 2,
+                generations: 15,
+                target_fitness: None,
+                ..GaConfig::default()
+            },
+            ..OptimizationConfig::default()
+        });
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(48);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+        let best_vdd = outcome.best.test.conditions().vdd.value();
+        assert!(
+            best_vdd < 1.7,
+            "GA should starve the supply, got {best_vdd} V"
+        );
+        assert!(outcome.best.trip_point < 24.0, "{}", outcome.best);
+    }
+
+    #[test]
+    fn seeds_are_encoded_and_used() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut rng = StdRng::seed_from_u64(49);
+        let seed_test = random::random_test_at(&mut rng, TestConditions::nominal());
+        let candidate = Candidate {
+            test: seed_test,
+            predicted_severity: 0.9,
+            confidence: 0.8,
+        };
+        let encoded = scheme.encode_seed(&candidate).expect("program stimulus");
+        assert_eq!(encoded.chromosomes.len(), 1);
+        assert!(scheme.layout().validate(&encoded));
+        // Raw-pattern tests cannot seed.
+        let raw = Candidate {
+            test: Test::deterministic("m", cichar_patterns::march::march_x(96)),
+            predicted_severity: 0.5,
+            confidence: 0.5,
+        };
+        assert!(scheme.encode_seed(&raw).is_none());
+    }
+
+    #[test]
+    fn wcr_target_stops_early_when_reachable() {
+        // An absurdly low WCR target: the very first generation satisfies
+        // it, so the run must stop far short of the generation budget.
+        let scheme = OptimizationScheme::new(OptimizationConfig {
+            ga: GaConfig {
+                population_size: 12,
+                islands: 1,
+                generations: 50,
+                target_fitness: Some(0.55),
+                ..GaConfig::default()
+            },
+            ..OptimizationConfig::default()
+        });
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(50);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+        assert!(
+            outcome.ga.history.len() < 50,
+            "stopped after {} generations",
+            outcome.ga.history.len()
+        );
+        assert!(outcome.best.wcr >= 0.55);
+    }
+
+    #[test]
+    fn outcome_display_mentions_cost() {
+        let scheme = OptimizationScheme::new(small_config());
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(51);
+        let outcome = scheme.run(&mut ate, &[], None, &mut rng);
+        assert!(outcome.to_string().contains("ATE measurements"));
+        assert_ne!(outcome.best.class, WcrClass::Fail, "device is healthy");
+    }
+}

@@ -1,0 +1,442 @@
+//! Characterization over a statistically significant device sample.
+//!
+//! §1: "select a statistically significant sample of devices, and repeat
+//! the test for every combination of two or more environmental variables.
+//! … This set of information helps to define the final device
+//! specification at the end of the characterization phase."
+//!
+//! [`SampleCharacterization`] runs a multiple-trip-point sweep for every
+//! sampled die at every environmental corner and aggregates the population
+//! statistics the final specification is cut from.
+
+use crate::dsv::{MultiTripRunner, SearchStrategy};
+use crate::wcr::{CharacterizationObjective, WcrClass};
+use cichar_ate::{Ate, AteConfig, MeasuredParam};
+use cichar_dut::{Die, Lot, MemoryDevice};
+use cichar_patterns::{Test, TestConditions};
+use cichar_units::{Celsius, Volts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One die's result at one environmental corner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornerResult {
+    /// The forced environmental corner.
+    pub conditions: TestConditions,
+    /// Worst (minimum for eq.-6 objectives) trip point across the tests.
+    pub worst_trip_point: Option<f64>,
+    /// Trip-point spread across the tests at this corner.
+    pub spread: Option<f64>,
+    /// Measurements spent at this corner.
+    pub measurements: u64,
+}
+
+/// One die's results across all corners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DieResult {
+    /// The sampled die.
+    pub die: Die,
+    /// Per-corner results, in corner order.
+    pub corners: Vec<CornerResult>,
+    /// The die's overall worst trip point across corners.
+    pub worst_trip_point: Option<f64>,
+    /// WCR of the overall worst trip point.
+    pub worst_wcr: Option<f64>,
+}
+
+impl DieResult {
+    /// Fig. 6 class of the die's worst corner.
+    pub fn class(&self) -> Option<WcrClass> {
+        self.worst_wcr.map(WcrClass::from_wcr)
+    }
+}
+
+/// The population report the specification is cut from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleReport {
+    /// Per-die results.
+    pub dies: Vec<DieResult>,
+    /// The characterized parameter.
+    pub param: MeasuredParam,
+    /// The WCR objective.
+    pub objective: CharacterizationObjective,
+    /// Total measurements across the whole sample.
+    pub total_measurements: u64,
+}
+
+impl SampleReport {
+    /// Worst trip points of every die that produced one.
+    pub fn worst_trip_points(&self) -> Vec<f64> {
+        self.dies
+            .iter()
+            .filter_map(|d| d.worst_trip_point)
+            .collect()
+    }
+
+    /// The population's worst-case trip point — the number the final
+    /// specification must cover.
+    pub fn population_worst(&self) -> Option<f64> {
+        self.worst_trip_points()
+            .into_iter()
+            .min_by(f64::total_cmp)
+    }
+
+    /// Mean of per-die worst trip points.
+    pub fn population_mean(&self) -> Option<f64> {
+        let v = self.worst_trip_points();
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// Sample standard deviation of per-die worst trip points.
+    pub fn population_std(&self) -> Option<f64> {
+        let v = self.worst_trip_points();
+        if v.len() < 2 {
+            return None;
+        }
+        let mean = self.population_mean().expect("non-empty");
+        Some(
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt(),
+        )
+    }
+
+    /// Dies whose worst corner violates the specification (fig. 6 fail).
+    pub fn failing_dies(&self) -> Vec<&DieResult> {
+        self.dies
+            .iter()
+            .filter(|d| d.class() == Some(WcrClass::Fail))
+            .collect()
+    }
+
+    /// Margin between the population worst case and the specification, in
+    /// the parameter's unit (negative = violation).
+    pub fn spec_margin(&self) -> Option<f64> {
+        let worst = self.population_worst()?;
+        Some(match self.objective {
+            CharacterizationObjective::DriftToMinimum { vmin } => worst - vmin,
+            CharacterizationObjective::DriftToMaximum { vmax } => vmax - worst,
+        })
+    }
+
+    /// The data-sheet limit this campaign supports — §1's "this set of
+    /// information helps to define the final device specification".
+    ///
+    /// The suggested limit is the population worst case backed off by
+    /// `k_sigma` population standard deviations (toward the conservative
+    /// side for the objective's drift direction), so unseen dies from the
+    /// same distribution stay covered.
+    ///
+    /// Returns `None` until at least two dies measured.
+    pub fn suggest_spec(&self, k_sigma: f64) -> Option<f64> {
+        let worst = self.population_worst()?;
+        let sigma = self.population_std()?;
+        Some(match self.objective {
+            // Minimum-limited (eq. 6): promise less than the worst die.
+            CharacterizationObjective::DriftToMinimum { .. } => worst - k_sigma * sigma,
+            // Maximum-limited (eq. 5): promise more headroom than needed.
+            CharacterizationObjective::DriftToMaximum { .. } => worst + k_sigma * sigma,
+        })
+    }
+}
+
+impl fmt::Display for SampleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sample of {} dies, {} corners each: population worst {:?}, mean {:?}, spec margin {:?}",
+            self.dies.len(),
+            self.dies.first().map_or(0, |d| d.corners.len()),
+            self.population_worst(),
+            self.population_mean(),
+            self.spec_margin(),
+        )
+    }
+}
+
+/// Builds the §1 corner grid: every combination of the given supply and
+/// temperature values at the nominal clock.
+pub fn corner_grid(vdds: &[f64], temperatures: &[f64]) -> Vec<TestConditions> {
+    let mut corners = Vec::with_capacity(vdds.len() * temperatures.len());
+    for &v in vdds {
+        for &t in temperatures {
+            corners.push(
+                TestConditions::nominal()
+                    .with_vdd(Volts::new(v))
+                    .with_temperature(Celsius::new(t)),
+            );
+        }
+    }
+    corners
+}
+
+/// Runs a characterization campaign over a sampled lot.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_core::sample::{corner_grid, SampleCharacterization};
+/// use cichar_core::wcr::CharacterizationObjective;
+/// use cichar_ate::MeasuredParam;
+/// use cichar_dut::Lot;
+/// use cichar_patterns::{march, Test};
+/// use rand::SeedableRng;
+///
+/// let campaign = SampleCharacterization::new(
+///     MeasuredParam::DataValidTime,
+///     CharacterizationObjective::drift_to_minimum(20.0),
+///     corner_grid(&[1.65, 1.8, 1.95], &[25.0]),
+/// );
+/// let tests = vec![Test::deterministic("march_c-", march::march_c_minus(64))];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let report = campaign.run(&Lot::default(), 5, &tests, &mut rng);
+/// assert_eq!(report.dies.len(), 5);
+/// assert!(report.spec_margin().expect("measured") > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCharacterization {
+    param: MeasuredParam,
+    objective: CharacterizationObjective,
+    corners: Vec<TestConditions>,
+    strategy: SearchStrategy,
+    ate_config: AteConfig,
+}
+
+impl SampleCharacterization {
+    /// Creates a campaign over the given corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corners` is empty.
+    pub fn new(
+        param: MeasuredParam,
+        objective: CharacterizationObjective,
+        corners: Vec<TestConditions>,
+    ) -> Self {
+        assert!(!corners.is_empty(), "campaign needs at least one corner");
+        Self {
+            param,
+            objective,
+            corners,
+            strategy: SearchStrategy::SearchUntilTrip,
+            ate_config: AteConfig::default(),
+        }
+    }
+
+    /// Uses an explicit tester configuration (noise/drift injection).
+    pub fn with_ate_config(mut self, config: AteConfig) -> Self {
+        self.ate_config = config;
+        self
+    }
+
+    /// Uses full-range searches instead of STP (the cost baseline).
+    pub fn with_full_range_searches(mut self) -> Self {
+        self.strategy = SearchStrategy::FullRange;
+        self
+    }
+
+    /// The campaign's corners.
+    pub fn corners(&self) -> &[TestConditions] {
+        &self.corners
+    }
+
+    /// Samples `die_count` dies from `lot` and characterizes each over
+    /// every corner with the given tests.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        lot: &Lot,
+        die_count: usize,
+        tests: &[Test],
+        rng: &mut R,
+    ) -> SampleReport {
+        let runner = MultiTripRunner::new(self.param);
+        let mut dies = Vec::with_capacity(die_count);
+        let mut total = 0u64;
+        for die in lot.sample_dies(rng, die_count) {
+            // Each die goes onto a fresh tester session.
+            let mut ate =
+                Ate::with_config(MemoryDevice::new(die), self.ate_config.clone());
+            let mut corners = Vec::with_capacity(self.corners.len());
+            for &conditions in &self.corners {
+                let corner_tests: Vec<Test> =
+                    tests.iter().map(|t| t.with_conditions(conditions)).collect();
+                let baseline = *ate.ledger();
+                let report = runner.run(&mut ate, &corner_tests, self.strategy);
+                let measurements = ate.ledger().measurements_since(&baseline);
+                total += measurements;
+                corners.push(CornerResult {
+                    conditions,
+                    worst_trip_point: report.min(),
+                    spread: report.spread(),
+                    measurements,
+                });
+            }
+            let worst_trip_point = corners
+                .iter()
+                .filter_map(|c| c.worst_trip_point)
+                .min_by(f64::total_cmp);
+            let worst_wcr = worst_trip_point.map(|tp| self.objective.wcr(tp));
+            dies.push(DieResult {
+                die,
+                corners,
+                worst_trip_point,
+                worst_wcr,
+            });
+        }
+        SampleReport {
+            dies,
+            param: self.param,
+            objective: self.objective,
+            total_measurements: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_patterns::march;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn suite() -> Vec<Test> {
+        vec![
+            Test::deterministic("march_c-", march::march_c_minus(64)),
+            Test::deterministic("checkerboard", march::checkerboard(128)),
+        ]
+    }
+
+    fn campaign() -> SampleCharacterization {
+        SampleCharacterization::new(
+            MeasuredParam::DataValidTime,
+            CharacterizationObjective::drift_to_minimum(20.0),
+            corner_grid(&[1.65, 1.8, 1.95], &[25.0, 85.0]),
+        )
+    }
+
+    #[test]
+    fn corner_grid_is_a_full_product() {
+        let corners = corner_grid(&[1.6, 1.8], &[-40.0, 25.0, 125.0]);
+        assert_eq!(corners.len(), 6);
+        assert!(corners
+            .iter()
+            .any(|c| c.vdd.value() == 1.6 && c.temperature.value() == 125.0));
+    }
+
+    #[test]
+    fn every_die_gets_every_corner() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = campaign().run(&Lot::default(), 4, &suite(), &mut rng);
+        assert_eq!(report.dies.len(), 4);
+        for die in &report.dies {
+            assert_eq!(die.corners.len(), 6);
+            assert!(die.worst_trip_point.is_some());
+        }
+    }
+
+    #[test]
+    fn worst_corner_is_cold_supply_hot_die() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = campaign().run(&Lot::default(), 3, &suite(), &mut rng);
+        for die in &report.dies {
+            let worst_corner = die
+                .corners
+                .iter()
+                .filter(|c| c.worst_trip_point.is_some())
+                .min_by(|a, b| {
+                    a.worst_trip_point
+                        .expect("filtered")
+                        .total_cmp(&b.worst_trip_point.expect("filtered"))
+                })
+                .expect("corners measured");
+            assert_eq!(worst_corner.conditions.vdd.value(), 1.65);
+            assert_eq!(worst_corner.conditions.temperature.value(), 85.0);
+        }
+    }
+
+    #[test]
+    fn population_statistics_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let report = campaign().run(&Lot::default(), 6, &suite(), &mut rng);
+        let worst = report.population_worst().expect("measured");
+        let mean = report.population_mean().expect("measured");
+        assert!(worst <= mean);
+        assert!(report.population_std().expect("n >= 2") >= 0.0);
+        assert!(report.spec_margin().expect("measured") > 0.0, "healthy lot");
+        assert!(report.failing_dies().is_empty());
+        assert_eq!(
+            report.total_measurements,
+            report
+                .dies
+                .iter()
+                .flat_map(|d| &d.corners)
+                .map(|c| c.measurements)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn die_variation_shows_in_the_population() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let report = campaign().run(&Lot::default(), 10, &suite(), &mut rng);
+        let std = report.population_std().expect("n >= 2");
+        assert!(std > 0.05, "die-to-die spread must be visible: {std}");
+    }
+
+    #[test]
+    fn stp_campaign_is_cheaper_than_full_range() {
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let stp = campaign().run(&Lot::default(), 2, &suite(), &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let full = campaign()
+            .with_full_range_searches()
+            .run(&Lot::default(), 2, &suite(), &mut rng_b);
+        assert!(
+            stp.total_measurements < full.total_measurements,
+            "{} vs {}",
+            stp.total_measurements,
+            full.total_measurements
+        );
+        // Same dies (same seed), same worst-case conclusion.
+        let a = stp.population_worst().expect("measured");
+        let b = full.population_worst().expect("measured");
+        assert!((a - b).abs() < 0.2, "{a} vs {b}");
+    }
+
+    #[test]
+    fn suggested_spec_is_conservative_and_covers_the_sample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = campaign().run(&Lot::default(), 8, &suite(), &mut rng);
+        let worst = report.population_worst().expect("measured");
+        let spec = report.suggest_spec(3.0).expect("n >= 2");
+        // Minimum-limited: the suggested limit sits below every measured
+        // die's worst case.
+        assert!(spec < worst);
+        for die in &report.dies {
+            assert!(die.worst_trip_point.expect("measured") > spec);
+        }
+        // Tighter k gives a less conservative (higher) limit.
+        let loose = report.suggest_spec(1.0).expect("n >= 2");
+        assert!(loose > spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one corner")]
+    fn rejects_empty_corner_list() {
+        let _ = SampleCharacterization::new(
+            MeasuredParam::DataValidTime,
+            CharacterizationObjective::drift_to_minimum(20.0),
+            vec![],
+        );
+    }
+
+    #[test]
+    fn display_summarizes_population() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let report = campaign().run(&Lot::default(), 2, &suite(), &mut rng);
+        let s = report.to_string();
+        assert!(s.contains("2 dies") && s.contains("spec margin"), "{s}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Worst-case ratio (eqs. 5–6) and the fig. 6 classification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The crisp fig. 6 classes: pass `0 ≤ WCR ≤ 0.8`, weakness
+/// `0.8 < WCR ≤ 1`, fail `WCR > 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WcrClass {
+    /// Comfortable margin to the specification.
+    Pass,
+    /// Close to the limit — a design weakness worth detailed analysis.
+    Weakness,
+    /// Specification violated.
+    Fail,
+}
+
+impl WcrClass {
+    /// Classifies a WCR value per fig. 6.
+    pub fn from_wcr(wcr: f64) -> Self {
+        if wcr > 1.0 {
+            WcrClass::Fail
+        } else if wcr > 0.8 {
+            WcrClass::Weakness
+        } else {
+            WcrClass::Pass
+        }
+    }
+}
+
+impl fmt::Display for WcrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WcrClass::Pass => "pass",
+            WcrClass::Weakness => "weakness",
+            WcrClass::Fail => "fail",
+        })
+    }
+}
+
+/// Which drift the analysis hunts (fig. 4 step (2): "generating a worst
+/// case test that can provoke the worst case characterization parameter
+/// drift, such as drift to the maximum value, or drift to the minimum
+/// value").
+///
+/// * Drift **to maximum**: the parameter must stay below `vmax`; eq. (5)
+///   scores a measurement `va` as `|va / vmax|`.
+/// * Drift **to minimum**: the parameter must stay above `vmin`; eq. (6)
+///   scores it as `|vmin / va|` — §6's `T_DQ` analysis (spec = 20 ns,
+///   smaller is worse).
+///
+/// In both orientations *larger WCR is worse*, and "the worst case tests
+/// are given by the largest values of WCR".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CharacterizationObjective {
+    /// Parameter limited from above by `vmax` (eq. 5).
+    DriftToMaximum {
+        /// The specified maximum value.
+        vmax: f64,
+    },
+    /// Parameter limited from below by `vmin` (eq. 6).
+    DriftToMinimum {
+        /// The specified minimum value.
+        vmin: f64,
+    },
+}
+
+impl CharacterizationObjective {
+    /// Eq. (5) constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmax` is zero or not finite.
+    pub fn drift_to_maximum(vmax: f64) -> Self {
+        assert!(vmax.is_finite() && vmax != 0.0, "invalid vmax {vmax}");
+        Self::DriftToMaximum { vmax }
+    }
+
+    /// Eq. (6) constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmin` is zero or not finite.
+    pub fn drift_to_minimum(vmin: f64) -> Self {
+        assert!(vmin.is_finite() && vmin != 0.0, "invalid vmin {vmin}");
+        Self::DriftToMinimum { vmin }
+    }
+
+    /// The WCR of one measured value.
+    pub fn wcr(&self, measured: f64) -> f64 {
+        match *self {
+            CharacterizationObjective::DriftToMaximum { vmax } => (measured / vmax).abs(),
+            CharacterizationObjective::DriftToMinimum { vmin } => {
+                if measured == 0.0 {
+                    return f64::INFINITY;
+                }
+                (vmin / measured).abs()
+            }
+        }
+    }
+
+    /// Fig. 6 classification of one measured value.
+    pub fn classify(&self, measured: f64) -> WcrClass {
+        WcrClass::from_wcr(self.wcr(measured))
+    }
+
+    /// The worst case over a set of measurements: the largest WCR, as
+    /// `(index, wcr)`.
+    ///
+    /// Returns `None` on an empty set.
+    pub fn worst_case<'a>(
+        &self,
+        measurements: impl IntoIterator<Item = &'a f64>,
+    ) -> Option<(usize, f64)> {
+        measurements
+            .into_iter()
+            .enumerate()
+            .map(|(i, &v)| (i, self.wcr(v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// The specification limit this objective compares against.
+    pub fn spec(&self) -> f64 {
+        match *self {
+            CharacterizationObjective::DriftToMaximum { vmax } => vmax,
+            CharacterizationObjective::DriftToMinimum { vmin } => vmin,
+        }
+    }
+}
+
+impl fmt::Display for CharacterizationObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CharacterizationObjective::DriftToMaximum { vmax } => {
+                write!(f, "drift-to-maximum vs vmax = {vmax}")
+            }
+            CharacterizationObjective::DriftToMinimum { vmin } => {
+                write!(f, "drift-to-minimum vs vmin = {vmin}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_wcr_values_reproduce() {
+        // §6: spec 20 ns, eq. (6) minimization.
+        let obj = CharacterizationObjective::drift_to_minimum(20.0);
+        assert!((obj.wcr(32.3) - 0.619).abs() < 0.001);
+        assert!((obj.wcr(28.5) - 0.701).abs() < 0.001);
+        assert!((obj.wcr(22.1) - 0.904).abs() < 0.001);
+    }
+
+    #[test]
+    fn fig6_bands() {
+        assert_eq!(WcrClass::from_wcr(0.0), WcrClass::Pass);
+        assert_eq!(WcrClass::from_wcr(0.8), WcrClass::Pass);
+        assert_eq!(WcrClass::from_wcr(0.81), WcrClass::Weakness);
+        assert_eq!(WcrClass::from_wcr(1.0), WcrClass::Weakness);
+        assert_eq!(WcrClass::from_wcr(1.01), WcrClass::Fail);
+    }
+
+    #[test]
+    fn table1_classes() {
+        let obj = CharacterizationObjective::drift_to_minimum(20.0);
+        assert_eq!(obj.classify(32.3), WcrClass::Pass);
+        assert_eq!(obj.classify(28.5), WcrClass::Pass);
+        assert_eq!(obj.classify(22.1), WcrClass::Weakness);
+        assert_eq!(obj.classify(19.0), WcrClass::Fail);
+    }
+
+    #[test]
+    fn maximization_objective_eq5() {
+        // §4's frequency example: spec 100 MHz ceiling analysis.
+        let obj = CharacterizationObjective::drift_to_maximum(110.0);
+        assert!(obj.wcr(100.0) < 1.0);
+        assert!(obj.wcr(112.0) > 1.0);
+        assert_eq!(obj.spec(), 110.0);
+    }
+
+    #[test]
+    fn worst_case_picks_largest_wcr() {
+        let obj = CharacterizationObjective::drift_to_minimum(20.0);
+        let measured = [32.3, 28.5, 22.1, 30.0];
+        let (idx, wcr) = obj.worst_case(&measured).expect("non-empty");
+        assert_eq!(idx, 2, "22.1 ns is the worst (minimum) measurement");
+        assert!((wcr - 0.904).abs() < 0.001);
+        assert_eq!(obj.worst_case([].iter()), None);
+    }
+
+    #[test]
+    fn zero_measurement_is_infinite_wcr() {
+        let obj = CharacterizationObjective::drift_to_minimum(20.0);
+        assert!(obj.wcr(0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid vmin")]
+    fn rejects_zero_spec() {
+        let _ = CharacterizationObjective::drift_to_minimum(0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn eq6_wcr_is_antitone_in_measurement(
+                vmin in 1.0f64..100.0,
+                a in 1.0f64..200.0,
+                delta in 0.01f64..50.0,
+            ) {
+                let obj = CharacterizationObjective::drift_to_minimum(vmin);
+                prop_assert!(obj.wcr(a + delta) <= obj.wcr(a));
+            }
+
+            #[test]
+            fn eq5_wcr_is_monotone_in_measurement(
+                vmax in 1.0f64..200.0,
+                a in 0.0f64..200.0,
+                delta in 0.01f64..50.0,
+            ) {
+                let obj = CharacterizationObjective::drift_to_maximum(vmax);
+                prop_assert!(obj.wcr(a + delta) >= obj.wcr(a));
+            }
+
+            #[test]
+            fn classification_thresholds_agree_with_wcr(
+                vmin in 1.0f64..100.0,
+                measured in 0.5f64..300.0,
+            ) {
+                let obj = CharacterizationObjective::drift_to_minimum(vmin);
+                let wcr = obj.wcr(measured);
+                let class = obj.classify(measured);
+                prop_assert_eq!(class, WcrClass::from_wcr(wcr));
+                // At the spec itself the ratio is exactly 1: weakness edge.
+                prop_assert_eq!(obj.classify(vmin), WcrClass::Weakness);
+            }
+
+            #[test]
+            fn worst_case_dominates_all(
+                vmin in 1.0f64..100.0,
+                values in proptest::collection::vec(1.0f64..300.0, 1..20),
+            ) {
+                let obj = CharacterizationObjective::drift_to_minimum(vmin);
+                let (idx, wcr) = obj.worst_case(values.iter()).expect("non-empty");
+                prop_assert!(idx < values.len());
+                for v in &values {
+                    prop_assert!(obj.wcr(*v) <= wcr + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(WcrClass::Weakness.to_string(), "weakness");
+        assert!(CharacterizationObjective::drift_to_minimum(20.0)
+            .to_string()
+            .contains("20"));
+    }
+}

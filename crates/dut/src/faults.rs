@@ -1,0 +1,496 @@
+//! Memory fault models and functional pattern execution.
+//!
+//! The parametric response surface answers "how much margin does this test
+//! leave"; this module answers the other half of §1's production question:
+//! "does the device *function*". A [`FaultSet`] injects classic memory
+//! defects — stuck-at, transition and coupling faults from the memory-test
+//! taxonomy of the paper's ref. \[16\] — and [`MemorySim`] replays a
+//! pattern cycle by cycle against the faulty array, reporting every read
+//! mismatch.
+//!
+//! This is what gives the deterministic March suite its real job in the
+//! simulation: March C- is *complete* for single stuck-at and transition
+//! faults over the swept array, while a random pattern only catches them
+//! probabilistically — the classic coverage argument.
+
+use cichar_patterns::{power_up_word, MemOp, Pattern};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One injected defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Cell bit reads a constant value; writes to it are lost.
+    StuckAt {
+        /// Faulty cell address.
+        address: u16,
+        /// Faulty bit position (0–15).
+        bit: u8,
+        /// The value the bit is stuck at.
+        value: bool,
+    },
+    /// Cell bit cannot make one transition direction (a transition fault):
+    /// `rising = true` means 0→1 fails, `false` means 1→0 fails.
+    Transition {
+        /// Faulty cell address.
+        address: u16,
+        /// Faulty bit position (0–15).
+        bit: u8,
+        /// Which transition fails.
+        rising: bool,
+    },
+    /// Writing the aggressor cell such that bit `bit` *changes* flips the
+    /// same bit of the victim cell (an inversion coupling fault).
+    Coupling {
+        /// The cell whose write disturbs.
+        aggressor: u16,
+        /// The cell that gets flipped.
+        victim: u16,
+        /// The coupled bit position (0–15).
+        bit: u8,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Fault::StuckAt { address, bit, value } => {
+                write!(f, "SAF @{address:04x}.{bit} = {}", u8::from(value))
+            }
+            Fault::Transition { address, bit, rising } => {
+                write!(
+                    f,
+                    "TF @{address:04x}.{bit} ({} fails)",
+                    if rising { "0->1" } else { "1->0" }
+                )
+            }
+            Fault::Coupling { aggressor, victim, bit } => {
+                write!(f, "CF {aggressor:04x}.{bit} -> {victim:04x}.{bit}")
+            }
+        }
+    }
+}
+
+/// A set of injected defects.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_dut::{Fault, FaultSet};
+///
+/// let faults = FaultSet::new(vec![Fault::StuckAt {
+///     address: 0x0010,
+///     bit: 3,
+///     value: false,
+/// }]);
+/// assert_eq!(faults.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    faults: Vec<Fault>,
+}
+
+impl FaultSet {
+    /// Creates a fault set.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// A defect-free device.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The injected faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the set is empty (a healthy array).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// One observed read mismatch during functional execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// Pattern cycle index of the failing read.
+    pub cycle: usize,
+    /// Address read.
+    pub address: u16,
+    /// The word the (ideal) pattern expected.
+    pub expected: u16,
+    /// The word the faulty array produced.
+    pub actual: u16,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: @{:04x} expected {:04x}, got {:04x}",
+            self.cycle, self.address, self.expected, self.actual
+        )
+    }
+}
+
+/// Result of functionally executing one pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalOutcome {
+    /// All read mismatches, in cycle order.
+    pub mismatches: Vec<Mismatch>,
+    /// Cycles executed.
+    pub cycles: usize,
+}
+
+impl FunctionalOutcome {
+    /// Whether the pattern passed (no mismatches).
+    pub fn pass(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// The first failing cycle, if any — where a production tester stops.
+    pub fn first_fail(&self) -> Option<&Mismatch> {
+        self.mismatches.first()
+    }
+}
+
+/// Cycle-accurate memory array simulation with fault injection.
+///
+/// The array powers up in the same pseudo-random background the pattern
+/// generators assume ([`power_up_word`]), so a fault-free simulation
+/// reproduces every pattern's expected data exactly.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_dut::{Fault, FaultSet, MemorySim};
+/// use cichar_patterns::march;
+///
+/// // A stuck-at fault inside the swept array: March C- must catch it.
+/// let faults = FaultSet::new(vec![Fault::StuckAt { address: 5, bit: 0, value: true }]);
+/// let outcome = MemorySim::new(faults).execute(&march::march_c_minus(64));
+/// assert!(!outcome.pass());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySim {
+    image: Vec<u16>,
+    faults: FaultSet,
+}
+
+impl MemorySim {
+    /// Creates a simulation with the given faults, array at power-up state.
+    pub fn new(faults: FaultSet) -> Self {
+        Self {
+            image: (0..=u16::MAX).map(power_up_word).collect(),
+            faults,
+        }
+    }
+
+    /// A healthy array.
+    pub fn healthy() -> Self {
+        Self::new(FaultSet::none())
+    }
+
+    /// Applies the fault-filtered effect of writing `data` to `address`.
+    fn write(&mut self, address: u16, data: u16) {
+        let old = self.image[usize::from(address)];
+        let mut stored = data;
+        for fault in self.faults.faults() {
+            match *fault {
+                Fault::StuckAt { address: a, bit, value } if a == address => {
+                    let mask = 1u16 << bit;
+                    if value {
+                        stored |= mask;
+                    } else {
+                        stored &= !mask;
+                    }
+                }
+                Fault::Transition { address: a, bit, rising } if a == address => {
+                    let mask = 1u16 << bit;
+                    let was_set = old & mask != 0;
+                    let wants_set = stored & mask != 0;
+                    let blocked = if rising { !was_set && wants_set } else { was_set && !wants_set };
+                    if blocked {
+                        // The cell keeps its old state.
+                        stored = (stored & !mask) | (old & mask);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.image[usize::from(address)] = stored;
+        // Coupling: a *changed* aggressor bit flips the victim's bit.
+        let changed = old ^ stored;
+        for fault in self.faults.faults() {
+            if let Fault::Coupling { aggressor, victim, bit } = *fault {
+                if aggressor == address && changed & (1 << bit) != 0 && victim != address {
+                    self.image[usize::from(victim)] ^= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// Reads `address` through the fault filter.
+    fn read(&self, address: u16) -> u16 {
+        let mut word = self.image[usize::from(address)];
+        for fault in self.faults.faults() {
+            if let Fault::StuckAt { address: a, bit, value } = *fault {
+                if a == address {
+                    let mask = 1u16 << bit;
+                    if value {
+                        word |= mask;
+                    } else {
+                        word &= !mask;
+                    }
+                }
+            }
+        }
+        word
+    }
+
+    /// Replays a pattern cycle by cycle, comparing every read against the
+    /// pattern's expected data.
+    pub fn execute(&mut self, pattern: &Pattern) -> FunctionalOutcome {
+        let mut mismatches = Vec::new();
+        for (cycle, v) in pattern.iter().enumerate() {
+            match v.op {
+                MemOp::Write => self.write(v.address, v.data),
+                MemOp::Read => {
+                    let actual = self.read(v.address);
+                    if actual != v.data {
+                        mismatches.push(Mismatch {
+                            cycle,
+                            address: v.address,
+                            expected: v.data,
+                            actual,
+                        });
+                    }
+                }
+                MemOp::Nop => {}
+            }
+        }
+        FunctionalOutcome {
+            mismatches,
+            cycles: pattern.len(),
+        }
+    }
+}
+
+/// Fraction of `faults` that `pattern` detects, each fault injected into a
+/// fresh array — the classic fault-coverage metric of ref. \[16\].
+pub fn fault_coverage(pattern: &Pattern, faults: &[Fault]) -> f64 {
+    if faults.is_empty() {
+        return 1.0;
+    }
+    let detected = faults
+        .iter()
+        .filter(|&&fault| {
+            !MemorySim::new(FaultSet::new(vec![fault]))
+                .execute(pattern)
+                .pass()
+        })
+        .count();
+    detected as f64 / faults.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_patterns::{march, random, TestConditions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Every single stuck-at fault over the first `n` addresses and all
+    /// 16 bits, both polarities.
+    fn all_stuck_at(n: u16) -> Vec<Fault> {
+        let mut faults = Vec::new();
+        for address in 0..n {
+            for bit in 0..16 {
+                for value in [false, true] {
+                    faults.push(Fault::StuckAt { address, bit, value });
+                }
+            }
+        }
+        faults
+    }
+
+    #[test]
+    fn healthy_array_passes_every_deterministic_pattern() {
+        for (name, p) in march::standard_suite() {
+            let outcome = MemorySim::healthy().execute(&p);
+            assert!(outcome.pass(), "{name}: {:?}", outcome.first_fail());
+        }
+    }
+
+    #[test]
+    fn healthy_array_passes_random_programs() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..30 {
+            let t = random::random_test_at(&mut rng, TestConditions::nominal());
+            let outcome = MemorySim::healthy().execute(&t.pattern());
+            assert!(outcome.pass(), "{}: {:?}", t.name(), outcome.first_fail());
+        }
+    }
+
+    #[test]
+    fn march_c_minus_has_complete_stuck_at_coverage() {
+        // The textbook property: March C- detects every single stuck-at
+        // fault in the swept array.
+        let pattern = march::march_c_minus(64);
+        let coverage = fault_coverage(&pattern, &all_stuck_at(64));
+        assert_eq!(coverage, 1.0, "March C- SAF coverage must be 100%");
+    }
+
+    #[test]
+    fn mats_plus_also_covers_stuck_at() {
+        let pattern = march::mats_plus(64);
+        let coverage = fault_coverage(&pattern, &all_stuck_at(64));
+        assert_eq!(coverage, 1.0);
+    }
+
+    #[test]
+    fn march_c_minus_covers_transition_faults() {
+        let pattern = march::march_c_minus(64);
+        let mut faults = Vec::new();
+        for address in 0..64u16 {
+            for bit in [0u8, 7, 15] {
+                for rising in [false, true] {
+                    faults.push(Fault::Transition { address, bit, rising });
+                }
+            }
+        }
+        let coverage = fault_coverage(&pattern, &faults);
+        assert_eq!(coverage, 1.0, "March C- TF coverage must be 100%");
+    }
+
+    #[test]
+    fn march_c_minus_covers_coupling_faults() {
+        let pattern = march::march_c_minus(64);
+        let mut faults = Vec::new();
+        for victim in 0..32u16 {
+            faults.push(Fault::Coupling {
+                aggressor: victim + 1,
+                victim,
+                bit: 0,
+            });
+            faults.push(Fault::Coupling {
+                aggressor: victim,
+                victim: victim + 1,
+                bit: 0,
+            });
+        }
+        let coverage = fault_coverage(&pattern, &faults);
+        assert!(coverage >= 0.95, "March C- CF coverage {coverage}");
+    }
+
+    #[test]
+    fn random_patterns_have_inferior_stuck_at_coverage() {
+        // The §1 trade-off from the other side: deterministic structural
+        // tests beat random patterns at fault coverage (which is why
+        // production keeps them), while random tests find parametric
+        // corners March never will.
+        let mut rng = StdRng::seed_from_u64(62);
+        let faults = all_stuck_at(64);
+        let mut best_random: f64 = 0.0;
+        for _ in 0..5 {
+            let t = random::random_test_at(&mut rng, TestConditions::nominal());
+            best_random = best_random.max(fault_coverage(&t.pattern(), &faults));
+        }
+        assert!(
+            best_random < 1.0,
+            "a 100..1000-cycle random pattern should not reach full SAF coverage"
+        );
+    }
+
+    #[test]
+    fn stuck_at_semantics() {
+        let mut sim = MemorySim::new(FaultSet::new(vec![Fault::StuckAt {
+            address: 3,
+            bit: 2,
+            value: true,
+        }]));
+        sim.write(3, 0x0000);
+        assert_eq!(sim.read(3), 0x0004, "bit 2 stuck high");
+        sim.write(3, 0xFFFF);
+        assert_eq!(sim.read(3), 0xFFFF);
+    }
+
+    #[test]
+    fn transition_fault_semantics() {
+        let mut sim = MemorySim::new(FaultSet::new(vec![Fault::Transition {
+            address: 9,
+            bit: 0,
+            rising: true,
+        }]));
+        sim.write(9, 0x0000);
+        assert_eq!(sim.read(9) & 1, 0);
+        // 0→1 fails…
+        sim.write(9, 0x0001);
+        assert_eq!(sim.read(9) & 1, 0, "rising transition blocked");
+        // …but the cell still accepts 1→0 and other bits.
+        sim.write(9, 0xFFFE);
+        assert_eq!(sim.read(9), 0xFFFE);
+    }
+
+    #[test]
+    fn coupling_fault_semantics() {
+        let mut sim = MemorySim::new(FaultSet::new(vec![Fault::Coupling {
+            aggressor: 1,
+            victim: 2,
+            bit: 4,
+        }]));
+        // Settle both cells (the power-up background means the first
+        // aggressor write may itself toggle the coupled bit).
+        sim.write(2, 0x0000);
+        sim.write(1, 0x0000);
+        let settled = sim.read(2);
+        // Toggling the aggressor's coupled bit flips exactly that victim bit.
+        sim.write(1, 0x0010);
+        assert_eq!(sim.read(2) ^ settled, 0x0010, "victim bit flipped");
+        let after_flip = sim.read(2);
+        // Writing the aggressor without changing bit 4 leaves victim alone.
+        sim.write(1, 0x0011);
+        assert_eq!(sim.read(2), after_flip);
+    }
+
+    #[test]
+    fn self_coupling_is_ignored() {
+        let mut sim = MemorySim::new(FaultSet::new(vec![Fault::Coupling {
+            aggressor: 7,
+            victim: 7,
+            bit: 0,
+        }]));
+        sim.write(7, 0x0001);
+        assert_eq!(sim.read(7), 0x0001, "no self-flip feedback");
+    }
+
+    #[test]
+    fn first_fail_is_the_earliest_cycle() {
+        let faults = FaultSet::new(vec![Fault::StuckAt {
+            address: 0,
+            bit: 0,
+            value: true,
+        }]);
+        let outcome = MemorySim::new(faults).execute(&march::march_c_minus(64));
+        let first = outcome.first_fail().expect("detected");
+        assert!(outcome.mismatches.iter().all(|m| m.cycle >= first.cycle));
+        // March C- element 2 starts reading at cycle 64; address 0's first
+        // read-0 happens there and the stuck-high bit trips it.
+        assert_eq!(first.cycle, 64);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let f = Fault::StuckAt { address: 0x10, bit: 3, value: false };
+        assert!(f.to_string().contains("SAF"));
+        let m = Mismatch { cycle: 5, address: 1, expected: 2, actual: 3 };
+        assert!(m.to_string().contains("cycle 5"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Die-to-die process variation.
+//!
+//! Characterization runs over "a statistically significant sample of
+//! devices" (§1). A [`Lot`] models the manufacturing distribution; each
+//! sampled [`Die`] carries the multipliers the response surface applies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named process corner with deterministic die parameters.
+///
+/// Corners bracket the lot distribution: `Typical` is the distribution
+/// center, `Fast`/`Slow` are the ±3σ speed extremes, and `Noisy` is a
+/// typical-speed die with outlier stress sensitivity (the kind of die whose
+/// worst-case test drifts furthest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessCorner {
+    /// Center of the distribution.
+    Typical,
+    /// Fast silicon: shorter delays, wider `t_dq` window.
+    Fast,
+    /// Slow silicon: longer delays, narrower `t_dq` window.
+    Slow,
+    /// Typical speed, but unusually sensitive to pattern stress.
+    Noisy,
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProcessCorner::Typical => "TT",
+            ProcessCorner::Fast => "FF",
+            ProcessCorner::Slow => "SS",
+            ProcessCorner::Noisy => "TN",
+        })
+    }
+}
+
+/// One manufactured die: the process parameters the response surface needs.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_dut::{Die, ProcessCorner};
+///
+/// let die = Die::at_corner(ProcessCorner::Slow);
+/// assert!(die.speed() < 1.0, "slow silicon has speed factor below 1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Die {
+    id: u32,
+    speed: f64,
+    stress_sensitivity: f64,
+    vdd_min_offset: f64,
+}
+
+impl Die {
+    /// Speed multiplier applied to every timing quantity (1.0 = typical;
+    /// above 1.0 = faster silicon = wider valid window).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Multiplier on how strongly pattern stress erodes margins
+    /// (1.0 = typical).
+    pub fn stress_sensitivity(&self) -> f64 {
+        self.stress_sensitivity
+    }
+
+    /// Additive offset on the die's minimum operating voltage, in volts.
+    pub fn vdd_min_offset(&self) -> f64 {
+        self.vdd_min_offset
+    }
+
+    /// The die's serial number within its lot.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The deterministic die at a named process corner.
+    pub fn at_corner(corner: ProcessCorner) -> Self {
+        let (speed, sens, vmin) = match corner {
+            ProcessCorner::Typical => (1.0, 1.0, 0.0),
+            ProcessCorner::Fast => (1.06, 0.85, -0.03),
+            ProcessCorner::Slow => (0.94, 1.15, 0.04),
+            ProcessCorner::Noisy => (1.0, 1.35, 0.02),
+        };
+        Self {
+            id: 0,
+            speed,
+            stress_sensitivity: sens,
+            vdd_min_offset: vmin,
+        }
+    }
+
+    /// The exact distribution center — the die Table 1 is reproduced on.
+    pub fn nominal() -> Self {
+        Self::at_corner(ProcessCorner::Typical)
+    }
+}
+
+impl fmt::Display for Die {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "die#{} speed={:.3} sens={:.3}",
+            self.id, self.speed, self.stress_sensitivity
+        )
+    }
+}
+
+/// The manufacturing distribution dies are drawn from.
+///
+/// Parameters are Gaussian with the spreads of a healthy 140 nm-class
+/// process, truncated at ±3σ so no sample is unphysical.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_dut::Lot;
+/// use rand::SeedableRng;
+///
+/// let lot = Lot::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sample = lot.sample_dies(&mut rng, 25);
+/// assert_eq!(sample.len(), 25);
+/// assert!(sample.iter().all(|d| d.speed() > 0.9 && d.speed() < 1.1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lot {
+    speed_sigma: f64,
+    sensitivity_sigma: f64,
+    vdd_min_sigma: f64,
+}
+
+impl Lot {
+    /// Creates a lot with explicit spreads.
+    pub fn new(speed_sigma: f64, sensitivity_sigma: f64, vdd_min_sigma: f64) -> Self {
+        Self {
+            speed_sigma,
+            sensitivity_sigma,
+            vdd_min_sigma,
+        }
+    }
+
+    /// Draws one die.
+    pub fn sample_die<R: Rng + ?Sized>(&self, rng: &mut R, id: u32) -> Die {
+        Die {
+            id,
+            speed: 1.0 + truncated_gauss(rng, self.speed_sigma),
+            stress_sensitivity: (1.0 + truncated_gauss(rng, self.sensitivity_sigma)).max(0.2),
+            vdd_min_offset: truncated_gauss(rng, self.vdd_min_sigma),
+        }
+    }
+
+    /// Draws a characterization sample of `count` dies.
+    pub fn sample_dies<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Die> {
+        (0..count as u32).map(|id| self.sample_die(rng, id)).collect()
+    }
+}
+
+impl Default for Lot {
+    /// A healthy process: σ_speed = 2 %, σ_sensitivity = 8 %,
+    /// σ_vddmin = 15 mV.
+    fn default() -> Self {
+        Self::new(0.02, 0.08, 0.015)
+    }
+}
+
+/// Zero-mean Gaussian via Box–Muller, truncated at ±3σ.
+fn truncated_gauss<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (z * sigma).clamp(-3.0 * sigma, 3.0 * sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_die_is_distribution_center() {
+        let d = Die::nominal();
+        assert_eq!(d.speed(), 1.0);
+        assert_eq!(d.stress_sensitivity(), 1.0);
+        assert_eq!(d.vdd_min_offset(), 0.0);
+    }
+
+    #[test]
+    fn corners_order_by_speed() {
+        let fast = Die::at_corner(ProcessCorner::Fast);
+        let slow = Die::at_corner(ProcessCorner::Slow);
+        let typ = Die::at_corner(ProcessCorner::Typical);
+        assert!(fast.speed() > typ.speed());
+        assert!(slow.speed() < typ.speed());
+    }
+
+    #[test]
+    fn noisy_corner_has_outlier_sensitivity() {
+        let noisy = Die::at_corner(ProcessCorner::Noisy);
+        assert!(noisy.stress_sensitivity() > 1.2);
+        assert_eq!(noisy.speed(), 1.0);
+    }
+
+    #[test]
+    fn samples_are_within_three_sigma() {
+        let lot = Lot::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for die in lot.sample_dies(&mut rng, 500) {
+            assert!((die.speed() - 1.0).abs() <= 0.06 + 1e-12);
+            assert!((die.stress_sensitivity() - 1.0).abs() <= 0.24 + 1e-12);
+            assert!(die.vdd_min_offset().abs() <= 0.045 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_mean_is_near_center() {
+        let lot = Lot::default();
+        let mut rng = StdRng::seed_from_u64(23);
+        let dies = lot.sample_dies(&mut rng, 2000);
+        let mean: f64 = dies.iter().map(Die::speed).sum::<f64>() / dies.len() as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean speed {mean}");
+    }
+
+    #[test]
+    fn sampling_is_seed_reproducible() {
+        let lot = Lot::default();
+        let a = lot.sample_dies(&mut StdRng::seed_from_u64(5), 10);
+        let b = lot.sample_dies(&mut StdRng::seed_from_u64(5), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn die_ids_are_sequential() {
+        let lot = Lot::default();
+        let dies = lot.sample_dies(&mut StdRng::seed_from_u64(5), 5);
+        let ids: Vec<u32> = dies.iter().map(Die::id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_sigma_lot_yields_nominal_dies() {
+        let lot = Lot::new(0.0, 0.0, 0.0);
+        let die = lot.sample_die(&mut StdRng::seed_from_u64(1), 7);
+        assert_eq!(die.speed(), 1.0);
+        assert_eq!(die.stress_sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn corner_display_names() {
+        assert_eq!(ProcessCorner::Typical.to_string(), "TT");
+        assert_eq!(ProcessCorner::Noisy.to_string(), "TN");
+    }
+}

@@ -1,0 +1,246 @@
+//! The paper-specific fuzzy codings: WCR bands and trip-point encoding.
+//!
+//! Fig. 6 defines crisp worst-case-ratio bands — pass `0 ≤ WCR ≤ 0.8`,
+//! weakness `0.8 < WCR ≤ 1`, fail `WCR > 1` — and §5 recommends encoding
+//! measurement values through fuzzy variables instead ("D is quite close to
+//! the limit of the target device-spec"). [`wcr_variable`] softens the
+//! fig. 6 bands into overlapping trapezoids; [`TripPointCoder`] turns raw
+//! trip-point measurements into the fuzzy target vectors the neural
+//! network trains on, and back.
+
+use crate::membership::MembershipFunction;
+use crate::variable::LinguisticVariable;
+use serde::{Deserialize, Serialize};
+
+/// The fig. 6 worst-case-ratio bands as a fuzzy linguistic variable.
+///
+/// The transitions are deliberately broad (the pass→weakness ramp spans
+/// WCR 0.6–0.9, centred on fig. 6's 0.8 edge): §5 wants the coding to say
+/// "quite close to the limit" *gradually*, and a broad ramp lets the
+/// neural committee rank tests within the nominally-passing band — which
+/// is where almost all random training tests live.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_fuzzy::coding::wcr_variable;
+///
+/// let wcr = wcr_variable();
+/// assert_eq!(wcr.best_term(0.619).0, "pass");     // Table 1, March
+/// assert_eq!(wcr.best_term(0.904).0, "weakness"); // Table 1, NN+GA
+/// assert_eq!(wcr.best_term(1.1).0, "fail");
+/// ```
+pub fn wcr_variable() -> LinguisticVariable {
+    let mut v = LinguisticVariable::new("wcr", 0.0, 1.5);
+    v.add_term(
+        "pass",
+        MembershipFunction::trapezoidal(0.0, 0.0, 0.6, 0.9),
+    );
+    v.add_term(
+        "weakness",
+        MembershipFunction::trapezoidal(0.6, 0.9, 0.95, 1.05),
+    );
+    v.add_term(
+        "fail",
+        MembershipFunction::trapezoidal(0.95, 1.05, 1.5, 1.5),
+    );
+    v
+}
+
+/// How trip-point measurements are encoded as NN targets.
+///
+/// §5 step (3): "trip point value coding using either fuzzy set data \[8\]
+/// or simple numerical coding". Both options are implemented so the
+/// ablation bench can compare them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodingScheme {
+    /// One output neuron carrying the min-max-normalized trip point.
+    Numeric,
+    /// One output neuron per fuzzy term carrying its membership grade.
+    Fuzzy,
+}
+
+/// Encodes trip-point values (via their WCR) into NN target vectors and
+/// decodes predictions back into a scalar *severity*.
+///
+/// Severity is a single `[0, 1]` figure of merit — higher means closer to
+/// (or beyond) the spec limit — so both coding schemes can be ranked by
+/// the same downstream logic.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_fuzzy::coding::{CodingScheme, TripPointCoder};
+///
+/// let coder = TripPointCoder::new(CodingScheme::Fuzzy);
+/// let target = coder.encode_wcr(0.904);
+/// assert_eq!(target.len(), coder.target_width());
+/// // The weakness neuron dominates at WCR 0.904.
+/// assert!(target[1] > 0.9);
+/// let severity = coder.severity(&target);
+/// assert!(severity > 0.55 && severity < 0.95);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripPointCoder {
+    scheme: CodingScheme,
+    variable: LinguisticVariable,
+}
+
+impl TripPointCoder {
+    /// Creates a coder for the given scheme over the fig. 6 WCR bands.
+    pub fn new(scheme: CodingScheme) -> Self {
+        Self {
+            scheme,
+            variable: wcr_variable(),
+        }
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> CodingScheme {
+        self.scheme
+    }
+
+    /// Width of the target vector this coder produces.
+    pub fn target_width(&self) -> usize {
+        match self.scheme {
+            CodingScheme::Numeric => 1,
+            CodingScheme::Fuzzy => self.variable.term_count(),
+        }
+    }
+
+    /// Encodes a WCR value into an NN target vector.
+    pub fn encode_wcr(&self, wcr: f64) -> Vec<f64> {
+        match self.scheme {
+            // WCR is already a ratio against the spec; the numeric channel
+            // just clamps it into the unit interval scaled by the 1.5
+            // universe end, so fail-region values stay distinguishable.
+            CodingScheme::Numeric => vec![(wcr / 1.5).clamp(0.0, 1.0)],
+            CodingScheme::Fuzzy => self.variable.grades(wcr),
+        }
+    }
+
+    /// Collapses a prediction (or target) into scalar severity in `[0, 1]`.
+    ///
+    /// For fuzzy codings the severity is the grade-weighted mean of the
+    /// band peaks normalized to the universe; for numeric codings it is
+    /// the value itself.
+    pub fn severity(&self, prediction: &[f64]) -> f64 {
+        match self.scheme {
+            CodingScheme::Numeric => prediction.first().copied().unwrap_or(0.0).clamp(0.0, 1.0),
+            CodingScheme::Fuzzy => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for ((_, mf), &grade) in self.variable.terms().zip(prediction) {
+                    num += mf.peak() * grade;
+                    den += grade;
+                }
+                if den == 0.0 {
+                    return 0.0;
+                }
+                let (lo, hi) = self.variable.universe();
+                ((num / den - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// The fuzzy variable backing the coder.
+    pub fn variable(&self) -> &LinguisticVariable {
+        &self.variable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table1_rows_code_to_expected_bands() {
+        let v = wcr_variable();
+        assert_eq!(v.best_term(0.619).0, "pass");
+        assert_eq!(v.best_term(0.701).0, "pass");
+        assert_eq!(v.best_term(0.904).0, "weakness");
+    }
+
+    #[test]
+    fn band_edges_are_fuzzy() {
+        let v = wcr_variable();
+        // At the centre of the pass→weakness ramp both terms hold 0.5.
+        let at_edge = v.grades(0.75);
+        assert!((at_edge[0] - 0.5).abs() < 1e-9, "{at_edge:?}");
+        assert!((at_edge[1] - 0.5).abs() < 1e-9, "{at_edge:?}");
+        assert_eq!(at_edge[2], 0.0);
+    }
+
+    #[test]
+    fn pass_band_ramp_lets_the_committee_rank_passing_tests() {
+        // Random training tests land around WCR 0.6–0.75; their fuzzy
+        // grades must differ or the NN cannot order them.
+        let v = wcr_variable();
+        assert_ne!(v.grades(0.65), v.grades(0.72));
+        assert!(v.grades(0.72)[1] > v.grades(0.65)[1]);
+    }
+
+    #[test]
+    fn deep_in_band_coding_is_crisp() {
+        let v = wcr_variable();
+        assert_eq!(v.grades(0.5), vec![1.0, 0.0, 0.0]);
+        assert_eq!(v.grades(0.9), vec![0.0, 1.0, 0.0]);
+        assert_eq!(v.grades(1.2), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn numeric_coder_is_single_channel() {
+        let c = TripPointCoder::new(CodingScheme::Numeric);
+        assert_eq!(c.target_width(), 1);
+        assert_eq!(c.encode_wcr(0.75), vec![0.5]);
+        assert_eq!(c.severity(&[0.5]), 0.5);
+    }
+
+    #[test]
+    fn fuzzy_coder_width_matches_terms() {
+        let c = TripPointCoder::new(CodingScheme::Fuzzy);
+        assert_eq!(c.target_width(), 3);
+    }
+
+    #[test]
+    fn severity_orders_bands() {
+        let c = TripPointCoder::new(CodingScheme::Fuzzy);
+        let pass = c.severity(&c.encode_wcr(0.5));
+        let weak = c.severity(&c.encode_wcr(0.9));
+        let fail = c.severity(&c.encode_wcr(1.2));
+        assert!(pass < weak && weak < fail, "{pass} < {weak} < {fail}");
+    }
+
+    #[test]
+    fn severity_of_zero_vector_is_zero() {
+        let c = TripPointCoder::new(CodingScheme::Fuzzy);
+        assert_eq!(c.severity(&[0.0, 0.0, 0.0]), 0.0);
+        let n = TripPointCoder::new(CodingScheme::Numeric);
+        assert_eq!(n.severity(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn encodings_are_unit_bounded(wcr in 0.0f64..2.0) {
+            for scheme in [CodingScheme::Numeric, CodingScheme::Fuzzy] {
+                let c = TripPointCoder::new(scheme);
+                for g in c.encode_wcr(wcr) {
+                    prop_assert!((0.0..=1.0).contains(&g));
+                }
+                let s = c.severity(&c.encode_wcr(wcr));
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+
+        #[test]
+        fn severity_is_monotone_in_wcr(a in 0.0f64..1.4, delta in 0.05f64..0.3) {
+            for scheme in [CodingScheme::Numeric, CodingScheme::Fuzzy] {
+                let c = TripPointCoder::new(scheme);
+                let lo = c.severity(&c.encode_wcr(a));
+                let hi = c.severity(&c.encode_wcr(a + delta));
+                prop_assert!(hi >= lo - 1e-9, "{scheme:?}: {lo} then {hi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Mamdani inference: min-activation, max-aggregation, centroid defuzz.
+
+use crate::variable::LinguisticVariable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised during rule construction or inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzyError {
+    /// A rule referenced a variable the rule set does not know.
+    UnknownVariable(String),
+    /// A rule referenced a term its variable does not define.
+    UnknownTerm {
+        /// The variable that was referenced.
+        variable: String,
+        /// The missing term.
+        term: String,
+    },
+    /// Inference was invoked without a value for an input variable.
+    MissingInput(String),
+    /// The rule set has no rules.
+    NoRules,
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::UnknownVariable(v) => write!(f, "unknown variable {v:?}"),
+            FuzzyError::UnknownTerm { variable, term } => {
+                write!(f, "variable {variable:?} has no term {term:?}")
+            }
+            FuzzyError::MissingInput(v) => write!(f, "no input provided for {v:?}"),
+            FuzzyError::NoRules => f.write_str("rule set is empty"),
+        }
+    }
+}
+
+impl Error for FuzzyError {}
+
+/// One antecedent clause: `variable IS term`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Antecedent {
+    /// Input variable name.
+    pub variable: String,
+    /// Term of that variable.
+    pub term: String,
+}
+
+/// How a rule's clauses combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connective {
+    /// Fuzzy AND: the rule fires at the *minimum* clause grade.
+    And,
+    /// Fuzzy OR: the rule fires at the *maximum* clause grade.
+    Or,
+}
+
+/// One Mamdani rule: `IF a AND/OR b AND/OR … THEN output IS term`.
+///
+/// AND-rules (min) match §5's example "if A and B and C, then D is quite
+/// close to the limit"; OR-rules (max) express "any of these alone
+/// suffices".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The antecedent clauses.
+    pub antecedents: Vec<Antecedent>,
+    /// How the clauses combine.
+    pub connective: Connective,
+    /// Output term the rule asserts.
+    pub consequent_term: String,
+}
+
+impl Rule {
+    /// Builds an AND-rule from `(variable, term)` clauses and an output
+    /// term.
+    pub fn new(
+        clauses: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+        consequent_term: impl Into<String>,
+    ) -> Self {
+        Self::with_connective(clauses, Connective::And, consequent_term)
+    }
+
+    /// Builds an OR-rule: any clause alone can fire it.
+    pub fn any(
+        clauses: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+        consequent_term: impl Into<String>,
+    ) -> Self {
+        Self::with_connective(clauses, Connective::Or, consequent_term)
+    }
+
+    /// Builds a rule with an explicit connective.
+    pub fn with_connective(
+        clauses: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+        connective: Connective,
+        consequent_term: impl Into<String>,
+    ) -> Self {
+        Self {
+            antecedents: clauses
+                .into_iter()
+                .map(|(v, t)| Antecedent {
+                    variable: v.into(),
+                    term: t.into(),
+                })
+                .collect(),
+            connective,
+            consequent_term: consequent_term.into(),
+        }
+    }
+}
+
+/// A Mamdani rule set over named input variables and one output variable.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_fuzzy::{LinguisticVariable, MembershipFunction, Rule, RuleSet};
+///
+/// let mut sso = LinguisticVariable::new("sso", 0.0, 1.0);
+/// sso.add_term("low", MembershipFunction::trapezoidal(0.0, 0.0, 0.3, 0.6));
+/// sso.add_term("high", MembershipFunction::trapezoidal(0.3, 0.6, 1.0, 1.0));
+///
+/// let mut risk = LinguisticVariable::new("risk", 0.0, 1.0);
+/// risk.add_term("safe", MembershipFunction::triangular(0.0, 0.0, 0.6));
+/// risk.add_term("critical", MembershipFunction::triangular(0.4, 1.0, 1.0));
+///
+/// let mut rules = RuleSet::new(vec![sso], risk);
+/// rules.add_rule(Rule::new([("sso", "high")], "critical"))?;
+/// rules.add_rule(Rule::new([("sso", "low")], "safe"))?;
+///
+/// let crisp = rules.infer(&[("sso", 0.9)])?;
+/// assert!(crisp > 0.6, "high switching is critical, got {crisp}");
+/// # Ok::<(), cichar_fuzzy::FuzzyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    inputs: Vec<LinguisticVariable>,
+    output: LinguisticVariable,
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Number of samples for centroid integration.
+    const DEFUZZ_SAMPLES: usize = 200;
+
+    /// Creates a rule set over the given input variables and output.
+    pub fn new(inputs: Vec<LinguisticVariable>, output: LinguisticVariable) -> Self {
+        Self {
+            inputs,
+            output,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The output variable.
+    pub fn output(&self) -> &LinguisticVariable {
+        &self.output
+    }
+
+    /// The rules added so far.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Adds a rule after validating every referenced variable and term.
+    ///
+    /// # Errors
+    ///
+    /// [`FuzzyError::UnknownVariable`] / [`FuzzyError::UnknownTerm`] when a
+    /// clause references something undefined.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), FuzzyError> {
+        for a in &rule.antecedents {
+            let var = self
+                .inputs
+                .iter()
+                .find(|v| v.name() == a.variable)
+                .ok_or_else(|| FuzzyError::UnknownVariable(a.variable.clone()))?;
+            if var.term(&a.term).is_none() {
+                return Err(FuzzyError::UnknownTerm {
+                    variable: a.variable.clone(),
+                    term: a.term.clone(),
+                });
+            }
+        }
+        if self.output.term(&rule.consequent_term).is_none() {
+            return Err(FuzzyError::UnknownTerm {
+                variable: self.output.name().to_string(),
+                term: rule.consequent_term.clone(),
+            });
+        }
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Runs Mamdani inference on crisp inputs and defuzzifies by centroid.
+    ///
+    /// # Errors
+    ///
+    /// [`FuzzyError::NoRules`] when empty, [`FuzzyError::MissingInput`]
+    /// when a rule needs a variable the caller did not supply.
+    pub fn infer(&self, crisp_inputs: &[(&str, f64)]) -> Result<f64, FuzzyError> {
+        let activations = self.rule_activations(crisp_inputs)?;
+        // Aggregate: clipped output membership, max across rules; centroid.
+        let (lo, hi) = self.output.universe();
+        let step = (hi - lo) / (Self::DEFUZZ_SAMPLES - 1) as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..Self::DEFUZZ_SAMPLES {
+            let x = lo + step * i as f64;
+            let mut mu: f64 = 0.0;
+            for (rule, act) in self.rules.iter().zip(&activations) {
+                let term = self
+                    .output
+                    .term(&rule.consequent_term)
+                    .expect("validated at add_rule");
+                mu = mu.max(act.min(term.grade(x)));
+            }
+            num += x * mu;
+            den += mu;
+        }
+        if den == 0.0 {
+            // No rule fired: fall back to the universe midpoint.
+            return Ok(lo + (hi - lo) / 2.0);
+        }
+        Ok(num / den)
+    }
+
+    /// The activation level (fuzzy AND of clause grades) of each rule.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::infer`].
+    pub fn rule_activations(&self, crisp_inputs: &[(&str, f64)]) -> Result<Vec<f64>, FuzzyError> {
+        if self.rules.is_empty() {
+            return Err(FuzzyError::NoRules);
+        }
+        let values: HashMap<&str, f64> = crisp_inputs.iter().copied().collect();
+        self.rules
+            .iter()
+            .map(|rule| {
+                let mut act: f64 = match rule.connective {
+                    Connective::And => 1.0,
+                    Connective::Or => 0.0,
+                };
+                for a in &rule.antecedents {
+                    let &x = values
+                        .get(a.variable.as_str())
+                        .ok_or_else(|| FuzzyError::MissingInput(a.variable.clone()))?;
+                    let var = self
+                        .inputs
+                        .iter()
+                        .find(|v| v.name() == a.variable)
+                        .expect("validated at add_rule");
+                    let clamped = x.clamp(var.universe().0, var.universe().1);
+                    let grade = var
+                        .term(&a.term)
+                        .expect("validated at add_rule")
+                        .grade(clamped);
+                    act = match rule.connective {
+                        Connective::And => act.min(grade),
+                        Connective::Or => act.max(grade),
+                    };
+                }
+                Ok(act)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+
+    fn build() -> RuleSet {
+        let mut sso = LinguisticVariable::new("sso", 0.0, 1.0);
+        sso.add_term("low", MembershipFunction::trapezoidal(0.0, 0.0, 0.3, 0.6));
+        sso.add_term("high", MembershipFunction::trapezoidal(0.3, 0.6, 1.0, 1.0));
+        let mut res = LinguisticVariable::new("resonance", 0.0, 1.0);
+        res.add_term("off", MembershipFunction::trapezoidal(0.0, 0.0, 0.2, 0.5));
+        res.add_term("on", MembershipFunction::trapezoidal(0.2, 0.5, 1.0, 1.0));
+        let mut risk = LinguisticVariable::new("risk", 0.0, 1.0);
+        risk.add_term("safe", MembershipFunction::triangular(0.0, 0.0, 0.5));
+        risk.add_term("marginal", MembershipFunction::triangular(0.2, 0.5, 0.8));
+        risk.add_term("critical", MembershipFunction::triangular(0.5, 1.0, 1.0));
+        let mut rs = RuleSet::new(vec![sso, res], risk);
+        // §5's canonical shape: if A and B then close-to-limit.
+        rs.add_rule(Rule::new([("sso", "high"), ("resonance", "on")], "critical"))
+            .expect("valid");
+        rs.add_rule(Rule::new([("sso", "high"), ("resonance", "off")], "marginal"))
+            .expect("valid");
+        rs.add_rule(Rule::new([("sso", "low")], "safe")).expect("valid");
+        rs
+    }
+
+    #[test]
+    fn conjunction_drives_output_ordering() {
+        let rs = build();
+        let calm = rs.infer(&[("sso", 0.1), ("resonance", 0.1)]).expect("infers");
+        let stressed = rs.infer(&[("sso", 0.9), ("resonance", 0.1)]).expect("infers");
+        let critical = rs.infer(&[("sso", 0.9), ("resonance", 0.9)]).expect("infers");
+        assert!(calm < stressed, "{calm} < {stressed}");
+        assert!(stressed < critical, "{stressed} < {critical}");
+        assert!(critical > 0.7);
+        assert!(calm < 0.3);
+    }
+
+    #[test]
+    fn or_rules_fire_on_any_clause() {
+        let mut sso = LinguisticVariable::new("sso", 0.0, 1.0);
+        sso.add_term("high", MembershipFunction::trapezoidal(0.3, 0.6, 1.0, 1.0));
+        let mut res = LinguisticVariable::new("res", 0.0, 1.0);
+        res.add_term("high", MembershipFunction::trapezoidal(0.3, 0.6, 1.0, 1.0));
+        let mut risk = LinguisticVariable::new("risk", 0.0, 1.0);
+        risk.add_term("hot", MembershipFunction::triangular(0.5, 1.0, 1.0));
+        let mut rs = RuleSet::new(vec![sso, res], risk);
+        rs.add_rule(Rule::any([("sso", "high"), ("res", "high")], "hot"))
+            .expect("valid");
+        // Only one clause is satisfied — an AND rule would stay silent.
+        let acts = rs
+            .rule_activations(&[("sso", 0.9), ("res", 0.0)])
+            .expect("valid");
+        assert_eq!(acts[0], 1.0);
+        // Neither clause satisfied: the OR rule is quiet too.
+        let acts = rs
+            .rule_activations(&[("sso", 0.1), ("res", 0.0)])
+            .expect("valid");
+        assert_eq!(acts[0], 0.0);
+    }
+
+    #[test]
+    fn connective_constructors_differ_only_in_connective() {
+        let and_rule = Rule::new([("a", "x")], "y");
+        let or_rule = Rule::any([("a", "x")], "y");
+        assert_eq!(and_rule.connective, Connective::And);
+        assert_eq!(or_rule.connective, Connective::Or);
+        assert_eq!(and_rule.antecedents, or_rule.antecedents);
+    }
+
+    #[test]
+    fn activations_use_min() {
+        let rs = build();
+        let acts = rs
+            .rule_activations(&[("sso", 0.9), ("resonance", 0.35)])
+            .expect("valid");
+        // Rule 0 needs resonance=on (grade 0.5 at 0.35); sso=high is 1.0.
+        assert!((acts[0] - 0.5).abs() < 1e-12, "{acts:?}");
+    }
+
+    #[test]
+    fn unknown_references_are_rejected() {
+        let mut rs = build();
+        assert!(matches!(
+            rs.add_rule(Rule::new([("nope", "high")], "safe")),
+            Err(FuzzyError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            rs.add_rule(Rule::new([("sso", "nope")], "safe")),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+        assert!(matches!(
+            rs.add_rule(Rule::new([("sso", "low")], "nope")),
+            Err(FuzzyError::UnknownTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let rs = build();
+        assert!(matches!(
+            rs.infer(&[("sso", 0.9)]),
+            Err(FuzzyError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn empty_rule_set_errors() {
+        let out = LinguisticVariable::new("y", 0.0, 1.0);
+        let rs = RuleSet::new(vec![], out);
+        assert_eq!(rs.infer(&[]), Err(FuzzyError::NoRules));
+    }
+
+    #[test]
+    fn no_firing_rule_returns_midpoint() {
+        let mut x = LinguisticVariable::new("x", 0.0, 1.0);
+        x.add_term("narrow", MembershipFunction::triangular(0.4, 0.5, 0.6));
+        let mut y = LinguisticVariable::new("y", 0.0, 2.0);
+        y.add_term("t", MembershipFunction::triangular(0.0, 1.0, 2.0));
+        let mut rs = RuleSet::new(vec![x], y);
+        rs.add_rule(Rule::new([("x", "narrow")], "t")).expect("valid");
+        let out = rs.infer(&[("x", 0.0)]).expect("infers");
+        assert_eq!(out, 1.0, "universe midpoint");
+    }
+
+    #[test]
+    fn out_of_universe_inputs_clamp() {
+        let rs = build();
+        let a = rs.infer(&[("sso", 5.0), ("resonance", 5.0)]).expect("infers");
+        let b = rs.infer(&[("sso", 1.0), ("resonance", 1.0)]).expect("infers");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FuzzyError::UnknownTerm {
+            variable: "wcr".into(),
+            term: "meh".into(),
+        };
+        assert!(e.to_string().contains("wcr") && e.to_string().contains("meh"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fuzzy set theory for trip-point coding.
+//!
+//! §5 of the paper: "we propose to use fuzzy set theory to encode the
+//! characterization trip point information … we strongly recommend to use
+//! fuzzy variables to encode measurement values as fuzzy logic can describe
+//! more than one analysis parameter; such as *if A and B and C, then D is
+//! quite close to the limit of the target device-spec*" (the paper cites
+//! Bezdek \[8\] for the foundations).
+//!
+//! The crate provides the classic Mamdani stack —
+//! [`MembershipFunction`]s, [`LinguisticVariable`]s, a [`RuleSet`] with
+//! min/max inference and centroid defuzzification — plus [`coding`], the
+//! paper-specific part: the worst-case-ratio bands of fig. 6 as a fuzzy
+//! variable, and the trip-point coder used as the neural network's
+//! fuzzy output encoding.
+//!
+//! # Examples
+//!
+//! ```
+//! use cichar_fuzzy::coding::wcr_variable;
+//!
+//! let wcr = wcr_variable();
+//! // WCR = 0.904 (the paper's NN+GA result) is solidly "weakness".
+//! let (term, grade) = wcr.best_term(0.904);
+//! assert_eq!(term, "weakness");
+//! assert!(grade > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding;
+mod inference;
+mod membership;
+mod variable;
+
+pub use inference::{Antecedent, Connective, FuzzyError, Rule, RuleSet};
+pub use membership::MembershipFunction;
+pub use variable::LinguisticVariable;

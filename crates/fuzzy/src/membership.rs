@@ -1,0 +1,230 @@
+//! Membership functions.
+
+use serde::{Deserialize, Serialize};
+
+/// A fuzzy membership function mapping a crisp value to a grade in
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_fuzzy::MembershipFunction;
+///
+/// let near_limit = MembershipFunction::triangular(0.7, 0.9, 1.1);
+/// assert_eq!(near_limit.grade(0.9), 1.0);
+/// assert_eq!(near_limit.grade(0.5), 0.0);
+/// assert!((near_limit.grade(0.8) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MembershipFunction {
+    /// Triangle rising from `a` to a peak at `b`, falling to `c`.
+    Triangular {
+        /// Left foot.
+        a: f64,
+        /// Peak.
+        b: f64,
+        /// Right foot.
+        c: f64,
+    },
+    /// Trapezoid: rises `a→b`, flat `b→c`, falls `c→d`. Degenerate edges
+    /// (`a == b` or `c == d`) give crisp shoulders.
+    Trapezoidal {
+        /// Left foot.
+        a: f64,
+        /// Left shoulder.
+        b: f64,
+        /// Right shoulder.
+        c: f64,
+        /// Right foot.
+        d: f64,
+    },
+    /// Gaussian bell centred on `mean`.
+    Gaussian {
+        /// Centre of the bell.
+        mean: f64,
+        /// Width (standard deviation); must be positive.
+        sigma: f64,
+    },
+}
+
+impl MembershipFunction {
+    /// Triangle constructor with ordering validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a <= b <= c` and `a < c`.
+    pub fn triangular(a: f64, b: f64, c: f64) -> Self {
+        assert!(a <= b && b <= c && a < c, "triangle needs a<=b<=c, a<c");
+        Self::Triangular { a, b, c }
+    }
+
+    /// Trapezoid constructor with ordering validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a <= b <= c <= d` and `a < d`.
+    pub fn trapezoidal(a: f64, b: f64, c: f64, d: f64) -> Self {
+        assert!(
+            a <= b && b <= c && c <= d && a < d,
+            "trapezoid needs a<=b<=c<=d, a<d"
+        );
+        Self::Trapezoidal { a, b, c, d }
+    }
+
+    /// Gaussian constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma > 0`.
+    pub fn gaussian(mean: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "gaussian needs positive sigma");
+        Self::Gaussian { mean, sigma }
+    }
+
+    /// Membership grade of a crisp value.
+    pub fn grade(&self, x: f64) -> f64 {
+        match *self {
+            MembershipFunction::Triangular { a, b, c } => {
+                if x <= a || x >= c {
+                    // Closed peak: a degenerate shoulder still grades 1.
+                    if (x == a && a == b) || (x == c && c == b) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else if x > b {
+                    (c - x) / (c - b)
+                } else {
+                    1.0
+                }
+            }
+            MembershipFunction::Trapezoidal { a, b, c, d } => {
+                if (b..=c).contains(&x) {
+                    1.0
+                } else if x <= a || x >= d {
+                    0.0
+                } else if x < b {
+                    (x - a) / (b - a)
+                } else {
+                    (d - x) / (d - c)
+                }
+            }
+            MembershipFunction::Gaussian { mean, sigma } => {
+                (-((x - mean).powi(2)) / (2.0 * sigma * sigma)).exp()
+            }
+        }
+    }
+
+    /// The crisp interval outside which the grade is (essentially) zero.
+    pub fn support(&self) -> (f64, f64) {
+        match *self {
+            MembershipFunction::Triangular { a, c, .. } => (a, c),
+            MembershipFunction::Trapezoidal { a, d, .. } => (a, d),
+            MembershipFunction::Gaussian { mean, sigma } => (mean - 4.0 * sigma, mean + 4.0 * sigma),
+        }
+    }
+
+    /// The value (or centre of the plateau) where the grade peaks.
+    pub fn peak(&self) -> f64 {
+        match *self {
+            MembershipFunction::Triangular { b, .. } => b,
+            MembershipFunction::Trapezoidal { b, c, .. } => b + (c - b) / 2.0,
+            MembershipFunction::Gaussian { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangle_grades() {
+        let t = MembershipFunction::triangular(0.0, 1.0, 2.0);
+        assert_eq!(t.grade(-1.0), 0.0);
+        assert_eq!(t.grade(0.5), 0.5);
+        assert_eq!(t.grade(1.0), 1.0);
+        assert_eq!(t.grade(1.5), 0.5);
+        assert_eq!(t.grade(3.0), 0.0);
+    }
+
+    #[test]
+    fn trapezoid_plateau_and_shoulders() {
+        let t = MembershipFunction::trapezoidal(0.0, 1.0, 2.0, 4.0);
+        assert_eq!(t.grade(1.5), 1.0);
+        assert_eq!(t.grade(0.5), 0.5);
+        assert_eq!(t.grade(3.0), 0.5);
+        assert_eq!(t.grade(5.0), 0.0);
+    }
+
+    #[test]
+    fn crisp_shoulder_trapezoid() {
+        // a == b: a hard left edge, as used for the "pass" band's start.
+        let t = MembershipFunction::trapezoidal(0.0, 0.0, 0.7, 0.85);
+        assert_eq!(t.grade(0.0), 1.0);
+        assert_eq!(t.grade(0.5), 1.0);
+        assert!(t.grade(0.8) < 1.0);
+    }
+
+    #[test]
+    fn gaussian_is_symmetric_and_peaked() {
+        let g = MembershipFunction::gaussian(1.0, 0.2);
+        assert_eq!(g.grade(1.0), 1.0);
+        assert!((g.grade(0.8) - g.grade(1.2)).abs() < 1e-12);
+        assert!(g.grade(2.0) < 0.001);
+    }
+
+    #[test]
+    fn peaks_and_supports() {
+        assert_eq!(MembershipFunction::triangular(0.0, 1.0, 2.0).peak(), 1.0);
+        assert_eq!(
+            MembershipFunction::trapezoidal(0.0, 1.0, 3.0, 4.0).peak(),
+            2.0
+        );
+        let (lo, hi) = MembershipFunction::gaussian(0.0, 1.0).support();
+        assert_eq!((lo, hi), (-4.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "triangle needs")]
+    fn triangle_rejects_disorder() {
+        let _ = MembershipFunction::triangular(2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sigma")]
+    fn gaussian_rejects_zero_sigma() {
+        let _ = MembershipFunction::gaussian(0.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn grades_always_in_unit_interval(x in -10.0f64..10.0) {
+            let fns = [
+                MembershipFunction::triangular(-1.0, 0.0, 2.0),
+                MembershipFunction::trapezoidal(-2.0, -1.0, 1.0, 3.0),
+                MembershipFunction::gaussian(0.5, 0.7),
+            ];
+            for f in fns {
+                let g = f.grade(x);
+                prop_assert!((0.0..=1.0).contains(&g), "{f:?}({x}) = {g}");
+            }
+        }
+
+        #[test]
+        fn grade_peaks_at_peak(offset in 0.01f64..5.0) {
+            let fns = [
+                MembershipFunction::triangular(-1.0, 0.0, 2.0),
+                MembershipFunction::gaussian(0.5, 0.7),
+            ];
+            for f in fns {
+                let p = f.peak();
+                prop_assert!(f.grade(p) >= f.grade(p + offset));
+                prop_assert!(f.grade(p) >= f.grade(p - offset));
+            }
+        }
+    }
+}

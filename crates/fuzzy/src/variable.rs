@@ -1,0 +1,199 @@
+//! Linguistic variables: a universe of discourse plus named fuzzy terms.
+
+use crate::membership::MembershipFunction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A linguistic variable — e.g. *WCR* with terms `pass`, `weakness`,
+/// `fail`, or *margin* with terms `wide`, `close to limit`.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_fuzzy::{LinguisticVariable, MembershipFunction};
+///
+/// let mut margin = LinguisticVariable::new("margin", 0.0, 15.0);
+/// margin.add_term("tight", MembershipFunction::trapezoidal(0.0, 0.0, 2.0, 4.0));
+/// margin.add_term("wide", MembershipFunction::trapezoidal(2.0, 4.0, 15.0, 15.0));
+/// let grades = margin.fuzzify(3.0);
+/// assert_eq!(grades.len(), 2);
+/// let (best, _) = margin.best_term(1.0);
+/// assert_eq!(best, "tight");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinguisticVariable {
+    name: String,
+    min: f64,
+    max: f64,
+    terms: Vec<(String, MembershipFunction)>,
+}
+
+impl LinguisticVariable {
+    /// Creates a variable over the universe `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or either bound is not finite.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "invalid universe [{min}, {max}]"
+        );
+        Self {
+            name: name.into(),
+            min,
+            max,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Adds a named term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term name already exists.
+    pub fn add_term(&mut self, term: impl Into<String>, mf: MembershipFunction) -> &mut Self {
+        let term = term.into();
+        assert!(
+            self.term(&term).is_none(),
+            "duplicate term {term:?} on {}",
+            self.name
+        );
+        self.terms.push((term, mf));
+        self
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Universe of discourse.
+    pub fn universe(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// The terms in insertion order.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, &MembershipFunction)> {
+        self.terms.iter().map(|(n, f)| (n.as_str(), f))
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Looks up a term's membership function.
+    pub fn term(&self, name: &str) -> Option<&MembershipFunction> {
+        self.terms.iter().find(|(n, _)| n == name).map(|(_, f)| f)
+    }
+
+    /// Grades a crisp value against every term, in term order.
+    ///
+    /// The value is clamped into the universe first — measurements slightly
+    /// outside the expected band still code to the nearest shoulder.
+    pub fn fuzzify(&self, value: f64) -> Vec<(String, f64)> {
+        let x = value.clamp(self.min, self.max);
+        self.terms
+            .iter()
+            .map(|(n, f)| (n.clone(), f.grade(x)))
+            .collect()
+    }
+
+    /// Membership grades only, term order — the NN's fuzzy target vector.
+    pub fn grades(&self, value: f64) -> Vec<f64> {
+        let x = value.clamp(self.min, self.max);
+        self.terms.iter().map(|(_, f)| f.grade(x)).collect()
+    }
+
+    /// The term with the highest grade for `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable has no terms.
+    pub fn best_term(&self, value: f64) -> (&str, f64) {
+        assert!(!self.terms.is_empty(), "{} has no terms", self.name);
+        let x = value.clamp(self.min, self.max);
+        self.terms
+            .iter()
+            .map(|(n, f)| (n.as_str(), f.grade(x)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty terms")
+    }
+}
+
+impl fmt::Display for LinguisticVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in [{}, {}] with {} terms",
+            self.name,
+            self.min,
+            self.max,
+            self.terms.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> LinguisticVariable {
+        let mut v = LinguisticVariable::new("x", 0.0, 10.0);
+        v.add_term("low", MembershipFunction::trapezoidal(0.0, 0.0, 2.0, 5.0));
+        v.add_term("high", MembershipFunction::trapezoidal(2.0, 5.0, 10.0, 10.0));
+        v
+    }
+
+    #[test]
+    fn fuzzify_grades_every_term() {
+        let v = demo();
+        let g = v.fuzzify(3.5);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, "low");
+        assert!((g[0].1 - 0.5).abs() < 1e-12);
+        assert!((g[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_outside_universe_clamp() {
+        let v = demo();
+        assert_eq!(v.best_term(-100.0).0, "low");
+        assert_eq!(v.best_term(100.0).0, "high");
+    }
+
+    #[test]
+    fn grades_align_with_terms() {
+        let v = demo();
+        let names: Vec<&str> = v.terms().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["low", "high"]);
+        assert_eq!(v.grades(1.0), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn term_lookup() {
+        let v = demo();
+        assert!(v.term("low").is_some());
+        assert!(v.term("medium").is_none());
+        assert_eq!(v.term_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate term")]
+    fn duplicate_terms_rejected() {
+        let mut v = demo();
+        v.add_term("low", MembershipFunction::gaussian(1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid universe")]
+    fn inverted_universe_rejected() {
+        let _ = LinguisticVariable::new("x", 1.0, 1.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(demo().to_string(), "x in [0, 10] with 2 terms");
+    }
+}

@@ -1,0 +1,613 @@
+//! The multi-population GA engine (fig. 5, steps 3–4).
+
+use crate::genome::{Individual, SpeciesLayout};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Individuals per island population.
+    pub population_size: usize,
+    /// Number of island populations ("evolving multiple populations of
+    /// different individuals", §5).
+    pub islands: usize,
+    /// Generation budget across the whole run (fig. 5's "maximum
+    /// optimization steps").
+    pub generations: usize,
+    /// Probability a selected pair recombines (else the parents clone).
+    pub crossover_rate: f64,
+    /// Per-locus mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation, per island.
+    pub elitism: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Generations between migrations of the best individuals.
+    pub migration_interval: usize,
+    /// Individuals migrating per island at each migration.
+    pub migrants: usize,
+    /// Restart an island with fresh random individuals after this many
+    /// generations without improvement (fig. 5: "a brand new population
+    /// will start GA again"). Zero disables restarts.
+    pub stagnation_restart: usize,
+    /// Stop the run as soon as the best fitness reaches this value —
+    /// fig. 5's "until … the worst case is detected based on worst case
+    /// ratio theorem". `None` runs the full generation budget.
+    pub target_fitness: Option<f64>,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 40,
+            islands: 3,
+            generations: 80,
+            crossover_rate: 0.9,
+            mutation_rate: 0.08,
+            elitism: 2,
+            tournament: 3,
+            migration_interval: 10,
+            migrants: 2,
+            stagnation_restart: 15,
+            target_fitness: None,
+        }
+    }
+}
+
+/// Per-generation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best fitness seen so far (across all islands and generations).
+    pub best_so_far: f64,
+    /// Best fitness within this generation.
+    pub generation_best: f64,
+    /// Mean fitness of this generation across islands.
+    pub mean: f64,
+}
+
+/// The result of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// The best individual ever evaluated.
+    pub best: Individual,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation statistics.
+    pub history: Vec<GenerationStats>,
+    /// Total fitness evaluations performed (= ATE measurements in the
+    /// characterization setting).
+    pub evaluations: usize,
+    /// How many island restarts stagnation triggered.
+    pub restarts: usize,
+}
+
+impl fmt::Display for GaResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "best fitness {:.4} after {} evaluations ({} restarts)",
+            self.best_fitness, self.evaluations, self.restarts
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scored {
+    individual: Individual,
+    fitness: f64,
+}
+
+/// The engine: island populations, tournament selection, elitism,
+/// migration and stagnation restarts. Fitness is always *maximized*; the
+/// characterization stack maximizes WCR directly (eqs. 5–6 are both
+/// "largest WCR wins").
+///
+/// # Examples
+///
+/// See the [crate-level docs](crate) for a complete run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaEngine {
+    config: GaConfig,
+    layout: SpeciesLayout,
+}
+
+impl GaEngine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (empty populations, zero
+    /// islands, zero tournament).
+    pub fn new(config: GaConfig, layout: SpeciesLayout) -> Self {
+        assert!(config.population_size >= 2, "population too small");
+        assert!(config.islands >= 1, "need at least one island");
+        assert!(config.tournament >= 1, "tournament needs entrants");
+        assert!(
+            config.elitism < config.population_size,
+            "elitism must leave room for offspring"
+        );
+        Self { config, layout }
+    }
+
+    /// The engine's layout.
+    pub fn layout(&self) -> &SpeciesLayout {
+        &self.layout
+    }
+
+    /// Runs with random initial populations.
+    pub fn run<F, R>(&self, fitness: F, rng: &mut R) -> GaResult
+    where
+        F: FnMut(&Individual) -> f64,
+        R: Rng + ?Sized,
+    {
+        self.run_seeded(Vec::new(), fitness, rng)
+    }
+
+    /// Runs with the first population(s) seeded by known-promising
+    /// individuals — fig. 5 step (1): "a number of GA test populations are
+    /// initialized by a set of sub-optimal tests selected by fuzzy-neural
+    /// network test generator".
+    ///
+    /// Seeds are distributed round-robin across islands; remaining slots
+    /// fill randomly. Seeds that do not match the layout are ignored.
+    pub fn run_seeded<F, R>(&self, seeds: Vec<Individual>, mut fitness: F, rng: &mut R) -> GaResult
+    where
+        F: FnMut(&Individual) -> f64,
+        R: Rng + ?Sized,
+    {
+        let c = &self.config;
+        let mut evaluations = 0usize;
+        let score = |ind: &Individual, evals: &mut usize, f: &mut F| {
+            *evals += 1;
+            f(ind)
+        };
+
+        // Initialize islands.
+        let mut islands: Vec<Vec<Scored>> = Vec::with_capacity(c.islands);
+        let mut seed_iter = seeds
+            .into_iter()
+            .filter(|s| self.layout.validate(s))
+            .peekable();
+        for _ in 0..c.islands {
+            islands.push(Vec::with_capacity(c.population_size));
+        }
+        let mut island_idx = 0;
+        while seed_iter.peek().is_some() {
+            if islands[island_idx].len() < c.population_size {
+                let ind = seed_iter.next().expect("peeked");
+                let fit = score(&ind, &mut evaluations, &mut fitness);
+                islands[island_idx].push(Scored {
+                    individual: ind,
+                    fitness: fit,
+                });
+            } else {
+                break;
+            }
+            island_idx = (island_idx + 1) % c.islands;
+        }
+        for island in &mut islands {
+            while island.len() < c.population_size {
+                let ind = self.layout.random(rng);
+                let fit = score(&ind, &mut evaluations, &mut fitness);
+                island.push(Scored {
+                    individual: ind,
+                    fitness: fit,
+                });
+            }
+        }
+
+        let mut best: Scored = islands
+            .iter()
+            .flatten()
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            .expect("populations non-empty")
+            .clone();
+        let mut history = Vec::with_capacity(c.generations);
+        let mut restarts = 0usize;
+        let mut stagnant = vec![0usize; c.islands];
+        let mut island_best = vec![f64::NEG_INFINITY; c.islands];
+
+        for generation in 0..c.generations {
+            // Migration: each island sends copies of its best to the next.
+            if c.migration_interval > 0
+                && c.islands > 1
+                && generation > 0
+                && generation % c.migration_interval == 0
+            {
+                let emigrants: Vec<Vec<Scored>> = islands
+                    .iter()
+                    .map(|island| {
+                        let mut sorted: Vec<Scored> = island.clone();
+                        sorted.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
+                        sorted.into_iter().take(c.migrants).collect()
+                    })
+                    .collect();
+                for (i, movers) in emigrants.into_iter().enumerate() {
+                    let target = (i + 1) % c.islands;
+                    let island = &mut islands[target];
+                    island.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
+                    for (slot, mover) in movers.into_iter().enumerate() {
+                        let idx = island.len() - 1 - slot;
+                        island[idx] = mover;
+                    }
+                }
+            }
+
+            // Evolve each island one generation.
+            for (i, island) in islands.iter_mut().enumerate() {
+                let mut next: Vec<Scored> = Vec::with_capacity(c.population_size);
+                island.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
+                next.extend(island.iter().take(c.elitism).cloned());
+                while next.len() < c.population_size {
+                    let pa = tournament(island, c.tournament, rng);
+                    let pb = tournament(island, c.tournament, rng);
+                    let (mut ca, mut cb) = if rng.gen::<f64>() < c.crossover_rate {
+                        self.layout
+                            .crossover(&pa.individual, &pb.individual, rng)
+                    } else {
+                        (pa.individual.clone(), pb.individual.clone())
+                    };
+                    self.layout.mutate(&mut ca, c.mutation_rate, rng);
+                    self.layout.mutate(&mut cb, c.mutation_rate, rng);
+                    for child in [ca, cb] {
+                        if next.len() >= c.population_size {
+                            break;
+                        }
+                        let fit = score(&child, &mut evaluations, &mut fitness);
+                        next.push(Scored {
+                            individual: child,
+                            fitness: fit,
+                        });
+                    }
+                }
+                *island = next;
+
+                let gen_best = island
+                    .iter()
+                    .map(|s| s.fitness)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if gen_best > island_best[i] + 1e-12 {
+                    island_best[i] = gen_best;
+                    stagnant[i] = 0;
+                } else {
+                    stagnant[i] += 1;
+                }
+
+                // Stagnation restart: brand new random population, keeping
+                // nothing (the hall-of-fame `best` survives outside).
+                if c.stagnation_restart > 0 && stagnant[i] >= c.stagnation_restart {
+                    restarts += 1;
+                    stagnant[i] = 0;
+                    island_best[i] = f64::NEG_INFINITY;
+                    island.clear();
+                    while island.len() < c.population_size {
+                        let ind = self.layout.random(rng);
+                        let fit = score(&ind, &mut evaluations, &mut fitness);
+                        island.push(Scored {
+                            individual: ind,
+                            fitness: fit,
+                        });
+                    }
+                }
+            }
+
+            // Bookkeeping.
+            let all: Vec<&Scored> = islands.iter().flatten().collect();
+            let generation_best = all
+                .iter()
+                .map(|s| s.fitness)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mean = all.iter().map(|s| s.fitness).sum::<f64>() / all.len() as f64;
+            if let Some(champion) = all
+                .iter()
+                .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            {
+                if champion.fitness > best.fitness {
+                    best = (*champion).clone();
+                }
+            }
+            history.push(GenerationStats {
+                generation,
+                best_so_far: best.fitness,
+                generation_best,
+                mean,
+            });
+            if let Some(target) = c.target_fitness {
+                if best.fitness >= target {
+                    break;
+                }
+            }
+        }
+
+        GaResult {
+            best: best.individual,
+            best_fitness: best.fitness,
+            history,
+            evaluations,
+            restarts,
+        }
+    }
+}
+
+fn tournament<'a, R: Rng + ?Sized>(
+    island: &'a [Scored],
+    k: usize,
+    rng: &mut R,
+) -> &'a Scored {
+    let mut champion = &island[rng.gen_range(0..island.len())];
+    for _ in 1..k {
+        let challenger = &island[rng.gen_range(0..island.len())];
+        if challenger.fitness > champion.fitness {
+            champion = challenger;
+        }
+    }
+    champion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GenomeSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn onemax_layout() -> SpeciesLayout {
+        SpeciesLayout::new(vec![GenomeSpec::uniform(40, 0, 1)])
+    }
+
+    fn onemax(ind: &Individual) -> f64 {
+        ind.chromosome(0).iter().sum::<u32>() as f64
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 80,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = engine.run(onemax, &mut rng);
+        assert!(result.best_fitness >= 38.0, "{result}");
+    }
+
+    #[test]
+    fn history_best_is_monotone() {
+        let engine = GaEngine::new(GaConfig::default(), onemax_layout());
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = engine.run(onemax, &mut rng);
+        for pair in result.history.windows(2) {
+            assert!(pair[1].best_so_far >= pair[0].best_so_far);
+        }
+        assert_eq!(result.history.len(), GaConfig::default().generations);
+    }
+
+    #[test]
+    fn optimizes_two_chromosome_species() {
+        // Sequence chromosome wants all-9s; condition chromosome wants the
+        // exact value 500 in each locus — the two-species structure of §5.
+        let layout = SpeciesLayout::new(vec![
+            GenomeSpec::uniform(16, 0, 9),
+            GenomeSpec::uniform(3, 0, 1000),
+        ]);
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 120,
+                ..GaConfig::default()
+            },
+            layout,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let result = engine.run(
+            |ind| {
+                let seq: f64 = ind.chromosome(0).iter().map(|&g| f64::from(g)).sum();
+                let cond: f64 = ind
+                    .chromosome(1)
+                    .iter()
+                    .map(|&g| 1.0 - (f64::from(g) - 500.0).abs() / 500.0)
+                    .sum();
+                seq / (16.0 * 9.0) + cond / 3.0
+            },
+            &mut rng,
+        );
+        assert!(result.best_fitness > 1.6, "{result}");
+        for &g in result.best.chromosome(1) {
+            assert!((f64::from(g) - 500.0).abs() < 120.0, "condition gene {g}");
+        }
+    }
+
+    #[test]
+    fn seeding_starts_from_known_good_individuals() {
+        let layout = onemax_layout();
+        // A seed two bits shy of optimal.
+        let mut genes = vec![1u32; 40];
+        genes[0] = 0;
+        genes[1] = 0;
+        let seed = Individual::new(vec![genes]);
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 5,
+                ..GaConfig::default()
+            },
+            layout,
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let seeded = engine.run_seeded(vec![seed], onemax, &mut rng);
+        // Even a 5-generation budget retains/improves the seed.
+        assert!(seeded.best_fitness >= 38.0, "{seeded}");
+    }
+
+    #[test]
+    fn invalid_seeds_are_ignored() {
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 2,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let bogus = Individual::new(vec![vec![5; 3]]); // wrong shape & bounds
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = engine.run_seeded(vec![bogus], onemax, &mut rng);
+        assert!(result.best_fitness <= 40.0); // simply ran; no panic
+    }
+
+    #[test]
+    fn stagnation_triggers_restarts_on_flat_fitness() {
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 40,
+                stagnation_restart: 5,
+                islands: 2,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        // Constant fitness: every island stagnates immediately.
+        let result = engine.run(|_| 1.0, &mut rng);
+        assert!(result.restarts >= 10, "restarts = {}", result.restarts);
+        assert_eq!(result.best_fitness, 1.0);
+    }
+
+    #[test]
+    fn zero_stagnation_disables_restarts() {
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 30,
+                stagnation_restart: 0,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let result = engine.run(|_| 1.0, &mut rng);
+        assert_eq!(result.restarts, 0);
+    }
+
+    #[test]
+    fn evaluations_are_counted() {
+        let config = GaConfig {
+            generations: 10,
+            stagnation_restart: 0,
+            ..GaConfig::default()
+        };
+        let engine = GaEngine::new(config, onemax_layout());
+        let mut rng = StdRng::seed_from_u64(10);
+        let result = engine.run(onemax, &mut rng);
+        // Initial: islands × population; then per generation each island
+        // evaluates (population − elitism) children.
+        let init = config.islands * config.population_size;
+        let per_gen = config.islands * (config.population_size - config.elitism);
+        assert_eq!(result.evaluations, init + config.generations * per_gen);
+    }
+
+    #[test]
+    fn single_island_without_migration_works() {
+        let engine = GaEngine::new(
+            GaConfig {
+                islands: 1,
+                migration_interval: 0,
+                generations: 60,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = engine.run(onemax, &mut rng);
+        assert!(result.best_fitness >= 36.0, "{result}");
+    }
+
+    #[test]
+    #[should_panic(expected = "population too small")]
+    fn rejects_tiny_population() {
+        let _ = GaEngine::new(
+            GaConfig {
+                population_size: 1,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+    }
+
+    #[test]
+    fn result_display_mentions_evaluations() {
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 2,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let result = engine.run(onemax, &mut rng);
+        assert!(result.to_string().contains("evaluations"));
+    }
+
+    mod properties {
+        use super::*;
+        use crate::genome::GenomeSpec;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn evolution_never_leaves_the_gene_bounds(
+                seed in 0u64..1000,
+                lo in 0u32..50,
+                span in 1u32..100,
+            ) {
+                let layout = SpeciesLayout::new(vec![
+                    GenomeSpec::uniform(12, lo, lo + span),
+                    GenomeSpec::uniform(3, 0, 10),
+                ]);
+                let engine = GaEngine::new(
+                    GaConfig {
+                        population_size: 8,
+                        islands: 2,
+                        generations: 6,
+                        ..GaConfig::default()
+                    },
+                    layout.clone(),
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut all_valid = true;
+                let result = engine.run(
+                    |ind| {
+                        all_valid &= layout.validate(ind);
+                        ind.chromosome(0).iter().map(|&g| f64::from(g)).sum()
+                    },
+                    &mut rng,
+                );
+                prop_assert!(all_valid, "every evaluated individual in bounds");
+                prop_assert!(layout.validate(&result.best));
+            }
+
+            #[test]
+            fn best_fitness_matches_a_reachable_value(seed in 0u64..200) {
+                let layout = SpeciesLayout::new(vec![GenomeSpec::uniform(10, 0, 5)]);
+                let engine = GaEngine::new(
+                    GaConfig {
+                        population_size: 6,
+                        islands: 1,
+                        generations: 4,
+                        ..GaConfig::default()
+                    },
+                    layout,
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                let fitness =
+                    |ind: &Individual| ind.chromosome(0).iter().map(|&g| f64::from(g)).sum();
+                let result = engine.run(fitness, &mut rng);
+                prop_assert_eq!(result.best_fitness, fitness(&result.best));
+                prop_assert!(result.best_fitness <= 50.0);
+            }
+        }
+    }
+}

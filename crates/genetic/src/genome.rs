@@ -1,0 +1,381 @@
+//! Chromosomes, individuals and the species layout.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-locus inclusive bounds for one chromosome.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_genetic::GenomeSpec;
+/// use rand::SeedableRng;
+///
+/// let spec = GenomeSpec::new(vec![(0, 3), (10, 20)]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let genes = spec.random(&mut rng);
+/// assert!(spec.validate(&genes));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenomeSpec {
+    bounds: Vec<(u32, u32)>,
+}
+
+impl GenomeSpec {
+    /// Creates a spec from per-locus `(low, high)` inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `low > high` or the spec is empty.
+    pub fn new(bounds: Vec<(u32, u32)>) -> Self {
+        assert!(!bounds.is_empty(), "empty genome spec");
+        for &(lo, hi) in &bounds {
+            assert!(lo <= hi, "inverted bounds ({lo}, {hi})");
+        }
+        Self { bounds }
+    }
+
+    /// A spec with `len` identical loci in `[lo, hi]`.
+    pub fn uniform(len: usize, lo: u32, hi: u32) -> Self {
+        Self::new(vec![(lo, hi); len])
+    }
+
+    /// Number of loci.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Specs are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The per-locus bounds.
+    pub fn bounds(&self) -> &[(u32, u32)] {
+        &self.bounds
+    }
+
+    /// Draws a uniformly random gene string.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+            .collect()
+    }
+
+    /// Whether every gene respects its bounds.
+    pub fn validate(&self, genes: &[u32]) -> bool {
+        genes.len() == self.len()
+            && genes
+                .iter()
+                .zip(&self.bounds)
+                .all(|(g, &(lo, hi))| *g >= lo && *g <= hi)
+    }
+
+    /// Mutates in place: each locus independently, with probability
+    /// `rate`, either re-draws uniformly or creeps by a small delta
+    /// (half/half) — staying in bounds.
+    pub fn mutate<R: Rng + ?Sized>(&self, genes: &mut [u32], rate: f64, rng: &mut R) {
+        debug_assert_eq!(genes.len(), self.len());
+        for (g, &(lo, hi)) in genes.iter_mut().zip(&self.bounds) {
+            if rng.gen::<f64>() >= rate {
+                continue;
+            }
+            if lo == hi {
+                continue;
+            }
+            if rng.gen::<bool>() {
+                *g = rng.gen_range(lo..=hi);
+            } else {
+                // Creep: ±up to 10% of the span, at least 1.
+                let span = hi - lo;
+                let step = (span / 10).max(1);
+                let delta = rng.gen_range(1..=step);
+                *g = if rng.gen::<bool>() {
+                    g.saturating_add(delta).min(hi)
+                } else {
+                    g.saturating_sub(delta).max(lo)
+                };
+            }
+        }
+    }
+
+    /// One-point crossover of two parents into two children.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on length mismatch.
+    pub fn crossover_one_point<R: Rng + ?Sized>(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        rng: &mut R,
+    ) -> (Vec<u32>, Vec<u32>) {
+        debug_assert_eq!(a.len(), self.len());
+        debug_assert_eq!(b.len(), self.len());
+        if self.len() < 2 {
+            return (a.to_vec(), b.to_vec());
+        }
+        let cut = rng.gen_range(1..self.len());
+        let child_a = a[..cut].iter().chain(&b[cut..]).copied().collect();
+        let child_b = b[..cut].iter().chain(&a[cut..]).copied().collect();
+        (child_a, child_b)
+    }
+
+    /// Uniform crossover: each locus comes from either parent with equal
+    /// probability.
+    pub fn crossover_uniform<R: Rng + ?Sized>(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        rng: &mut R,
+    ) -> (Vec<u32>, Vec<u32>) {
+        debug_assert_eq!(a.len(), self.len());
+        debug_assert_eq!(b.len(), self.len());
+        let mut child_a = Vec::with_capacity(self.len());
+        let mut child_b = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            if rng.gen::<bool>() {
+                child_a.push(a[i]);
+                child_b.push(b[i]);
+            } else {
+                child_a.push(b[i]);
+                child_b.push(a[i]);
+            }
+        }
+        (child_a, child_b)
+    }
+}
+
+/// The fixed chromosome layout every individual of a run shares — §5's
+/// "two different types of chromosomes" is a two-entry layout (test
+/// sequence genes, test condition genes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeciesLayout {
+    specs: Vec<GenomeSpec>,
+}
+
+impl SpeciesLayout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<GenomeSpec>) -> Self {
+        assert!(!specs.is_empty(), "layout needs at least one chromosome");
+        Self { specs }
+    }
+
+    /// The chromosome specs.
+    pub fn specs(&self) -> &[GenomeSpec] {
+        &self.specs
+    }
+
+    /// Number of chromosomes per individual.
+    pub fn chromosome_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Draws a fully random individual.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> Individual {
+        Individual {
+            chromosomes: self.specs.iter().map(|s| s.random(rng)).collect(),
+        }
+    }
+
+    /// Whether an individual matches the layout.
+    pub fn validate(&self, ind: &Individual) -> bool {
+        ind.chromosomes.len() == self.specs.len()
+            && ind
+                .chromosomes
+                .iter()
+                .zip(&self.specs)
+                .all(|(genes, spec)| spec.validate(genes))
+    }
+
+    /// Crossover per chromosome (one-point for long chromosomes, uniform
+    /// for short condition-style ones), producing two children.
+    pub fn crossover<R: Rng + ?Sized>(
+        &self,
+        a: &Individual,
+        b: &Individual,
+        rng: &mut R,
+    ) -> (Individual, Individual) {
+        let mut ca = Vec::with_capacity(self.specs.len());
+        let mut cb = Vec::with_capacity(self.specs.len());
+        for (spec, (ga, gb)) in self
+            .specs
+            .iter()
+            .zip(a.chromosomes.iter().zip(&b.chromosomes))
+        {
+            let (x, y) = if spec.len() >= 8 {
+                spec.crossover_one_point(ga, gb, rng)
+            } else {
+                spec.crossover_uniform(ga, gb, rng)
+            };
+            ca.push(x);
+            cb.push(y);
+        }
+        (Individual { chromosomes: ca }, Individual { chromosomes: cb })
+    }
+
+    /// Mutates every chromosome of an individual in place.
+    pub fn mutate<R: Rng + ?Sized>(&self, ind: &mut Individual, rate: f64, rng: &mut R) {
+        for (spec, genes) in self.specs.iter().zip(&mut ind.chromosomes) {
+            spec.mutate(genes, rate, rng);
+        }
+    }
+}
+
+/// One candidate solution: a gene string per chromosome in the layout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Individual {
+    /// Gene strings, one per chromosome of the [`SpeciesLayout`].
+    pub chromosomes: Vec<Vec<u32>>,
+}
+
+impl Individual {
+    /// Builds an individual from explicit chromosomes.
+    pub fn new(chromosomes: Vec<Vec<u32>>) -> Self {
+        Self { chromosomes }
+    }
+
+    /// The `i`-th chromosome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn chromosome(&self, i: usize) -> &[u32] {
+        &self.chromosomes[i]
+    }
+}
+
+impl fmt::Display for Individual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "individual[{} chromosomes: {:?} loci]",
+            self.chromosomes.len(),
+            self.chromosomes.iter().map(Vec::len).collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let spec = GenomeSpec::new(vec![(0, 0), (5, 5), (1, 100)]);
+        let mut r = rng();
+        for _ in 0..50 {
+            let g = spec.random(&mut r);
+            assert!(spec.validate(&g), "{g:?}");
+            assert_eq!(g[0], 0);
+            assert_eq!(g[1], 5);
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_bounds_and_changes_something() {
+        let spec = GenomeSpec::uniform(64, 0, 1000);
+        let mut r = rng();
+        let original = spec.random(&mut r);
+        let mut mutated = original.clone();
+        spec.mutate(&mut mutated, 0.5, &mut r);
+        assert!(spec.validate(&mutated));
+        assert_ne!(mutated, original, "rate 0.5 over 64 loci must change some");
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let spec = GenomeSpec::uniform(32, 0, 9);
+        let mut r = rng();
+        let original = spec.random(&mut r);
+        let mut copy = original.clone();
+        spec.mutate(&mut copy, 0.0, &mut r);
+        assert_eq!(copy, original);
+    }
+
+    #[test]
+    fn one_point_crossover_preserves_material() {
+        let spec = GenomeSpec::uniform(10, 0, 9);
+        let a = vec![0u32; 10];
+        let b = vec![9u32; 10];
+        let mut r = rng();
+        let (ca, cb) = spec.crossover_one_point(&a, &b, &mut r);
+        // Each child locus comes from one parent; the two children are
+        // complementary.
+        for i in 0..10 {
+            assert_eq!(ca[i] + cb[i], 9);
+        }
+        assert!(ca.contains(&0) && ca.contains(&9));
+    }
+
+    #[test]
+    fn uniform_crossover_is_complementary() {
+        let spec = GenomeSpec::uniform(16, 0, 9);
+        let a = vec![1u32; 16];
+        let b = vec![8u32; 16];
+        let mut r = rng();
+        let (ca, cb) = spec.crossover_uniform(&a, &b, &mut r);
+        for i in 0..16 {
+            assert_eq!(ca[i] + cb[i], 9);
+        }
+    }
+
+    #[test]
+    fn layout_random_and_validate() {
+        let layout = SpeciesLayout::new(vec![
+            GenomeSpec::uniform(57, 0, 100),
+            GenomeSpec::uniform(3, 0, 1000),
+        ]);
+        let mut r = rng();
+        let ind = layout.random(&mut r);
+        assert!(layout.validate(&ind));
+        assert_eq!(ind.chromosome(0).len(), 57);
+        assert_eq!(ind.chromosome(1).len(), 3);
+    }
+
+    #[test]
+    fn layout_crossover_keeps_validity() {
+        let layout = SpeciesLayout::new(vec![
+            GenomeSpec::uniform(20, 0, 50),
+            GenomeSpec::uniform(3, 0, 10),
+        ]);
+        let mut r = rng();
+        let a = layout.random(&mut r);
+        let b = layout.random(&mut r);
+        let (ca, cb) = layout.crossover(&a, &b, &mut r);
+        assert!(layout.validate(&ca));
+        assert!(layout.validate(&cb));
+    }
+
+    #[test]
+    fn single_locus_crossover_is_identity() {
+        let spec = GenomeSpec::uniform(1, 0, 9);
+        let mut r = rng();
+        let (a, b) = spec.crossover_one_point(&[3], &[7], &mut r);
+        assert_eq!((a, b), (vec![3], vec![7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn spec_rejects_inverted_bounds() {
+        let _ = GenomeSpec::new(vec![(5, 1)]);
+    }
+
+    #[test]
+    fn individual_display() {
+        let ind = Individual::new(vec![vec![1, 2], vec![3]]);
+        assert!(ind.to_string().contains("2 chromosomes"));
+    }
+}

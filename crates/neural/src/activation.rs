@@ -1,0 +1,97 @@
+//! Neuron activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An activation function and its derivative.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_neural::Activation;
+///
+/// assert_eq!(Activation::Linear.apply(3.5), 3.5);
+/// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+/// assert!(Activation::Tanh.apply(100.0) <= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` — outputs in `(0, 1)`.
+    Sigmoid,
+    /// Hyperbolic tangent — outputs in `(-1, 1)`.
+    Tanh,
+    /// Identity — used on regression output layers.
+    Linear,
+}
+
+impl Activation {
+    /// Applies the function.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative *expressed in terms of the activated output* `y` — the
+    /// form backpropagation consumes (`σ' = y(1−y)`, `tanh' = 1−y²`).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert!(Activation::Sigmoid.apply(40.0) > 0.999_999);
+        assert!(Activation::Sigmoid.apply(-40.0) < 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        for x in [0.1, 0.7, 2.3] {
+            let a = Activation::Tanh.apply(x);
+            let b = Activation::Tanh.apply(-x);
+            assert!((a + b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+            for x in [-2.0, -0.5, 0.0, 0.5, 2.0] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(act.apply(x));
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_output_in_unit_interval(x in -50.0f64..50.0) {
+            let y = Activation::Sigmoid.apply(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn derivative_from_output_nonnegative(x in -50.0f64..50.0) {
+            for act in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+                let y = act.apply(x);
+                prop_assert!(act.derivative_from_output(y) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The multilayer perceptron.
+
+use crate::activation::Activation;
+use crate::dataset::NeuralError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One fully-connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    /// `weights[j][i]`: weight from input `i` to neuron `j`.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+    activation: Activation,
+    /// Momentum buffers, shaped like `weights`/`biases`.
+    weight_velocity: Vec<Vec<f64>>,
+    bias_velocity: Vec<f64>,
+}
+
+impl Layer {
+    fn new<R: Rng + ?Sized>(inputs: usize, neurons: usize, activation: Activation, rng: &mut R) -> Self {
+        // Xavier/Glorot uniform initialization keeps activations in the
+        // responsive region of tanh/sigmoid at the start of training.
+        let limit = (6.0 / (inputs + neurons) as f64).sqrt();
+        let weights = (0..neurons)
+            .map(|_| (0..inputs).map(|_| rng.gen_range(-limit..limit)).collect())
+            .collect();
+        Self {
+            weights,
+            biases: vec![0.0; neurons],
+            activation,
+            weight_velocity: vec![vec![0.0; inputs]; neurons],
+            bias_velocity: vec![0.0; neurons],
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(row, &b)| {
+                let z = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
+                self.activation.apply(z)
+            })
+            .collect()
+    }
+}
+
+/// A feedforward network trained with backpropagation and momentum.
+///
+/// Hidden layers use tanh; the output layer is sigmoid, matching the
+/// normalized `[0, 1]` targets the characterization stack trains on
+/// (trip-point values scaled by [`MinMaxScaler`](crate::MinMaxScaler), or
+/// fuzzy membership grades which are `[0, 1]` by construction).
+///
+/// # Examples
+///
+/// ```
+/// use cichar_neural::Mlp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mlp = Mlp::new(&[3, 5, 2], &mut rng)?;
+/// let out = mlp.predict(&[0.1, 0.5, 0.9]);
+/// assert_eq!(out.len(), 2);
+/// assert!(out.iter().all(|y| (0.0..=1.0).contains(y)));
+/// # Ok::<(), cichar_neural::NeuralError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    topology: Vec<usize>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer widths, e.g. `[17, 16, 8, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::BadTopology`] for fewer than two layers or a
+    /// zero-width layer.
+    pub fn new<R: Rng + ?Sized>(topology: &[usize], rng: &mut R) -> Result<Self, NeuralError> {
+        if topology.len() < 2 || topology.contains(&0) {
+            return Err(NeuralError::BadTopology);
+        }
+        let last = topology.len() - 2;
+        let layers = topology
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i == last {
+                    Activation::Sigmoid
+                } else {
+                    Activation::Tanh
+                };
+                Layer::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Ok(Self {
+            layers,
+            topology: topology.to_vec(),
+        })
+    }
+
+    /// The layer widths this network was built with.
+    pub fn topology(&self) -> &[usize] {
+        &self.topology
+    }
+
+    /// Expected input width.
+    pub fn input_width(&self) -> usize {
+        self.topology[0]
+    }
+
+    /// Output width.
+    pub fn output_width(&self) -> usize {
+        *self.topology.last().expect("topology has >= 2 entries")
+    }
+
+    /// Runs the network forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has the wrong width.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            input.len(),
+            self.input_width(),
+            "input width {} != network width {}",
+            input.len(),
+            self.input_width()
+        );
+        self.layers
+            .iter()
+            .fold(input.to_vec(), |x, layer| layer.forward(&x))
+    }
+
+    /// Mean squared error over a set of `(input, target)` pairs.
+    pub fn mse(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        assert_eq!(inputs.len(), targets.len(), "aligned rows");
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = inputs
+            .iter()
+            .zip(targets)
+            .map(|(x, t)| {
+                let y = self.predict(x);
+                y.iter().zip(t).map(|(yi, ti)| (yi - ti).powi(2)).sum::<f64>()
+                    / y.len() as f64
+            })
+            .sum();
+        total / inputs.len() as f64
+    }
+
+    /// One backpropagation step on a single sample with momentum.
+    ///
+    /// Returns the sample's squared error before the update.
+    pub fn train_sample(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        self.train_sample_decay(input, target, learning_rate, momentum, 0.0)
+    }
+
+    /// [`Self::train_sample`] with L2 weight decay: each weight also moves
+    /// toward zero by `learning_rate * weight_decay * w`, the classic
+    /// regularizer against over-fitting small noisy trip-point datasets.
+    ///
+    /// Returns the sample's squared error before the update.
+    pub fn train_sample_decay(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+        weight_decay: f64,
+    ) -> f64 {
+        // Forward pass, keeping every layer's activated output.
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("seeded with input"));
+            activations.push(next);
+        }
+        let output = activations.last().expect("at least the input");
+        let sample_error: f64 = output
+            .iter()
+            .zip(target)
+            .map(|(y, t)| (y - t).powi(2))
+            .sum::<f64>()
+            / output.len() as f64;
+
+        // Backward pass: delta for the output layer is (y − t)·f'(y).
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .map(|(&y, &t)| {
+                (y - t) * self
+                    .layers
+                    .last()
+                    .expect("non-empty")
+                    .activation
+                    .derivative_from_output(y)
+            })
+            .collect();
+
+        for li in (0..self.layers.len()).rev() {
+            // Compute the next delta *before* mutating this layer's
+            // weights (backprop uses the pre-update values).
+            let next_delta: Option<Vec<f64>> = if li > 0 {
+                let layer = &self.layers[li];
+                let prev_out = &activations[li];
+                let prev_act = self.layers[li - 1].activation;
+                Some(
+                    (0..prev_out.len())
+                        .map(|i| {
+                            let back: f64 = layer
+                                .weights
+                                .iter()
+                                .zip(&delta)
+                                .map(|(row, d)| row[i] * d)
+                                .sum();
+                            back * prev_act.derivative_from_output(prev_out[i])
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+
+            let layer = &mut self.layers[li];
+            let layer_input = &activations[li];
+            for (j, d) in delta.iter().enumerate() {
+                for (i, &x) in layer_input.iter().enumerate() {
+                    let v = momentum * layer.weight_velocity[j][i]
+                        - learning_rate * (d * x + weight_decay * layer.weights[j][i]);
+                    layer.weight_velocity[j][i] = v;
+                    layer.weights[j][i] += v;
+                }
+                let v = momentum * layer.bias_velocity[j] - learning_rate * d;
+                layer.bias_velocity[j] = v;
+                layer.biases[j] += v;
+            }
+
+            if let Some(nd) = next_delta {
+                delta = nd;
+            }
+        }
+        sample_error
+    }
+
+    /// Sum of squared weights across all layers (biases excluded) — the
+    /// quantity weight decay shrinks.
+    pub fn weight_norm(&self) -> f64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.weights.iter())
+            .flat_map(|row| row.iter())
+            .map(|w| w * w)
+            .sum()
+    }
+
+    /// Checked prediction for callers holding runtime-sized inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidth`] instead of panicking.
+    pub fn try_predict(&self, input: &[f64]) -> Result<Vec<f64>, NeuralError> {
+        if input.len() != self.input_width() {
+            return Err(NeuralError::InputWidth {
+                expected: self.input_width(),
+                got: input.len(),
+            });
+        }
+        Ok(self.predict(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn topology_validation() {
+        let mut r = rng();
+        assert!(matches!(Mlp::new(&[3], &mut r), Err(NeuralError::BadTopology)));
+        assert!(matches!(
+            Mlp::new(&[3, 0, 1], &mut r),
+            Err(NeuralError::BadTopology)
+        ));
+        assert!(Mlp::new(&[3, 1], &mut r).is_ok());
+    }
+
+    #[test]
+    fn output_is_sigmoid_bounded() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[4, 6, 3], &mut r).expect("valid");
+        let y = mlp.predict(&[10.0, -10.0, 3.0, 0.0]);
+        assert!(y.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn predict_panics_on_wrong_width() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[4, 2], &mut r).expect("valid");
+        let _ = mlp.predict(&[1.0]);
+    }
+
+    #[test]
+    fn try_predict_reports_width_error() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[4, 2], &mut r).expect("valid");
+        assert_eq!(
+            mlp.try_predict(&[1.0]),
+            Err(NeuralError::InputWidth { expected: 4, got: 1 })
+        );
+        assert!(mlp.try_predict(&[0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn training_reduces_error_on_linear_map() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[1, 6, 1], &mut r).expect("valid");
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![0.2 + 0.6 * x[0]]).collect();
+        let before = mlp.mse(&inputs, &targets);
+        for _ in 0..500 {
+            for (x, t) in inputs.iter().zip(&targets) {
+                mlp.train_sample(x, t, 0.3, 0.5);
+            }
+        }
+        let after = mlp.mse(&inputs, &targets);
+        assert!(after < before / 10.0, "{before} -> {after}");
+        assert!(after < 1e-3, "final mse {after}");
+    }
+
+    #[test]
+    fn learns_xor_with_momentum() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[2, 8, 1], &mut r).expect("valid");
+        let data = [
+            ([0.0, 0.0], [0.0]),
+            ([0.0, 1.0], [1.0]),
+            ([1.0, 0.0], [1.0]),
+            ([1.0, 1.0], [0.0]),
+        ];
+        for _ in 0..4000 {
+            for (x, t) in &data {
+                mlp.train_sample(x, t, 0.6, 0.7);
+            }
+        }
+        for (x, t) in &data {
+            let y = mlp.predict(x)[0];
+            assert!(
+                (y - t[0]).abs() < 0.25,
+                "xor({x:?}) = {y}, want {}",
+                t[0]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_the_weight_norm() {
+        let make = || Mlp::new(&[2, 12, 1], &mut StdRng::seed_from_u64(21)).expect("valid");
+        let data: Vec<([f64; 2], [f64; 1])> = (0..16)
+            .map(|i| {
+                let x = i as f64 / 15.0;
+                ([x, 1.0 - x], [0.3 + 0.4 * x])
+            })
+            .collect();
+        let mut plain = make();
+        let mut decayed = make();
+        for _ in 0..300 {
+            for (x, t) in &data {
+                plain.train_sample_decay(x, t, 0.2, 0.5, 0.0);
+                decayed.train_sample_decay(x, t, 0.2, 0.5, 1e-3);
+            }
+        }
+        assert!(
+            decayed.weight_norm() < plain.weight_norm(),
+            "{} vs {}",
+            decayed.weight_norm(),
+            plain.weight_norm()
+        );
+        // And it still fits the function.
+        let inputs: Vec<Vec<f64>> = data.iter().map(|(x, _)| x.to_vec()).collect();
+        let targets: Vec<Vec<f64>> = data.iter().map(|(_, t)| t.to_vec()).collect();
+        assert!(decayed.mse(&inputs, &targets) < 5e-3);
+    }
+
+    #[test]
+    fn zero_decay_matches_plain_training() {
+        let make = || Mlp::new(&[2, 6, 1], &mut StdRng::seed_from_u64(22)).expect("valid");
+        let mut a = make();
+        let mut b = make();
+        for i in 0..50 {
+            let x = [i as f64 / 50.0, 0.5];
+            let t = [0.4];
+            a.train_sample(&x, &t, 0.3, 0.6);
+            b.train_sample_decay(&x, &t, 0.3, 0.6, 0.0);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mse_is_zero_for_perfect_prediction() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[2, 1], &mut r).expect("valid");
+        let x = vec![vec![0.3, 0.4]];
+        let y = vec![mlp.predict(&x[0])];
+        assert!(mlp.mse(&x, &y) < 1e-15);
+    }
+
+    #[test]
+    fn networks_with_same_seed_are_identical() {
+        let a = Mlp::new(&[3, 4, 1], &mut StdRng::seed_from_u64(11)).expect("valid");
+        let b = Mlp::new(&[3, 4, 1], &mut StdRng::seed_from_u64(11)).expect("valid");
+        assert_eq!(a, b);
+        assert_eq!(a.predict(&[0.1, 0.2, 0.3]), b.predict(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn accessors_report_shape() {
+        let mlp = Mlp::new(&[17, 16, 8, 1], &mut rng()).expect("valid");
+        assert_eq!(mlp.input_width(), 17);
+        assert_eq!(mlp.output_width(), 1);
+        assert_eq!(mlp.topology(), &[17, 16, 8, 1]);
+    }
+}

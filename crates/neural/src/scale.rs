@@ -1,0 +1,139 @@
+//! Min-max normalization for network targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps values linearly from an observed `[min, max]` to `[0, 1]` and back.
+///
+/// Trip-point values live in physical units (e.g. 20–35 ns); the sigmoid
+/// output layer wants `[0, 1]`. The scaler is fitted on the training
+/// labels and inverted when reading predictions.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_neural::MinMaxScaler;
+///
+/// let scaler = MinMaxScaler::fit([28.5, 32.3, 22.1].iter().copied());
+/// let z = scaler.transform(27.2);
+/// assert!((0.0..=1.0).contains(&z));
+/// assert!((scaler.inverse(z) - 27.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    min: f64,
+    max: f64,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to observed values.
+    ///
+    /// Degenerate inputs (empty, or all-equal) yield a unit-width window
+    /// centred on the value so `transform` stays finite.
+    pub fn fit(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Self { min: 0.0, max: 1.0 };
+        }
+        if (max - min).abs() < 1e-12 {
+            return Self {
+                min: min - 0.5,
+                max: max + 0.5,
+            };
+        }
+        Self { min, max }
+    }
+
+    /// Creates a scaler with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min >= max` or either bound is not finite.
+    pub fn with_bounds(min: f64, max: f64) -> Self {
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "invalid scaler bounds [{min}, {max}]"
+        );
+        Self { min, max }
+    }
+
+    /// The fitted minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The fitted maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Maps `value` into `[0, 1]` (clamped for out-of-window values).
+    pub fn transform(&self, value: f64) -> f64 {
+        ((value - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Maps a normalized value back into physical units.
+    pub fn inverse(&self, z: f64) -> f64 {
+        self.min + z * (self.max - self.min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_finds_extremes() {
+        let s = MinMaxScaler::fit([3.0, -1.0, 7.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.0);
+        assert_eq!(s.transform(-1.0), 0.0);
+        assert_eq!(s.transform(7.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_fit_stays_finite() {
+        let s = MinMaxScaler::fit([5.0, 5.0, 5.0]);
+        assert_eq!(s.transform(5.0), 0.5);
+        let empty = MinMaxScaler::fit(std::iter::empty());
+        assert_eq!(empty.transform(0.5), 0.5);
+    }
+
+    #[test]
+    fn out_of_window_values_clamp() {
+        let s = MinMaxScaler::with_bounds(0.0, 10.0);
+        assert_eq!(s.transform(-5.0), 0.0);
+        assert_eq!(s.transform(25.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scaler bounds")]
+    fn with_bounds_rejects_inverted() {
+        let _ = MinMaxScaler::with_bounds(2.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn transform_inverse_round_trip(
+            min in -1e3f64..0.0, width in 1e-3f64..1e3, t in 0.0f64..=1.0
+        ) {
+            let s = MinMaxScaler::with_bounds(min, min + width);
+            let v = min + t * width;
+            prop_assert!((s.inverse(s.transform(v)) - v).abs() < 1e-9 * width.max(1.0));
+        }
+
+        #[test]
+        fn transform_is_monotone(
+            min in -1e3f64..0.0, width in 1e-3f64..1e3, a in 0.0f64..=1.0, b in 0.0f64..=1.0
+        ) {
+            let s = MinMaxScaler::with_bounds(min, min + width);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(s.transform(min + lo * width) <= s.transform(min + hi * width));
+        }
+    }
+}

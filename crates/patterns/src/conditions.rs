@@ -1,0 +1,347 @@
+//! Environmental test conditions and the space they are randomized over.
+
+use cichar_units::{Celsius, Megahertz, ParamRange, Volts};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error validating [`TestConditions`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionsError {
+    /// A condition fell outside the equipment's safe operating area.
+    OutOfRange {
+        /// Name of the offending condition.
+        name: &'static str,
+        /// The rejected magnitude.
+        value: f64,
+        /// The allowed range.
+        range: ParamRange,
+    },
+}
+
+impl fmt::Display for ConditionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConditionsError::OutOfRange { name, value, range } => {
+                write!(f, "{name} = {value} outside safe operating area {range}")
+            }
+        }
+    }
+}
+
+impl Error for ConditionsError {}
+
+/// The environmental half of a test: supply voltage, die temperature and
+/// clock frequency.
+///
+/// The paper's §1 describes characterization as repeating a test "for every
+/// combination of two or more environmental variables"; conditions are also
+/// the GA's second chromosome species.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_patterns::TestConditions;
+/// use cichar_units::Volts;
+///
+/// let nominal = TestConditions::nominal();
+/// assert_eq!(nominal.vdd, Volts::new(1.8));
+///
+/// let cold_fast = nominal.with_vdd(Volts::new(1.95));
+/// assert!(cold_fast.vdd > nominal.vdd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestConditions {
+    /// Core supply voltage.
+    pub vdd: Volts,
+    /// Die temperature.
+    pub temperature: Celsius,
+    /// Vector clock frequency.
+    pub clock: Megahertz,
+}
+
+impl TestConditions {
+    /// Nominal corner of the paper's experiment: Vdd = 1.8 V, room
+    /// temperature, 100 MHz vector rate.
+    pub fn nominal() -> Self {
+        Self {
+            vdd: Volts::new(1.8),
+            temperature: Celsius::new(25.0),
+            clock: Megahertz::new(100.0),
+        }
+    }
+
+    /// Returns a copy with a different supply voltage.
+    pub fn with_vdd(self, vdd: Volts) -> Self {
+        Self { vdd, ..self }
+    }
+
+    /// Returns a copy with a different temperature.
+    pub fn with_temperature(self, temperature: Celsius) -> Self {
+        Self {
+            temperature,
+            ..self
+        }
+    }
+
+    /// Returns a copy with a different clock frequency.
+    pub fn with_clock(self, clock: Megahertz) -> Self {
+        Self { clock, ..self }
+    }
+}
+
+impl Default for TestConditions {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl fmt::Display for TestConditions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {}", self.vdd, self.temperature, self.clock)
+    }
+}
+
+/// The admissible region conditions are drawn from and validated against.
+///
+/// Acts both as the ATE's safe-operating-area check and as the sampling
+/// space of the random test generator and the GA's condition chromosome.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_patterns::ConditionSpace;
+/// use rand::SeedableRng;
+///
+/// let space = ConditionSpace::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let c = space.sample(&mut rng);
+/// assert!(space.validate(&c).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConditionSpace {
+    vdd: ParamRange,
+    temperature: ParamRange,
+    clock: ParamRange,
+}
+
+impl ConditionSpace {
+    /// Creates a condition space from explicit ranges.
+    pub fn new(vdd: ParamRange, temperature: ParamRange, clock: ParamRange) -> Self {
+        Self {
+            vdd,
+            temperature,
+            clock,
+        }
+    }
+
+    /// Supply-voltage range.
+    pub fn vdd(&self) -> ParamRange {
+        self.vdd
+    }
+
+    /// Temperature range.
+    pub fn temperature(&self) -> ParamRange {
+        self.temperature
+    }
+
+    /// Clock-frequency range.
+    pub fn clock(&self) -> ParamRange {
+        self.clock
+    }
+
+    /// Draws uniformly random conditions from the space.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TestConditions {
+        TestConditions {
+            vdd: Volts::new(rng.gen_range(self.vdd.start()..=self.vdd.end())),
+            temperature: Celsius::new(
+                rng.gen_range(self.temperature.start()..=self.temperature.end()),
+            ),
+            clock: Megahertz::new(rng.gen_range(self.clock.start()..=self.clock.end())),
+        }
+    }
+
+    /// Checks that `conditions` lie inside the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConditionsError::OutOfRange`] naming the first condition
+    /// outside its range.
+    pub fn validate(&self, conditions: &TestConditions) -> Result<(), ConditionsError> {
+        let checks: [(&'static str, f64, ParamRange); 3] = [
+            ("vdd", conditions.vdd.value(), self.vdd),
+            ("temperature", conditions.temperature.value(), self.temperature),
+            ("clock", conditions.clock.value(), self.clock),
+        ];
+        for (name, value, range) in checks {
+            if !range.contains(value) {
+                return Err(ConditionsError::OutOfRange { name, value, range });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clamps arbitrary conditions into the space.
+    pub fn clamp(&self, conditions: TestConditions) -> TestConditions {
+        TestConditions {
+            vdd: Volts::new(self.vdd.clamp(conditions.vdd.value())),
+            temperature: Celsius::new(self.temperature.clamp(conditions.temperature.value())),
+            clock: Megahertz::new(self.clock.clamp(conditions.clock.value())),
+        }
+    }
+
+    /// Gene bounds for the condition chromosome (three loci, fixed-point).
+    ///
+    /// Conditions are quantized to a milliunit grid so they fit the GA's
+    /// integer genes: gene = round((value - start) / step) with
+    /// [`Self::GENE_STEPS`] steps per range.
+    pub fn gene_bounds(&self) -> Vec<(u32, u32)> {
+        vec![(0, Self::GENE_STEPS); 3]
+    }
+
+    /// Quantization steps per condition range in the gene encoding.
+    pub const GENE_STEPS: u32 = 1000;
+
+    /// Encodes conditions as three quantized genes.
+    pub fn to_genes(&self, conditions: &TestConditions) -> Vec<u32> {
+        let q = |range: ParamRange, v: f64| {
+            (range.unlerp(range.clamp(v)) * f64::from(Self::GENE_STEPS)).round() as u32
+        };
+        vec![
+            q(self.vdd, conditions.vdd.value()),
+            q(self.temperature, conditions.temperature.value()),
+            q(self.clock, conditions.clock.value()),
+        ]
+    }
+
+    /// Decodes three quantized genes back into conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len() != 3`.
+    pub fn from_genes(&self, genes: &[u32]) -> TestConditions {
+        assert_eq!(genes.len(), 3, "condition chromosome has 3 loci");
+        let d = |range: ParamRange, g: u32| {
+            range.lerp(f64::from(g.min(Self::GENE_STEPS)) / f64::from(Self::GENE_STEPS))
+        };
+        TestConditions {
+            vdd: Volts::new(d(self.vdd, genes[0])),
+            temperature: Celsius::new(d(self.temperature, genes[1])),
+            clock: Megahertz::new(d(self.clock, genes[2])),
+        }
+    }
+}
+
+impl Default for ConditionSpace {
+    /// The characterization corner box used throughout the examples:
+    /// Vdd 1.5–2.1 V (fig. 8's shmoo span), −40–125 °C, 50–133 MHz.
+    fn default() -> Self {
+        Self {
+            vdd: ParamRange::new(1.5, 2.1).expect("static range"),
+            temperature: ParamRange::new(-40.0, 125.0).expect("static range"),
+            clock: ParamRange::new(50.0, 133.0).expect("static range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_matches_paper_corner() {
+        let c = TestConditions::nominal();
+        assert_eq!(c.vdd.value(), 1.8);
+        assert_eq!(c.clock.value(), 100.0);
+        assert_eq!(TestConditions::default(), c);
+    }
+
+    #[test]
+    fn with_methods_replace_single_field() {
+        let c = TestConditions::nominal()
+            .with_vdd(Volts::new(1.6))
+            .with_temperature(Celsius::new(85.0))
+            .with_clock(Megahertz::new(120.0));
+        assert_eq!(c.vdd.value(), 1.6);
+        assert_eq!(c.temperature.value(), 85.0);
+        assert_eq!(c.clock.value(), 120.0);
+    }
+
+    #[test]
+    fn samples_always_validate() {
+        let space = ConditionSpace::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let c = space.sample(&mut rng);
+            assert!(space.validate(&c).is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_names_offender() {
+        let space = ConditionSpace::default();
+        let bad = TestConditions::nominal().with_vdd(Volts::new(3.3));
+        match space.validate(&bad) {
+            Err(ConditionsError::OutOfRange { name, value, .. }) => {
+                assert_eq!(name, "vdd");
+                assert_eq!(value, 3.3);
+            }
+            other => panic!("expected out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_into_space() {
+        let space = ConditionSpace::default();
+        let wild = TestConditions {
+            vdd: Volts::new(9.0),
+            temperature: Celsius::new(-200.0),
+            clock: Megahertz::new(1.0),
+        };
+        let c = space.clamp(wild);
+        assert!(space.validate(&c).is_ok());
+        assert_eq!(c.vdd.value(), 2.1);
+        assert_eq!(c.temperature.value(), -40.0);
+        assert_eq!(c.clock.value(), 50.0);
+    }
+
+    #[test]
+    fn condition_gene_round_trip_is_close() {
+        let space = ConditionSpace::default();
+        let c = TestConditions::nominal();
+        let genes = space.to_genes(&c);
+        let back = space.from_genes(&genes);
+        assert!((back.vdd.value() - 1.8).abs() < 1e-3);
+        assert!((back.temperature.value() - 25.0).abs() < 0.2);
+        assert!((back.clock.value() - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gene_bounds_cover_decoded_range() {
+        let space = ConditionSpace::default();
+        let lo = space.from_genes(&[0, 0, 0]);
+        let hi = space.from_genes(&[
+            ConditionSpace::GENE_STEPS,
+            ConditionSpace::GENE_STEPS,
+            ConditionSpace::GENE_STEPS,
+        ]);
+        assert_eq!(lo.vdd.value(), 1.5);
+        assert_eq!(hi.vdd.value(), 2.1);
+        assert_eq!(space.gene_bounds().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "condition chromosome")]
+    fn from_genes_panics_on_wrong_len() {
+        let _ = ConditionSpace::default().from_genes(&[1, 2]);
+    }
+
+    #[test]
+    fn display_shows_all_three() {
+        let s = TestConditions::nominal().to_string();
+        assert!(s.contains('V') && s.contains("degC") && s.contains("MHz"), "{s}");
+    }
+}

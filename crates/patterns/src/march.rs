@@ -1,0 +1,415 @@
+//! Deterministic memory-test pattern generators.
+//!
+//! These are the "pre-defined deterministic tests" the paper contrasts its
+//! method against (Table 1's *March Test / Deterministic* row): the classic
+//! March algorithms plus checkerboard and walking-bit background tests from
+//! the memory-test literature (Sharma, ref. \[16\]).
+//!
+//! Every generator operates on a contiguous `n`-address sub-array so the
+//! resulting pattern fits §3's 100–1000 cycle window; `n` is clamped to keep
+//! that guarantee.
+
+use crate::pattern::Pattern;
+use crate::vector::TestVector;
+use serde::{Deserialize, Serialize};
+
+/// Data backgrounds used by March elements: `0` is all-zeros, `1` all-ones.
+const BG0: u16 = 0x0000;
+const BG1: u16 = 0xFFFF;
+
+/// Address direction of a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarchDirection {
+    /// Ascending address order (⇑).
+    Up,
+    /// Descending address order (⇓).
+    Down,
+}
+
+/// One operation inside a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarchOp {
+    /// Read expecting the given background.
+    Read(bool),
+    /// Write the given background.
+    Write(bool),
+}
+
+/// One March element: a direction and an operation list applied to every
+/// address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarchElement {
+    /// Sweep direction.
+    pub direction: MarchDirection,
+    /// Operations applied per address, in order.
+    pub ops: Vec<MarchOp>,
+}
+
+impl MarchElement {
+    /// Creates an element.
+    pub fn new(direction: MarchDirection, ops: Vec<MarchOp>) -> Self {
+        Self { direction, ops }
+    }
+}
+
+fn background(bit: bool) -> u16 {
+    if bit {
+        BG1
+    } else {
+        BG0
+    }
+}
+
+/// Expands March elements over an `n`-address sub-array into a pattern.
+///
+/// The per-element cost is `n * ops.len()` cycles; callers size `n` so the
+/// total lands in the 100–1000 window (the result is clamped regardless).
+pub fn expand_march(elements: &[MarchElement], n: u16) -> Pattern {
+    let mut vectors = Vec::new();
+    for element in elements {
+        let addrs: Vec<u16> = match element.direction {
+            MarchDirection::Up => (0..n).collect(),
+            MarchDirection::Down => (0..n).rev().collect(),
+        };
+        for addr in addrs {
+            for op in &element.ops {
+                vectors.push(match *op {
+                    MarchOp::Write(bit) => TestVector::write(addr, background(bit)),
+                    MarchOp::Read(bit) => TestVector::read(addr, background(bit)),
+                });
+            }
+        }
+    }
+    Pattern::new_clamped(vectors)
+}
+
+/// March C−: `⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)`.
+///
+/// The standard production memory test — Table 1's deterministic baseline.
+/// With `n = 64` the pattern is 640 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_patterns::march::march_c_minus;
+///
+/// let p = march_c_minus(64);
+/// assert_eq!(p.len(), 640);
+/// ```
+pub fn march_c_minus(n: u16) -> Pattern {
+    let n = clamp_n(n, 10);
+    use MarchDirection::{Down, Up};
+    use MarchOp::{Read, Write};
+    expand_march(
+        &[
+            MarchElement::new(Up, vec![Write(false)]),
+            MarchElement::new(Up, vec![Read(false), Write(true)]),
+            MarchElement::new(Up, vec![Read(true), Write(false)]),
+            MarchElement::new(Down, vec![Read(false), Write(true)]),
+            MarchElement::new(Down, vec![Read(true), Write(false)]),
+            MarchElement::new(Down, vec![Read(false)]),
+        ],
+        n,
+    )
+}
+
+/// March X: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)` — 6n cycles.
+pub fn march_x(n: u16) -> Pattern {
+    let n = clamp_n(n, 6);
+    use MarchDirection::{Down, Up};
+    use MarchOp::{Read, Write};
+    expand_march(
+        &[
+            MarchElement::new(Up, vec![Write(false)]),
+            MarchElement::new(Up, vec![Read(false), Write(true)]),
+            MarchElement::new(Down, vec![Read(true), Write(false)]),
+            MarchElement::new(Down, vec![Read(false)]),
+        ],
+        n,
+    )
+}
+
+/// March Y: `⇕(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); ⇕(r0)` — 8n cycles.
+pub fn march_y(n: u16) -> Pattern {
+    let n = clamp_n(n, 8);
+    use MarchDirection::{Down, Up};
+    use MarchOp::{Read, Write};
+    expand_march(
+        &[
+            MarchElement::new(Up, vec![Write(false)]),
+            MarchElement::new(Up, vec![Read(false), Write(true), Read(true)]),
+            MarchElement::new(Down, vec![Read(true), Write(false), Read(false)]),
+            MarchElement::new(Down, vec![Read(false)]),
+        ],
+        n,
+    )
+}
+
+/// Checkerboard: write a physical checkerboard, read it back, then the
+/// inverse — 4n cycles.
+///
+/// Cell `(row, col)` holds `0x5555` or `0xAAAA` depending on parity, the
+/// classic inter-cell coupling background.
+pub fn checkerboard(n: u16) -> Pattern {
+    let n = clamp_n(n, 4);
+    let word = |addr: u16, invert: bool| {
+        let parity = (addr >> 8).wrapping_add(addr) & 1 == 1;
+        match parity ^ invert {
+            true => 0xAAAA,
+            false => 0x5555,
+        }
+    };
+    let mut vectors = Vec::with_capacity(4 * usize::from(n));
+    for invert in [false, true] {
+        for addr in 0..n {
+            vectors.push(TestVector::write(addr, word(addr, invert)));
+        }
+        for addr in 0..n {
+            vectors.push(TestVector::read(addr, word(addr, invert)));
+        }
+    }
+    Pattern::new_clamped(vectors)
+}
+
+/// Walking ones: for each bit position, write a one-hot word everywhere and
+/// read it back — `2n · 16 / 16` sized via sub-sampling to stay in window.
+///
+/// Uses `n` addresses and walks the hot bit with the address so the whole
+/// bus is exercised in `2n` cycles.
+pub fn walking_ones(n: u16) -> Pattern {
+    let n = clamp_n(n, 2);
+    let word = |addr: u16| 1u16 << (addr % 16);
+    let mut vectors = Vec::with_capacity(2 * usize::from(n));
+    for addr in 0..n {
+        vectors.push(TestVector::write(addr, word(addr)));
+    }
+    for addr in 0..n {
+        vectors.push(TestVector::read(addr, word(addr)));
+    }
+    Pattern::new_clamped(vectors)
+}
+
+/// March B: `⇕(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0);
+/// ⇓(r0,w1,w0)` — 17n cycles, the classic linked-fault March.
+pub fn march_b(n: u16) -> Pattern {
+    let n = clamp_n(n, 17);
+    use MarchDirection::{Down, Up};
+    use MarchOp::{Read, Write};
+    expand_march(
+        &[
+            MarchElement::new(Up, vec![Write(false)]),
+            MarchElement::new(
+                Up,
+                vec![
+                    Read(false),
+                    Write(true),
+                    Read(true),
+                    Write(false),
+                    Read(false),
+                    Write(true),
+                ],
+            ),
+            MarchElement::new(Up, vec![Read(true), Write(false), Write(true)]),
+            MarchElement::new(
+                Down,
+                vec![Read(true), Write(false), Write(true), Write(false)],
+            ),
+            MarchElement::new(Down, vec![Read(false), Write(true), Write(false)]),
+        ],
+        n,
+    )
+}
+
+/// MATS+: `⇕(w0); ⇑(r0,w1); ⇓(r1,w0)` — 5n cycles, the minimal
+/// address-fault test.
+pub fn mats_plus(n: u16) -> Pattern {
+    let n = clamp_n(n, 5);
+    use MarchDirection::{Down, Up};
+    use MarchOp::{Read, Write};
+    expand_march(
+        &[
+            MarchElement::new(Up, vec![Write(false)]),
+            MarchElement::new(Up, vec![Read(false), Write(true)]),
+            MarchElement::new(Down, vec![Read(true), Write(false)]),
+        ],
+        n,
+    )
+}
+
+/// Address complement: write a parity background, then read in `a, !a`
+/// order so every access flips the entire address bus — the classic
+/// address-decoder/bus stress test. `4n` cycles over `n` address pairs.
+pub fn address_complement(n: u16) -> Pattern {
+    let n = clamp_n(n, 4);
+    let word = |addr: u16| if addr.count_ones().is_multiple_of(2) { 0x0F0F } else { 0xF0F0 };
+    let mut vectors = Vec::with_capacity(4 * usize::from(n));
+    for a in 0..n {
+        vectors.push(TestVector::write(a, word(a)));
+        vectors.push(TestVector::write(!a, word(!a)));
+    }
+    for a in 0..n {
+        vectors.push(TestVector::read(a, word(a)));
+        vectors.push(TestVector::read(!a, word(!a)));
+    }
+    Pattern::new_clamped(vectors)
+}
+
+/// All standard deterministic tests, as `(name, pattern)` pairs, sized to
+/// fit the cycle window.
+///
+/// This is the deterministic suite Table 1's baseline row is drawn from.
+pub fn standard_suite() -> Vec<(&'static str, Pattern)> {
+    vec![
+        ("march_c-", march_c_minus(64)),
+        ("march_x", march_x(96)),
+        ("march_y", march_y(96)),
+        ("march_b", march_b(58)),
+        ("mats+", mats_plus(200)),
+        ("checkerboard", checkerboard(128)),
+        ("walking_ones", walking_ones(128)),
+        ("addr_complement", address_complement(128)),
+    ]
+}
+
+/// Clamp the sub-array size so `cost_per_addr * n` stays within 100–1000.
+fn clamp_n(n: u16, cost_per_addr: u16) -> u16 {
+    let min = (crate::MIN_PATTERN_LEN as u16).div_ceil(cost_per_addr);
+    let max = (crate::MAX_PATTERN_LEN as u16) / cost_per_addr;
+    n.clamp(min.max(1), max.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::MemOp;
+    use crate::{MAX_PATTERN_LEN, MIN_PATTERN_LEN};
+
+    #[test]
+    fn march_c_minus_has_canonical_length() {
+        // 10 operations per address over 64 addresses.
+        assert_eq!(march_c_minus(64).len(), 640);
+    }
+
+    #[test]
+    fn march_x_and_y_lengths() {
+        assert_eq!(march_x(96).len(), 6 * 96);
+        assert_eq!(march_y(96).len(), 8 * 96);
+    }
+
+    #[test]
+    fn march_b_and_mats_lengths() {
+        assert_eq!(march_b(58).len(), 17 * 58);
+        assert_eq!(mats_plus(200).len(), 5 * 200);
+        assert_eq!(address_complement(128).len(), 4 * 128);
+    }
+
+    #[test]
+    fn address_complement_flips_the_whole_bus() {
+        let p = address_complement(128);
+        let vs = p.vectors();
+        // Consecutive accesses within a pair are exact complements.
+        assert_eq!(vs[0].address, !vs[1].address);
+        assert_eq!(
+            crate::hamming(vs[0].address, vs[1].address),
+            crate::ADDR_BITS
+        );
+    }
+
+    #[test]
+    fn address_complement_readback_matches_write() {
+        let p = address_complement(128);
+        let vs = p.vectors();
+        for i in 0..256 {
+            assert_eq!(vs[i].address, vs[i + 256].address);
+            assert_eq!(vs[i].data, vs[i + 256].data, "read expects written word");
+        }
+    }
+
+    #[test]
+    fn mats_plus_is_minimal_but_complete() {
+        let p = mats_plus(200);
+        use crate::MemOp;
+        // One write pass, then read/write pairs both directions.
+        assert_eq!(p.count_of(MemOp::Write), 3 * 200);
+        assert_eq!(p.count_of(MemOp::Read), 2 * 200);
+    }
+
+    #[test]
+    fn all_suite_patterns_fit_window() {
+        for (name, p) in standard_suite() {
+            assert!(
+                (MIN_PATTERN_LEN..=MAX_PATTERN_LEN).contains(&p.len()),
+                "{name} has {} cycles",
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_n_is_clamped() {
+        // 10 ops/address: n = 1000 would give 10_000 cycles; clamp to 100.
+        assert_eq!(march_c_minus(1000).len(), 1000);
+        assert_eq!(march_c_minus(1).len(), 100);
+    }
+
+    #[test]
+    fn march_c_minus_reads_expected_backgrounds() {
+        let p = march_c_minus(64);
+        // Element 2 (⇑(r0,w1)) starts at cycle 64: first op reads 0.
+        let v = p.vectors()[64];
+        assert_eq!(v.op, MemOp::Read);
+        assert_eq!(v.data, 0x0000);
+        // Its write pair writes all-ones.
+        let w = p.vectors()[65];
+        assert_eq!(w.op, MemOp::Write);
+        assert_eq!(w.data, 0xFFFF);
+    }
+
+    #[test]
+    fn down_elements_descend() {
+        let p = march_c_minus(64);
+        // Element 4 (⇓(r0,w1)) spans cycles 320..448; addresses descend.
+        let a0 = p.vectors()[320].address;
+        let a1 = p.vectors()[322].address;
+        assert_eq!(a0, 63);
+        assert_eq!(a1, 62);
+    }
+
+    #[test]
+    fn checkerboard_alternates_by_parity() {
+        let p = checkerboard(128);
+        let vs = p.vectors();
+        assert_eq!(vs[0].data, 0x5555); // addr 0, even parity
+        assert_eq!(vs[1].data, 0xAAAA); // addr 1, odd parity
+        // Second half inverts.
+        assert_eq!(vs[256].data, 0xAAAA);
+    }
+
+    #[test]
+    fn checkerboard_readback_matches_write() {
+        let p = checkerboard(128);
+        let vs = p.vectors();
+        for i in 0..128 {
+            assert_eq!(vs[i].data, vs[i + 128].data, "read expects written word");
+            assert_eq!(vs[i].op, MemOp::Write);
+            assert_eq!(vs[i + 128].op, MemOp::Read);
+        }
+    }
+
+    #[test]
+    fn walking_ones_is_one_hot() {
+        let p = walking_ones(128);
+        for v in p.vectors() {
+            assert_eq!(v.data.count_ones(), 1, "word {:#06x} not one-hot", v.data);
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = standard_suite();
+        let mut names: Vec<_> = suite.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! Search results: trip point, probe trace and measurement cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single pass/fail verdict from the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Probe {
+    /// The device met its expected behaviour at the probed value.
+    Pass,
+    /// The device failed at the probed value.
+    Fail,
+}
+
+impl Probe {
+    /// `true` for [`Probe::Pass`].
+    pub fn is_pass(self) -> bool {
+        matches!(self, Probe::Pass)
+    }
+}
+
+impl fmt::Display for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Probe::Pass => "PASS",
+            Probe::Fail => "FAIL",
+        })
+    }
+}
+
+/// The result of one trip-point search.
+///
+/// `measurements` is the cost currency of the whole paper: §4 exists
+/// because multiple-trip-point characterization multiplies measurement
+/// count, and fig. 3's saving is measured in it.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_search::{Probe, SearchOutcome};
+///
+/// let outcome = SearchOutcome {
+///     trip_point: Some(110.0),
+///     converged: true,
+///     trace: vec![(105.0, Probe::Pass), (115.0, Probe::Fail), (110.0, Probe::Pass)],
+/// };
+/// assert_eq!(outcome.measurements(), 3);
+/// assert_eq!(outcome.passes(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The pass-side boundary value, if the search bracketed one.
+    pub trip_point: Option<f64>,
+    /// Whether the search actually bracketed a pass→fail transition inside
+    /// its range. `false` means the device passed (or failed) across the
+    /// entire searched span — §4's "easy to underestimate the range" case.
+    pub converged: bool,
+    /// Every probe in order: `(parameter value, verdict)`.
+    pub trace: Vec<(f64, Probe)>,
+}
+
+impl SearchOutcome {
+    /// A search that found nothing because the whole range had one state.
+    pub fn unconverged(trace: Vec<(f64, Probe)>) -> Self {
+        Self {
+            trip_point: None,
+            converged: false,
+            trace,
+        }
+    }
+
+    /// Number of device measurements consumed.
+    pub fn measurements(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Number of passing probes.
+    pub fn passes(&self) -> usize {
+        self.trace.iter().filter(|(_, p)| p.is_pass()).count()
+    }
+
+    /// Number of failing probes.
+    pub fn fails(&self) -> usize {
+        self.trace.len() - self.passes()
+    }
+
+    /// The last probed value and verdict, if any probe was made.
+    pub fn last_probe(&self) -> Option<(f64, Probe)> {
+        self.trace.last().copied()
+    }
+}
+
+impl fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.converged, self.trip_point) {
+            (true, Some(tp)) => write!(
+                f,
+                "trip point {tp:.4} in {} measurements",
+                self.measurements()
+            ),
+            _ => write!(f, "no trip point ({} measurements)", self.measurements()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> SearchOutcome {
+        SearchOutcome {
+            trip_point: Some(1.5),
+            converged: true,
+            trace: vec![(1.0, Probe::Pass), (2.0, Probe::Fail), (1.5, Probe::Pass)],
+        }
+    }
+
+    #[test]
+    fn counts_partition_trace() {
+        let o = demo();
+        assert_eq!(o.passes() + o.fails(), o.measurements());
+        assert_eq!(o.passes(), 2);
+        assert_eq!(o.fails(), 1);
+    }
+
+    #[test]
+    fn unconverged_has_no_trip() {
+        let o = SearchOutcome::unconverged(vec![(1.0, Probe::Pass)]);
+        assert!(!o.converged);
+        assert_eq!(o.trip_point, None);
+        assert_eq!(o.measurements(), 1);
+    }
+
+    #[test]
+    fn last_probe_returns_final_entry() {
+        assert_eq!(demo().last_probe(), Some((1.5, Probe::Pass)));
+        assert_eq!(SearchOutcome::unconverged(vec![]).last_probe(), None);
+    }
+
+    #[test]
+    fn display_converged_vs_not() {
+        assert!(demo().to_string().contains("trip point 1.5"));
+        assert!(SearchOutcome::unconverged(vec![])
+            .to_string()
+            .contains("no trip point"));
+    }
+
+    #[test]
+    fn probe_display_and_predicate() {
+        assert!(Probe::Pass.is_pass());
+        assert!(!Probe::Fail.is_pass());
+        assert_eq!(Probe::Pass.to_string(), "PASS");
+        assert_eq!(Probe::Fail.to_string(), "FAIL");
+    }
+}

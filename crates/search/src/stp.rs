@@ -1,0 +1,327 @@
+//! Search-until-trip-point — the paper's §4 contribution.
+
+use crate::outcome::{Probe, SearchOutcome};
+use crate::traits::{PassFailOracle, RegionOrder};
+use cichar_units::ParamRange;
+
+/// The search-until-trip-point (STP) algorithm of §4, eqs. (2)–(4).
+///
+/// Multiple-trip-point characterization repeats the trip-point measurement
+/// for every random test. Re-running a full-range search each time is
+/// wasteful, because "the variations of semiconductor device parameters …
+/// are only expected in a very narrow range with respect to different input
+/// tests if the devices are properly designed". STP therefore:
+///
+/// 1. takes the *reference trip point* `RTP` from the first test's
+///    full-range search (eq. 2 — see
+///    [`SuccessiveApproximation`](crate::SuccessiveApproximation));
+/// 2. probes the new test **at** `RTP`;
+/// 3. if it passes, steps toward the fail region with the growing step
+///    `SF(IT) = SF·IT` — probe positions `RTP + SF·1`, `RTP + SF·1 + SF·2`,
+///    … — until the first failure; if it fails, steps the other way until
+///    the first pass (eq. 3; signs mirror for eq. 4's orientation);
+/// 4. reports the last passing value as the trip point.
+///
+/// §4's "SF will further increase with IT" is read literally: the *step*
+/// grows each iteration, so the walk accelerates away from `RTP`. That
+/// keeps the search cheap near `RTP` (first step is just `SF`) yet still
+/// converges in `O(√distance)` probes when "unexpected drift of design
+/// performance" puts the new trip point far away — the flexibility §4
+/// calls out, "while keeping smallest effort of searching".
+///
+/// An optional refinement bisects the final pass/fail pair down to
+/// `resolution`, recovering full accuracy for a couple of extra probes.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_search::{FnOracle, RegionOrder, SearchUntilTrip};
+/// use cichar_units::ParamRange;
+///
+/// let range = ParamRange::new(80.0, 130.0)?;
+/// // RTP from a previous test was 110; this test trips slightly lower.
+/// let mut oracle = FnOracle::new(|v| v <= 108.2);
+/// let stp = SearchUntilTrip::new(range, 1.0).with_refinement(0.1);
+/// let outcome = stp.run(110.0, RegionOrder::PassBelowFail, &mut oracle);
+/// let tp = outcome.trip_point.expect("found");
+/// assert!((tp - 108.2).abs() <= 0.1);
+/// // Far fewer probes than a full-range binary search would need.
+/// assert!(outcome.measurements() <= 9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchUntilTrip {
+    range: ParamRange,
+    /// The programmable search-factor resolution `SF` ("such as 1 MHz or
+    /// 2 MHz per step").
+    sf: f64,
+    /// Bisect the final bracket down to this resolution; `None` reports
+    /// the raw last-pass value, exactly as §4 states the algorithm.
+    refine_to: Option<f64>,
+    /// Safety bound on iterations (the range edge stops the search anyway).
+    max_iterations: usize,
+}
+
+impl SearchUntilTrip {
+    /// Creates an STP search with search factor `sf`, no refinement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sf` is not positive finite.
+    pub fn new(range: ParamRange, sf: f64) -> Self {
+        assert!(sf.is_finite() && sf > 0.0, "invalid search factor {sf}");
+        Self {
+            range,
+            sf,
+            refine_to: None,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Enables final bisection refinement to `resolution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive finite.
+    pub fn with_refinement(mut self, resolution: f64) -> Self {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "invalid resolution {resolution}"
+        );
+        self.refine_to = Some(resolution);
+        self
+    }
+
+    /// The clamping range (the original generous range `CR`).
+    pub fn range(&self) -> ParamRange {
+        self.range
+    }
+
+    /// The search factor `SF`.
+    pub fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// Runs STP around the reference trip point `rtp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtp` lies outside the search range — the reference must
+    /// come from a search over the same range.
+    pub fn run<O: PassFailOracle>(
+        &self,
+        rtp: f64,
+        order: RegionOrder,
+        mut oracle: O,
+    ) -> SearchOutcome {
+        assert!(
+            self.range.contains(rtp),
+            "rtp {rtp} outside range {}",
+            self.range
+        );
+        let mut trace = Vec::new();
+        let probe = |oracle: &mut O, trace: &mut Vec<(f64, Probe)>, v: f64| {
+            let verdict = oracle.probe(v);
+            trace.push((v, verdict));
+            verdict
+        };
+        let toward_fail = order.toward_fail();
+
+        let at_rtp = probe(&mut oracle, &mut trace, rtp);
+        // Walk away from RTP with the growing step SF·IT. Direction depends
+        // on the verdict at RTP: passing walks toward the fail region
+        // looking for the first failure, failing walks away from it looking
+        // for the first pass.
+        let dir = match at_rtp {
+            Probe::Pass => toward_fail,
+            Probe::Fail => -toward_fail,
+        };
+        let mut last = (rtp, at_rtp);
+        let mut hit_edge_at: Option<f64> = None;
+        let mut offset = 0.0;
+        for it in 1..=self.max_iterations {
+            offset += self.sf * it as f64; // SF(IT) = SF·IT, accumulated
+            let raw = rtp + dir * offset;
+            let value = self.range.clamp(raw);
+            let verdict = probe(&mut oracle, &mut trace, value);
+            if verdict != at_rtp {
+                // First state change: the trip point is bracketed between
+                // `last` and `value`.
+                let (mut pass_v, mut fail_v) = match verdict {
+                    Probe::Fail => (last.0, value),
+                    Probe::Pass => (value, last.0),
+                };
+                if let Some(resolution) = self.refine_to {
+                    while (fail_v - pass_v).abs() > resolution {
+                        let mid = pass_v + (fail_v - pass_v) / 2.0;
+                        match probe(&mut oracle, &mut trace, mid) {
+                            Probe::Pass => pass_v = mid,
+                            Probe::Fail => fail_v = mid,
+                        }
+                    }
+                }
+                return SearchOutcome {
+                    trip_point: Some(pass_v),
+                    converged: true,
+                    trace,
+                };
+            }
+            last = (value, verdict);
+            if value != raw {
+                // Clamped at the range edge with no state change yet.
+                if hit_edge_at == Some(value) {
+                    break;
+                }
+                hit_edge_at = Some(value);
+            }
+        }
+        SearchOutcome::unconverged(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::BinarySearch;
+    use crate::traits::FnOracle;
+    use proptest::prelude::*;
+
+    fn range() -> ParamRange {
+        ParamRange::new(80.0, 130.0).expect("valid")
+    }
+
+    #[test]
+    fn passing_rtp_walks_toward_fail_region() {
+        // Trip slightly above RTP.
+        let mut oracle = FnOracle::new(|v| v <= 112.5);
+        let o = SearchUntilTrip::new(range(), 1.0).run(110.0, RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("found");
+        // Probes: 110 pass, 111 pass, 113 fail → trip reported at 111.
+        assert!((110.0..=112.5).contains(&tp), "tp = {tp}");
+        assert!(o.measurements() <= 5, "used {}", o.measurements());
+    }
+
+    #[test]
+    fn failing_rtp_walks_back_toward_pass_region() {
+        // The new test trips below RTP: device fails at RTP.
+        let mut oracle = FnOracle::new(|v| v <= 106.0);
+        let o = SearchUntilTrip::new(range(), 1.0).run(110.0, RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("found");
+        assert!(tp <= 106.0, "trip reported on pass side, tp = {tp}");
+        assert!(o.measurements() <= 5, "used {}", o.measurements());
+    }
+
+    #[test]
+    fn growing_step_reaches_distant_trip_quickly() {
+        // Unexpected drift: trip point 18 units above RTP.
+        let mut oracle = FnOracle::new(|v| v <= 128.0);
+        let o = SearchUntilTrip::new(range(), 1.0).run(110.0, RegionOrder::PassBelowFail, &mut oracle);
+        assert!(o.converged);
+        // Positions visited: 111, 112, 114(≠: SF·IT = 1,2,3,…): 111,112,113,
+        // …, distance grows linearly: ~6 probes to cover 18 units? SF·IT
+        // reaches 18 at IT=18 linearly-spaced probes… ensure at most that.
+        assert!(
+            o.measurements() <= 8,
+            "accelerating walk should need few probes, used {}",
+            o.measurements()
+        );
+    }
+
+    #[test]
+    fn eq4_orientation_mirrors_directions() {
+        // Vdd-style: passes above 1.5. RTP at 1.52, new test trips at 1.56.
+        let r = ParamRange::new(1.2, 2.1).expect("valid");
+        let mut oracle = FnOracle::new(|v| v >= 1.56);
+        let o = SearchUntilTrip::new(r, 0.01).run(1.52, RegionOrder::PassAboveFail, &mut oracle);
+        let tp = o.trip_point.expect("found");
+        assert!(tp >= 1.56 - 1e-9, "tp = {tp} must be on the pass side");
+        assert!(tp <= 1.62, "tp = {tp} near the true boundary");
+    }
+
+    #[test]
+    fn refinement_recovers_fine_resolution() {
+        let coarse = SearchUntilTrip::new(range(), 2.0);
+        let fine = SearchUntilTrip::new(range(), 2.0).with_refinement(0.05);
+        let mut o1 = FnOracle::new(|v| v <= 111.3);
+        let mut o2 = FnOracle::new(|v| v <= 111.3);
+        let c = coarse.run(110.0, RegionOrder::PassBelowFail, &mut o1);
+        let f = fine.run(110.0, RegionOrder::PassBelowFail, &mut o2);
+        let ctp = c.trip_point.expect("found");
+        let ftp = f.trip_point.expect("found");
+        assert!((ftp - 111.3).abs() <= 0.05, "refined tp = {ftp}");
+        assert!((ctp - 111.3).abs() <= 2.0, "coarse tp = {ctp}");
+        assert!(f.measurements() > c.measurements());
+    }
+
+    #[test]
+    fn unconverged_when_no_boundary_in_range() {
+        let o = SearchUntilTrip::new(range(), 5.0).run(
+            110.0,
+            RegionOrder::PassBelowFail,
+            FnOracle::new(|_| true),
+        );
+        assert!(!o.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside range")]
+    fn rejects_rtp_outside_range() {
+        let _ = SearchUntilTrip::new(range(), 1.0).run(
+            200.0,
+            RegionOrder::PassBelowFail,
+            FnOracle::new(|_| true),
+        );
+    }
+
+    #[test]
+    fn stp_is_cheaper_than_full_binary_near_rtp() {
+        // The fig. 3 economics: for a trip point near RTP, STP beats a
+        // fresh full-range binary search.
+        let boundary = 109.2;
+        let stp = SearchUntilTrip::new(range(), 1.0).with_refinement(0.1);
+        let bin = BinarySearch::new(range(), 0.1);
+        let s = stp.run(
+            110.0,
+            RegionOrder::PassBelowFail,
+            FnOracle::new(|v| v <= boundary),
+        );
+        let b = bin.run(RegionOrder::PassBelowFail, FnOracle::new(|v| v <= boundary));
+        assert!(s.converged && b.converged);
+        assert!(
+            s.measurements() < b.measurements(),
+            "stp {} vs binary {}",
+            s.measurements(),
+            b.measurements()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn stp_brackets_true_boundary(
+            boundary in 85.0f64..125.0,
+            rtp in 85.0f64..125.0,
+            sf in 0.5f64..3.0,
+        ) {
+            let mut oracle = FnOracle::new(|v| v <= boundary);
+            let o = SearchUntilTrip::new(range(), sf)
+                .with_refinement(0.05)
+                .run(rtp, RegionOrder::PassBelowFail, &mut oracle);
+            let tp = o.trip_point.expect("boundary inside range");
+            prop_assert!(tp <= boundary + 1e-9);
+            prop_assert!(boundary - tp <= 0.05 + 1e-9);
+        }
+
+        #[test]
+        fn stp_never_probes_outside_range(
+            boundary in 85.0f64..125.0,
+            rtp in 81.0f64..129.0,
+        ) {
+            let mut oracle = FnOracle::new(|v| v <= boundary);
+            let o = SearchUntilTrip::new(range(), 2.0)
+                .run(rtp, RegionOrder::PassBelowFail, &mut oracle);
+            for (v, _) in &o.trace {
+                prop_assert!(range().contains(*v));
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Drift-tolerant successive approximation.
+
+use crate::outcome::{Probe, SearchOutcome};
+use crate::traits::{PassFailOracle, RegionOrder};
+use cichar_units::ParamRange;
+
+/// The §1 successive-approximation search, "recommended for device
+/// performance characterization at most of the ATE today".
+///
+/// Like a binary search it halves a pass/fail bracket, but it additionally
+/// "can sense a drifting specification parameter and make a judgment as to
+/// the direction and span of the search": after the bracket converges the
+/// pass side is *re-verified*. If the device meanwhile drifted (§4 names
+/// device heating as the typical cause) the verification fails, and the
+/// search re-opens the bracket toward the pass region and converges again,
+/// up to [`Self::max_drift_retries`] times.
+///
+/// This is also the algorithm eq. (2) uses to establish the *reference trip
+/// point* for the first test of a multiple-trip-point run.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_search::{FnOracle, RegionOrder, SuccessiveApproximation};
+/// use cichar_units::ParamRange;
+///
+/// let mut oracle = FnOracle::new(|v| v <= 110.0);
+/// let search = SuccessiveApproximation::new(ParamRange::new(80.0, 130.0)?, 0.1);
+/// let outcome = search.run(RegionOrder::PassBelowFail, &mut oracle);
+/// assert!((outcome.trip_point.expect("bracketed") - 110.0).abs() <= 0.1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuccessiveApproximation {
+    range: ParamRange,
+    resolution: f64,
+    max_drift_retries: usize,
+}
+
+impl SuccessiveApproximation {
+    /// Creates a search over `range` converging to `resolution`, allowing
+    /// two drift-recovery rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive finite.
+    pub fn new(range: ParamRange, resolution: f64) -> Self {
+        Self::with_retries(range, resolution, 2)
+    }
+
+    /// Creates a search with an explicit drift-retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive finite.
+    pub fn with_retries(range: ParamRange, resolution: f64, max_drift_retries: usize) -> Self {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "invalid resolution {resolution}"
+        );
+        Self {
+            range,
+            resolution,
+            max_drift_retries,
+        }
+    }
+
+    /// The searched range.
+    pub fn range(&self) -> ParamRange {
+        self.range
+    }
+
+    /// The convergence resolution.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// The drift-recovery budget.
+    pub fn max_drift_retries(&self) -> usize {
+        self.max_drift_retries
+    }
+
+    /// Runs the search.
+    pub fn run<O: PassFailOracle>(&self, order: RegionOrder, mut oracle: O) -> SearchOutcome {
+        let mut trace = Vec::new();
+        let (pass_end, fail_end) = match order {
+            RegionOrder::PassBelowFail => (self.range.start(), self.range.end()),
+            RegionOrder::PassAboveFail => (self.range.end(), self.range.start()),
+        };
+        let probe = |oracle: &mut O, trace: &mut Vec<(f64, Probe)>, v: f64| {
+            let verdict = oracle.probe(v);
+            trace.push((v, verdict));
+            verdict
+        };
+
+        // Bracket-finding: boundary + halfway point, continuing to the
+        // other end when both agree (the paper's phrasing of the scan).
+        if probe(&mut oracle, &mut trace, pass_end) != Probe::Pass {
+            return SearchOutcome::unconverged(trace);
+        }
+        let mid = pass_end + (fail_end - pass_end) / 2.0;
+        let (mut lo_pass, mut hi_fail) = match probe(&mut oracle, &mut trace, mid) {
+            Probe::Fail => (pass_end, mid),
+            Probe::Pass => {
+                // Same result as the boundary: continue to the other end.
+                match probe(&mut oracle, &mut trace, fail_end) {
+                    Probe::Fail => (mid, fail_end),
+                    Probe::Pass => return SearchOutcome::unconverged(trace),
+                }
+            }
+        };
+
+        let mut retries = self.max_drift_retries;
+        loop {
+            // Halve until the bracket closes.
+            while (hi_fail - lo_pass).abs() > self.resolution {
+                let mid = lo_pass + (hi_fail - lo_pass) / 2.0;
+                match probe(&mut oracle, &mut trace, mid) {
+                    Probe::Pass => lo_pass = mid,
+                    Probe::Fail => hi_fail = mid,
+                }
+            }
+            // Drift check: the pass side must still pass.
+            if probe(&mut oracle, &mut trace, lo_pass) == Probe::Pass {
+                return SearchOutcome {
+                    trip_point: Some(lo_pass),
+                    converged: true,
+                    trace,
+                };
+            }
+            if retries == 0 {
+                return SearchOutcome::unconverged(trace);
+            }
+            retries -= 1;
+            // The spec drifted toward the pass region: re-open the bracket
+            // by doubling spans back toward the pass end until the device
+            // passes again.
+            hi_fail = lo_pass;
+            let dir = (pass_end - fail_end).signum();
+            let mut span = self.resolution.max((hi_fail - pass_end).abs() / 8.0);
+            loop {
+                let candidate = self.range.clamp(hi_fail + dir * span);
+                if probe(&mut oracle, &mut trace, candidate) == Probe::Pass {
+                    lo_pass = candidate;
+                    break;
+                }
+                if (candidate - pass_end).abs() < 1e-12 {
+                    // Walked all the way back without a pass.
+                    return SearchOutcome::unconverged(trace);
+                }
+                span *= 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FnOracle;
+    use proptest::prelude::*;
+    use std::cell::Cell;
+
+    fn range() -> ParamRange {
+        ParamRange::new(80.0, 130.0).expect("valid")
+    }
+
+    #[test]
+    fn matches_binary_on_stable_device() {
+        let mut oracle = FnOracle::new(|v| v <= 112.4);
+        let o = SuccessiveApproximation::new(range(), 0.05)
+            .run(RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("bracketed");
+        assert!((tp - 112.4).abs() <= 0.05, "tp = {tp}");
+    }
+
+    #[test]
+    fn handles_boundary_in_first_half() {
+        let mut oracle = FnOracle::new(|v| v <= 90.0);
+        let o = SuccessiveApproximation::new(range(), 0.1)
+            .run(RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("bracketed");
+        assert!((tp - 90.0).abs() <= 0.1, "tp = {tp}");
+    }
+
+    #[test]
+    fn recovers_from_downward_drift() {
+        // The boundary drops by 3 MHz after the 6th measurement — as if
+        // the device heated up mid-search.
+        let probes = Cell::new(0usize);
+        let mut oracle = FnOracle::new(|v| {
+            probes.set(probes.get() + 1);
+            let boundary = if probes.get() <= 6 { 110.0 } else { 107.0 };
+            v <= boundary
+        });
+        let o = SuccessiveApproximation::new(range(), 0.05)
+            .run(RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("recovered from drift");
+        assert!((tp - 107.0).abs() <= 0.5, "tp = {tp} should track drifted spec");
+    }
+
+    #[test]
+    fn gives_up_after_retry_budget() {
+        // Pathological device: every re-verification fails.
+        let probes = Cell::new(0usize);
+        let mut oracle = FnOracle::new(|v| {
+            probes.set(probes.get() + 1);
+            // Boundary collapses by 10 after every few probes; it outruns
+            // the search forever.
+            let boundary = 110.0 - (probes.get() / 3) as f64 * 10.0;
+            v <= boundary
+        });
+        let o = SuccessiveApproximation::with_retries(range(), 0.05, 1)
+            .run(RegionOrder::PassBelowFail, &mut oracle);
+        assert!(!o.converged);
+    }
+
+    #[test]
+    fn pass_above_fail_orientation() {
+        let r = ParamRange::new(1.2, 2.1).expect("valid");
+        let mut oracle = FnOracle::new(|v| v >= 1.52);
+        let o = SuccessiveApproximation::new(r, 0.01).run(RegionOrder::PassAboveFail, &mut oracle);
+        let tp = o.trip_point.expect("bracketed");
+        assert!((tp - 1.52).abs() <= 0.01, "tp = {tp}");
+        assert!(tp >= 1.52 - 1e-9);
+    }
+
+    #[test]
+    fn unconverged_when_range_misses_boundary() {
+        let o = SuccessiveApproximation::new(range(), 0.1)
+            .run(RegionOrder::PassBelowFail, FnOracle::new(|_| true));
+        assert!(!o.converged);
+        let o = SuccessiveApproximation::new(range(), 0.1)
+            .run(RegionOrder::PassBelowFail, FnOracle::new(|_| false));
+        assert!(!o.converged);
+        assert_eq!(o.measurements(), 1, "first probe already failing");
+    }
+
+    proptest! {
+        #[test]
+        fn stable_device_converges_within_resolution(
+            boundary in 81.0f64..129.0,
+            resolution in 0.01f64..0.5,
+        ) {
+            let mut oracle = FnOracle::new(|v| v <= boundary);
+            let o = SuccessiveApproximation::new(range(), resolution)
+                .run(RegionOrder::PassBelowFail, &mut oracle);
+            let tp = o.trip_point.expect("inside range");
+            prop_assert!(tp <= boundary + 1e-9);
+            prop_assert!(boundary - tp <= resolution + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The oracle abstraction searches probe through.
+
+use crate::outcome::Probe;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side of the trip point the pass region lies on.
+///
+/// §4 distinguishes the two orientations with eqs. (3) and (4):
+///
+/// * [`RegionOrder::PassBelowFail`] — eq. (3): "the upper boundary value P
+///   of the pass region is smaller than the lower boundary F of the fail
+///   region", e.g. clock frequency (works up to `f_max`, fails above) or a
+///   DQ strobe delay (data valid up to `t_dq`, stale after).
+/// * [`RegionOrder::PassAboveFail`] — eq. (4): the pass region sits above
+///   the fail region, e.g. supply voltage (works down to `vdd_min`, fails
+///   below).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionOrder {
+    /// Pass region at low parameter values, fail region above (eq. 3).
+    PassBelowFail,
+    /// Pass region at high parameter values, fail region below (eq. 4).
+    PassAboveFail,
+}
+
+impl RegionOrder {
+    /// Signed direction from the pass region toward the fail region:
+    /// `+1.0` when failure lies at higher values, `-1.0` when lower.
+    pub fn toward_fail(self) -> f64 {
+        match self {
+            RegionOrder::PassBelowFail => 1.0,
+            RegionOrder::PassAboveFail => -1.0,
+        }
+    }
+
+    /// The opposite orientation.
+    pub fn flipped(self) -> Self {
+        match self {
+            RegionOrder::PassBelowFail => RegionOrder::PassAboveFail,
+            RegionOrder::PassAboveFail => RegionOrder::PassBelowFail,
+        }
+    }
+}
+
+impl fmt::Display for RegionOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegionOrder::PassBelowFail => "pass<fail (eq.3)",
+            RegionOrder::PassAboveFail => "fail<pass (eq.4)",
+        })
+    }
+}
+
+/// Anything that can answer "does the device pass at this parameter value?".
+///
+/// Implemented by the ATE simulator's measurement channels; tests use
+/// [`FnOracle`]. Probing is `&mut self` because real measurements have
+/// side effects — they cost test time, heat the device and advance drift.
+pub trait PassFailOracle {
+    /// Applies the parameter value and reports the device's verdict.
+    fn probe(&mut self, value: f64) -> Probe;
+}
+
+impl<T: PassFailOracle + ?Sized> PassFailOracle for &mut T {
+    fn probe(&mut self, value: f64) -> Probe {
+        (**self).probe(value)
+    }
+}
+
+/// A closure-backed oracle: `true` means pass.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_search::{FnOracle, PassFailOracle, Probe};
+///
+/// let mut oracle = FnOracle::new(|v| v >= 1.45);
+/// assert_eq!(oracle.probe(1.8), Probe::Pass);
+/// assert_eq!(oracle.probe(1.2), Probe::Fail);
+/// assert_eq!(oracle.probes(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FnOracle<F> {
+    f: F,
+    probes: usize,
+}
+
+impl<F: FnMut(f64) -> bool> FnOracle<F> {
+    /// Wraps a pass predicate.
+    pub fn new(f: F) -> Self {
+        Self { f, probes: 0 }
+    }
+
+    /// How many times the oracle has been probed.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+}
+
+impl<F: FnMut(f64) -> bool> PassFailOracle for FnOracle<F> {
+    fn probe(&mut self, value: f64) -> Probe {
+        self.probes += 1;
+        if (self.f)(value) {
+            Probe::Pass
+        } else {
+            Probe::Fail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toward_fail_signs() {
+        assert_eq!(RegionOrder::PassBelowFail.toward_fail(), 1.0);
+        assert_eq!(RegionOrder::PassAboveFail.toward_fail(), -1.0);
+    }
+
+    #[test]
+    fn flipped_is_involution() {
+        for order in [RegionOrder::PassBelowFail, RegionOrder::PassAboveFail] {
+            assert_eq!(order.flipped().flipped(), order);
+            assert_ne!(order.flipped(), order);
+        }
+    }
+
+    #[test]
+    fn fn_oracle_counts_probes() {
+        let mut oracle = FnOracle::new(|v| v < 5.0);
+        for i in 0..7 {
+            let _ = oracle.probe(f64::from(i));
+        }
+        assert_eq!(oracle.probes(), 7);
+    }
+
+    #[test]
+    fn mut_ref_is_an_oracle() {
+        fn takes_oracle<O: PassFailOracle>(mut o: O) -> Probe {
+            o.probe(0.0)
+        }
+        let mut oracle = FnOracle::new(|_| true);
+        assert_eq!(takes_oracle(&mut oracle), Probe::Pass);
+        assert_eq!(oracle.probes(), 1);
+    }
+
+    #[test]
+    fn display_names_equations() {
+        assert!(RegionOrder::PassBelowFail.to_string().contains("eq.3"));
+        assert!(RegionOrder::PassAboveFail.to_string().contains("eq.4"));
+    }
+}

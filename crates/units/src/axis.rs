@@ -1,0 +1,192 @@
+//! Discretized parameter axes for shmoo plots and sweeps.
+
+use crate::{ParamKind, ParamRange, RangeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A discretized sweep axis: a [`ParamKind`], a [`ParamRange`] and a point
+/// count.
+///
+/// A shmoo plot (fig. 8) is two `Axis` values — Vdd on Y, strobe delay on X
+/// — each rasterized into grid points.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_units::{Axis, ParamKind};
+///
+/// let vdd = Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 13)?;
+/// assert_eq!(vdd.len(), 13);
+/// assert_eq!(vdd.at(0), 1.5);
+/// assert!((vdd.at(12) - 2.1).abs() < 1e-12);
+/// assert_eq!(vdd.index_of(1.8), Some(6));
+/// # Ok::<(), cichar_units::RangeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Axis {
+    kind: ParamKind,
+    range: ParamRange,
+    points: usize,
+}
+
+impl Axis {
+    /// Creates an axis over `[start, end]` with `points` grid points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RangeError`] if the bounds are invalid or `points < 2`
+    /// (an axis with fewer than two points cannot be swept).
+    pub fn new(kind: ParamKind, start: f64, end: f64, points: usize) -> Result<Self, RangeError> {
+        if points < 2 {
+            return Err(RangeError::InvalidStep(points as f64));
+        }
+        Ok(Self {
+            kind,
+            range: ParamRange::new(start, end)?,
+            points,
+        })
+    }
+
+    /// The parameter this axis sweeps.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+
+    /// The underlying continuous range.
+    pub fn range(&self) -> ParamRange {
+        self.range
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points
+    }
+
+    /// Always false: construction requires at least two points.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Spacing between adjacent grid points.
+    pub fn step(&self) -> f64 {
+        self.range.width() / (self.points - 1) as f64
+    }
+
+    /// The magnitude of grid point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn at(&self, i: usize) -> f64 {
+        assert!(i < self.points, "axis index {i} out of {}", self.points);
+        self.range.start() + self.step() * i as f64
+    }
+
+    /// The grid index whose point is nearest `value`, if `value` falls
+    /// inside the axis range (with half-step slack at the ends).
+    pub fn index_of(&self, value: f64) -> Option<usize> {
+        let idx = (value - self.range.start()) / self.step();
+        let rounded = idx.round();
+        if rounded < -0.5 || rounded > (self.points - 1) as f64 + 0.5 {
+            return None;
+        }
+        Some(rounded.clamp(0.0, (self.points - 1) as f64) as usize)
+    }
+
+    /// Iterator over all grid magnitudes, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.points).map(move |i| self.at(i))
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} x{} ({})",
+            self.kind,
+            self.range,
+            self.points,
+            self.kind.unit_symbol()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vdd_axis() -> Axis {
+        Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 13).expect("valid axis")
+    }
+
+    #[test]
+    fn construction_validates_points() {
+        assert!(Axis::new(ParamKind::StrobeDelay, 0.0, 1.0, 1).is_err());
+        assert!(Axis::new(ParamKind::StrobeDelay, 0.0, 1.0, 2).is_ok());
+        assert!(Axis::new(ParamKind::StrobeDelay, 1.0, 0.0, 8).is_err());
+    }
+
+    #[test]
+    fn endpoints_hit_exactly() {
+        let a = vdd_axis();
+        assert_eq!(a.at(0), 1.5);
+        assert!((a.at(a.len() - 1) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_times_count_spans_range() {
+        let a = vdd_axis();
+        assert!((a.step() * (a.len() - 1) as f64 - a.range().width()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_of_rounds_to_nearest() {
+        let a = vdd_axis(); // step = 0.05
+        assert_eq!(a.index_of(1.5), Some(0));
+        assert_eq!(a.index_of(1.524), Some(0));
+        assert_eq!(a.index_of(1.526), Some(1));
+        assert_eq!(a.index_of(2.1), Some(12));
+        assert_eq!(a.index_of(2.2), None);
+        assert_eq!(a.index_of(1.3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index")]
+    fn at_panics_out_of_bounds() {
+        let a = vdd_axis();
+        let _ = a.at(13);
+    }
+
+    #[test]
+    fn iter_yields_len_points_ascending() {
+        let a = vdd_axis();
+        let pts: Vec<f64> = a.iter().collect();
+        assert_eq!(pts.len(), a.len());
+        for pair in pts.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn display_mentions_kind_and_unit() {
+        let s = vdd_axis().to_string();
+        assert!(s.contains("supply voltage"));
+        assert!(s.contains('V'));
+    }
+
+    proptest! {
+        #[test]
+        fn index_of_at_is_identity(
+            start in -100.0f64..100.0,
+            width in 0.1f64..100.0,
+            points in 2usize..200,
+        ) {
+            let a = Axis::new(ParamKind::StrobeDelay, start, start + width, points).unwrap();
+            for i in 0..a.len() {
+                prop_assert_eq!(a.index_of(a.at(i)), Some(i));
+            }
+        }
+    }
+}

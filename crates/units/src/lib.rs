@@ -1,0 +1,203 @@
+//! Typed physical quantities for semiconductor device characterization.
+//!
+//! Characterization code juggles many `f64`s with incompatible meanings — a
+//! strobe delay in nanoseconds, a supply voltage, a clock frequency, a die
+//! temperature. This crate wraps each in a newtype ([`Nanoseconds`],
+//! [`Volts`], [`Megahertz`], [`Celsius`]) so the compiler rejects a shmoo
+//! axis fed with the wrong unit, and provides the shared vocabulary the rest
+//! of the workspace searches over: [`ParamKind`], [`ParamValue`],
+//! [`ParamRange`] and [`Axis`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cichar_units::{Nanoseconds, ParamRange, Volts};
+//!
+//! let strobe = Nanoseconds::new(20.0) + Nanoseconds::new(2.5);
+//! assert_eq!(strobe, Nanoseconds::new(22.5));
+//!
+//! let range = ParamRange::new(10.0, 50.0)?;
+//! assert!(range.contains(strobe.value()));
+//! assert_eq!(range.midpoint(), 30.0);
+//!
+//! let vdd = Volts::new(1.8);
+//! assert_eq!(format!("{vdd}"), "1.800 V");
+//! # Ok::<(), cichar_units::RangeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod axis;
+mod quantity;
+mod range;
+
+pub use axis::Axis;
+pub use quantity::{Celsius, Megahertz, Nanoseconds, Volts};
+pub use range::{ParamRange, RangeError};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The characterization parameter a search or shmoo sweeps over.
+///
+/// Matches the DC/AC parameters the paper's §1 lists as characterization
+/// targets: timing edges, supply voltage and clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_units::ParamKind;
+///
+/// assert_eq!(ParamKind::StrobeDelay.unit_symbol(), "ns");
+/// assert!(ParamKind::SupplyVoltage.to_string().contains("voltage"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Output-data strobe delay in nanoseconds (the `T_DQ` axis of fig. 8).
+    StrobeDelay,
+    /// Power-supply voltage in volts (the Vdd axis of fig. 8).
+    SupplyVoltage,
+    /// Device clock frequency in megahertz (§4's 100 MHz example).
+    ClockFrequency,
+    /// Die temperature in degrees Celsius.
+    Temperature,
+}
+
+impl ParamKind {
+    /// Unit symbol used when rendering shmoo axes and reports.
+    pub fn unit_symbol(self) -> &'static str {
+        match self {
+            ParamKind::StrobeDelay => "ns",
+            ParamKind::SupplyVoltage => "V",
+            ParamKind::ClockFrequency => "MHz",
+            ParamKind::Temperature => "degC",
+        }
+    }
+
+    /// Wraps a raw magnitude into the matching [`ParamValue`].
+    pub fn value(self, magnitude: f64) -> ParamValue {
+        match self {
+            ParamKind::StrobeDelay => ParamValue::StrobeDelay(Nanoseconds::new(magnitude)),
+            ParamKind::SupplyVoltage => ParamValue::SupplyVoltage(Volts::new(magnitude)),
+            ParamKind::ClockFrequency => ParamValue::ClockFrequency(Megahertz::new(magnitude)),
+            ParamKind::Temperature => ParamValue::Temperature(Celsius::new(magnitude)),
+        }
+    }
+}
+
+impl fmt::Display for ParamKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ParamKind::StrobeDelay => "strobe delay",
+            ParamKind::SupplyVoltage => "supply voltage",
+            ParamKind::ClockFrequency => "clock frequency",
+            ParamKind::Temperature => "temperature",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A parameter magnitude tagged with its kind.
+///
+/// Searches report their trip point as a `ParamValue` so callers cannot
+/// confuse a voltage trip point with a timing one.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_units::{ParamKind, ParamValue};
+///
+/// let tp = ParamKind::StrobeDelay.value(22.1);
+/// assert_eq!(tp.magnitude(), 22.1);
+/// assert_eq!(tp.kind(), ParamKind::StrobeDelay);
+/// assert_eq!(format!("{tp}"), "22.100 ns");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A strobe-delay magnitude.
+    StrobeDelay(Nanoseconds),
+    /// A supply-voltage magnitude.
+    SupplyVoltage(Volts),
+    /// A clock-frequency magnitude.
+    ClockFrequency(Megahertz),
+    /// A temperature magnitude.
+    Temperature(Celsius),
+}
+
+impl ParamValue {
+    /// The raw magnitude in the parameter's natural unit.
+    pub fn magnitude(self) -> f64 {
+        match self {
+            ParamValue::StrobeDelay(v) => v.value(),
+            ParamValue::SupplyVoltage(v) => v.value(),
+            ParamValue::ClockFrequency(v) => v.value(),
+            ParamValue::Temperature(v) => v.value(),
+        }
+    }
+
+    /// Which parameter this magnitude belongs to.
+    pub fn kind(self) -> ParamKind {
+        match self {
+            ParamValue::StrobeDelay(_) => ParamKind::StrobeDelay,
+            ParamValue::SupplyVoltage(_) => ParamKind::SupplyVoltage,
+            ParamValue::ClockFrequency(_) => ParamKind::ClockFrequency,
+            ParamValue::Temperature(_) => ParamKind::Temperature,
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} {}", self.magnitude(), self.kind().unit_symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_kind_round_trips_through_value() {
+        for kind in [
+            ParamKind::StrobeDelay,
+            ParamKind::SupplyVoltage,
+            ParamKind::ClockFrequency,
+            ParamKind::Temperature,
+        ] {
+            let v = kind.value(1.25);
+            assert_eq!(v.kind(), kind);
+            assert_eq!(v.magnitude(), 1.25);
+        }
+    }
+
+    #[test]
+    fn param_value_display_includes_unit() {
+        assert_eq!(ParamKind::SupplyVoltage.value(1.8).to_string(), "1.800 V");
+        assert_eq!(
+            ParamKind::ClockFrequency.value(100.0).to_string(),
+            "100.000 MHz"
+        );
+    }
+
+    #[test]
+    fn param_kind_display_is_nonempty() {
+        for kind in [
+            ParamKind::StrobeDelay,
+            ParamKind::SupplyVoltage,
+            ParamKind::ClockFrequency,
+            ParamKind::Temperature,
+        ] {
+            assert!(!kind.to_string().is_empty());
+            assert!(!kind.unit_symbol().is_empty());
+        }
+    }
+
+    #[test]
+    fn param_value_serde_round_trip() {
+        let v = ParamKind::StrobeDelay.value(22.1);
+        let json = serde_json::to_string(&v).expect("serialize");
+        let back: ParamValue = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,384 @@
+//! Unit newtypes with arithmetic.
+//!
+//! Each quantity wraps an `f64` magnitude in its natural unit. Arithmetic is
+//! provided only where physically meaningful: quantities of the same unit
+//! add and subtract, and scale by dimensionless `f64` factors. Cross-unit
+//! conversions with a physical meaning ([`Megahertz::period`],
+//! [`Nanoseconds::frequency`]) are explicit methods.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw magnitude.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// The raw magnitude in this quantity's natural unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// The larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Clamps the magnitude into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted: {} > {}", lo, hi);
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Whether the magnitude is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $symbol)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+
+        impl PartialEq<f64> for $name {
+            fn eq(&self, other: &f64) -> bool {
+                self.0 == *other
+            }
+        }
+
+        impl PartialOrd<f64> for $name {
+            fn partial_cmp(&self, other: &f64) -> Option<Ordering> {
+                self.0.partial_cmp(other)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A time span or timing edge in nanoseconds.
+    ///
+    /// This is the unit of the paper's headline parameter, the data-output
+    /// valid time `T_DQ` (spec = 20 ns).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cichar_units::Nanoseconds;
+    ///
+    /// let margin = Nanoseconds::new(22.1) - Nanoseconds::new(20.0);
+    /// assert!((margin.value() - 2.1).abs() < 1e-12);
+    /// ```
+    Nanoseconds,
+    "ns"
+);
+
+quantity!(
+    /// A supply or signal voltage in volts.
+    ///
+    /// The paper's Table 1 is measured at Vdd = 1.8 V; fig. 8's shmoo sweeps
+    /// Vdd on its Y axis.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cichar_units::Volts;
+    ///
+    /// let vdd = Volts::new(1.8);
+    /// let droop = vdd - Volts::new(0.12);
+    /// assert!(droop < vdd);
+    /// ```
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// A clock frequency in megahertz.
+    ///
+    /// §4's worked example characterizes a device specified at 100 MHz that
+    /// fails above 110 MHz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cichar_units::Megahertz;
+    ///
+    /// let spec = Megahertz::new(100.0);
+    /// assert!((spec.period().value() - 10.0).abs() < 1e-12);
+    /// ```
+    Megahertz,
+    "MHz"
+);
+
+quantity!(
+    /// A die temperature in degrees Celsius.
+    ///
+    /// Device heating during long searches is one of the drift sources §1
+    /// warns about; the ATE simulator injects it in this unit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cichar_units::Celsius;
+    ///
+    /// let hot = Celsius::new(25.0) + Celsius::new(60.0);
+    /// assert_eq!(hot, Celsius::new(85.0));
+    /// ```
+    Celsius,
+    "degC"
+);
+
+impl Megahertz {
+    /// The clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frequency is zero or negative; a clock
+    /// must run forward.
+    pub fn period(self) -> Nanoseconds {
+        debug_assert!(self.0 > 0.0, "period of non-positive frequency {self}");
+        Nanoseconds::new(1000.0 / self.0)
+    }
+}
+
+impl Nanoseconds {
+    /// The clock frequency whose period equals this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the span is zero or negative.
+    pub fn frequency(self) -> Megahertz {
+        debug_assert!(self.0 > 0.0, "frequency of non-positive period {self}");
+        Megahertz::new(1000.0 / self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_matches_f64() {
+        let a = Nanoseconds::new(3.5);
+        let b = Nanoseconds::new(1.25);
+        assert_eq!((a + b).value(), 4.75);
+        assert_eq!((a - b).value(), 2.25);
+        assert_eq!((a * 2.0).value(), 7.0);
+        assert_eq!((2.0 * a).value(), 7.0);
+        assert_eq!((a / 2.0).value(), 1.75);
+        assert_eq!(a / b, 2.8);
+        assert_eq!((-a).value(), -3.5);
+    }
+
+    #[test]
+    fn assign_ops_accumulate() {
+        let mut v = Volts::new(1.8);
+        v += Volts::new(0.2);
+        assert_eq!(v, Volts::new(2.0));
+        v -= Volts::new(0.5);
+        assert_eq!(v, Volts::new(1.5));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let lo = Celsius::new(-40.0);
+        let hi = Celsius::new(125.0);
+        assert_eq!(Celsius::new(150.0).clamp(lo, hi), hi);
+        assert_eq!(Celsius::new(-100.0).clamp(lo, hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_rejects_inverted_bounds() {
+        let _ = Nanoseconds::new(1.0).clamp(Nanoseconds::new(5.0), Nanoseconds::new(2.0));
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Megahertz::new(100.0);
+        assert!((f.period().frequency().value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Nanoseconds = (1..=4).map(|i| Nanoseconds::new(i as f64)).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn compare_against_f64() {
+        assert!(Volts::new(1.8) > 1.5);
+        assert!(Volts::new(1.8) == 1.8);
+    }
+
+    #[test]
+    fn display_formats_with_symbol() {
+        assert_eq!(Nanoseconds::new(20.0).to_string(), "20.000 ns");
+        assert_eq!(Celsius::new(-40.0).to_string(), "-40.000 degC");
+    }
+
+    #[test]
+    fn conversion_from_into_f64() {
+        let q: Megahertz = 50.0.into();
+        assert_eq!(q.value(), 50.0);
+        let raw: f64 = q.into();
+        assert_eq!(raw, 50.0);
+    }
+
+    #[test]
+    fn zero_and_default_agree() {
+        assert_eq!(Nanoseconds::ZERO, Nanoseconds::default());
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let x = Nanoseconds::new(a);
+            let y = Nanoseconds::new(b);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn sub_is_inverse_of_add(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let x = Nanoseconds::new(a);
+            let y = Nanoseconds::new(b);
+            let back = (x + y) - y;
+            prop_assert!((back.value() - a).abs() <= 1e-6_f64.max(a.abs() * 1e-12));
+        }
+
+        #[test]
+        fn abs_is_nonnegative(a in -1e9f64..1e9) {
+            prop_assert!(Volts::new(a).abs().value() >= 0.0);
+        }
+
+        #[test]
+        fn ratio_times_denominator_recovers(a in 1e-3f64..1e6, b in 1e-3f64..1e6) {
+            let x = Megahertz::new(a);
+            let y = Megahertz::new(b);
+            let r = x / y;
+            prop_assert!(((y * r).value() - a).abs() < a.abs() * 1e-9 + 1e-9);
+        }
+
+        #[test]
+        fn period_frequency_round_trip(f in 1e-2f64..1e5) {
+            let mhz = Megahertz::new(f);
+            let back = mhz.period().frequency();
+            prop_assert!((back.value() - f).abs() < f * 1e-9);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Closed search ranges over a scalar characterization parameter.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing or refining a [`ParamRange`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeError {
+    /// The start of the range was not strictly below its end.
+    Inverted {
+        /// Offending start bound.
+        start: f64,
+        /// Offending end bound.
+        end: f64,
+    },
+    /// A bound was NaN or infinite.
+    NotFinite,
+    /// A step or resolution was zero, negative, NaN or infinite.
+    InvalidStep(f64),
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeError::Inverted { start, end } => {
+                write!(f, "range start {start} is not below end {end}")
+            }
+            RangeError::NotFinite => f.write_str("range bound was NaN or infinite"),
+            RangeError::InvalidStep(s) => write!(f, "step {s} is not a positive finite value"),
+        }
+    }
+}
+
+impl Error for RangeError {}
+
+/// A closed interval `[start, end]` a trip-point search sweeps over.
+///
+/// This is the paper's "generous starting range" `CR` (§4): the search
+/// begins at `S1 = start`, ends at `S2 = end`, and the trip point is assumed
+/// to lie strictly inside. The paper's worked example uses
+/// `S1 = 80 MHz, S2 = 130 MHz`, so `CR = 50 MHz`.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_units::ParamRange;
+///
+/// let cr = ParamRange::new(80.0, 130.0)?;
+/// assert_eq!(cr.width(), 50.0);
+/// assert_eq!(cr.midpoint(), 105.0);
+/// assert!(cr.contains(100.0));
+/// assert!(!cr.contains(130.1));
+/// # Ok::<(), cichar_units::RangeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    start: f64,
+    end: f64,
+}
+
+impl ParamRange {
+    /// Creates a range from `start` to `end`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError::Inverted`] if `start >= end` and
+    /// [`RangeError::NotFinite`] if either bound is NaN or infinite.
+    pub fn new(start: f64, end: f64) -> Result<Self, RangeError> {
+        if !start.is_finite() || !end.is_finite() {
+            return Err(RangeError::NotFinite);
+        }
+        if start >= end {
+            return Err(RangeError::Inverted { start, end });
+        }
+        Ok(Self { start, end })
+    }
+
+    /// Lower bound (`S1`).
+    pub fn start(self) -> f64 {
+        self.start
+    }
+
+    /// Upper bound (`S2`).
+    pub fn end(self) -> f64 {
+        self.end
+    }
+
+    /// Width of the range (the paper's `CR`).
+    pub fn width(self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Center of the range — the first probe of a binary search.
+    pub fn midpoint(self) -> f64 {
+        self.start + (self.end - self.start) / 2.0
+    }
+
+    /// Whether `value` lies inside the closed interval.
+    pub fn contains(self, value: f64) -> bool {
+        value >= self.start && value <= self.end
+    }
+
+    /// Clamps `value` into the interval.
+    pub fn clamp(self, value: f64) -> f64 {
+        value.clamp(self.start, self.end)
+    }
+
+    /// Linear interpolation: `t = 0` at start, `t = 1` at end.
+    pub fn lerp(self, t: f64) -> f64 {
+        self.start + t * self.width()
+    }
+
+    /// Inverse of [`lerp`](Self::lerp): the normalized position of `value`.
+    pub fn unlerp(self, value: f64) -> f64 {
+        (value - self.start) / self.width()
+    }
+
+    /// Number of `step`-sized probes a linear search needs to cross the
+    /// whole range (rounded up, at least one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError::InvalidStep`] if `step` is not positive finite.
+    pub fn steps_at(self, step: f64) -> Result<usize, RangeError> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(RangeError::InvalidStep(step));
+        }
+        Ok(((self.width() / step).ceil() as usize).max(1))
+    }
+
+    /// Iterator over `count` evenly spaced grid points including both ends.
+    ///
+    /// Useful for shmoo axes. With `count == 1` yields only the start.
+    pub fn grid(self, count: usize) -> impl Iterator<Item = f64> {
+        let step = if count > 1 {
+            self.width() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let start = self.start;
+        (0..count).map(move |i| start + step * i as f64)
+    }
+
+    /// Shrinks the range symmetrically around its midpoint by `factor`
+    /// (0 < factor ≤ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RangeError::InvalidStep`] if `factor` is not in `(0, 1]`.
+    pub fn shrink(self, factor: f64) -> Result<Self, RangeError> {
+        if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+            return Err(RangeError::InvalidStep(factor));
+        }
+        let half = self.width() * factor / 2.0;
+        let mid = self.midpoint();
+        ParamRange::new(mid - half, mid + half)
+    }
+}
+
+impl fmt::Display for ParamRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.3}, {:.3}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ParamRange::new(0.0, 1.0).is_ok());
+        assert_eq!(
+            ParamRange::new(1.0, 1.0),
+            Err(RangeError::Inverted { start: 1.0, end: 1.0 })
+        );
+        assert_eq!(ParamRange::new(f64::NAN, 1.0), Err(RangeError::NotFinite));
+        assert_eq!(
+            ParamRange::new(0.0, f64::INFINITY),
+            Err(RangeError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn paper_worked_example_dimensions() {
+        // §4: S1 = 80 MHz, S2 = 130 MHz ⇒ CR = 50 MHz.
+        let cr = ParamRange::new(80.0, 130.0).expect("valid range");
+        assert_eq!(cr.width(), 50.0);
+        assert!(cr.contains(110.0));
+    }
+
+    #[test]
+    fn lerp_unlerp_inverse_at_ends() {
+        let r = ParamRange::new(-2.0, 6.0).expect("valid range");
+        assert_eq!(r.lerp(0.0), -2.0);
+        assert_eq!(r.lerp(1.0), 6.0);
+        assert_eq!(r.unlerp(-2.0), 0.0);
+        assert_eq!(r.unlerp(6.0), 1.0);
+    }
+
+    #[test]
+    fn steps_at_rounds_up() {
+        let r = ParamRange::new(0.0, 10.0).expect("valid range");
+        assert_eq!(r.steps_at(3.0).expect("valid step"), 4);
+        assert_eq!(r.steps_at(10.0).expect("valid step"), 1);
+        assert_eq!(r.steps_at(0.0), Err(RangeError::InvalidStep(0.0)));
+        assert_eq!(r.steps_at(-1.0), Err(RangeError::InvalidStep(-1.0)));
+    }
+
+    #[test]
+    fn grid_includes_both_endpoints() {
+        let r = ParamRange::new(1.0, 2.0).expect("valid range");
+        let pts: Vec<f64> = r.grid(5).collect();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], 1.0);
+        assert!((pts[4] - 2.0).abs() < 1e-12);
+        assert!((pts[2] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_degenerate_counts() {
+        let r = ParamRange::new(0.0, 1.0).expect("valid range");
+        assert_eq!(r.grid(0).count(), 0);
+        assert_eq!(r.grid(1).collect::<Vec<_>>(), vec![0.0]);
+    }
+
+    #[test]
+    fn shrink_preserves_midpoint() {
+        let r = ParamRange::new(0.0, 8.0).expect("valid range");
+        let s = r.shrink(0.5).expect("valid factor");
+        assert_eq!(s.midpoint(), r.midpoint());
+        assert_eq!(s.width(), 4.0);
+        assert!(r.shrink(0.0).is_err());
+        assert!(r.shrink(1.5).is_err());
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        let r = ParamRange::new(80.0, 130.0).expect("valid range");
+        assert_eq!(r.to_string(), "[80.000, 130.000]");
+    }
+
+    proptest! {
+        #[test]
+        fn clamp_result_always_contained(
+            a in -1e4f64..1e4, w in 1e-3f64..1e4, v in -1e6f64..1e6
+        ) {
+            let r = ParamRange::new(a, a + w).unwrap();
+            prop_assert!(r.contains(r.clamp(v)));
+        }
+
+        #[test]
+        fn lerp_of_unit_interval_is_contained(
+            a in -1e4f64..1e4, w in 1e-3f64..1e4, t in 0.0f64..=1.0
+        ) {
+            let r = ParamRange::new(a, a + w).unwrap();
+            prop_assert!(r.contains(r.lerp(t)));
+        }
+
+        #[test]
+        fn unlerp_lerp_round_trip(
+            a in -1e4f64..1e4, w in 1e-1f64..1e4, t in 0.0f64..=1.0
+        ) {
+            let r = ParamRange::new(a, a + w).unwrap();
+            let back = r.unlerp(r.lerp(t));
+            prop_assert!((back - t).abs() < 1e-9);
+        }
+
+        #[test]
+        fn grid_is_monotone(a in -1e4f64..1e4, w in 1e-3f64..1e4, n in 2usize..64) {
+            let r = ParamRange::new(a, a + w).unwrap();
+            let pts: Vec<f64> = r.grid(n).collect();
+            for pair in pts.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+}

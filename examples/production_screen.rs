@@ -1,0 +1,97 @@
+//! From characterization to manufacturing test (§1): hunt the worst case
+//! with the NN+GA pipeline, derive a go/no-go production program from the
+//! worst-case database, and show that it catches marginal dies the
+//! deterministic-only program lets escape.
+//!
+//! ```text
+//! cargo run --release --example production_screen
+//! ```
+
+use cichar::ate::{Ate, MeasuredParam};
+use cichar::core::compare::{quick_config, Comparison};
+use cichar::core::db::{WorstCaseDatabase, WorstCaseTest};
+use cichar::core::production::{Bin, ProductionProgram};
+use cichar::core::wcr::CharacterizationObjective;
+use cichar::dut::{Lot, MemoryDevice};
+use cichar::patterns::{march, Test};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let objective = CharacterizationObjective::drift_to_minimum(20.0);
+
+    // Characterization phase: find the worst-case tests (figs. 4+5).
+    println!("characterizing on the golden die...");
+    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut rng = StdRng::seed_from_u64(9001);
+    let comparison = Comparison::run(&mut ate, &quick_config(), &mut rng);
+    println!("{}", comparison.render());
+
+    // Derive the two rival production programs with the same guard band.
+    let guard_band = 1.5;
+    let worst_case_program = ProductionProgram::from_worst_cases(
+        &comparison.optimization.database,
+        MeasuredParam::DataValidTime,
+        objective,
+        guard_band,
+        3,
+    );
+    let march_only = {
+        let march_row = &comparison.rows[0];
+        let mut db = WorstCaseDatabase::new(1);
+        db.insert(WorstCaseTest {
+            test: Test::deterministic("March Test", march::march_c_minus(64)),
+            trip_point: march_row.t_dq,
+            wcr: march_row.wcr,
+            class: march_row.class,
+            predicted_severity: None,
+        });
+        ProductionProgram::from_worst_cases(
+            &db,
+            MeasuredParam::DataValidTime,
+            objective,
+            guard_band,
+            1,
+        )
+    };
+    println!("worst-case-derived {worst_case_program}");
+    println!("deterministic-only {march_only}");
+
+    // Production phase: screen a simulated lot with both programs.
+    let lot = Lot::default();
+    let mut rng = StdRng::seed_from_u64(77);
+    let dies = lot.sample_dies(&mut rng, 200);
+    let mut march_good = 0;
+    let mut wc_good = 0;
+    let mut escapes = 0;
+    for die in &dies {
+        let mut ate_a = Ate::noiseless(MemoryDevice::new(*die));
+        let mut ate_b = Ate::noiseless(MemoryDevice::new(*die));
+        let a = march_only.screen(&mut ate_a);
+        let b = worst_case_program.screen(&mut ate_b);
+        march_good += usize::from(a.is_good());
+        wc_good += usize::from(b.is_good());
+        if a.is_good() && !b.is_good() {
+            escapes += 1;
+            if escapes <= 3 {
+                if let Bin::Reject { test_name, .. } = &b {
+                    println!(
+                        "  escape candidate: die#{} (speed {:.3}, sens {:.3}) passes March, \
+                         rejected by {test_name}",
+                        die.id(),
+                        die.speed(),
+                        die.stress_sensitivity()
+                    );
+                }
+            }
+        }
+    }
+    println!("\nscreened {} dies with a {guard_band} ns guard band:", dies.len());
+    println!("  deterministic-only program: {march_good} good");
+    println!("  worst-case-derived program: {wc_good} good");
+    println!(
+        "  test escapes prevented: {escapes} dies pass the March screen but violate\n\
+         the guard-banded spec under the true worst-case stimulus — §1's motivating\n\
+         failure mode, closed by characterization-driven test development."
+    );
+}

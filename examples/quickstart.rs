@@ -1,0 +1,71 @@
+//! Quickstart: measure one device's `T_DQ` trip point with all four
+//! search algorithms and compare their measurement cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cichar::ate::{Ate, MeasuredParam};
+use cichar::dut::{MemoryDevice, T_DQ_SPEC};
+use cichar::patterns::{march, Test};
+use cichar::search::{BinarySearch, LinearSearch, SearchUntilTrip, SuccessiveApproximation};
+
+fn main() {
+    // Load a nominal die on the tester and pick the production test.
+    let mut ate = Ate::new(MemoryDevice::nominal());
+    let test = Test::deterministic("march_c-", march::march_c_minus(64));
+    let param = MeasuredParam::DataValidTime;
+    let range = param.generous_range();
+    let resolution = param.resolution();
+
+    println!("characterizing {param}");
+    println!(
+        "generous range {range} {}, resolution {resolution} {}\n",
+        param.kind().unit_symbol(),
+        param.kind().unit_symbol()
+    );
+
+    // 1. Linear search: the §1 brute-force baseline.
+    let linear = LinearSearch::new(range, 0.25).run(param.region_order(), ate.trip_oracle(&test, param));
+    report("linear (0.25 ns steps)", &linear);
+
+    // 2. Binary search: divide and conquer.
+    let binary =
+        BinarySearch::new(range, resolution).run(param.region_order(), ate.trip_oracle(&test, param));
+    report("binary", &binary);
+
+    // 3. Successive approximation: the drift-tolerant ATE standard.
+    let successive = SuccessiveApproximation::new(range, resolution)
+        .run(param.region_order(), ate.trip_oracle(&test, param));
+    report("successive approximation", &successive);
+
+    // 4. Search-until-trip-point: the paper's §4 method, re-using the
+    //    binary result as the reference trip point.
+    let rtp = binary.trip_point.expect("trip point in range");
+    let stp = SearchUntilTrip::new(range, param.search_factor())
+        .with_refinement(resolution)
+        .run(rtp, param.region_order(), ate.trip_oracle(&test, param));
+    report("search-until-trip-point", &stp);
+
+    let t_dq = stp.trip_point.expect("trip point in range");
+    println!(
+        "\nmeasured T_DQ = {t_dq:.2} ns vs spec {} -> {}",
+        T_DQ_SPEC,
+        if t_dq >= T_DQ_SPEC.value() {
+            "PASS"
+        } else {
+            "SPEC VIOLATION"
+        }
+    );
+    println!("tester session total: {}", ate.ledger());
+}
+
+fn report(name: &str, outcome: &cichar::search::SearchOutcome) {
+    match outcome.trip_point {
+        Some(tp) => println!(
+            "{name:<26} trip point {tp:>7.3} ns in {:>3} measurements",
+            outcome.measurements()
+        ),
+        None => println!("{name:<26} did not converge"),
+    }
+}

@@ -1,0 +1,64 @@
+//! The full intelligent characterization pipeline (figs. 4 + 5):
+//! learn the device from random tests, screen candidates with the
+//! fuzzy-neural generator, optimize with the two-species GA, and print the
+//! Table 1 comparison plus the worst-case database.
+//!
+//! ```text
+//! cargo run --release --example worst_case_hunt
+//! ```
+
+use cichar::ate::Ate;
+use cichar::core::compare::{quick_config, Comparison};
+use cichar::core::report::render_timing_diagram;
+use cichar::dut::{MemoryDevice, T_DQ_SPEC};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut rng = StdRng::seed_from_u64(0xDA7E);
+    let config = quick_config();
+
+    println!("== intelligent worst-case hunt (figs. 4-5) ==\n");
+    let comparison = Comparison::run(&mut ate, &config, &mut rng);
+
+    println!("learning phase:     {}", comparison.model);
+    println!(
+        "optimization phase: {}\n",
+        comparison.optimization
+    );
+    println!("{}", comparison.render());
+
+    let winner = comparison.winner();
+    println!(
+        "verdict: the {} provokes T_DQ = {:.2} ns (WCR {:.3}, {}),\n\
+         a drift no deterministic or random test exposed.\n",
+        winner.test_name, winner.t_dq, winner.wcr, winner.class
+    );
+
+    println!("worst-case database (fig. 5's final artifact):");
+    print!("{}", comparison.optimization.database);
+    if !comparison.optimization.database.failures().is_empty() {
+        println!("\nfunctional failures found (stored separately per fig. 5):");
+        for f in comparison.optimization.database.failures() {
+            println!("  {f}");
+        }
+    }
+
+    println!("\ntiming diagram of the found worst case (fig. 7's view):");
+    print!(
+        "{}",
+        render_timing_diagram(winner.t_dq, T_DQ_SPEC.value(), 60.0)
+    );
+
+    // §5's fuzzy analysis of WHY the worst case is bad — the stand-in for
+    // fig. 5's "analyze the potential design weaknesses … in detail".
+    if let Some(worst) = comparison.optimization.database.worst() {
+        println!("\nfuzzy weakness analysis of {}:", worst.test.name());
+        print!(
+            "{}",
+            cichar::core::analysis::WeaknessAnalyzer::new().analyze(&worst.test)
+        );
+    }
+    println!("\n{}", ate.ledger());
+}

@@ -1,0 +1,66 @@
+//! # cichar — computational-intelligence device characterization
+//!
+//! A from-scratch Rust reproduction of *"Computational Intelligence
+//! Characterization Method of Semiconductor Device"* (Liau &
+//! Schmitt-Landsiedel, DATE 2005): multiple-trip-point characterization,
+//! the search-until-trip-point algorithm, and neural-network + fuzzy +
+//! genetic-algorithm worst-case test generation — running against a
+//! simulated 140 nm-class memory device on a simulated industrial ATE.
+//!
+//! This crate is the umbrella: it re-exports every workspace crate under
+//! one namespace. Depend on the individual `cichar-*` crates if you only
+//! need one layer.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`units`] | typed quantities (ns, V, MHz, degC), ranges, axes |
+//! | [`patterns`] | test vectors, ALPG programs, March/random generators, stress features |
+//! | [`dut`] | the behavioral device model and process variation |
+//! | [`ate`] | the tester simulator: oracles, ledger, noise, drift, shmoo |
+//! | [`search`] | linear / binary / successive-approximation / search-until-trip-point |
+//! | [`neural`] | MLPs, committees with voting, learnability checks |
+//! | [`fuzzy`] | membership functions, Mamdani inference, WCR coding |
+//! | [`genetic`] | the two-species multi-population GA |
+//! | [`core`] | the paper's schemes: DSV, WCR, learning, optimization, Table 1 |
+//!
+//! # Quickstart
+//!
+//! Measure a trip point the way fig. 1 does:
+//!
+//! ```
+//! use cichar::ate::{Ate, MeasuredParam};
+//! use cichar::dut::MemoryDevice;
+//! use cichar::patterns::{march, Test};
+//! use cichar::search::BinarySearch;
+//!
+//! let mut ate = Ate::noiseless(MemoryDevice::nominal());
+//! let test = Test::deterministic("march_c-", march::march_c_minus(64));
+//! let param = MeasuredParam::DataValidTime;
+//! let outcome = BinarySearch::new(param.generous_range(), param.resolution())
+//!     .run(param.region_order(), ate.trip_oracle(&test, param));
+//! let t_dq = outcome.trip_point.expect("trip point in range");
+//! assert!(t_dq > 20.0, "March leaves margin to the 20 ns spec");
+//! ```
+//!
+//! Run the examples for the full flows:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example multi_trip_point
+//! cargo run --release --example shmoo_plot
+//! cargo run --release --example worst_case_hunt
+//! cargo run --release --example frequency_characterization
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cichar_ate as ate;
+pub use cichar_core as core;
+pub use cichar_dut as dut;
+pub use cichar_fuzzy as fuzzy;
+pub use cichar_genetic as genetic;
+pub use cichar_neural as neural;
+pub use cichar_patterns as patterns;
+pub use cichar_search as search;
+pub use cichar_units as units;

@@ -1,0 +1,149 @@
+//! Cross-crate invariants: the search layer, the ATE simulator and the
+//! device model must agree with each other.
+
+use cichar::ate::{Ate, MeasuredParam, ShmooPlot};
+use cichar::dut::{Die, MemoryDevice, ProcessCorner};
+use cichar::patterns::{march, PatternFeatures, Test, TestConditions};
+use cichar::search::{BinarySearch, RegionOrder, SearchUntilTrip, SuccessiveApproximation};
+use cichar::units::{Axis, ParamKind};
+
+fn march_test() -> Test {
+    Test::deterministic("march_c-", march::march_c_minus(64))
+}
+
+/// A noiseless searched trip point must equal the device's true parametric
+/// value within the search resolution — for every parameter and both
+/// region orientations.
+#[test]
+fn searched_trip_points_match_device_truth() {
+    let device = MemoryDevice::nominal();
+    let test = march_test();
+    let features = PatternFeatures::extract(&test.pattern());
+    let truth = device.evaluate_features(&features, test.conditions());
+    let mut ate = Ate::noiseless(device);
+
+    for (param, expected) in [
+        (MeasuredParam::DataValidTime, truth.t_dq.value()),
+        (MeasuredParam::MaxFrequency, truth.f_max.value()),
+        (MeasuredParam::MinVoltage, truth.vdd_min.value()),
+    ] {
+        let outcome = BinarySearch::new(param.generous_range(), param.resolution())
+            .run(param.region_order(), ate.trip_oracle(&test, param));
+        let tp = outcome.trip_point.expect("trip in range");
+        assert!(
+            (tp - expected).abs() <= param.resolution(),
+            "{param}: searched {tp} vs truth {expected}"
+        );
+    }
+}
+
+/// All three search algorithms agree on the same (noiseless) device.
+#[test]
+fn search_algorithms_agree() {
+    let test = march_test();
+    let param = MeasuredParam::DataValidTime;
+    let mut ate = Ate::noiseless(MemoryDevice::nominal());
+    let binary = BinarySearch::new(param.generous_range(), param.resolution())
+        .run(param.region_order(), ate.trip_oracle(&test, param));
+    let successive = SuccessiveApproximation::new(param.generous_range(), param.resolution())
+        .run(param.region_order(), ate.trip_oracle(&test, param));
+    let b = binary.trip_point.expect("converged");
+    let s = successive.trip_point.expect("converged");
+    assert!((b - s).abs() <= 2.0 * param.resolution(), "{b} vs {s}");
+
+    let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor())
+        .with_refinement(param.resolution())
+        .run(b, param.region_order(), ate.trip_oracle(&test, param));
+    let t = stp.trip_point.expect("converged");
+    assert!((b - t).abs() <= 2.0 * param.resolution(), "{b} vs {t}");
+}
+
+/// The shmoo row at nominal Vdd must place its boundary where the search
+/// places the trip point (within one grid step).
+#[test]
+fn shmoo_boundary_matches_search() {
+    let test = march_test();
+    let param = MeasuredParam::DataValidTime;
+    let mut ate = Ate::noiseless(MemoryDevice::nominal());
+    let searched = BinarySearch::new(param.generous_range(), param.resolution())
+        .run(param.region_order(), ate.trip_oracle(&test, param))
+        .trip_point
+        .expect("converged");
+
+    let x = Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 81).expect("valid");
+    let y = Axis::new(ParamKind::SupplyVoltage, 1.7, 1.9, 3).expect("valid");
+    let plot = ShmooPlot::capture(&mut ate, &test, x.clone(), y);
+    let row_boundary = plot
+        .row_boundary(1, RegionOrder::PassBelowFail) // middle row = 1.8 V
+        .expect("boundary on axis");
+    assert!(
+        (row_boundary - searched).abs() <= x.step() + param.resolution(),
+        "shmoo {row_boundary} vs search {searched}"
+    );
+}
+
+/// Process corners order consistently through the whole stack: a fast die
+/// trips later than a slow die when measured through the full ATE+search
+/// path.
+#[test]
+fn corner_ordering_survives_the_measurement_path() {
+    let test = march_test();
+    let param = MeasuredParam::DataValidTime;
+    let measure = |corner: ProcessCorner| {
+        let mut ate = Ate::noiseless(MemoryDevice::new(Die::at_corner(corner)));
+        BinarySearch::new(param.generous_range(), param.resolution())
+            .run(param.region_order(), ate.trip_oracle(&test, param))
+            .trip_point
+            .expect("converged")
+    };
+    let fast = measure(ProcessCorner::Fast);
+    let typical = measure(ProcessCorner::Typical);
+    let slow = measure(ProcessCorner::Slow);
+    assert!(fast > typical && typical > slow, "{fast} > {typical} > {slow}");
+}
+
+/// The ledger sees every probe that any search issues, and test time grows
+/// monotonically with measurements.
+#[test]
+fn ledger_accounts_every_probe() {
+    let test = march_test();
+    let param = MeasuredParam::DataValidTime;
+    let mut ate = Ate::noiseless(MemoryDevice::nominal());
+    assert_eq!(ate.ledger().measurements(), 0);
+    let outcome = BinarySearch::new(param.generous_range(), param.resolution())
+        .run(param.region_order(), ate.trip_oracle(&test, param));
+    assert_eq!(ate.ledger().measurements(), outcome.measurements() as u64);
+    assert_eq!(
+        ate.ledger().cycles(),
+        outcome.measurements() as u64 * test.pattern().len() as u64
+    );
+    let t1 = ate.ledger().test_time_ms();
+    let _ = ate.measure(&test, param, 20.0);
+    assert!(ate.ledger().test_time_ms() > t1);
+}
+
+/// Conditions flow end to end: forcing Vdd through the test's own
+/// conditions and through the shmoo's forced axis must agree.
+#[test]
+fn forced_and_owned_conditions_agree() {
+    let param = MeasuredParam::DataValidTime;
+    let starved = march_test()
+        .with_conditions(TestConditions::nominal().with_vdd(cichar::units::Volts::new(1.6)));
+    let mut ate = Ate::noiseless(MemoryDevice::nominal());
+    let via_conditions = BinarySearch::new(param.generous_range(), param.resolution())
+        .run(param.region_order(), ate.trip_oracle(&starved, param))
+        .trip_point
+        .expect("converged");
+
+    let x = Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 161).expect("valid");
+    let y = Axis::new(ParamKind::SupplyVoltage, 1.6, 1.8, 2).expect("valid");
+    let nominal_test = march_test();
+    let plot = ShmooPlot::capture(&mut ate, &nominal_test, x.clone(), y);
+    let via_force = plot
+        .row_boundary(0, RegionOrder::PassBelowFail)
+        .expect("boundary on axis");
+    assert!(
+        (via_conditions - via_force).abs() <= x.step() + param.resolution(),
+        "{via_conditions} vs {via_force}"
+    );
+}

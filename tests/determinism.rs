@@ -1,0 +1,103 @@
+//! Reproducibility: every stochastic stage is seed-deterministic, end to
+//! end — a hard requirement for a characterization tool whose findings
+//! must be replayable on demand.
+
+use cichar::ate::{Ate, AteConfig, MeasuredParam};
+use cichar::core::learning::{LearningConfig, LearningScheme};
+use cichar::core::optimization::{OptimizationConfig, OptimizationScheme};
+use cichar::dut::{Lot, MemoryDevice};
+use cichar::genetic::GaConfig;
+use cichar::neural::TrainConfig;
+use cichar::patterns::{random, ConditionSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn random_test_generation_is_seed_stable() {
+    let space = ConditionSpace::default();
+    let a = random::random_suite(&mut StdRng::seed_from_u64(5), &space, 10);
+    let b = random::random_suite(&mut StdRng::seed_from_u64(5), &space, 10);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lot_sampling_is_seed_stable() {
+    let lot = Lot::default();
+    let a = lot.sample_dies(&mut StdRng::seed_from_u64(6), 20);
+    let b = lot.sample_dies(&mut StdRng::seed_from_u64(6), 20);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn noisy_ate_sessions_replay_exactly() {
+    let run = || {
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), AteConfig::default());
+        let test = cichar::patterns::Test::deterministic(
+            "m",
+            cichar::patterns::march::march_c_minus(64),
+        );
+        (0..30)
+            .map(|i| {
+                ate.measure(&test, MeasuredParam::DataValidTime, 31.9 + 0.01 * f64::from(i))
+                    .is_pass()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn learning_scheme_is_seed_stable() {
+    let config = LearningConfig {
+        tests_per_round: 40,
+        max_rounds: 1,
+        committee_size: 2,
+        hidden: vec![8],
+        train: TrainConfig {
+            epochs: 60,
+            ..TrainConfig::default()
+        },
+        ..LearningConfig::default()
+    };
+    let run = || {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(7);
+        LearningScheme::new(config.clone()).run(&mut ate, &mut rng)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.committee, b.committee, "identical weight files");
+    assert_eq!(a.reference_trip_point, b.reference_trip_point);
+    assert_eq!(a.measurements_used, b.measurements_used);
+}
+
+#[test]
+fn optimization_scheme_is_seed_stable() {
+    let config = OptimizationConfig {
+        ga: GaConfig {
+            population_size: 10,
+            islands: 1,
+            generations: 5,
+            ..GaConfig::default()
+        },
+        ..OptimizationConfig::default()
+    };
+    let run = || {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(8);
+        OptimizationScheme::new(config.clone()).run(&mut ate, &[], Some(31.0), &mut rng)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best.trip_point, b.best.trip_point);
+    assert_eq!(a.ga.evaluations, b.ga.evaluations);
+    assert_eq!(a.measurements_used, b.measurements_used);
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let space = ConditionSpace::default();
+    let a = random::random_suite(&mut StdRng::seed_from_u64(1), &space, 5);
+    let b = random::random_suite(&mut StdRng::seed_from_u64(2), &space, 5);
+    assert_ne!(a, b, "seeds must actually matter");
+}
