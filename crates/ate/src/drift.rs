@@ -60,6 +60,13 @@ impl DriftModel {
         self.max_rise
     }
 
+    /// Whether this model never drifts, making verdicts independent of
+    /// session history (the memoization cache is only sound in this
+    /// regime).
+    pub fn is_none(&self) -> bool {
+        self.max_rise == 0.0
+    }
+
     /// Die temperature rise after `cycles` total applied vector cycles.
     pub fn temperature_rise(&self, cycles: u64) -> f64 {
         self.max_rise * (1.0 - (-(cycles as f64) / self.time_constant_cycles).exp())

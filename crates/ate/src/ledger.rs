@@ -31,6 +31,10 @@ pub struct MeasurementLedger {
     measurements: u64,
     cycles: u64,
     pattern_time_us: f64,
+    /// Probes answered from the memoization cache instead of the tester.
+    /// Tracked apart from `measurements` so cached probes never inflate
+    /// the paper's measurement-saving numbers (fig. 3).
+    cached: u64,
 }
 
 impl MeasurementLedger {
@@ -48,9 +52,21 @@ impl MeasurementLedger {
         }
     }
 
+    /// Records one probe served from the memoization cache. The device
+    /// never sees the pattern, so only the cached counter moves —
+    /// measurements, cycles, and tester time all stay put.
+    pub fn record_cached(&mut self) {
+        self.cached += 1;
+    }
+
     /// Total measurements performed.
     pub fn measurements(&self) -> u64 {
         self.measurements
+    }
+
+    /// Total probes served from the memoization cache.
+    pub fn cached_probes(&self) -> u64 {
+        self.cached
     }
 
     /// Total vector cycles applied.
@@ -70,6 +86,17 @@ impl MeasurementLedger {
         self.measurements - baseline.measurements
     }
 
+    /// Folds another ledger's counters into this one. The parallel
+    /// execution layer gives every worker session its own ledger and
+    /// merges them **by test index**, so totals are identical to the
+    /// sequential path no matter how work was scheduled.
+    pub fn merge(&mut self, other: &MeasurementLedger) {
+        self.measurements += other.measurements;
+        self.cycles += other.cycles;
+        self.pattern_time_us += other.pattern_time_us;
+        self.cached += other.cached;
+    }
+
     /// Resets all counters.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -84,7 +111,11 @@ impl fmt::Display for MeasurementLedger {
             self.measurements,
             self.cycles,
             self.test_time_ms()
-        )
+        )?;
+        if self.cached > 0 {
+            write!(f, " ({} cached probes)", self.cached)?;
+        }
+        Ok(())
     }
 }
 
@@ -140,5 +171,75 @@ mod tests {
         l.record(640, 100.0);
         let s = l.to_string();
         assert!(s.contains("1 measurements") && s.contains("640 cycles"), "{s}");
+    }
+
+    #[test]
+    fn cached_probes_do_not_count_as_measurements() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        let time_before = l.test_time_ms();
+        l.record_cached();
+        l.record_cached();
+        assert_eq!(l.measurements(), 1, "cache hits are not measurements");
+        assert_eq!(l.cached_probes(), 2);
+        assert_eq!(l.cycles(), 640, "cache hits apply no vectors");
+        assert_eq!(l.test_time_ms(), time_before, "cache hits cost no tester time");
+    }
+
+    #[test]
+    fn display_mentions_cached_probes_only_when_present() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        assert!(!l.to_string().contains("cached"));
+        l.record_cached();
+        assert!(l.to_string().contains("1 cached probes"), "{l}");
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = MeasurementLedger::new();
+        a.record(100, 100.0);
+        a.record_cached();
+        let mut b = MeasurementLedger::new();
+        b.record(900, 50.0);
+        b.record(500, 100.0);
+        b.record_cached();
+        b.record_cached();
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.measurements(), 3);
+        assert_eq!(merged.cycles(), 1500);
+        assert_eq!(merged.cached_probes(), 3);
+        let expected_time = a.test_time_ms() + b.test_time_ms();
+        assert!((merged.test_time_ms() - expected_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_counts() {
+        let mut parts = [MeasurementLedger::new(); 3];
+        parts[0].record(100, 100.0);
+        parts[1].record(250, 50.0);
+        parts[1].record_cached();
+        parts[2].record(640, 100.0);
+        let fold = |order: [usize; 3]| {
+            let mut total = MeasurementLedger::new();
+            for i in order {
+                total.merge(&parts[i]);
+            }
+            total
+        };
+        assert_eq!(fold([0, 1, 2]), fold([2, 0, 1]));
+        assert_eq!(fold([0, 1, 2]), fold([1, 2, 0]));
+    }
+
+    #[test]
+    fn merged_ledger_round_trips_through_serde() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        l.record_cached();
+        let json = serde_json::to_string(&l).expect("serialize");
+        let back: MeasurementLedger = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, l);
+        assert_eq!(back.cached_probes(), 1);
     }
 }

@@ -20,7 +20,10 @@
 //!   the "specification parameter changes over time due to device heating"
 //!   of §1;
 //! * a [`shmoo`] engine that rasterizes pass/fail over two parameter axes
-//!   and renders the fig. 8 plot.
+//!   and renders the fig. 8 plot;
+//! * a [`ParallelAte`] blueprint that spawns deterministic per-work-item
+//!   sessions (seeds derived from campaign seed × item index) so campaigns
+//!   can fan out across threads and still merge bit-identical results.
 //!
 //! # Examples
 //!
@@ -49,6 +52,7 @@ mod drift;
 mod ledger;
 mod noise;
 mod oracle;
+mod parallel;
 mod params;
 pub mod shmoo;
 mod tester;
@@ -57,6 +61,7 @@ pub use drift::DriftModel;
 pub use ledger::MeasurementLedger;
 pub use noise::NoiseModel;
 pub use oracle::TripOracle;
+pub use parallel::ParallelAte;
 pub use params::MeasuredParam;
 pub use shmoo::{OverlayShmoo, ShmooPlot};
 pub use tester::{Ate, AteConfig};

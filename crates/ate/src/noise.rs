@@ -48,6 +48,12 @@ impl NoiseModel {
         Self::new(0.0, 0.0, 0.0)
     }
 
+    /// Whether every sigma is zero, making verdicts a pure function of the
+    /// stimulus (the memoization cache is only sound in this regime).
+    pub fn is_noiseless(&self) -> bool {
+        self.t_dq_sigma == 0.0 && self.f_max_sigma == 0.0 && self.vdd_min_sigma == 0.0
+    }
+
     /// Timing-strobe jitter sigma in nanoseconds.
     pub fn t_dq_sigma(&self) -> f64 {
         self.t_dq_sigma

@@ -35,18 +35,30 @@ pub struct TripOracle<'a> {
     param: MeasuredParam,
     features: PatternFeatures,
     pattern_cycles: u64,
+    /// Precomputed memoization-key prefix (pattern + conditions +
+    /// relaxation forces), present when the session can serve cached
+    /// verdicts. Each probe extends it with the strobed value.
+    memo_base: Option<u64>,
 }
 
 impl<'a> TripOracle<'a> {
     /// Creates the adapter (called via [`Ate::trip_oracle`]).
     pub(crate) fn new(ate: &'a mut Ate, test: &'a Test, param: MeasuredParam) -> Self {
         let pattern = test.pattern();
+        let memo_base = ate.memo_active().then(|| {
+            crate::tester::probe_identity(
+                pattern.content_hash(),
+                test.conditions(),
+                param.relax_forces(),
+            )
+        });
         Self {
             ate,
             test,
             param,
             features: PatternFeatures::extract(&pattern),
             pattern_cycles: pattern.len() as u64,
+            memo_base,
         }
     }
 
@@ -63,12 +75,26 @@ impl<'a> TripOracle<'a> {
 
 impl PassFailOracle for TripOracle<'_> {
     fn probe(&mut self, value: f64) -> Probe {
+        let key = self.memo_base.map(|base| {
+            let h = crate::tester::mix(base, self.param.kind() as u64);
+            crate::tester::mix(h, value.to_bits())
+        });
+        if let Some(key) = key {
+            if let Some(verdict) = self.ate.cache_lookup(key) {
+                return verdict;
+            }
+        }
         // §4 relaxation: non-measured parameters are forced to relaxed
         // values so only the strobed parameter can cause failure.
         let mut forces: Vec<_> = self.param.relax_forces().to_vec();
         forces.push((self.param.kind(), value));
-        self.ate
-            .measure_features(&self.features, self.pattern_cycles, self.test, &forces)
+        let verdict =
+            self.ate
+                .measure_features(&self.features, self.pattern_cycles, self.test, &forces);
+        if let Some(key) = key {
+            self.ate.cache_store(key, verdict);
+        }
+        verdict
     }
 }
 

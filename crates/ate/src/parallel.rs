@@ -1,0 +1,155 @@
+//! The parallel-session adapter: one tester blueprint, many deterministic
+//! worker sessions.
+
+use crate::tester::{Ate, AteConfig};
+use cichar_dut::MemoryDevice;
+use cichar_exec::derive_seed;
+
+/// Blueprint for spawning per-work-item [`Ate`] sessions whose results are
+/// bit-identical regardless of thread count or scheduling order.
+///
+/// Real multi-site ATE duplicates the load board per site; this adapter
+/// does the in-simulation equivalent. It captures a device and a campaign
+/// configuration, and [`ParallelAte::session`] clones them into an
+/// independent tester whose RNG seed is
+/// [`derive_seed`]`(campaign seed, item index)` — a pure function of the
+/// item's identity. A worker therefore sees the same noise stream for
+/// item *i* whether it runs first on one thread or last on sixteen, and
+/// the caller merges ledgers and results **by index** to reassemble a
+/// deterministic campaign total.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{AteConfig, ParallelAte};
+/// use cichar_dut::MemoryDevice;
+///
+/// let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+/// let a = blueprint.session(7);
+/// let b = blueprint.session(7);
+/// // The same index always yields an identically-seeded session…
+/// assert_eq!(a.config(), b.config());
+/// // …and different indices never share a seed.
+/// assert_ne!(blueprint.session(8).config().seed, a.config().seed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelAte {
+    device: MemoryDevice,
+    config: AteConfig,
+    memoize: bool,
+}
+
+impl ParallelAte {
+    /// Captures a device and campaign configuration as the blueprint every
+    /// worker session is cloned from. `config.seed` is the campaign seed.
+    pub fn new(device: MemoryDevice, config: AteConfig) -> Self {
+        Self {
+            device,
+            config,
+            memoize: false,
+        }
+    }
+
+    /// Builds the blueprint from an existing tester, inheriting its
+    /// device, configuration, and memoization setting.
+    pub fn from_ate(ate: &Ate) -> Self {
+        Self {
+            device: ate.device().clone(),
+            config: ate.config().clone(),
+            memoize: ate.memoization_enabled(),
+        }
+    }
+
+    /// Enables oracle memoization on every spawned session.
+    pub fn with_memoization(mut self) -> Self {
+        self.memoize = true;
+        self
+    }
+
+    /// The campaign seed worker seeds are derived from.
+    pub fn campaign_seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// The blueprint configuration.
+    pub fn config(&self) -> &AteConfig {
+        &self.config
+    }
+
+    /// Spawns the tester session for work item `index`: a clone of the
+    /// blueprint device and configuration with the per-item derived seed
+    /// and a fresh ledger.
+    pub fn session(&self, index: u64) -> Ate {
+        let config = AteConfig {
+            seed: derive_seed(self.config.seed, index),
+            ..self.config.clone()
+        };
+        let session = Ate::with_config(self.device.clone(), config);
+        if self.memoize {
+            session.with_memoization()
+        } else {
+            session
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MeasuredParam;
+    use crate::noise::NoiseModel;
+    use crate::drift::DriftModel;
+    use cichar_patterns::{march, Test};
+
+    fn noisy_config() -> AteConfig {
+        AteConfig {
+            noise: NoiseModel::default(),
+            drift: DriftModel::none(),
+            seed: 0xCAFE,
+        }
+    }
+
+    #[test]
+    fn same_index_replays_the_same_noisy_session() {
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), noisy_config());
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let run = || {
+            let mut session = blueprint.session(3);
+            (0..40)
+                .map(|i| {
+                    session
+                        .measure(&test, MeasuredParam::DataValidTime, 31.0 + 0.05 * f64::from(i))
+                        .is_pass()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sessions_start_with_fresh_ledgers() {
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), noisy_config());
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let mut first = blueprint.session(0);
+        let _ = first.measure(&test, MeasuredParam::DataValidTime, 20.0);
+        assert_eq!(first.ledger().measurements(), 1);
+        assert_eq!(blueprint.session(0).ledger().measurements(), 0);
+    }
+
+    #[test]
+    fn memoization_flag_propagates_to_sessions() {
+        let blueprint =
+            ParallelAte::new(MemoryDevice::nominal(), AteConfig::default()).with_memoization();
+        assert!(blueprint.session(0).memoization_enabled());
+        let plain = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+        assert!(!plain.session(0).memoization_enabled());
+    }
+
+    #[test]
+    fn from_ate_inherits_the_blueprint() {
+        let ate = Ate::with_config(MemoryDevice::nominal(), noisy_config()).with_memoization();
+        let blueprint = ParallelAte::from_ate(&ate);
+        assert_eq!(blueprint.campaign_seed(), 0xCAFE);
+        assert!(blueprint.session(1).memoization_enabled());
+    }
+}

@@ -6,7 +6,10 @@
 //! spread. [`ShmooPlot`] captures one test's raster; [`OverlayShmoo`]
 //! accumulates many and reports the worst-case parameter-variation band.
 
+use crate::ledger::MeasurementLedger;
+use crate::parallel::ParallelAte;
 use crate::tester::Ate;
+use cichar_exec::ExecPolicy;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::RegionOrder;
 use cichar_units::Axis;
@@ -63,6 +66,53 @@ impl ShmooPlot {
             }
         }
         Self { x, y, grid }
+    }
+
+    /// Rasterizes the test with rows fanned out across worker threads,
+    /// one deterministic session per Y row from `blueprint`.
+    ///
+    /// Row *yi* always runs on the session seeded by
+    /// `derive_seed(campaign seed, yi)` and rows are reassembled in Y
+    /// order, so the raster is bit-identical for every thread count. For
+    /// a noiseless, drift-free blueprint it also equals
+    /// [`ShmooPlot::capture`] on a single session (verdicts are then pure
+    /// functions of the forced cell).
+    ///
+    /// Returns the plot plus the merged ledger (row ledgers folded in Y
+    /// order).
+    pub fn capture_parallel(
+        blueprint: &ParallelAte,
+        test: &Test,
+        x: Axis,
+        y: Axis,
+        policy: ExecPolicy,
+    ) -> (Self, MeasurementLedger) {
+        let pattern = test.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let cycles = pattern.len() as u64;
+        let rows = cichar_exec::par_map(policy, (0..y.len()).collect(), |_, yi| {
+            let mut session = blueprint.session(yi as u64);
+            let row: Vec<bool> = (0..x.len())
+                .map(|xi| {
+                    session
+                        .measure_features(
+                            &features,
+                            cycles,
+                            test,
+                            &[(x.kind(), x.at(xi)), (y.kind(), y.at(yi))],
+                        )
+                        .is_pass()
+                })
+                .collect();
+            (row, *session.ledger())
+        });
+        let mut grid = Vec::with_capacity(x.len() * y.len());
+        let mut ledger = MeasurementLedger::new();
+        for (row, row_ledger) in rows {
+            grid.extend(row);
+            ledger.merge(&row_ledger);
+        }
+        (Self { x, y, grid }, ledger)
     }
 
     /// The X axis.
@@ -186,6 +236,37 @@ impl OverlayShmoo {
             row_spread: vec![None; rows],
             order,
         }
+    }
+
+    /// Captures every test's shmoo on its own deterministic session from
+    /// `blueprint` across worker threads and accumulates them in test
+    /// order — the fig. 8 "1000 tests overlapping in a single shmoo
+    /// plot" hot path.
+    ///
+    /// Test *i* always runs on the session seeded by
+    /// `derive_seed(campaign seed, i)` and plots are folded back in test
+    /// order, so the overlay (and merged ledger) are bit-identical for
+    /// every thread count.
+    pub fn capture_overlay(
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        x: Axis,
+        y: Axis,
+        order: RegionOrder,
+        policy: ExecPolicy,
+    ) -> (Self, MeasurementLedger) {
+        let plots = cichar_exec::par_map_ref(policy, tests, |i, test| {
+            let mut session = blueprint.session(i as u64);
+            let plot = ShmooPlot::capture(&mut session, test, x.clone(), y.clone());
+            (plot, *session.ledger())
+        });
+        let mut overlay = Self::new(x, y, order);
+        let mut ledger = MeasurementLedger::new();
+        for (plot, plot_ledger) in plots {
+            overlay.add(&plot);
+            ledger.merge(&plot_ledger);
+        }
+        (overlay, ledger)
     }
 
     /// Accumulates one test's shmoo.
@@ -388,6 +469,88 @@ mod tests {
         let text = overlay.render_ascii();
         assert!(text.contains('*') && text.contains('.'));
         assert_eq!(overlay.pass_fraction(0, 6), 1.0);
+    }
+
+    #[test]
+    fn parallel_capture_matches_sequential_on_noiseless_sessions() {
+        use crate::tester::AteConfig;
+        use crate::{DriftModel, NoiseModel};
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            seed: 0,
+        };
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+        let test = Test::deterministic("march_c-", march::march_c_minus(64));
+        let (x, y) = axes();
+        let (parallel, ledger) = ShmooPlot::capture_parallel(
+            &blueprint,
+            &test,
+            x.clone(),
+            y.clone(),
+            ExecPolicy::with_threads(4),
+        );
+        assert_eq!(parallel, capture_march());
+        assert_eq!(ledger.measurements(), (19 * 7) as u64);
+    }
+
+    #[test]
+    fn parallel_capture_is_thread_count_invariant_even_with_noise() {
+        use crate::tester::AteConfig;
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                seed: 99,
+                ..AteConfig::default()
+            },
+        );
+        let test = Test::deterministic("march_c-", march::march_c_minus(64));
+        let (x, y) = axes();
+        let capture = |threads: usize| {
+            ShmooPlot::capture_parallel(
+                &blueprint,
+                &test,
+                x.clone(),
+                y.clone(),
+                ExecPolicy::with_threads(threads),
+            )
+        };
+        assert_eq!(capture(1), capture(8));
+    }
+
+    #[test]
+    fn parallel_overlay_matches_sequential_accumulation() {
+        use crate::tester::AteConfig;
+        use crate::{DriftModel, NoiseModel};
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            seed: 0,
+        };
+        let tests = vec![
+            Test::deterministic("march_c-", march::march_c_minus(64)),
+            Test::deterministic("checkerboard", march::checkerboard(128)),
+            Test::deterministic("march_x", march::march_x(96)),
+        ];
+        let (x, y) = axes();
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+        let (overlay, ledger) = OverlayShmoo::capture_overlay(
+            &blueprint,
+            &tests,
+            x.clone(),
+            y.clone(),
+            RegionOrder::PassBelowFail,
+            ExecPolicy::with_threads(4),
+        );
+        // Sequential baseline: one shared noiseless session.
+        let mut reference = OverlayShmoo::new(x.clone(), y.clone(), RegionOrder::PassBelowFail);
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        for t in &tests {
+            reference.add(&ShmooPlot::capture(&mut ate, t, x.clone(), y.clone()));
+        }
+        assert_eq!(overlay, reference);
+        assert_eq!(ledger.measurements(), ate.ledger().measurements());
+        assert_eq!(overlay.tests(), 3);
     }
 
     #[test]

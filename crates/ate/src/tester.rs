@@ -11,6 +11,38 @@ use cichar_search::Probe;
 use cichar_units::{Celsius, Megahertz, ParamKind, Volts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Key of one memoized probe: a hash of the exact stimulus (pattern,
+/// conditions, and every forced parameter including the probed value).
+pub(crate) type ProbeKey = u64;
+
+/// Mixes one word into a probe-identity hash. The chain is sequential, so
+/// a prefix of the mix (pattern + conditions + relaxation forces) can be
+/// precomputed once per search and extended per probe.
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29)
+}
+
+/// Hashes the *exact* stimulus a probe applies: pattern content, the
+/// test's own conditions (full `f64` bits, unlike `Test::identity`'s
+/// quantization — the cache must never alias two different stimuli), and
+/// every forced parameter in order.
+pub(crate) fn probe_identity(
+    pattern_hash: u64,
+    conditions: &cichar_patterns::TestConditions,
+    forces: &[(ParamKind, f64)],
+) -> u64 {
+    let mut h = mix(0x51CA_C4E5_D00D_F00D, pattern_hash);
+    h = mix(h, conditions.vdd.value().to_bits());
+    h = mix(h, conditions.temperature.value().to_bits());
+    h = mix(h, conditions.clock.value().to_bits());
+    for &(kind, value) in forces {
+        h = mix(h, kind as u64);
+        h = mix(h, value.to_bits());
+    }
+    h
+}
 
 /// Tester configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,12 +93,17 @@ impl Default for AteConfig {
 /// // …strobing far beyond it fails.
 /// assert_eq!(ate.measure(&test, MeasuredParam::DataValidTime, 39.0), Probe::Fail);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ate {
     device: MemoryDevice,
     config: AteConfig,
     ledger: MeasurementLedger,
     rng: StdRng,
+    /// Oracle memoization cache (probe stimulus hash → verdict), present
+    /// when enabled via [`Ate::with_memoization`]. Only consulted when
+    /// the configuration is noiseless and drift-free — the sole regime
+    /// where a verdict is a pure function of the stimulus.
+    cache: Option<HashMap<ProbeKey, Probe>>,
 }
 
 impl Ate {
@@ -83,6 +120,53 @@ impl Ate {
             config,
             ledger: MeasurementLedger::new(),
             rng,
+            cache: None,
+        }
+    }
+
+    /// Enables the oracle memoization cache: repeated probes of the same
+    /// test at the same parameter point are answered from memory instead
+    /// of re-applying the pattern (STP re-probes near the reference trip
+    /// point constantly). Cache hits are counted separately in the ledger
+    /// ([`MeasurementLedger::cached_probes`]), so measurement-economy
+    /// numbers stay honest.
+    ///
+    /// The cache is only *consulted* when the session is noiseless and
+    /// drift-free; a noisy or drifting tester re-measures every probe,
+    /// because its verdicts are not pure functions of the stimulus.
+    pub fn with_memoization(mut self) -> Self {
+        self.cache = Some(HashMap::new());
+        self
+    }
+
+    /// Whether memoization was enabled on this session.
+    pub fn memoization_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Whether memoized verdicts may be served right now: the cache is
+    /// enabled and the configuration makes verdicts stimulus-pure.
+    pub(crate) fn memo_active(&self) -> bool {
+        self.cache.is_some() && self.config.noise.is_noiseless() && self.config.drift.is_none()
+    }
+
+    /// Serves a probe from the cache, charging the ledger's cached-probe
+    /// counter. Returns `None` on miss or when memoization is inactive.
+    pub(crate) fn cache_lookup(&mut self, key: ProbeKey) -> Option<Probe> {
+        if !self.memo_active() {
+            return None;
+        }
+        let verdict = *self.cache.as_ref()?.get(&key)?;
+        self.ledger.record_cached();
+        Some(verdict)
+    }
+
+    /// Remembers a measured verdict for future probes of the same key.
+    pub(crate) fn cache_store(&mut self, key: ProbeKey, verdict: Probe) {
+        if self.memo_active() {
+            if let Some(cache) = self.cache.as_mut() {
+                cache.insert(key, verdict);
+            }
         }
     }
 
@@ -131,6 +215,16 @@ impl Ate {
     /// (the shmoo engine forces two at once).
     pub fn measure_forced(&mut self, test: &Test, forces: &[(ParamKind, f64)]) -> Probe {
         let pattern = test.pattern();
+        if self.memo_active() {
+            let key = probe_identity(pattern.content_hash(), test.conditions(), forces);
+            if let Some(verdict) = self.cache_lookup(key) {
+                return verdict;
+            }
+            let features = PatternFeatures::extract(&pattern);
+            let verdict = self.measure_features(&features, pattern.len() as u64, test, forces);
+            self.cache_store(key, verdict);
+            return verdict;
+        }
         let features = PatternFeatures::extract(&pattern);
         self.measure_features(&features, pattern.len() as u64, test, forces)
     }

@@ -7,20 +7,22 @@
 //!
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_ablation
+//! cargo run --release -p cichar-bench --bin repro_ablation -- --threads 4
 //! ```
 
 use cichar_ate::Ate;
-use cichar_bench::Scale;
+use cichar_bench::{thread_policy, Scale};
 use cichar_core::compare::{Comparison, CompareConfig};
 use cichar_dut::MemoryDevice;
+use cichar_exec::ExecPolicy;
 use cichar_fuzzy::coding::CodingScheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run_variant(name: &str, config: &CompareConfig, seed: u64) {
+fn run_variant(name: &str, config: &CompareConfig, seed: u64, policy: ExecPolicy) {
     let mut ate = Ate::new(MemoryDevice::nominal());
     let mut rng = StdRng::seed_from_u64(seed);
-    let cmp = Comparison::run(&mut ate, config, &mut rng);
+    let cmp = Comparison::run_parallel(&mut ate, config, policy, &mut rng);
     let nnga = &cmp.rows[2];
     println!(
         "{name:<34} | t_dq {:>6.2} ns | WCR {:.3} | {:>8} measurements | committee accepted: {}",
@@ -30,25 +32,29 @@ fn run_variant(name: &str, config: &CompareConfig, seed: u64) {
 
 fn main() {
     let scale = Scale::from_env();
+    let policy = thread_policy();
     let seed = scale.seed();
     let base = scale.compare_config();
 
-    println!("== Ablation: §5 design choices (NNGA row of Table 1 under each variant) ==\n");
+    println!(
+        "== Ablation: §5 design choices (NNGA row of Table 1 under each variant, {} threads) ==\n",
+        policy.threads()
+    );
 
-    run_variant("baseline (numeric, committee, seeds)", &base, seed);
+    run_variant("baseline (numeric, committee, seeds)", &base, seed, policy);
 
     let mut fuzzy = base.clone();
     fuzzy.learning.coding = CodingScheme::Fuzzy;
-    run_variant("fuzzy trip-point coding", &fuzzy, seed);
+    run_variant("fuzzy trip-point coding", &fuzzy, seed, policy);
 
     let mut single = base.clone();
     single.learning.committee_size = 1;
-    run_variant("single network (no voting machine)", &single, seed);
+    run_variant("single network (no voting machine)", &single, seed, policy);
 
     let mut unseeded = base.clone();
     unseeded.nn_seeds = 1; // effectively no NN seeding
     unseeded.nn_candidates = 1;
-    run_variant("GA without fuzzy-neural seeding", &unseeded, seed);
+    run_variant("GA without fuzzy-neural seeding", &unseeded, seed, policy);
 
     println!(
         "\n(all variants share the same random row and March row; only the NN+GA\n\

@@ -7,12 +7,20 @@
 //! ```
 
 use cichar_ate::{Ate, MeasuredParam};
+use cichar_bench::thread_policy;
 use cichar_core::report::render_search_trace;
 use cichar_dut::MemoryDevice;
 use cichar_patterns::{march, Test};
 use cichar_search::{BinarySearch, LinearSearch};
 
 fn main() {
+    // `--threads` is accepted for symmetry with the other repro binaries,
+    // but a single binary search is data-dependent: each probe chooses the
+    // next, so there is nothing to fan out.
+    let policy = thread_policy();
+    if !policy.is_serial() {
+        println!("(note: one binary search has no parallel axis; running serially)\n");
+    }
     let mut ate = Ate::new(MemoryDevice::nominal());
     let test = Test::deterministic("march_c-", march::march_c_minus(64));
     let param = MeasuredParam::DataValidTime;

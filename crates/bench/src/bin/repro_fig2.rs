@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig2
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --threads 4
 //! ```
 
-use cichar_ate::{Ate, MeasuredParam};
-use cichar_bench::Scale;
+use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
+use cichar_bench::{thread_policy, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
 use cichar_dut::MemoryDevice;
@@ -17,6 +18,7 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let policy = thread_policy();
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
     let mut rng = StdRng::seed_from_u64(scale.seed());
@@ -24,12 +26,16 @@ fn main() {
         .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
         .collect();
 
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
     let param = MeasuredParam::DataValidTime;
     let runner = MultiTripRunner::new(param);
-    let report = runner.run(&mut ate, &tests, SearchStrategy::SearchUntilTrip);
+    let (report, ledger) =
+        runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy);
 
-    println!("== Fig. 2 reproduction: multiple trip points ({total} random tests) ==\n");
+    println!(
+        "== Fig. 2 reproduction: multiple trip points ({total} random tests, {} threads) ==\n",
+        policy.threads()
+    );
     // Show a readable subset of bars, then the full-population statistics.
     let mut subset = report.clone();
     subset.entries.truncate(shown);
@@ -52,5 +58,5 @@ fn main() {
         report.worst_entry().expect("converged").test_name
     );
     println!("  reference (eq. 2): {:.3} ns", report.reference_trip_point.expect("converged"));
-    println!("\n{}", ate.ledger());
+    println!("\n{ledger}");
 }

@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig3
+//! cargo run --release -p cichar-bench --bin repro_fig3 -- --threads 4
 //! ```
 
-use cichar_ate::{Ate, MeasuredParam};
-use cichar_bench::Scale;
+use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
+use cichar_bench::{thread_policy, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_stp_saving;
 use cichar_dut::MemoryDevice;
@@ -17,6 +18,7 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let policy = thread_policy();
     let total = scale.random_tests();
     let mut rng = StdRng::seed_from_u64(scale.seed());
     let tests: Vec<Test> = (0..total)
@@ -25,12 +27,16 @@ fn main() {
 
     let param = MeasuredParam::DataValidTime;
     let runner = MultiTripRunner::new(param);
-    let mut ate_full = Ate::new(MemoryDevice::nominal());
-    let full = runner.run(&mut ate_full, &tests, SearchStrategy::FullRange);
-    let mut ate_stp = Ate::new(MemoryDevice::nominal());
-    let stp = runner.run(&mut ate_stp, &tests, SearchStrategy::SearchUntilTrip);
+    let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+    let (full, ledger_full) =
+        runner.run_parallel(&blueprint, &tests, SearchStrategy::FullRange, policy);
+    let (stp, ledger_stp) =
+        runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy);
 
-    println!("== Fig. 3 reproduction: search-until-trip-point saving ({total} tests) ==\n");
+    println!(
+        "== Fig. 3 reproduction: search-until-trip-point saving ({total} tests, {} threads) ==\n",
+        policy.threads()
+    );
     // Per-test table for a readable subset, then totals for the whole run.
     let mut full_subset = full.clone();
     let mut stp_subset = stp.clone();
@@ -42,13 +48,13 @@ fn main() {
         "  full-range:        {} measurements ({:.1}/test), {:.1} ms tester time",
         full.total_measurements,
         full.mean_measurements_per_test(),
-        ate_full.ledger().test_time_ms()
+        ledger_full.test_time_ms()
     );
     println!(
         "  search-until-trip: {} measurements ({:.1}/test), {:.1} ms tester time",
         stp.total_measurements,
         stp.mean_measurements_per_test(),
-        ate_stp.ledger().test_time_ms()
+        ledger_stp.test_time_ms()
     );
     let saving = 100.0 * (1.0 - stp.total_measurements as f64 / full.total_measurements as f64);
     println!("  saving:            {saving:.1}% of measurements");

@@ -5,11 +5,15 @@
 //! cargo run --release -p cichar-bench --bin repro_fig6
 //! ```
 
+use cichar_bench::thread_policy;
 use cichar_core::report::render_wcr_bands;
 use cichar_core::wcr::WcrClass;
 use cichar_fuzzy::coding::wcr_variable;
 
 fn main() {
+    // `--threads` is accepted for symmetry with the other repro binaries;
+    // this figure is a pure rendering with no measurements to fan out.
+    let _ = thread_policy();
     println!("== Fig. 6 reproduction: WCR classification ==\n");
     print!("{}", render_wcr_bands());
 

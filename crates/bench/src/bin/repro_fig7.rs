@@ -6,12 +6,16 @@
 //! ```
 
 use cichar_ate::{Ate, MeasuredParam};
+use cichar_bench::thread_policy;
 use cichar_core::report::render_timing_diagram;
 use cichar_dut::{MemoryDevice, T_DQ_SPEC};
 use cichar_patterns::{march, Test};
 use cichar_search::BinarySearch;
 
 fn main() {
+    // `--threads` is accepted for symmetry with the other repro binaries;
+    // two dependent binary searches leave nothing worth fanning out.
+    let _ = thread_policy();
     let mut ate = Ate::new(MemoryDevice::nominal());
     let param = MeasuredParam::DataValidTime;
     let cycle_ns = 60.0;

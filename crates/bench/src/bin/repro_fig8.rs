@@ -5,10 +5,11 @@
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig8
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_fig8   # 1000 tests
+//! cargo run --release -p cichar-bench --bin repro_fig8 -- --threads 4
 //! ```
 
-use cichar_ate::{Ate, OverlayShmoo, ShmooPlot};
-use cichar_bench::Scale;
+use cichar_ate::{Ate, OverlayShmoo, ParallelAte};
+use cichar_bench::{thread_policy, Scale};
 use cichar_core::compare::Comparison;
 use cichar_dut::MemoryDevice;
 use cichar_patterns::{random, Test, TestConditions};
@@ -19,6 +20,7 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let policy = thread_policy();
     let total = scale.random_tests();
     let mut rng = StdRng::seed_from_u64(scale.seed());
 
@@ -41,15 +43,23 @@ fn main() {
 
     let x = Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 41).expect("static axis");
     let y = Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 13).expect("static axis");
-    let mut overlay = OverlayShmoo::new(x.clone(), y.clone(), RegionOrder::PassBelowFail);
-    for test in &tests {
-        let plot = ShmooPlot::capture(&mut ate, test, x.clone(), y.clone());
-        overlay.add(&plot);
-    }
+    // Fan the per-test captures out across the thread policy: each test
+    // gets its own derived-seed session, so the overlay is bit-identical
+    // at any thread count.
+    let blueprint = ParallelAte::from_ate(&ate);
+    let (overlay, shmoo_ledger) = OverlayShmoo::capture_overlay(
+        &blueprint,
+        &tests,
+        x.clone(),
+        y.clone(),
+        RegionOrder::PassBelowFail,
+        policy,
+    );
 
     println!(
-        "== Fig. 8 reproduction: shmoo, {} tests overlapping ==",
-        overlay.tests()
+        "== Fig. 8 reproduction: shmoo, {} tests overlapping ({} threads) ==",
+        overlay.tests(),
+        policy.threads()
     );
     println!("Y: Vdd (V) | X: T_DQ strobe (ns) | '*' all pass, '.' none, digits = decile\n");
     print!("{}", overlay.render_ascii());
@@ -69,5 +79,7 @@ fn main() {
             hi - lo
         );
     }
-    println!("\n{}", ate.ledger());
+    let mut total_ledger = *ate.ledger();
+    total_ledger.merge(&shmoo_ledger);
+    println!("\n{total_ledger}");
 }

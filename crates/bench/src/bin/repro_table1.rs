@@ -4,10 +4,11 @@
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_table1
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_table1
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --threads 4
 //! ```
 
 use cichar_ate::Ate;
-use cichar_bench::Scale;
+use cichar_bench::{thread_policy, Scale};
 use cichar_core::compare::Comparison;
 use cichar_dut::MemoryDevice;
 use rand::rngs::StdRng;
@@ -15,12 +16,16 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
+    let policy = thread_policy();
     let config = scale.compare_config();
     let mut ate = Ate::new(MemoryDevice::nominal());
     let mut rng = StdRng::seed_from_u64(scale.seed());
 
-    println!("== Table 1 reproduction ({scale:?} scale) ==\n");
-    let comparison = Comparison::run(&mut ate, &config, &mut rng);
+    println!(
+        "== Table 1 reproduction ({scale:?} scale, {} threads) ==\n",
+        policy.threads()
+    );
+    let comparison = Comparison::run_parallel(&mut ate, &config, policy, &mut rng);
     println!("{}", comparison.render());
     println!(
         "paper reference:   March 0.619 / 32.3 ns | Random 0.701 / 28.5 ns | NNGA 0.904 / 22.1 ns"
@@ -33,5 +38,6 @@ fn main() {
     );
     println!("\nworst-case database after optimization:");
     print!("{}", comparison.optimization.database);
-    println!("\ntotal tester session: {}", ate.ledger());
+    let total: u64 = comparison.rows.iter().map(|r| r.measurements).sum();
+    println!("\ntotal measurements across the three techniques: {total}");
 }

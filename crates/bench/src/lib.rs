@@ -11,8 +11,44 @@
 use cichar_core::compare::{quick_config, CompareConfig};
 use cichar_core::learning::LearningConfig;
 use cichar_core::optimization::OptimizationConfig;
+use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
+
+/// Execution policy for a repro binary: `--threads N` from the command
+/// line when given, otherwise `CICHAR_THREADS`, otherwise the machine's
+/// available parallelism.
+pub fn thread_policy() -> ExecPolicy {
+    thread_policy_from(std::env::args().skip(1))
+}
+
+/// [`thread_policy`] over an explicit argument list (testable).
+///
+/// Accepts `--threads N` and `--threads=N`; `0` or an unparsable value
+/// falls back to available parallelism, an absent flag to
+/// [`ExecPolicy::from_env`].
+pub fn thread_policy_from<I>(args: I) -> ExecPolicy
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let value = if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else if arg == "--threads" {
+            args.next()
+        } else {
+            None
+        };
+        if let Some(raw) = value {
+            return match cichar_exec::parse_thread_count(&raw) {
+                Some(n) => ExecPolicy::with_threads(n),
+                None => ExecPolicy::default(),
+            };
+        }
+    }
+    ExecPolicy::from_env()
+}
 
 /// The run scale selected through `CICHAR_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +127,34 @@ mod tests {
         // The test environment does not set CICHAR_SCALE=full.
         if std::env::var("CICHAR_SCALE").is_err() {
             assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_in_both_spellings() {
+        let a = thread_policy_from(strings(&["--threads", "4"]));
+        assert_eq!(a.threads(), 4);
+        let b = thread_policy_from(strings(&["--scale", "full", "--threads=7"]));
+        assert_eq!(b.threads(), 7);
+    }
+
+    #[test]
+    fn bad_or_zero_thread_values_fall_back_to_the_machine() {
+        for args in [&["--threads", "0"][..], &["--threads=junk"][..]] {
+            let policy = thread_policy_from(strings(args));
+            assert_eq!(policy, ExecPolicy::default());
+        }
+    }
+
+    #[test]
+    fn absent_flag_defers_to_the_environment() {
+        // The test environment does not set CICHAR_THREADS.
+        if std::env::var("CICHAR_THREADS").is_err() {
+            assert_eq!(thread_policy_from(strings(&[])), ExecPolicy::from_env());
         }
     }
 

@@ -19,7 +19,8 @@ use crate::generator::NeuralTestGenerator;
 use crate::learning::{LearnedModel, LearningConfig, LearningScheme};
 use crate::optimization::{OptimizationConfig, OptimizationOutcome, OptimizationScheme};
 use crate::wcr::{CharacterizationObjective, WcrClass};
-use cichar_ate::{Ate, MeasuredParam};
+use cichar_ate::{Ate, MeasuredParam, ParallelAte};
+use cichar_exec::ExecPolicy;
 use cichar_patterns::{march, random, Test, TestConditions};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -142,6 +143,90 @@ impl Comparison {
             rng,
         );
         let nnga_cost = ate.ledger().measurements_since(&baseline);
+        let nnga_tp = optimization.best.trip_point;
+
+        let row = |name: &str, technique: &str, tp: f64, cost: u64| Table1Row {
+            test_name: name.to_string(),
+            technique: technique.to_string(),
+            wcr: config.objective.wcr(tp),
+            t_dq: tp,
+            class: config.objective.classify(tp),
+            measurements: cost,
+        };
+        Self {
+            rows: vec![
+                row("March Test", "Deterministic", march_tp, march_cost),
+                row("Random Test", "Random", random_tp, random_cost),
+                row("NNGA Test", "Neural & Genetic", nnga_tp, nnga_cost),
+            ],
+            random_report,
+            model,
+            optimization,
+        }
+    }
+
+    /// [`run`](Self::run) with the measurement-heavy stages fanned out
+    /// across the thread policy: the Random row's thousand-test DSV and
+    /// the NN+GA row's population fitness evaluation. The March search
+    /// (one test) and the learning rounds (data-dependent) stay on the
+    /// shared session.
+    ///
+    /// On a noiseless, drift-free tester this reproduces [`run`](Self::run)
+    /// bit-for-bit; with noise or drift the parallel stages use per-test
+    /// derived-seed sessions, so the result is still bit-identical across
+    /// thread counts (just not to the shared-session sequential run).
+    pub fn run_parallel<R: Rng + ?Sized>(
+        ate: &mut Ate,
+        config: &CompareConfig,
+        policy: ExecPolicy,
+        rng: &mut R,
+    ) -> Self {
+        let runner = MultiTripRunner::new(config.param);
+
+        // Row 1 — deterministic March test, the production baseline.
+        let march_test = Test::deterministic("March Test", march::march_c_minus(64))
+            .with_conditions(config.conditions);
+        let baseline = *ate.ledger();
+        let march_report = runner.run(ate, &[march_test], SearchStrategy::FullRange);
+        let march_tp = march_report.entries[0]
+            .trip_point
+            .expect("March trip point in generous range");
+        let march_cost = ate.ledger().measurements_since(&baseline);
+
+        // Row 2 — the refs-[9][10] random generator, fanned out per test.
+        let random_tests: Vec<Test> = (0..config.random_tests)
+            .map(|_| random::random_test_at(rng, config.conditions))
+            .collect();
+        let blueprint = ParallelAte::from_ate(ate);
+        let (random_report, random_ledger) = runner.run_parallel(
+            &blueprint,
+            &random_tests,
+            SearchStrategy::SearchUntilTrip,
+            policy,
+        );
+        let random_tp = random_report.min().expect("random tests converge");
+        let random_cost = random_ledger.measurements();
+
+        // Row 3 — the paper's method with parallel GA fitness evaluation.
+        let baseline = *ate.ledger();
+        let model = LearningScheme::new(config.learning.clone()).run(ate, rng);
+        let generator = NeuralTestGenerator::new(&model);
+        let seeds = generator.propose(
+            config.nn_candidates,
+            config.nn_seeds,
+            Some(config.conditions),
+            rng,
+        );
+        let blueprint = ParallelAte::from_ate(ate);
+        let (optimization, ga_ledger) = OptimizationScheme::new(config.optimization.clone())
+            .run_parallel(
+                &blueprint,
+                &seeds,
+                Some(model.reference_trip_point),
+                policy,
+                rng,
+            );
+        let nnga_cost = ate.ledger().measurements_since(&baseline) + ga_ledger.measurements();
         let nnga_tp = optimization.best.trip_point;
 
         let row = |name: &str, technique: &str, tp: f64, cost: u64| Table1Row {
@@ -288,6 +373,31 @@ mod tests {
         // §7: "the test time is longer than in a single trip-point method".
         assert!(cmp.rows[2].measurements > cmp.rows[0].measurements);
         assert!(cmp.rows.iter().all(|r| r.measurements > 0));
+    }
+
+    #[test]
+    fn parallel_comparison_reproduces_the_sequential_table() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(7);
+        let sequential = Comparison::run(&mut ate, &quick_config(), &mut rng);
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(7);
+        let parallel = Comparison::run_parallel(
+            &mut ate,
+            &quick_config(),
+            ExecPolicy::with_threads(8),
+            &mut rng,
+        );
+        assert_eq!(sequential.rows, parallel.rows);
+        assert_eq!(sequential.random_report, parallel.random_report);
+        assert_eq!(
+            sequential.optimization.best.trip_point,
+            parallel.optimization.best.trip_point
+        );
+        assert_eq!(
+            sequential.optimization.measurements_used,
+            parallel.optimization.measurements_used
+        );
     }
 
     #[test]

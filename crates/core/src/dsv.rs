@@ -6,7 +6,8 @@
 //! every further test runs search-until-trip-point around that reference
 //! (eqs. 3–4), which is where the measurement saving of fig. 3 comes from.
 
-use cichar_ate::{Ate, MeasuredParam};
+use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
+use cichar_exec::ExecPolicy;
 use cichar_patterns::Test;
 use cichar_search::{SearchUntilTrip, SuccessiveApproximation};
 use serde::{Deserialize, Serialize};
@@ -246,6 +247,112 @@ impl MultiTripRunner {
             total_measurements: total,
         }
     }
+
+    /// Runs the characterization across worker threads, spawning one
+    /// deterministic tester session per test from `blueprint`.
+    ///
+    /// Results and ledgers are merged **by test index**, and each test's
+    /// session seed is derived from (campaign seed, test index), so the
+    /// report is bit-identical for every thread count — including
+    /// [`ExecPolicy::serial`], which executes the same schedule inline.
+    /// For a noiseless, drift-free blueprint the report also matches
+    /// [`MultiTripRunner::run`] on a single shared session exactly: with
+    /// zero noise the session RNG is never consumed, and without drift a
+    /// verdict does not depend on previously applied cycles, so splitting
+    /// the session per test changes no verdict.
+    ///
+    /// The reference trip point keeps its eq. 2 data dependence: the head
+    /// of each refresh window runs full-range searches sequentially until
+    /// one converges and anchors the reference, and only the anchored
+    /// remainder of the window fans out.
+    ///
+    /// Returns the report plus the merged measurement ledger (per-test
+    /// session ledgers folded in index order).
+    pub fn run_parallel(
+        &self,
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+    ) -> (DsvReport, MeasurementLedger) {
+        let param = self.param;
+        let order = param.region_order();
+        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let mut stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
+        if self.refine {
+            stp = stp.with_refinement(param.resolution());
+        }
+
+        // One test on its own derived-seed session; the session's ledger
+        // is the per-test cost record.
+        let probe_one = |index: usize, test: &Test, reference: Option<f64>| {
+            let mut session = blueprint.session(index as u64);
+            let outcome = match reference {
+                None => full.run(order, session.trip_oracle(test, param)),
+                Some(r) => stp.run(r, order, session.trip_oracle(test, param)),
+            };
+            let entry = DsvEntry {
+                test_name: test.name().to_string(),
+                trip_point: outcome.trip_point,
+                measurements: session.ledger().measurements(),
+            };
+            (entry, *session.ledger())
+        };
+
+        let mut entries = Vec::with_capacity(tests.len());
+        let mut ledger = MeasurementLedger::new();
+        let mut rtp: Option<f64> = None;
+
+        if strategy == SearchStrategy::FullRange {
+            // Every search is independent: fan out the whole batch.
+            for (entry, session_ledger) in
+                cichar_exec::par_map_ref(policy, tests, |i, test| probe_one(i, test, None))
+            {
+                ledger.merge(&session_ledger);
+                entries.push(entry);
+            }
+        } else {
+            let window = self.rtp_refresh.unwrap_or(tests.len().max(1));
+            let mut start = 0;
+            while start < tests.len() {
+                let end = (start + window).min(tests.len());
+                // Anchor sequentially: full-range searches until one
+                // converges (normally just the window's first test).
+                let mut anchor: Option<f64> = None;
+                let mut cursor = start;
+                while cursor < end && anchor.is_none() {
+                    let (entry, session_ledger) = probe_one(cursor, &tests[cursor], None);
+                    anchor = entry.trip_point;
+                    ledger.merge(&session_ledger);
+                    entries.push(entry);
+                    cursor += 1;
+                }
+                // Fan out the anchored remainder of the window.
+                for (entry, session_ledger) in
+                    cichar_exec::par_map_ref(policy, &tests[cursor..end], |i, test| {
+                        probe_one(cursor + i, test, anchor)
+                    })
+                {
+                    ledger.merge(&session_ledger);
+                    entries.push(entry);
+                }
+                rtp = anchor;
+                start = end;
+            }
+        }
+
+        let total = entries.iter().map(|e| e.measurements).sum();
+        (
+            DsvReport {
+                param,
+                strategy,
+                reference_trip_point: rtp,
+                entries,
+                total_measurements: total,
+            },
+            ledger,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -404,7 +511,7 @@ mod tests {
         // tens of degrees hotter and the true window has shrunk.
         let config = AteConfig {
             noise: NoiseModel::noiseless(),
-            drift: DriftModel::new(40.0, 3e5),
+            drift: DriftModel::new(60.0, 3e5),
             seed: 0,
         };
         let tests = random_tests(60);
@@ -441,6 +548,91 @@ mod tests {
     #[should_panic(expected = "refresh interval must be positive")]
     fn zero_refresh_interval_rejected() {
         let _ = MultiTripRunner::new(MeasuredParam::DataValidTime).with_rtp_refresh(0);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_on_noiseless_sessions() {
+        use cichar_ate::{AteConfig, DriftModel, NoiseModel, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            seed: 11,
+        };
+        let tests = random_tests(24);
+        for strategy in [SearchStrategy::FullRange, SearchStrategy::SearchUntilTrip] {
+            let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+            let sequential = runner.run(
+                &mut Ate::with_config(MemoryDevice::nominal(), config.clone()),
+                &tests,
+                strategy,
+            );
+            let blueprint = ParallelAte::new(MemoryDevice::nominal(), config.clone());
+            let (parallel, _) =
+                runner.run_parallel(&blueprint, &tests, strategy, ExecPolicy::with_threads(4));
+            assert_eq!(parallel, sequential, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_thread_count_invariant_even_with_noise() {
+        use cichar_ate::{AteConfig, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        // Default config is noisy: per-test derived seeds make the result a
+        // pure function of the schedule, not of who ran what where.
+        let blueprint =
+            ParallelAte::new(MemoryDevice::nominal(), AteConfig { seed: 77, ..AteConfig::default() });
+        let tests = random_tests(24);
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime).with_rtp_refresh(7);
+        let run = |policy: ExecPolicy| {
+            runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy)
+        };
+        let (serial_report, serial_ledger) = run(ExecPolicy::serial());
+        let (wide_report, wide_ledger) = run(ExecPolicy::with_threads(8));
+        assert_eq!(wide_report, serial_report);
+        assert_eq!(wide_ledger, serial_ledger);
+    }
+
+    #[test]
+    fn parallel_ledger_accounts_every_measurement() {
+        use cichar_ate::{AteConfig, DriftModel, NoiseModel, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            seed: 5,
+        };
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+        let tests = suite();
+        let (report, ledger) = MultiTripRunner::new(MeasuredParam::DataValidTime).run_parallel(
+            &blueprint,
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+            ExecPolicy::with_threads(4),
+        );
+        assert_eq!(ledger.measurements(), report.total_measurements);
+        assert_eq!(
+            report.total_measurements,
+            report.entries.iter().map(|e| e.measurements).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn parallel_report_preserves_input_test_order() {
+        use cichar_ate::{AteConfig, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+        let tests = suite();
+        let (report, _) = MultiTripRunner::new(MeasuredParam::DataValidTime).run_parallel(
+            &blueprint,
+            &tests,
+            SearchStrategy::FullRange,
+            ExecPolicy::with_threads(8),
+        );
+        // Entries land by input index, never by worker completion order.
+        let got: Vec<&str> = report.entries.iter().map(|e| e.test_name.as_str()).collect();
+        let expected: Vec<&str> = tests.iter().map(|t| t.name()).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

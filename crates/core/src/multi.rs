@@ -16,7 +16,8 @@ use crate::generator::NeuralTestGenerator;
 use crate::learning::{LearnedModel, LearningConfig, LearningScheme};
 use crate::optimization::{OptimizationConfig, OptimizationOutcome, OptimizationScheme};
 use crate::wcr::CharacterizationObjective;
-use cichar_ate::{Ate, MeasuredParam};
+use cichar_ate::{Ate, MeasuredParam, ParallelAte};
+use cichar_exec::ExecPolicy;
 use cichar_patterns::TestConditions;
 use rand::Rng;
 use std::fmt;
@@ -205,6 +206,60 @@ impl MultiParamCampaign {
             total_measurements: ate.ledger().measurements_since(&start),
         }
     }
+
+    /// [`run`](Self::run) with each task's GA fitness evaluation fanned
+    /// out across the thread policy. The learning rounds stay on the
+    /// shared session (they are data-dependent by design); the
+    /// optimization stage clones the tester into per-individual
+    /// derived-seed sessions.
+    ///
+    /// Bit-identical to [`run`](Self::run) on a noiseless, drift-free
+    /// tester, and bit-identical across thread counts always.
+    pub fn run_parallel<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        policy: ExecPolicy,
+        rng: &mut R,
+    ) -> CampaignReport {
+        let start = *ate.ledger();
+        let mut parallel_measurements = 0u64;
+        let mut outcomes = Vec::with_capacity(self.tasks.len());
+        for task in &self.tasks {
+            let learning = LearningConfig {
+                param: task.param,
+                objective: task.objective,
+                ..self.learning.clone()
+            };
+            let model = LearningScheme::new(learning).run(ate, rng);
+            let generator = NeuralTestGenerator::new(&model);
+            let seeds =
+                generator.propose(self.nn_candidates, self.nn_seeds, Some(self.conditions), rng);
+            let optimization = OptimizationConfig {
+                param: task.param,
+                objective: task.objective,
+                pinned_conditions: self.conditions,
+                ..self.optimization.clone()
+            };
+            let blueprint = ParallelAte::from_ate(ate);
+            let (outcome, ledger) = OptimizationScheme::new(optimization).run_parallel(
+                &blueprint,
+                &seeds,
+                Some(model.reference_trip_point),
+                policy,
+                rng,
+            );
+            parallel_measurements += ledger.measurements();
+            outcomes.push(TaskOutcome {
+                task: *task,
+                model,
+                optimization: outcome,
+            });
+        }
+        CampaignReport {
+            tasks: outcomes,
+            total_measurements: ate.ledger().measurements_since(&start) + parallel_measurements,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +358,27 @@ mod tests {
             .map(|t| t.model.measurements_used + t.optimization.measurements_used)
             .sum();
         assert_eq!(report.total_measurements, per_task);
+    }
+
+    #[test]
+    fn parallel_campaign_reproduces_the_sequential_run() {
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(31);
+        let sequential = tiny_campaign().run(&mut ate, &mut rng);
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let mut rng = StdRng::seed_from_u64(31);
+        let parallel =
+            tiny_campaign().run_parallel(&mut ate, ExecPolicy::with_threads(8), &mut rng);
+        assert_eq!(sequential.total_measurements, parallel.total_measurements);
+        for (s, p) in sequential.tasks.iter().zip(&parallel.tasks) {
+            assert_eq!(s.model.reference_trip_point, p.model.reference_trip_point);
+            assert_eq!(s.optimization.best.trip_point, p.optimization.best.trip_point);
+            assert_eq!(s.optimization.best.test, p.optimization.best.test);
+            assert_eq!(
+                s.optimization.measurements_used,
+                p.optimization.measurements_used
+            );
+        }
     }
 
     #[test]

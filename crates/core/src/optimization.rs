@@ -17,8 +17,11 @@
 use crate::db::{WorstCaseDatabase, WorstCaseTest};
 use crate::generator::Candidate;
 use crate::wcr::CharacterizationObjective;
-use cichar_ate::{Ate, MeasuredParam};
-use cichar_genetic::{GaConfig, GaEngine, GaResult, GenomeSpec, Individual, SpeciesLayout};
+use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
+use cichar_exec::ExecPolicy;
+use cichar_genetic::{
+    FitnessEvaluator, GaConfig, GaEngine, GaResult, GenomeSpec, Individual, SpeciesLayout,
+};
 use cichar_patterns::{
     ConditionSpace, SegmentProgram, Stimulus, Test, TestConditions, TestSource,
 };
@@ -78,6 +81,10 @@ pub struct OptimizationOutcome {
     pub measurements_used: u64,
     /// The single worst test found.
     pub best: WorstCaseTest,
+    /// The reference trip point the run ended with: the caller-provided
+    /// one, or the first converged trip point discovered (eq. 2). Feeding
+    /// it into a follow-up run skips that run's initial full search.
+    pub reference_trip_point: Option<f64>,
 }
 
 impl fmt::Display for OptimizationOutcome {
@@ -248,7 +255,189 @@ impl OptimizationScheme {
             ga: result,
             measurements_used: ate.ledger().measurements_since(&start_ledger),
             best,
+            reference_trip_point: rtp,
         }
+    }
+
+    /// [`OptimizationScheme::run`] with per-evaluation tester sessions
+    /// fanned out across worker threads.
+    ///
+    /// Each GA fitness evaluation runs on its own session from
+    /// `blueprint`, seeded by the global evaluation index, and the
+    /// worst-case database and ledger are merged **in evaluation order**.
+    /// The outcome is therefore bit-identical for every thread count; for
+    /// a noiseless, drift-free blueprint it also equals the sequential
+    /// [`OptimizationScheme::run`] on a single shared session.
+    ///
+    /// When no `reference_trip_point` is given, evaluations proceed
+    /// sequentially until one converges and survives functional
+    /// verification (eq. 2 anchoring); only the anchored remainder of
+    /// each generation's brood fans out.
+    ///
+    /// Returns the outcome plus the merged measurement ledger.
+    pub fn run_parallel<R: Rng + ?Sized>(
+        &self,
+        blueprint: &ParallelAte,
+        seeds: &[Candidate],
+        reference_trip_point: Option<f64>,
+        policy: ExecPolicy,
+        rng: &mut R,
+    ) -> (OptimizationOutcome, MeasurementLedger) {
+        let c = &self.config;
+        let seed_individuals: Vec<Individual> = seeds
+            .iter()
+            .filter_map(|cand| self.encode_seed(cand))
+            .collect();
+        let engine = GaEngine::new(c.ga, self.layout());
+        let mut evaluator = WcrEvaluator {
+            scheme: self,
+            blueprint,
+            policy,
+            evaluated: 0,
+            rtp: reference_trip_point,
+            database: WorstCaseDatabase::new(c.database_capacity),
+            ledger: MeasurementLedger::new(),
+        };
+        let result = engine.run_seeded_with(seed_individuals, &mut evaluator, rng);
+        let best = evaluator
+            .database
+            .entries()
+            .first()
+            .or_else(|| evaluator.database.failures().first())
+            .expect("at least one individual measured")
+            .clone();
+        (
+            OptimizationOutcome {
+                database: evaluator.database,
+                ga: result,
+                measurements_used: evaluator.ledger.measurements(),
+                best,
+                reference_trip_point: evaluator.rtp,
+            },
+            evaluator.ledger,
+        )
+    }
+
+    /// One fitness evaluation on its own derived-seed session: the §4
+    /// trip-point search, functional verification, and WCR scoring of
+    /// [`OptimizationScheme::run`]'s fitness closure, made index-pure so
+    /// it can run on any worker thread.
+    fn evaluate_individual(
+        &self,
+        blueprint: &ParallelAte,
+        index: usize,
+        individual: &Individual,
+        reference: Option<f64>,
+    ) -> WcrEvaluation {
+        let c = &self.config;
+        let param = c.param;
+        let order = param.region_order();
+        let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor())
+            .with_refinement(param.resolution());
+        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+
+        let mut session = blueprint.session(index as u64);
+        let test = self.decode(individual, format!("ga_{:06}", index + 1));
+        let outcome = match reference {
+            Some(r) => stp.run(r, order, session.trip_oracle(&test, param)),
+            None => full.run(order, session.trip_oracle(&test, param)),
+        };
+        let Some(tp) = outcome.trip_point else {
+            return WcrEvaluation {
+                fitness: f64::NEG_INFINITY,
+                entry: None,
+                ledger: *session.ledger(),
+            };
+        };
+        let extreme = match order {
+            cichar_search::RegionOrder::PassBelowFail => param.generous_range().start(),
+            cichar_search::RegionOrder::PassAboveFail => param.generous_range().end(),
+        };
+        for _ in 0..2 {
+            if session.measure(&test, param, extreme) != cichar_search::Probe::Pass {
+                return WcrEvaluation {
+                    fitness: f64::NEG_INFINITY,
+                    entry: None,
+                    ledger: *session.ledger(),
+                };
+            }
+        }
+        let wcr = c.objective.wcr(tp);
+        WcrEvaluation {
+            fitness: wcr,
+            entry: Some(WorstCaseTest {
+                test,
+                trip_point: tp,
+                wcr,
+                class: c.objective.classify(tp),
+                predicted_severity: None,
+            }),
+            ledger: *session.ledger(),
+        }
+    }
+}
+
+/// The product of one parallel fitness evaluation, merged by index.
+struct WcrEvaluation {
+    fitness: f64,
+    /// The database record when the search converged and survived
+    /// functional verification (its trip point is the anchor candidate).
+    entry: Option<WorstCaseTest>,
+    ledger: MeasurementLedger,
+}
+
+/// The ATE-measured WCR fitness as a batch evaluator: anchors the
+/// reference trip point sequentially, fans out anchored evaluations, and
+/// folds ledgers and database inserts back **in evaluation order**.
+struct WcrEvaluator<'a> {
+    scheme: &'a OptimizationScheme,
+    blueprint: &'a ParallelAte,
+    policy: ExecPolicy,
+    evaluated: usize,
+    rtp: Option<f64>,
+    database: WorstCaseDatabase,
+    ledger: MeasurementLedger,
+}
+
+impl FitnessEvaluator for WcrEvaluator<'_> {
+    fn evaluate(&mut self, individual: &Individual) -> f64 {
+        self.evaluate_batch(std::slice::from_ref(individual))[0]
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Individual]) -> Vec<f64> {
+        let base = self.evaluated;
+        self.evaluated += batch.len();
+        let mut records: Vec<WcrEvaluation> = Vec::with_capacity(batch.len());
+        // Eq. 2 anchoring is a data dependence: run sequentially until a
+        // verified trip point exists.
+        let mut cursor = 0;
+        while cursor < batch.len() && self.rtp.is_none() {
+            let record =
+                self.scheme
+                    .evaluate_individual(self.blueprint, base + cursor, &batch[cursor], None);
+            self.rtp = record.entry.as_ref().map(|e| e.trip_point);
+            records.push(record);
+            cursor += 1;
+        }
+        let reference = self.rtp;
+        let (scheme, blueprint) = (self.scheme, self.blueprint);
+        records.extend(cichar_exec::par_map_ref(
+            self.policy,
+            &batch[cursor..],
+            |i, individual| {
+                scheme.evaluate_individual(blueprint, base + cursor + i, individual, reference)
+            },
+        ));
+        records
+            .into_iter()
+            .map(|record| {
+                self.ledger.merge(&record.ledger);
+                if let Some(entry) = record.entry {
+                    self.database.insert(entry);
+                }
+                record.fitness
+            })
+            .collect()
     }
 }
 
@@ -328,12 +517,16 @@ mod tests {
     fn known_reference_skips_full_searches() {
         let scheme = OptimizationScheme::new(small_config());
         let mut rng = StdRng::seed_from_u64(45);
-        let mut ate_a = Ate::noiseless(MemoryDevice::nominal());
-        let with_ref = scheme.run(&mut ate_a, &[], Some(30.0), &mut rng);
-        let mut rng = StdRng::seed_from_u64(45);
         let mut ate_b = Ate::noiseless(MemoryDevice::nominal());
         let without_ref = scheme.run(&mut ate_b, &[], None, &mut rng);
-        // Same GA trajectory (same seeds), one full search less.
+        // Replay the identical campaign, but hand it the reference the
+        // first run had to pay a full search (eq. 2) to discover. Same GA
+        // trajectory (same seeds, same reference), one full search less.
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut ate_a = Ate::noiseless(MemoryDevice::nominal());
+        let with_ref = scheme.run(&mut ate_a, &[], without_ref.reference_trip_point, &mut rng);
+        assert!(without_ref.reference_trip_point.is_some());
+        assert_eq!(with_ref.reference_trip_point, without_ref.reference_trip_point);
         assert!(with_ref.measurements_used <= without_ref.measurements_used);
     }
 
@@ -369,7 +562,7 @@ mod tests {
             ga: GaConfig {
                 population_size: 16,
                 islands: 2,
-                generations: 15,
+                generations: 30,
                 target_fitness: None,
                 ..GaConfig::default()
             },
@@ -431,6 +624,53 @@ mod tests {
             outcome.ga.history.len()
         );
         assert!(outcome.best.wcr >= 0.55);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_on_noiseless_sessions() {
+        use cichar_ate::{AteConfig, DriftModel, NoiseModel};
+        let scheme = OptimizationScheme::new(small_config());
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        let sequential = scheme.run(&mut ate, &[], None, &mut StdRng::seed_from_u64(52));
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                noise: NoiseModel::noiseless(),
+                drift: DriftModel::none(),
+                seed: 0,
+            },
+        );
+        let (parallel, ledger) = scheme.run_parallel(
+            &blueprint,
+            &[],
+            None,
+            ExecPolicy::with_threads(4),
+            &mut StdRng::seed_from_u64(52),
+        );
+        assert_eq!(parallel, sequential);
+        assert_eq!(ledger.measurements(), sequential.measurements_used);
+    }
+
+    #[test]
+    fn parallel_run_is_thread_count_invariant_even_with_noise() {
+        use cichar_ate::AteConfig;
+        let scheme = OptimizationScheme::new(small_config());
+        // Default config is noisy: per-evaluation derived seeds keep the
+        // GA trajectory schedule independent anyway.
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+        let run = |threads: usize| {
+            scheme.run_parallel(
+                &blueprint,
+                &[],
+                None,
+                ExecPolicy::with_threads(threads),
+                &mut StdRng::seed_from_u64(53),
+            )
+        };
+        let (serial_outcome, serial_ledger) = run(1);
+        let (wide_outcome, wide_ledger) = run(8);
+        assert_eq!(wide_outcome, serial_outcome);
+        assert_eq!(wide_ledger, serial_ledger);
     }
 
     #[test]

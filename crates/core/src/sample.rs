@@ -13,6 +13,7 @@ use crate::dsv::{MultiTripRunner, SearchStrategy};
 use crate::wcr::{CharacterizationObjective, WcrClass};
 use cichar_ate::{Ate, AteConfig, MeasuredParam};
 use cichar_dut::{Die, Lot, MemoryDevice};
+use cichar_exec::ExecPolicy;
 use cichar_patterns::{Test, TestConditions};
 use cichar_units::{Celsius, Volts};
 use rand::Rng;
@@ -252,39 +253,75 @@ impl SampleCharacterization {
         rng: &mut R,
     ) -> SampleReport {
         let runner = MultiTripRunner::new(self.param);
-        let mut dies = Vec::with_capacity(die_count);
-        let mut total = 0u64;
-        for die in lot.sample_dies(rng, die_count) {
-            // Each die goes onto a fresh tester session.
-            let mut ate =
-                Ate::with_config(MemoryDevice::new(die), self.ate_config.clone());
-            let mut corners = Vec::with_capacity(self.corners.len());
-            for &conditions in &self.corners {
-                let corner_tests: Vec<Test> =
-                    tests.iter().map(|t| t.with_conditions(conditions)).collect();
-                let baseline = *ate.ledger();
-                let report = runner.run(&mut ate, &corner_tests, self.strategy);
-                let measurements = ate.ledger().measurements_since(&baseline);
-                total += measurements;
-                corners.push(CornerResult {
-                    conditions,
-                    worst_trip_point: report.min(),
-                    spread: report.spread(),
-                    measurements,
-                });
-            }
-            let worst_trip_point = corners
-                .iter()
-                .filter_map(|c| c.worst_trip_point)
-                .min_by(f64::total_cmp);
-            let worst_wcr = worst_trip_point.map(|tp| self.objective.wcr(tp));
-            dies.push(DieResult {
-                die,
-                corners,
-                worst_trip_point,
-                worst_wcr,
+        let dies: Vec<DieResult> = lot
+            .sample_dies(rng, die_count)
+            .into_iter()
+            .map(|die| self.characterize_die(&runner, die, tests))
+            .collect();
+        self.assemble(dies)
+    }
+
+    /// [`run`](Self::run) with the per-die sweeps fanned out across worker
+    /// threads.
+    ///
+    /// The sequential path already puts each die on a fresh tester session
+    /// with the campaign's configuration, so the per-die work is
+    /// independent by construction: this produces a report bit-identical
+    /// to [`run`](Self::run) for every configuration — including noisy and
+    /// drifting testers — at any thread count.
+    pub fn run_parallel<R: Rng + ?Sized>(
+        &self,
+        lot: &Lot,
+        die_count: usize,
+        tests: &[Test],
+        policy: ExecPolicy,
+        rng: &mut R,
+    ) -> SampleReport {
+        let runner = MultiTripRunner::new(self.param);
+        let sampled = lot.sample_dies(rng, die_count);
+        let dies = cichar_exec::par_map(policy, sampled, |_, die| {
+            self.characterize_die(&runner, die, tests)
+        });
+        self.assemble(dies)
+    }
+
+    /// Runs one die's full corner sweep on its own fresh tester session.
+    fn characterize_die(&self, runner: &MultiTripRunner, die: Die, tests: &[Test]) -> DieResult {
+        // Each die goes onto a fresh tester session.
+        let mut ate = Ate::with_config(MemoryDevice::new(die), self.ate_config.clone());
+        let mut corners = Vec::with_capacity(self.corners.len());
+        for &conditions in &self.corners {
+            let corner_tests: Vec<Test> =
+                tests.iter().map(|t| t.with_conditions(conditions)).collect();
+            let baseline = *ate.ledger();
+            let report = runner.run(&mut ate, &corner_tests, self.strategy);
+            let measurements = ate.ledger().measurements_since(&baseline);
+            corners.push(CornerResult {
+                conditions,
+                worst_trip_point: report.min(),
+                spread: report.spread(),
+                measurements,
             });
         }
+        let worst_trip_point = corners
+            .iter()
+            .filter_map(|c| c.worst_trip_point)
+            .min_by(f64::total_cmp);
+        let worst_wcr = worst_trip_point.map(|tp| self.objective.wcr(tp));
+        DieResult {
+            die,
+            corners,
+            worst_trip_point,
+            worst_wcr,
+        }
+    }
+
+    fn assemble(&self, dies: Vec<DieResult>) -> SampleReport {
+        let total = dies
+            .iter()
+            .flat_map(|d| &d.corners)
+            .map(|c| c.measurements)
+            .sum();
         SampleReport {
             dies,
             param: self.param,
@@ -420,6 +457,48 @@ mod tests {
         // Tighter k gives a less conservative (higher) limit.
         let loose = report.suggest_spec(1.0).expect("n >= 2");
         assert!(loose > spec);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_even_with_noise() {
+        use cichar_ate::{AteConfig, NoiseModel};
+        let noisy = campaign().with_ate_config(AteConfig {
+            noise: NoiseModel::new(0.02, 0.02, 0.002),
+            seed: 41,
+            ..AteConfig::default()
+        });
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let sequential = noisy.run(&Lot::default(), 5, &suite(), &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let parallel = noisy.run_parallel(
+            &Lot::default(),
+            5,
+            &suite(),
+            ExecPolicy::with_threads(8),
+            &mut rng_b,
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_run_is_thread_count_invariant() {
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let one = campaign().run_parallel(
+            &Lot::default(),
+            4,
+            &suite(),
+            ExecPolicy::serial(),
+            &mut rng_a,
+        );
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let many = campaign().run_parallel(
+            &Lot::default(),
+            4,
+            &suite(),
+            ExecPolicy::with_threads(8),
+            &mut rng_b,
+        );
+        assert_eq!(one, many);
     }
 
     #[test]

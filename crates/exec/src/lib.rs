@@ -1,0 +1,300 @@
+//! Deterministic parallel execution layer for characterization hot paths.
+//!
+//! Every expensive loop in the reproduction — multi-trip-point DSV runs,
+//! GA fitness evaluation, committee training, shmoo capture, lot
+//! sampling — is a fan-out over independent work items. This crate
+//! provides the shared machinery those paths use to go wide **without
+//! giving up bit-reproducibility**:
+//!
+//! * [`ExecPolicy`] — thread-count selection (builder API, the
+//!   `CICHAR_THREADS` environment variable, or available parallelism);
+//! * [`par_map`] / [`par_map_ref`] — chunked, work-stealing fan-out over a
+//!   scoped worker pool that returns results **by input index**, never by
+//!   completion order;
+//! * [`derive_seed`] — the per-item RNG seed derivation rule
+//!   `(campaign seed, item index) → worker seed`, so the random stream an
+//!   item sees is a pure function of its identity and not of scheduling.
+//!
+//! The determinism contract: callers hand each item a fresh RNG seeded
+//! with `derive_seed(campaign_seed, index)` and merge outputs by index.
+//! Under that contract results are bit-identical for every thread count,
+//! including `threads = 1`, which runs the same schedule inline on the
+//! caller's thread without spawning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// How many chunks each worker should expect to claim, on average. More
+/// chunks than workers gives the atomic claim counter room to balance
+/// uneven per-item cost (the work-stealing effect) without per-item
+/// claim traffic.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Thread-count policy for the parallel characterization paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    threads: usize,
+}
+
+impl ExecPolicy {
+    /// Policy running everything inline on the caller's thread.
+    pub const fn serial() -> Self {
+        ExecPolicy { threads: 1 }
+    }
+
+    /// Policy with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Policy from the environment: `CICHAR_THREADS` when set and valid,
+    /// otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        match std::env::var("CICHAR_THREADS") {
+            Ok(raw) => match parse_thread_count(&raw) {
+                Some(n) => ExecPolicy::with_threads(n),
+                None => ExecPolicy::default(),
+            },
+            Err(_) => ExecPolicy::default(),
+        }
+    }
+
+    /// The worker count this policy fans out to (always at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this policy runs inline without spawning workers.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for ExecPolicy {
+    /// Defaults to the machine's available parallelism.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecPolicy { threads }
+    }
+}
+
+/// Parses a `CICHAR_THREADS`-style value: a positive integer, or `0` /
+/// empty meaning "use available parallelism" (`None`).
+pub fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+/// Derives a stable per-item RNG seed from a campaign seed and the item's
+/// index.
+///
+/// This is the workspace's determinism rule: an item's random stream
+/// depends only on `(campaign_seed, index)`, never on which worker runs it
+/// or in what order. The mix is two rounds of the SplitMix64 finalizer
+/// over the campaign seed and index, which decorrelates consecutive
+/// indices and consecutive campaign seeds alike.
+pub fn derive_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Maps `f` over `items`, fanning out across `policy.threads()` scoped
+/// workers, and returns the outputs **in input order**.
+///
+/// `f` receives each item's original index alongside the item, so callers
+/// can derive per-item seeds ([`derive_seed`]) and label results. Workers
+/// claim chunks of consecutive indices from a shared atomic counter
+/// (work-stealing: a worker that finishes early claims the next chunk),
+/// but every output lands in the slot of its input index, so the result
+/// is independent of scheduling.
+///
+/// With a serial policy (or a single item) this runs inline on the
+/// caller's thread with no pool, no locks, and no spawn overhead — the
+/// legacy sequential code path.
+pub fn par_map<T, U, F>(policy: ExecPolicy, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    if policy.is_serial() || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let len = items.len();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let workers = policy.threads().min(len);
+    let chunk = (len / (workers * CHUNKS_PER_WORKER)).max(1);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for index in start..(start + chunk).min(len) {
+                    let item = slots[index]
+                        .lock()
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let output = f(index, item);
+                    *results[index].lock() = Some(output);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every index was processed by some worker")
+        })
+        .collect()
+}
+
+/// Borrowing variant of [`par_map`]: maps `f` over `&items` and returns
+/// outputs in input order. Useful when items are reused after the fan-out.
+pub fn par_map_ref<T, U, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    if policy.is_serial() || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let len = items.len();
+    let results: Vec<Mutex<Option<U>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let workers = policy.threads().min(len);
+    let chunk = (len / (workers * CHUNKS_PER_WORKER)).max(1);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                for index in start..(start + chunk).min(len) {
+                    let output = f(index, &items[index]);
+                    *results[index].lock() = Some(output);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every index was processed by some worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = par_map(ExecPolicy::with_threads(threads), items.clone(), |_, x| {
+                x * 3
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_ref_matches_serial() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map_ref(ExecPolicy::serial(), &items, |i, x| i as u64 + x);
+        let parallel = par_map_ref(ExecPolicy::with_threads(8), &items, |i, x| i as u64 + x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_passes_original_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(ExecPolicy::with_threads(4), items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(ExecPolicy::with_threads(4), empty, |_, x: u32| x).is_empty());
+        assert_eq!(
+            par_map(ExecPolicy::with_threads(4), vec![7u32], |i, x| (i, x)),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn uneven_item_cost_still_lands_in_order() {
+        // Early indices do far more work than late ones, so with several
+        // workers the completion order differs wildly from input order.
+        let items: Vec<u64> = (0..64).collect();
+        let f = |_: usize, x: u64| {
+            let spins = if x < 8 { 20_000 } else { 10 };
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        };
+        let serial = par_map(ExecPolicy::serial(), items.clone(), f);
+        let parallel = par_map(ExecPolicy::with_threads(8), items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        let seeds: std::collections::HashSet<u64> =
+            (0..10_000).map(|i| derive_seed(0xC1C4A7, i)).collect();
+        assert_eq!(seeds.len(), 10_000, "no collisions over 10k indices");
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn policy_parsing_and_clamping() {
+        assert_eq!(parse_thread_count("4"), Some(4));
+        assert_eq!(parse_thread_count(" 16 "), Some(16));
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("not-a-number"), None);
+        assert_eq!(ExecPolicy::with_threads(0).threads(), 1);
+        assert!(ExecPolicy::serial().is_serial());
+        assert!(ExecPolicy::default().threads() >= 1);
+    }
+}

@@ -101,6 +101,121 @@ struct Scored {
     fitness: f64,
 }
 
+/// Scores individuals for the engine.
+///
+/// The engine generates every child of a generation *before* scoring any
+/// of them (generation draws from the engine RNG; scoring must not), then
+/// hands the whole brood to [`FitnessEvaluator::evaluate_batch`]. A plain
+/// `FnMut(&Individual) -> f64` closure is an evaluator via the blanket
+/// impl and scores the batch one by one; [`ParallelFitness`] fans the
+/// batch out across worker threads instead. Either way the engine's RNG
+/// stream and the order fitness values are consumed in are identical, so
+/// the GA result is the same.
+pub trait FitnessEvaluator {
+    /// Scores one individual.
+    fn evaluate(&mut self, individual: &Individual) -> f64;
+
+    /// Scores a batch, returning fitnesses index-aligned with `batch`.
+    /// Implementations may evaluate concurrently, but the returned order
+    /// must match the input order.
+    fn evaluate_batch(&mut self, batch: &[Individual]) -> Vec<f64> {
+        batch.iter().map(|ind| self.evaluate(ind)).collect()
+    }
+}
+
+impl<F: FnMut(&Individual) -> f64> FitnessEvaluator for F {
+    fn evaluate(&mut self, individual: &Individual) -> f64 {
+        self(individual)
+    }
+}
+
+/// A [`FitnessEvaluator`] that scores each generation's brood across
+/// worker threads.
+///
+/// The evaluation function receives the **global evaluation index** (how
+/// many evaluations preceded this one in the run) alongside the
+/// individual. Stochastic fitness functions derive their RNG seed from
+/// that index (e.g. `cichar_exec::derive_seed(campaign_seed, index)`), so
+/// the score of evaluation *i* does not depend on which thread ran it or
+/// when — the GA trajectory is bit-identical for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_exec::ExecPolicy;
+/// use cichar_genetic::{FitnessEvaluator, ParallelFitness};
+///
+/// let mut eval = ParallelFitness::new(ExecPolicy::with_threads(4), |index, ind| {
+///     let _ = index; // seed per-evaluation randomness from this
+///     ind.chromosome(0).iter().sum::<u32>() as f64
+/// });
+/// # let _ = &mut eval;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelFitness<F> {
+    policy: cichar_exec::ExecPolicy,
+    evaluated: usize,
+    eval: F,
+}
+
+impl<F> ParallelFitness<F>
+where
+    F: Fn(usize, &Individual) -> f64 + Sync,
+{
+    /// Creates the evaluator; `eval` is called as `eval(global_index,
+    /// individual)` and must be pure given its arguments (derive any
+    /// randomness from `global_index`).
+    pub fn new(policy: cichar_exec::ExecPolicy, eval: F) -> Self {
+        Self {
+            policy,
+            evaluated: 0,
+            eval,
+        }
+    }
+
+    /// Evaluations performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluated
+    }
+}
+
+impl<F> FitnessEvaluator for ParallelFitness<F>
+where
+    F: Fn(usize, &Individual) -> f64 + Sync,
+{
+    fn evaluate(&mut self, individual: &Individual) -> f64 {
+        let index = self.evaluated;
+        self.evaluated += 1;
+        (self.eval)(index, individual)
+    }
+
+    fn evaluate_batch(&mut self, batch: &[Individual]) -> Vec<f64> {
+        let base = self.evaluated;
+        self.evaluated += batch.len();
+        cichar_exec::par_map_ref(self.policy, batch, |i, ind| (self.eval)(base + i, ind))
+    }
+}
+
+/// Scores `individuals` in order through the evaluator, charging the
+/// engine's evaluation counter.
+fn score_batch<F: FitnessEvaluator + ?Sized>(
+    individuals: Vec<Individual>,
+    evaluations: &mut usize,
+    fitness: &mut F,
+) -> Vec<Scored> {
+    *evaluations += individuals.len();
+    let fits = fitness.evaluate_batch(&individuals);
+    debug_assert_eq!(fits.len(), individuals.len(), "evaluator must score all");
+    individuals
+        .into_iter()
+        .zip(fits)
+        .map(|(individual, fitness)| Scored {
+            individual,
+            fitness,
+        })
+        .collect()
+}
+
 /// The engine: island populations, tournament selection, elitism,
 /// migration and stagnation restarts. Fitness is always *maximized*; the
 /// characterization stack maximizes WCR directly (eqs. 5–6 are both
@@ -139,12 +254,24 @@ impl GaEngine {
     }
 
     /// Runs with random initial populations.
-    pub fn run<F, R>(&self, fitness: F, rng: &mut R) -> GaResult
+    pub fn run<F, R>(&self, mut fitness: F, rng: &mut R) -> GaResult
     where
         F: FnMut(&Individual) -> f64,
         R: Rng + ?Sized,
     {
-        self.run_seeded(Vec::new(), fitness, rng)
+        self.run_seeded_with(Vec::new(), &mut fitness, rng)
+    }
+
+    /// Runs with random initial populations and an explicit
+    /// [`FitnessEvaluator`] (e.g. [`ParallelFitness`]). The evaluator is
+    /// borrowed so callers can inspect any state it accumulated after the
+    /// run.
+    pub fn run_with<F, R>(&self, fitness: &mut F, rng: &mut R) -> GaResult
+    where
+        F: FitnessEvaluator + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.run_seeded_with(Vec::new(), fitness, rng)
     }
 
     /// Runs with the first population(s) seeded by known-promising
@@ -159,45 +286,50 @@ impl GaEngine {
         F: FnMut(&Individual) -> f64,
         R: Rng + ?Sized,
     {
+        self.run_seeded_with(seeds, &mut fitness, rng)
+    }
+
+    /// [`GaEngine::run_seeded`] with an explicit [`FitnessEvaluator`].
+    /// Closures route here through the blanket impl; a batch-parallel
+    /// evaluator with a pure, index-seeded fitness function produces the
+    /// same result for every thread count.
+    pub fn run_seeded_with<F, R>(
+        &self,
+        seeds: Vec<Individual>,
+        fitness: &mut F,
+        rng: &mut R,
+    ) -> GaResult
+    where
+        F: FitnessEvaluator + ?Sized,
+        R: Rng + ?Sized,
+    {
         let c = &self.config;
         let mut evaluations = 0usize;
-        let score = |ind: &Individual, evals: &mut usize, f: &mut F| {
-            *evals += 1;
-            f(ind)
-        };
 
-        // Initialize islands.
-        let mut islands: Vec<Vec<Scored>> = Vec::with_capacity(c.islands);
-        let mut seed_iter = seeds
+        // Initialize islands. Valid seeds go round-robin (capped at total
+        // capacity), scored as one batch in seed order; each island's
+        // random remainder is generated first — all engine-RNG draws —
+        // then scored as a second batch.
+        let accepted: Vec<Individual> = seeds
             .into_iter()
             .filter(|s| self.layout.validate(s))
-            .peekable();
+            .take(c.islands * c.population_size)
+            .collect();
+        let mut islands: Vec<Vec<Scored>> = Vec::with_capacity(c.islands);
         for _ in 0..c.islands {
             islands.push(Vec::with_capacity(c.population_size));
         }
-        let mut island_idx = 0;
-        while seed_iter.peek().is_some() {
-            if islands[island_idx].len() < c.population_size {
-                let ind = seed_iter.next().expect("peeked");
-                let fit = score(&ind, &mut evaluations, &mut fitness);
-                islands[island_idx].push(Scored {
-                    individual: ind,
-                    fitness: fit,
-                });
-            } else {
-                break;
-            }
-            island_idx = (island_idx + 1) % c.islands;
+        for (j, scored) in score_batch(accepted, &mut evaluations, fitness)
+            .into_iter()
+            .enumerate()
+        {
+            islands[j % c.islands].push(scored);
         }
         for island in &mut islands {
-            while island.len() < c.population_size {
-                let ind = self.layout.random(rng);
-                let fit = score(&ind, &mut evaluations, &mut fitness);
-                island.push(Scored {
-                    individual: ind,
-                    fitness: fit,
-                });
-            }
+            let fresh: Vec<Individual> = (island.len()..c.population_size)
+                .map(|_| self.layout.random(rng))
+                .collect();
+            island.extend(score_batch(fresh, &mut evaluations, fitness));
         }
 
         let mut best: Scored = islands
@@ -237,12 +369,16 @@ impl GaEngine {
                 }
             }
 
-            // Evolve each island one generation.
+            // Evolve each island one generation. Selection and variation
+            // read only the *previous* generation's fitness and exhaust
+            // all engine-RNG draws up front, so the whole brood exists
+            // before scoring starts and the evaluator may fan it out.
             for (i, island) in islands.iter_mut().enumerate() {
-                let mut next: Vec<Scored> = Vec::with_capacity(c.population_size);
                 island.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
-                next.extend(island.iter().take(c.elitism).cloned());
-                while next.len() < c.population_size {
+                let elites: Vec<Scored> = island.iter().take(c.elitism).cloned().collect();
+                let offspring = c.population_size - elites.len();
+                let mut brood: Vec<Individual> = Vec::with_capacity(offspring);
+                while brood.len() < offspring {
                     let pa = tournament(island, c.tournament, rng);
                     let pb = tournament(island, c.tournament, rng);
                     let (mut ca, mut cb) = if rng.gen::<f64>() < c.crossover_rate {
@@ -253,17 +389,15 @@ impl GaEngine {
                     };
                     self.layout.mutate(&mut ca, c.mutation_rate, rng);
                     self.layout.mutate(&mut cb, c.mutation_rate, rng);
-                    for child in [ca, cb] {
-                        if next.len() >= c.population_size {
-                            break;
-                        }
-                        let fit = score(&child, &mut evaluations, &mut fitness);
-                        next.push(Scored {
-                            individual: child,
-                            fitness: fit,
-                        });
+                    // An odd brood still pays both children's variation
+                    // draws; the spare child is simply never scored.
+                    brood.push(ca);
+                    if brood.len() < offspring {
+                        brood.push(cb);
                     }
                 }
+                let mut next = elites;
+                next.extend(score_batch(brood, &mut evaluations, fitness));
                 *island = next;
 
                 let gen_best = island
@@ -283,15 +417,10 @@ impl GaEngine {
                     restarts += 1;
                     stagnant[i] = 0;
                     island_best[i] = f64::NEG_INFINITY;
-                    island.clear();
-                    while island.len() < c.population_size {
-                        let ind = self.layout.random(rng);
-                        let fit = score(&ind, &mut evaluations, &mut fitness);
-                        island.push(Scored {
-                            individual: ind,
-                            fitness: fit,
-                        });
-                    }
+                    let fresh: Vec<Individual> = (0..c.population_size)
+                        .map(|_| self.layout.random(rng))
+                        .collect();
+                    *island = score_batch(fresh, &mut evaluations, fitness);
                 }
             }
 
@@ -548,6 +677,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let result = engine.run(onemax, &mut rng);
         assert!(result.to_string().contains("evaluations"));
+    }
+
+    #[test]
+    fn parallel_fitness_reproduces_the_sequential_run() {
+        use cichar_exec::ExecPolicy;
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 20,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let sequential = engine.run(onemax, &mut StdRng::seed_from_u64(13));
+        for threads in [1, 4, 8] {
+            let mut eval =
+                ParallelFitness::new(ExecPolicy::with_threads(threads), |_, ind| onemax(ind));
+            let parallel = engine.run_with(&mut eval, &mut StdRng::seed_from_u64(13));
+            assert_eq!(eval.evaluations(), parallel.evaluations);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_fitness_indices_cover_every_evaluation_once() {
+        use cichar_exec::ExecPolicy;
+        use std::sync::Mutex;
+        let engine = GaEngine::new(
+            GaConfig {
+                generations: 6,
+                stagnation_restart: 0,
+                ..GaConfig::default()
+            },
+            onemax_layout(),
+        );
+        let seen = Mutex::new(Vec::new());
+        let result = {
+            let mut eval = ParallelFitness::new(ExecPolicy::with_threads(4), |index, ind| {
+                seen.lock().unwrap().push(index);
+                onemax(ind)
+            });
+            engine.run_with(&mut eval, &mut StdRng::seed_from_u64(14))
+        };
+        let mut indices = seen.into_inner().unwrap();
+        indices.sort_unstable();
+        assert_eq!(indices.len(), result.evaluations);
+        assert!(indices.iter().enumerate().all(|(i, &idx)| i == idx));
     }
 
     mod properties {

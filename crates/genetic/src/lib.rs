@@ -39,5 +39,7 @@
 mod engine;
 mod genome;
 
-pub use engine::{GaConfig, GaEngine, GaResult, GenerationStats};
+pub use engine::{
+    FitnessEvaluator, GaConfig, GaEngine, GaResult, GenerationStats, ParallelFitness,
+};
 pub use genome::{GenomeSpec, Individual, SpeciesLayout};

@@ -4,17 +4,23 @@
 //!
 //! ```text
 //! cargo run --release --example lot_characterization
+//! cargo run --release --example lot_characterization -- --threads 4
 //! ```
+//!
+//! Each die is characterized on its own tester session, so the per-die
+//! sweeps fan out across `--threads` workers with bit-identical results.
 
 use cichar::core::sample::{corner_grid, SampleCharacterization};
 use cichar::core::wcr::CharacterizationObjective;
 use cichar::ate::MeasuredParam;
 use cichar::dut::Lot;
 use cichar::patterns::{march, Test};
+use cichar_bench::thread_policy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let policy = thread_policy();
     let tests: Vec<Test> = march::standard_suite()
         .into_iter()
         .map(|(name, p)| Test::deterministic(name, p))
@@ -27,9 +33,12 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(1405);
-    let report = campaign.run(&Lot::default(), 12, &tests, &mut rng);
+    let report = campaign.run_parallel(&Lot::default(), 12, &tests, policy, &mut rng);
 
-    println!("== lot characterization: 12 dies x 9 corners x 5 tests ==\n");
+    println!(
+        "== lot characterization: 12 dies x 9 corners x 5 tests ({} threads) ==\n",
+        policy.threads()
+    );
     println!("die  | speed  | sens   | worst T_DQ | WCR   | class");
     println!("-----+--------+--------+------------+-------+------");
     for d in &report.dies {

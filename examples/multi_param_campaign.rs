@@ -5,7 +5,11 @@
 //!
 //! ```text
 //! cargo run --release --example multi_param_campaign
+//! cargo run --release --example multi_param_campaign -- --threads 4
 //! ```
+//!
+//! Each parameter's GA fitness evaluation fans out across `--threads`
+//! workers; the learning rounds stay on the shared session.
 
 use cichar::ate::Ate;
 use cichar::core::analysis::WeaknessAnalyzer;
@@ -15,10 +19,12 @@ use cichar::core::optimization::OptimizationConfig;
 use cichar::dut::MemoryDevice;
 use cichar::genetic::GaConfig;
 use cichar::neural::TrainConfig;
+use cichar_bench::thread_policy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let policy = thread_policy();
     let campaign = MultiParamCampaign::new(
         AnalysisTask::data_sheet(),
         LearningConfig {
@@ -47,8 +53,11 @@ fn main() {
 
     let mut ate = Ate::new(MemoryDevice::nominal());
     let mut rng = StdRng::seed_from_u64(3);
-    println!("running the figs. 4+5 pipeline once per data-sheet parameter...\n");
-    let report = campaign.run(&mut ate, &mut rng);
+    println!(
+        "running the figs. 4+5 pipeline once per data-sheet parameter ({} threads)...\n",
+        policy.threads()
+    );
+    let report = campaign.run_parallel(&mut ate, policy, &mut rng);
     print!("{report}");
 
     println!("\nfinal worst-case suite with fuzzy weakness analysis (§5):");

@@ -18,6 +18,7 @@
 //! | [`dut`] | the behavioral device model and process variation |
 //! | [`ate`] | the tester simulator: oracles, ledger, noise, drift, shmoo |
 //! | [`search`] | linear / binary / successive-approximation / search-until-trip-point |
+//! | [`exec`] | deterministic parallel fan-out: thread policy, indexed par-map, seed derivation |
 //! | [`neural`] | MLPs, committees with voting, learnability checks |
 //! | [`fuzzy`] | membership functions, Mamdani inference, WCR coding |
 //! | [`genetic`] | the two-species multi-population GA |
@@ -58,6 +59,7 @@
 pub use cichar_ate as ate;
 pub use cichar_core as core;
 pub use cichar_dut as dut;
+pub use cichar_exec as exec;
 pub use cichar_fuzzy as fuzzy;
 pub use cichar_genetic as genetic;
 pub use cichar_neural as neural;

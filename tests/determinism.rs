@@ -101,3 +101,96 @@ fn different_seeds_explore_differently() {
     let b = random::random_suite(&mut StdRng::seed_from_u64(2), &space, 5);
     assert_ne!(a, b, "seeds must actually matter");
 }
+
+/// The parallel layer's contract: `threads = 1` and `threads = 8` produce
+/// bit-identical results for every campaign seed, because each work item's
+/// random stream is a pure function of (campaign seed, item index) and
+/// outputs merge by index, never by completion order.
+mod parallel_bit_identity {
+    use cichar::ate::{AteConfig, MeasuredParam, ParallelAte, ShmooPlot};
+    use cichar::core::dsv::{MultiTripRunner, SearchStrategy};
+    use cichar::dut::MemoryDevice;
+    use cichar::exec::ExecPolicy;
+    use cichar::genetic::{GaConfig, GaEngine, GenomeSpec, Individual, ParallelFitness, SpeciesLayout};
+    use cichar::patterns::{random, ConditionSpace, Test};
+    use cichar::units::{Axis, ParamKind};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_tests(seed: u64, n: usize) -> Vec<Test> {
+        let space = ConditionSpace::default();
+        random::random_suite(&mut StdRng::seed_from_u64(seed), &space, n)
+    }
+
+    fn weight(individual: &Individual) -> f64 {
+        individual.chromosome(0).iter().map(|&g| f64::from(g)).sum()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn dsv_results_match_across_thread_counts(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            suite_seed in 0u64..1000,
+        ) {
+            // The default tester config injects noise, so this also proves
+            // the per-test seed-derivation rule, not just pure-math replay.
+            let blueprint = ParallelAte::new(
+                MemoryDevice::nominal(),
+                AteConfig { seed: campaign_seed, ..AteConfig::default() },
+            );
+            let tests = random_tests(suite_seed, 24);
+            let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+            for strategy in [SearchStrategy::FullRange, SearchStrategy::SearchUntilTrip] {
+                let serial =
+                    runner.run_parallel(&blueprint, &tests, strategy, ExecPolicy::serial());
+                let threaded =
+                    runner.run_parallel(&blueprint, &tests, strategy, ExecPolicy::with_threads(8));
+                prop_assert_eq!(serial, threaded);
+            }
+        }
+
+        #[test]
+        fn shmoo_grids_match_across_thread_counts(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            suite_seed in 0u64..1000,
+        ) {
+            let blueprint = ParallelAte::new(
+                MemoryDevice::nominal(),
+                AteConfig { seed: campaign_seed, ..AteConfig::default() },
+            );
+            let test = &random_tests(suite_seed, 1)[0];
+            let x = Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 21).expect("static axis");
+            let y = Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 7).expect("static axis");
+            let serial = ShmooPlot::capture_parallel(
+                &blueprint, test, x.clone(), y.clone(), ExecPolicy::serial());
+            let threaded = ShmooPlot::capture_parallel(
+                &blueprint, test, x, y, ExecPolicy::with_threads(8));
+            prop_assert_eq!(serial, threaded);
+        }
+
+        #[test]
+        fn ga_runs_match_across_thread_counts(ga_seed in 0u64..=u64::from(u32::MAX)) {
+            let engine = GaEngine::new(
+                GaConfig {
+                    population_size: 12,
+                    islands: 2,
+                    generations: 8,
+                    ..GaConfig::default()
+                },
+                SpeciesLayout::new(vec![GenomeSpec::uniform(8, 0, 50)]),
+            );
+            let sequential = engine.run(weight, &mut StdRng::seed_from_u64(ga_seed));
+            for threads in [1, 8] {
+                let mut eval = ParallelFitness::new(
+                    ExecPolicy::with_threads(threads),
+                    |_, individual: &Individual| weight(individual),
+                );
+                let parallel = engine.run_with(&mut eval, &mut StdRng::seed_from_u64(ga_seed));
+                prop_assert_eq!(&parallel, &sequential);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! small wall-clock benchmarking harness with `criterion`'s calling
+//! conventions: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark is calibrated so a sample takes a few milliseconds, then
+//! timed over `sample_size` samples; the mean, minimum, and maximum
+//! nanoseconds per iteration are printed and kept in
+//! [`Criterion::results`] so callers can post-process measurements (the
+//! workspace's `par_dsv` bench turns them into `BENCH_par_dsv.json`).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or `group/name/param`).
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample chosen by calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark identifier combining a function name and an optional
+/// parameter, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen number of iterations and
+    /// records the total elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// How long to aim each measured sample at, after calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+fn run_one(id: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) -> BenchResult {
+    // Calibration: one iteration to size the per-sample batch.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min_ns = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ns = per_iter_ns.iter().cloned().fold(0.0, f64::max);
+    let result = BenchResult {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        iters_per_sample,
+        samples: per_iter_ns.len(),
+    };
+    println!(
+        "bench {id:<50} mean {:>12.1} ns/iter  (min {:.1}, max {:.1}, {}x{} iters)",
+        result.mean_ns, result.min_ns, result.max_ns, result.samples, result.iters_per_sample
+    );
+    result
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let result = run_one(id, DEFAULT_SAMPLE_SIZE, routine);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// All measurements taken so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix and configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides how many samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored harness always sizes
+    /// samples by calibration rather than a fixed measurement window.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let result = run_one(&full, self.sample_size, routine);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        let result = run_one(&full, self.sample_size, |b| routine(b, input));
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, `criterion`-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        {
+            let mut group = c.benchmark_group("grp");
+            group.sample_size(5);
+            group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "noop");
+        assert_eq!(c.results()[1].id, "grp/sum/10");
+        assert!(c.results().iter().all(|r| r.mean_ns > 0.0));
+    }
+}

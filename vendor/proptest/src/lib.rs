@@ -1,0 +1,416 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! deterministic property-testing harness covering the forms this
+//! workspace uses:
+//!
+//! * `proptest! { ... }` blocks with `x in strategy` and `x: Type` params,
+//!   an optional `#![proptest_config(...)]` inner attribute, and the
+//!   caller-supplied `#[test]` attribute re-emitted as-is;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * range strategies (`Range` / `RangeInclusive` over ints and floats)
+//!   and `proptest::collection::vec`.
+//!
+//! Differences from upstream: no shrinking (failures report the raw
+//! values), and case generation is a fixed deterministic schedule (case
+//! index → seed), so failures always reproduce.
+
+/// Strategy abstraction: something that can generate values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of generated values for one proptest parameter.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.inner().gen_range(self.clone())
+        }
+    }
+}
+
+/// Test-runner configuration and deterministic per-case RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of generated cases per property (subset of upstream's
+    /// configuration surface).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many cases to generate and check.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the number of generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Lower than upstream's 256: this harness always runs the same
+            // deterministic schedule, and the workspace's properties hold
+            // for every input rather than relying on rare cases.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG for one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for case number `case` — a fixed mapping, so any
+        /// failure reproduces on every run.
+        pub fn for_case(case: u32) -> Self {
+            TestRng(StdRng::seed_from_u64(
+                0x70726F_70746573u64 ^ ((case as u64) << 17),
+            ))
+        }
+
+        /// Accesses the underlying generator.
+        pub fn inner(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+}
+
+/// `any::<T>()` support for `x: Type` parameters.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.inner().gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.inner().gen::<bool>()
+        }
+    }
+
+    /// Strategy generating any value of `T` (see [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A vector length specification: fixed or ranged.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.inner().gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a strategy for vectors whose elements come from `element`
+    /// and whose length comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The usual glob import for proptest consumers.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current case (returns `Err` from the property body) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})",
+                ::core::stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __l,
+                __r
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both {:?})",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                __l
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Accepts an optional
+/// `#![proptest_config(...)]` inner attribute followed by `fn` items whose
+/// parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    // `name in strategy` parameters.
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($p:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run!(($cfg); ($($p),+); ($($strat),+); $body);
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    // `name: Type` parameters.
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($p:ident : $ty:ty),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run!(($cfg); ($($p),+); ($($crate::arbitrary::any::<$ty>()),+); $body);
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Implementation detail of [`proptest!`]: the per-case loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    (($cfg:expr); ($($p:ident),+); ($($strat:expr),+); $body:block) => {{
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+            $(let $p = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+            let mut __described = ::std::string::String::new();
+            $(__described.push_str(&::std::format!(
+                "{} = {:?}; ",
+                ::core::stringify!($p),
+                &$p
+            ));)+
+            let __outcome: ::core::result::Result<(), ::std::string::String> = (move || {
+                $body
+                ::core::result::Result::Ok(())
+            })();
+            if let ::core::result::Result::Err(__msg) = __outcome {
+                ::core::panic!(
+                    "proptest case {}/{} failed: {}\n  inputs: {}",
+                    __case + 1,
+                    __cfg.cases,
+                    __msg,
+                    __described
+                );
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in -1.0f64..=1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn typed_params_generate(a: u16, b: u16) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| *e < 100));
+        }
+
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(0u32..10, 5usize)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("inputs: x ="), "{msg}");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        use crate::strategy::Strategy;
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::for_case(3);
+            (0u64..1000).generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline vendored `serde_derive`: derives the vendored `serde` crate's
+//! `Serialize` / `Deserialize` traits (a `Value`-tree data model) for
+//! non-generic structs and enums.
+//!
+//! The build environment has no crates.io access, so this macro parses the
+//! item's raw `TokenStream` directly instead of depending on `syn`/`quote`.
+//! Supported shapes — which cover every derived type in this workspace:
+//!
+//! * named-field structs, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, `serde_json`-style);
+//! * `#[serde(transparent)]` on single-field structs;
+//! * `#[serde(skip)]` on named fields (omitted when serializing,
+//!   `Default::default()` when deserializing).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Returns the serde helper idents (e.g. `transparent`, `skip`) carried by
+/// an attribute's bracket group, or an empty list for non-serde attributes.
+fn serde_attr_idents(group: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.to_string()),
+                    _ => None,
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Consumes leading `#[...]` attributes starting at `*i`, collecting any
+/// serde helper idents found in them.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            idents.extend(serde_attr_idents(g));
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    idents
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility at `*i`.
+fn eat_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances `*i` past one type (or expression), stopping at a `,` that sits
+/// outside every `<...>` pair. Shift tokens (`>>`) arrive as two `>` puncts
+/// so plain depth counting is sufficient.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1; // consume the separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = eat_attrs(&toks, &mut i);
+        eat_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        fields.push(Field {
+            name,
+            skip: attrs.iter().any(|a| a == "skip"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        let attrs = eat_attrs(&toks, &mut i);
+        assert!(
+            !attrs.iter().any(|a| a == "skip"),
+            "#[serde(skip)] on tuple fields is not supported by the vendored derive"
+        );
+        eat_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let variant = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g);
+                i += 1;
+                Variant::Tuple(name, arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Consume the separating comma, if present.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = eat_attrs(&toks, &mut i);
+    let transparent = attrs.iter().any(|a| a == "transparent");
+    eat_visibility(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "the vendored serde derive does not support generic types ({name})"
+        );
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+    Item {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+fn named_struct_to_value(fields: &[Field], accessor_prefix: &str) -> String {
+    let mut out = String::from("::serde::Value::Map(vec![");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{p}{n})),",
+            n = f.name,
+            p = accessor_prefix,
+        ));
+    }
+    out.push_str("])");
+    out
+}
+
+/// Field-init list reading each non-skipped field from map `m` (missing
+/// entries read as `Null`, so `Option` fields tolerate omission) and
+/// defaulting skipped fields.
+fn named_struct_from_map(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{n}\").unwrap_or(&::serde::Value::Null))?,",
+                n = f.name,
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    live.len() == 1,
+                    "#[serde(transparent)] requires exactly one field ({name})"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                named_struct_to_value(fields, "self.")
+            }
+        }
+        Kind::TupleStruct(arity) => {
+            if item.transparent || *arity == 1 {
+                // Newtype structs serialize as their inner value, matching
+                // serde_json's default newtype representation.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(","))
+            }
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("::serde::Value::Map(vec![");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "(\"{n}\".to_string(), ::serde::Serialize::to_value({n})),",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("])");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if item.transparent {
+                assert!(
+                    live.len() == 1,
+                    "#[serde(transparent)] requires exactly one field ({name})"
+                );
+                let mut inits = format!(
+                    "{n}: ::serde::Deserialize::from_value(v)?,",
+                    n = live[0].name
+                );
+                for f in fields.iter().filter(|f| f.skip) {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),",
+                        f.name
+                    ));
+                }
+                format!("Ok({name} {{ {inits} }})")
+            } else {
+                format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\
+                     Ok({name} {{ {inits} }})",
+                    inits = named_struct_from_map(fields),
+                )
+            }
+        }
+        Kind::TupleStruct(arity) => {
+            if item.transparent || *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                    .collect();
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}\"))?;\
+                     if s.len() != {arity} {{ return Err(::serde::Error::custom(\"wrong length for {name}\")); }}\
+                     Ok({name}({elems}))",
+                    elems = elems.join(","),
+                )
+            }
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let ctor = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{vn}\"))?;\
+                                 if s.len() != {arity} {{ return Err(::serde::Error::custom(\"wrong length for {name}::{vn}\")); }}\
+                                 Ok({name}::{vn}({elems})) }}",
+                                elems = elems.join(","),
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {ctor},"));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let m = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{vn}\"))?;\
+                             Ok({name}::{vn} {{ {inits} }}) }},",
+                            inits = named_struct_from_map(fields),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\
+                         {unit_arms}\
+                         _ => Err(::serde::Error::custom(\"unknown unit variant for {name}\")),\
+                     }},\
+                     ::serde::Value::Map(m) if m.len() == 1 => {{\
+                         let (tag, inner) = &m[0];\
+                         match tag.as_str() {{\
+                             {tagged_arms}\
+                             _ => Err(::serde::Error::custom(\"unknown variant for {name}\")),\
+                         }}\
+                     }},\
+                     _ => Err(::serde::Error::custom(\"expected variant encoding for {name}\")),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
