@@ -1,0 +1,249 @@
+//! Tester fault injection — the third hostile-environment model.
+//!
+//! [`NoiseModel`](crate::NoiseModel) jitters the device's limits and
+//! [`DriftModel`](crate::DriftModel) heats the die; [`TesterFaultModel`]
+//! breaks the *tester itself*. Real ATE glitches in four characteristic
+//! ways, each injected here per strobed verdict:
+//!
+//! * **probe-contact dropout** — the strobe channel goes silent for one
+//!   measurement; no verdict is available
+//!   ([`Probe::Invalid`](cichar_search::Probe::Invalid));
+//! * **transient verdict flip** — electrical noise on the comparator
+//!   inverts a single verdict;
+//! * **stuck-verdict channel** — the comparator latches whatever verdict
+//!   it last produced and repeats it for a burst of measurements;
+//! * **session abort** — the handler loses the device mid-search and every
+//!   verdict in the burst is unavailable.
+//!
+//! Faults draw from their own deterministic RNG stream (derived from the
+//! session seed, separate from the noise stream), so a faulty campaign
+//! replays bit-identically under [`ParallelAte`](crate::ParallelAte) at
+//! any thread count — and a fault-free session consumes no fault
+//! randomness at all, keeping historical seeds stable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default length of a stuck-verdict burst, in measurements.
+const DEFAULT_STUCK_LEN: u32 = 5;
+/// Default length of a session-abort burst, in measurements.
+const DEFAULT_ABORT_LEN: u32 = 8;
+
+/// Per-verdict fault rates of the simulated tester.
+///
+/// All rates are probabilities per strobed measurement, in `[0, 1)`. The
+/// order of precedence when multiple faults could fire on one measurement
+/// is fixed (abort, dropout, stuck, flip) so replay is exact.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::TesterFaultModel;
+///
+/// let faults = TesterFaultModel::transient(0.02, 0.01);
+/// assert!(!faults.is_none());
+/// assert_eq!(faults.flip_rate(), 0.02);
+/// assert_eq!(faults.dropout_rate(), 0.01);
+/// assert!(TesterFaultModel::none().is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TesterFaultModel {
+    dropout_rate: f64,
+    flip_rate: f64,
+    stuck_rate: f64,
+    stuck_len: u32,
+    abort_rate: f64,
+    abort_len: u32,
+}
+
+impl Default for TesterFaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl TesterFaultModel {
+    /// A perfectly healthy tester: no faults, and no fault randomness is
+    /// ever consumed.
+    pub fn none() -> Self {
+        Self {
+            dropout_rate: 0.0,
+            flip_rate: 0.0,
+            stuck_rate: 0.0,
+            stuck_len: DEFAULT_STUCK_LEN,
+            abort_rate: 0.0,
+            abort_len: DEFAULT_ABORT_LEN,
+        }
+    }
+
+    /// Only the transient, single-measurement faults: verdict flips at
+    /// `flip_rate` and contact dropouts at `dropout_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1)`.
+    pub fn transient(flip_rate: f64, dropout_rate: f64) -> Self {
+        let mut model = Self::none();
+        model.flip_rate = validated(flip_rate, "flip rate");
+        model.dropout_rate = validated(dropout_rate, "dropout rate");
+        model
+    }
+
+    /// Adds stuck-verdict channels: at `rate` per measurement the channel
+    /// latches its current verdict for the next `len` measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)` or `len` is zero.
+    pub fn with_stuck_channels(mut self, rate: f64, len: u32) -> Self {
+        assert!(len > 0, "stuck burst must cover at least one measurement");
+        self.stuck_rate = validated(rate, "stuck rate");
+        self.stuck_len = len;
+        self
+    }
+
+    /// Adds mid-search session aborts: at `rate` per measurement the
+    /// session drops for `len` measurements, each returning no verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)` or `len` is zero.
+    pub fn with_session_aborts(mut self, rate: f64, len: u32) -> Self {
+        assert!(len > 0, "abort burst must cover at least one measurement");
+        self.abort_rate = validated(rate, "abort rate");
+        self.abort_len = len;
+        self
+    }
+
+    /// `true` when every fault rate is zero — the fast path that skips
+    /// fault RNG entirely.
+    pub fn is_none(&self) -> bool {
+        self.dropout_rate == 0.0
+            && self.flip_rate == 0.0
+            && self.stuck_rate == 0.0
+            && self.abort_rate == 0.0
+    }
+
+    /// Probability of a probe-contact dropout per measurement.
+    pub fn dropout_rate(&self) -> f64 {
+        self.dropout_rate
+    }
+
+    /// Probability of a transient verdict flip per measurement.
+    pub fn flip_rate(&self) -> f64 {
+        self.flip_rate
+    }
+
+    /// Probability of a channel sticking per measurement.
+    pub fn stuck_rate(&self) -> f64 {
+        self.stuck_rate
+    }
+
+    /// Length of a stuck-verdict burst, in measurements.
+    pub fn stuck_len(&self) -> u32 {
+        self.stuck_len
+    }
+
+    /// Probability of a session abort per measurement.
+    pub fn abort_rate(&self) -> f64 {
+        self.abort_rate
+    }
+
+    /// Length of a session-abort burst, in measurements.
+    pub fn abort_len(&self) -> u32 {
+        self.abort_len
+    }
+}
+
+fn validated(rate: f64, what: &str) -> f64 {
+    assert!(
+        rate.is_finite() && (0.0..1.0).contains(&rate),
+        "{what} {rate} outside [0, 1)"
+    );
+    rate
+}
+
+impl fmt::Display for TesterFaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return f.write_str("no tester faults");
+        }
+        write!(
+            f,
+            "faults: {:.2}% dropout, {:.2}% flip, {:.2}% stuck(×{}), {:.2}% abort(×{})",
+            self.dropout_rate * 100.0,
+            self.flip_rate * 100.0,
+            self.stuck_rate * 100.0,
+            self.stuck_len,
+            self.abort_rate * 100.0,
+            self.abort_len
+        )
+    }
+}
+
+/// Mutable burst state of an injecting tester: an active stuck channel
+/// and/or an in-flight session abort.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct FaultState {
+    pub(crate) stuck_remaining: u32,
+    pub(crate) stuck_verdict: Option<cichar_search::Probe>,
+    pub(crate) abort_remaining: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(TesterFaultModel::none().is_none());
+        assert!(TesterFaultModel::default().is_none());
+        assert!(!TesterFaultModel::transient(0.0, 0.5).is_none());
+    }
+
+    #[test]
+    fn builders_set_rates() {
+        let m = TesterFaultModel::transient(0.02, 0.01)
+            .with_stuck_channels(0.005, 3)
+            .with_session_aborts(0.001, 10);
+        assert_eq!(m.flip_rate(), 0.02);
+        assert_eq!(m.dropout_rate(), 0.01);
+        assert_eq!(m.stuck_rate(), 0.005);
+        assert_eq!(m.stuck_len(), 3);
+        assert_eq!(m.abort_rate(), 0.001);
+        assert_eq!(m.abort_len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn rejects_rate_of_one() {
+        let _ = TesterFaultModel::transient(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn rejects_negative_rate() {
+        let _ = TesterFaultModel::transient(0.0, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measurement")]
+    fn rejects_zero_burst() {
+        let _ = TesterFaultModel::none().with_stuck_channels(0.1, 0);
+    }
+
+    #[test]
+    fn display_summarizes_rates() {
+        assert_eq!(TesterFaultModel::none().to_string(), "no tester faults");
+        let s = TesterFaultModel::transient(0.02, 0.01).to_string();
+        assert!(s.contains("2.00% flip") && s.contains("1.00% dropout"), "{s}");
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let m = TesterFaultModel::transient(0.02, 0.01).with_stuck_channels(0.005, 3);
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: TesterFaultModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+    }
+}

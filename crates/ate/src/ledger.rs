@@ -35,6 +35,24 @@ pub struct MeasurementLedger {
     /// Tracked apart from `measurements` so cached probes never inflate
     /// the paper's measurement-saving numbers (fig. 3).
     cached: u64,
+    /// Injected probe-contact dropouts (verdict unavailable), including
+    /// every silent measurement inside a session-abort burst.
+    dropouts: u64,
+    /// Injected transient verdict flips.
+    flips: u64,
+    /// Measurements answered by a stuck-verdict channel instead of the
+    /// device.
+    stuck_probes: u64,
+    /// Mid-search session-abort events (each masks a burst of
+    /// measurements, counted under `dropouts`).
+    aborts: u64,
+    /// Recovery strobes re-issued after silent measurements.
+    retries: u64,
+    /// Test points excluded from characterization results because
+    /// recovery could not produce a trustworthy trip point.
+    quarantined: u64,
+    /// Simulated settle time spent in retry backoff, in microseconds.
+    backoff_time_us: f64,
 }
 
 impl MeasurementLedger {
@@ -59,6 +77,40 @@ impl MeasurementLedger {
         self.cached += 1;
     }
 
+    /// Records one injected probe-contact dropout (verdict unavailable).
+    pub fn record_dropout(&mut self) {
+        self.dropouts += 1;
+    }
+
+    /// Records one injected transient verdict flip.
+    pub fn record_flip(&mut self) {
+        self.flips += 1;
+    }
+
+    /// Records one measurement answered by a stuck-verdict channel.
+    pub fn record_stuck_probe(&mut self) {
+        self.stuck_probes += 1;
+    }
+
+    /// Records one mid-search session-abort event.
+    pub fn record_abort(&mut self) {
+        self.aborts += 1;
+    }
+
+    /// Charges a recovery effort to the ledger: `retries` re-issued
+    /// strobes and `backoff_us` of simulated settle time. The retried
+    /// measurements themselves are already counted by [`Self::record`];
+    /// this adds only the recovery-specific bookkeeping.
+    pub fn record_recovery(&mut self, retries: u64, backoff_us: f64) {
+        self.retries += retries;
+        self.backoff_time_us += backoff_us;
+    }
+
+    /// Records one quarantined test point.
+    pub fn record_quarantined(&mut self) {
+        self.quarantined += 1;
+    }
+
     /// Total measurements performed.
     pub fn measurements(&self) -> u64 {
         self.measurements
@@ -74,16 +126,80 @@ impl MeasurementLedger {
         self.cycles
     }
 
+    /// Injected probe-contact dropouts.
+    pub fn dropouts(&self) -> u64 {
+        self.dropouts
+    }
+
+    /// Injected transient verdict flips.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Measurements answered by a stuck-verdict channel.
+    pub fn stuck_probes(&self) -> u64 {
+        self.stuck_probes
+    }
+
+    /// Session-abort events.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Recovery strobes re-issued after silent measurements.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Test points quarantined out of characterization results.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Simulated retry-backoff settle time, in microseconds.
+    pub fn backoff_time_us(&self) -> f64 {
+        self.backoff_time_us
+    }
+
+    /// Total injected tester faults of all kinds.
+    pub fn injected_faults(&self) -> u64 {
+        self.dropouts + self.flips + self.stuck_probes + self.aborts
+    }
+
     /// Estimated tester-occupancy time in milliseconds (pattern time plus
-    /// per-measurement overhead).
+    /// per-measurement overhead plus retry-backoff settle time).
     pub fn test_time_ms(&self) -> f64 {
-        (self.pattern_time_us + self.measurements as f64 * MEASUREMENT_OVERHEAD_US) / 1000.0
+        (self.pattern_time_us
+            + self.measurements as f64 * MEASUREMENT_OVERHEAD_US
+            + self.backoff_time_us)
+            / 1000.0
     }
 
     /// Measurements performed since `baseline` (for scoping one search
     /// inside a longer session).
     pub fn measurements_since(&self, baseline: &MeasurementLedger) -> u64 {
         self.measurements - baseline.measurements
+    }
+
+    /// The full ledger delta since `baseline` — every counter, not just
+    /// measurements. Scopes a whole campaign (cost, fault, and recovery
+    /// accounting alike) inside a longer tester session. `baseline` must
+    /// be an earlier snapshot of this ledger; counters saturate at zero
+    /// rather than underflow if it is not.
+    pub fn since(&self, baseline: &MeasurementLedger) -> MeasurementLedger {
+        MeasurementLedger {
+            measurements: self.measurements.saturating_sub(baseline.measurements),
+            cycles: self.cycles.saturating_sub(baseline.cycles),
+            pattern_time_us: (self.pattern_time_us - baseline.pattern_time_us).max(0.0),
+            cached: self.cached.saturating_sub(baseline.cached),
+            dropouts: self.dropouts.saturating_sub(baseline.dropouts),
+            flips: self.flips.saturating_sub(baseline.flips),
+            stuck_probes: self.stuck_probes.saturating_sub(baseline.stuck_probes),
+            aborts: self.aborts.saturating_sub(baseline.aborts),
+            retries: self.retries.saturating_sub(baseline.retries),
+            quarantined: self.quarantined.saturating_sub(baseline.quarantined),
+            backoff_time_us: (self.backoff_time_us - baseline.backoff_time_us).max(0.0),
+        }
     }
 
     /// Folds another ledger's counters into this one. The parallel
@@ -95,6 +211,13 @@ impl MeasurementLedger {
         self.cycles += other.cycles;
         self.pattern_time_us += other.pattern_time_us;
         self.cached += other.cached;
+        self.dropouts += other.dropouts;
+        self.flips += other.flips;
+        self.stuck_probes += other.stuck_probes;
+        self.aborts += other.aborts;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.backoff_time_us += other.backoff_time_us;
     }
 
     /// Resets all counters.
@@ -114,6 +237,18 @@ impl fmt::Display for MeasurementLedger {
         )?;
         if self.cached > 0 {
             write!(f, " ({} cached probes)", self.cached)?;
+        }
+        if self.injected_faults() > 0 || self.retries > 0 || self.quarantined > 0 {
+            write!(
+                f,
+                "; faults: {} dropouts, {} flips, {} stuck, {} aborts → {} retries, {} quarantined",
+                self.dropouts,
+                self.flips,
+                self.stuck_probes,
+                self.aborts,
+                self.retries,
+                self.quarantined
+            )?;
         }
         Ok(())
     }
@@ -147,6 +282,29 @@ mod tests {
         l.record(100, 100.0);
         l.record(100, 100.0);
         assert_eq!(l.measurements_since(&baseline), 2);
+    }
+
+    #[test]
+    fn since_scopes_every_counter() {
+        let mut l = MeasurementLedger::new();
+        l.record(100, 100.0);
+        l.record_flip();
+        let baseline = l;
+        l.record(900, 50.0);
+        l.record_dropout();
+        l.record_recovery(2, 300.0);
+        l.record_quarantined();
+        let delta = l.since(&baseline);
+        assert_eq!(delta.measurements(), 1);
+        assert_eq!(delta.cycles(), 900);
+        assert_eq!(delta.flips(), 0, "pre-baseline faults are scoped out");
+        assert_eq!(delta.dropouts(), 1);
+        assert_eq!(delta.retries(), 2);
+        assert_eq!(delta.quarantined(), 1);
+        assert!((delta.backoff_time_us() - 300.0).abs() < 1e-12);
+        let mut rebuilt = baseline;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, l, "baseline + delta reconstructs the ledger");
     }
 
     #[test]
@@ -230,6 +388,67 @@ mod tests {
         };
         assert_eq!(fold([0, 1, 2]), fold([2, 0, 1]));
         assert_eq!(fold([0, 1, 2]), fold([1, 2, 0]));
+    }
+
+    #[test]
+    fn fault_columns_accumulate_and_merge() {
+        let mut a = MeasurementLedger::new();
+        a.record(100, 100.0);
+        a.record_dropout();
+        a.record_flip();
+        a.record_flip();
+        a.record_stuck_probe();
+        a.record_abort();
+        a.record_recovery(3, 700.0);
+        a.record_quarantined();
+        assert_eq!(a.dropouts(), 1);
+        assert_eq!(a.flips(), 2);
+        assert_eq!(a.stuck_probes(), 1);
+        assert_eq!(a.aborts(), 1);
+        assert_eq!(a.retries(), 3);
+        assert_eq!(a.quarantined(), 1);
+        assert_eq!(a.injected_faults(), 5);
+        assert_eq!(a.backoff_time_us(), 700.0);
+        let mut merged = MeasurementLedger::new();
+        merged.merge(&a);
+        merged.merge(&a);
+        assert_eq!(merged.flips(), 4);
+        assert_eq!(merged.retries(), 6);
+        assert_eq!(merged.quarantined(), 2);
+        assert_eq!(merged.backoff_time_us(), 1400.0);
+    }
+
+    #[test]
+    fn backoff_time_is_charged_to_test_time() {
+        let mut l = MeasurementLedger::new();
+        l.record(1000, 100.0);
+        let before = l.test_time_ms();
+        l.record_recovery(1, 500.0);
+        assert!((l.test_time_ms() - before - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_faults_only_when_present() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        assert!(!l.to_string().contains("faults"));
+        l.record_dropout();
+        l.record_recovery(1, 100.0);
+        let s = l.to_string();
+        assert!(s.contains("1 dropouts") && s.contains("1 retries"), "{s}");
+    }
+
+    #[test]
+    fn fault_columns_survive_serde() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        l.record_flip();
+        l.record_quarantined();
+        let json = serde_json::to_string(&l).expect("serialize");
+        let back: MeasurementLedger = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, l);
+        assert_eq!(back.flips(), 1);
+        assert_eq!(back.quarantined(), 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod drift;
+mod fault;
 mod ledger;
 mod noise;
 mod oracle;
@@ -58,6 +59,7 @@ pub mod shmoo;
 mod tester;
 
 pub use drift::DriftModel;
+pub use fault::TesterFaultModel;
 pub use ledger::MeasurementLedger;
 pub use noise::NoiseModel;
 pub use oracle::TripOracle;

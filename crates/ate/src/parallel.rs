@@ -106,6 +106,7 @@ mod tests {
             noise: NoiseModel::default(),
             drift: DriftModel::none(),
             seed: 0xCAFE,
+            ..AteConfig::default()
         }
     }
 

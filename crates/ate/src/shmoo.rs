@@ -479,6 +479,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::none(),
             seed: 0,
+            ..AteConfig::default()
         };
         let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
         let test = Test::deterministic("march_c-", march::march_c_minus(64));
@@ -526,6 +527,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::none(),
             seed: 0,
+            ..AteConfig::default()
         };
         let tests = vec![
             Test::deterministic("march_c-", march::march_c_minus(64)),

@@ -1,17 +1,23 @@
 //! The tester: executes tests with forced parameters, returns verdicts.
 
 use crate::drift::DriftModel;
+use crate::fault::{FaultState, TesterFaultModel};
 use crate::ledger::MeasurementLedger;
 use crate::noise::NoiseModel;
 use crate::oracle::TripOracle;
 use crate::params::MeasuredParam;
 use cichar_dut::MemoryDevice;
 use cichar_patterns::{PatternFeatures, Test};
-use cichar_search::Probe;
+use cichar_search::{Probe, RecoveryStats, RetryPolicy, RobustOracle};
 use cichar_units::{Celsius, Megahertz, ParamKind, Volts};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Stream-split salt for the fault RNG: the fault stream must never share
+/// draws with the noise stream, or enabling faults would perturb the noise
+/// sequence of historical seeds.
+const FAULT_STREAM: u64 = 0xFA_u64 << 56 | 0x17;
 
 /// Key of one memoized probe: a hash of the exact stimulus (pattern,
 /// conditions, and every forced parameter including the probed value).
@@ -51,7 +57,10 @@ pub struct AteConfig {
     pub noise: NoiseModel,
     /// Session thermal drift.
     pub drift: DriftModel,
-    /// RNG seed for the noise stream (sessions are reproducible).
+    /// Tester fault injection (dropouts, flips, stuck channels, aborts).
+    pub faults: TesterFaultModel,
+    /// RNG seed for the noise and fault streams (sessions are
+    /// reproducible; the two streams are split from this one seed).
     pub seed: u64,
 }
 
@@ -60,6 +69,7 @@ impl Default for AteConfig {
         Self {
             noise: NoiseModel::default(),
             drift: DriftModel::none(),
+            faults: TesterFaultModel::none(),
             seed: 0x1CA7_ACE5,
         }
     }
@@ -99,6 +109,12 @@ pub struct Ate {
     config: AteConfig,
     ledger: MeasurementLedger,
     rng: StdRng,
+    /// Fault-injection RNG, split from the session seed on its own stream
+    /// so a fault-free session draws from it never and historical noise
+    /// sequences stay stable.
+    fault_rng: StdRng,
+    /// Active stuck-channel / session-abort bursts.
+    fault_state: FaultState,
     /// Oracle memoization cache (probe stimulus hash → verdict), present
     /// when enabled via [`Ate::with_memoization`]. Only consulted when
     /// the configuration is noiseless and drift-free — the sole regime
@@ -115,11 +131,14 @@ impl Ate {
     /// Loads a device with an explicit configuration.
     pub fn with_config(device: MemoryDevice, config: AteConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let fault_rng = StdRng::seed_from_u64(cichar_exec::derive_seed(config.seed, FAULT_STREAM));
         Self {
             device,
             config,
             ledger: MeasurementLedger::new(),
             rng,
+            fault_rng,
+            fault_state: FaultState::default(),
             cache: None,
         }
     }
@@ -145,9 +164,14 @@ impl Ate {
     }
 
     /// Whether memoized verdicts may be served right now: the cache is
-    /// enabled and the configuration makes verdicts stimulus-pure.
+    /// enabled and the configuration makes verdicts stimulus-pure (no
+    /// noise, no drift, and no fault injection — a glitching tester's
+    /// verdicts must never be replayed from memory).
     pub(crate) fn memo_active(&self) -> bool {
-        self.cache.is_some() && self.config.noise.is_noiseless() && self.config.drift.is_none()
+        self.cache.is_some()
+            && self.config.noise.is_noiseless()
+            && self.config.drift.is_none()
+            && self.config.faults.is_none()
     }
 
     /// Serves a probe from the cache, charging the ledger's cached-probe
@@ -178,6 +202,7 @@ impl Ate {
             AteConfig {
                 noise: NoiseModel::noiseless(),
                 drift: DriftModel::none(),
+                faults: TesterFaultModel::none(),
                 seed: 0,
             },
         )
@@ -274,16 +299,104 @@ impl Ate {
         let strobe_ok = strobe.is_none_or(|s| s <= t_dq);
         let clock_ok = conditions.clock.value() <= f_max;
         let vdd_ok = conditions.vdd.value() >= vdd_min;
-        if strobe_ok && clock_ok && vdd_ok {
+        let verdict = if strobe_ok && clock_ok && vdd_ok {
             Probe::Pass
         } else {
             Probe::Fail
+        };
+        self.inject_faults(verdict)
+    }
+
+    /// Passes the true verdict through the tester's fault layer. A healthy
+    /// tester short-circuits without touching the fault RNG; a faulty one
+    /// draws a fixed number of uniforms per measurement so replay is exact
+    /// regardless of which faults fire.
+    fn inject_faults(&mut self, verdict: Probe) -> Probe {
+        if self.config.faults.is_none() {
+            return verdict;
         }
+        // Active session abort: the handler lost the device; every verdict
+        // in the burst is unavailable.
+        if self.fault_state.abort_remaining > 0 {
+            self.fault_state.abort_remaining -= 1;
+            self.ledger.record_dropout();
+            return Probe::Invalid;
+        }
+        // Active stuck channel: the comparator repeats its latched verdict.
+        if let (true, Some(stuck)) = (
+            self.fault_state.stuck_remaining > 0,
+            self.fault_state.stuck_verdict,
+        ) {
+            self.fault_state.stuck_remaining -= 1;
+            if self.fault_state.stuck_remaining == 0 {
+                self.fault_state.stuck_verdict = None;
+            }
+            self.ledger.record_stuck_probe();
+            return stuck;
+        }
+        // Fixed draw order — abort, dropout, stuck, flip — so the stream
+        // consumption per measurement is constant and replayable.
+        let faults = self.config.faults;
+        let r_abort: f64 = self.fault_rng.gen();
+        let r_dropout: f64 = self.fault_rng.gen();
+        let r_stuck: f64 = self.fault_rng.gen();
+        let r_flip: f64 = self.fault_rng.gen();
+        if r_abort < faults.abort_rate() {
+            // This measurement is the first casualty of the abort burst.
+            self.fault_state.abort_remaining = faults.abort_len() - 1;
+            self.ledger.record_abort();
+            self.ledger.record_dropout();
+            return Probe::Invalid;
+        }
+        if r_dropout < faults.dropout_rate() {
+            self.ledger.record_dropout();
+            return Probe::Invalid;
+        }
+        if r_stuck < faults.stuck_rate() {
+            // The channel latches this (true) verdict for the next burst.
+            self.fault_state.stuck_remaining = faults.stuck_len();
+            self.fault_state.stuck_verdict = Some(verdict);
+            return verdict;
+        }
+        if r_flip < faults.flip_rate() {
+            self.ledger.record_flip();
+            return verdict.flipped();
+        }
+        verdict
     }
 
     /// Borrows the tester as a search oracle for one test and parameter.
     pub fn trip_oracle<'a>(&'a mut self, test: &'a Test, param: MeasuredParam) -> TripOracle<'a> {
         TripOracle::new(self, test, param)
+    }
+
+    /// Borrows the tester as a fault-tolerant search oracle: a
+    /// [`RobustOracle`] applying `policy`'s retry / backoff / voting
+    /// ladder over the raw [`TripOracle`]. After the search, release the
+    /// borrow with [`RobustOracle::into_stats`] and charge the recovery
+    /// cost back with [`Ate::absorb_recovery`].
+    pub fn robust_oracle<'a>(
+        &'a mut self,
+        test: &'a Test,
+        param: MeasuredParam,
+        policy: RetryPolicy,
+    ) -> RobustOracle<TripOracle<'a>> {
+        RobustOracle::new(TripOracle::new(self, test, param), policy)
+    }
+
+    /// Charges a [`RobustOracle`]'s recovery tally to this session's
+    /// ledger: re-issued strobes and simulated backoff settle time. The
+    /// retried measurements themselves were already recorded when they
+    /// ran.
+    pub fn absorb_recovery(&mut self, stats: &RecoveryStats) {
+        self.ledger.record_recovery(stats.retries, stats.backoff_us);
+    }
+
+    /// Records in the ledger that a characterization point measured on
+    /// this session was quarantined — excluded from the reported result
+    /// because recovery could not produce a trustworthy trip point.
+    pub fn quarantine(&mut self) {
+        self.ledger.record_quarantined();
     }
 
     /// One production-style application: the pattern runs once with
@@ -406,6 +519,7 @@ mod tests {
                 noise: NoiseModel::new(0.05, 0.0, 0.0),
                 drift: DriftModel::none(),
                 seed: 7,
+                ..AteConfig::default()
             },
         );
         let t = march_test();
@@ -418,6 +532,7 @@ mod tests {
             match noisy.measure(&t, MeasuredParam::DataValidTime, 32.3) {
                 Probe::Pass => near_mixed.0 += 1,
                 Probe::Fail => near_mixed.1 += 1,
+                Probe::Invalid => unreachable!("no fault injection configured"),
             }
         }
         assert_eq!(far_flips, 0, "20 ns is 12σ from the boundary");
@@ -433,6 +548,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::new(60.0, 2e5),
             seed: 0,
+            ..AteConfig::default()
         };
         let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
         let t = march_test();
@@ -451,6 +567,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::new(20.0, 5e4),
             seed: 0,
+            ..AteConfig::default()
         };
         let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
         let t = march_test();
@@ -458,6 +575,137 @@ mod tests {
         let search = SuccessiveApproximation::new(param.generous_range(), param.resolution());
         let outcome = search.run(param.region_order(), ate.trip_oracle(&t, param));
         assert!(outcome.converged, "drift-tolerant search should converge");
+    }
+
+    fn faulty_config(faults: TesterFaultModel, seed: u64) -> AteConfig {
+        AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            faults,
+            seed,
+        }
+    }
+
+    #[test]
+    fn fault_free_sessions_ignore_the_fault_layer() {
+        // Same seed, faults explicitly none vs default: identical verdict
+        // streams and zero fault columns.
+        let t = march_test();
+        let mut ate = Ate::with_config(
+            MemoryDevice::nominal(),
+            faulty_config(TesterFaultModel::none(), 42),
+        );
+        for i in 0..50 {
+            let v = ate.measure(&t, MeasuredParam::DataValidTime, 20.0 + 0.2 * f64::from(i));
+            assert!(v.is_valid());
+        }
+        assert_eq!(ate.ledger().injected_faults(), 0);
+    }
+
+    #[test]
+    fn dropouts_return_invalid_and_are_ledgered() {
+        let t = march_test();
+        let faults = TesterFaultModel::transient(0.0, 0.3);
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 9));
+        let mut invalids = 0;
+        for _ in 0..200 {
+            if !ate.measure(&t, MeasuredParam::DataValidTime, 20.0).is_valid() {
+                invalids += 1;
+            }
+        }
+        assert!(invalids > 20, "30% dropout must show, got {invalids}");
+        assert_eq!(ate.ledger().dropouts(), invalids);
+        assert_eq!(ate.ledger().flips(), 0);
+    }
+
+    #[test]
+    fn flips_invert_verdicts_and_are_ledgered() {
+        let t = march_test();
+        let faults = TesterFaultModel::transient(0.3, 0.0);
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 11));
+        // 20 ns is deep inside the valid window: every Fail is a flip.
+        let mut fails = 0;
+        for _ in 0..200 {
+            if ate.measure(&t, MeasuredParam::DataValidTime, 20.0) == Probe::Fail {
+                fails += 1;
+            }
+        }
+        assert!(fails > 20, "30% flips must show, got {fails}");
+        assert_eq!(ate.ledger().flips(), fails);
+        assert_eq!(ate.ledger().dropouts(), 0);
+    }
+
+    #[test]
+    fn stuck_channel_repeats_latched_verdict() {
+        let t = march_test();
+        // Certain stick on the first measurement (rate ~1), long burst.
+        let faults = TesterFaultModel::none().with_stuck_channels(0.999, 4);
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 3));
+        // First measurement passes (deep in window) and latches the channel…
+        assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 20.0), Probe::Pass);
+        // …so the next four verdicts are Pass even far beyond the window.
+        for _ in 0..4 {
+            assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 39.5), Probe::Pass);
+        }
+        assert_eq!(ate.ledger().stuck_probes(), 4);
+    }
+
+    #[test]
+    fn session_abort_masks_a_burst_of_verdicts() {
+        let t = march_test();
+        let faults = TesterFaultModel::none().with_session_aborts(0.999, 3);
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 5));
+        for _ in 0..3 {
+            assert_eq!(ate.measure(&t, MeasuredParam::DataValidTime, 20.0), Probe::Invalid);
+        }
+        assert_eq!(ate.ledger().aborts(), 1, "one abort event");
+        assert_eq!(ate.ledger().dropouts(), 3, "every masked verdict counted");
+    }
+
+    #[test]
+    fn faulty_sessions_replay_bit_identically() {
+        let faults = TesterFaultModel::transient(0.05, 0.05)
+            .with_stuck_channels(0.01, 3)
+            .with_session_aborts(0.005, 4);
+        let run = || {
+            let mut ate =
+                Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 1234));
+            let t = march_test();
+            let verdicts: Vec<Probe> = (0..120)
+                .map(|i| ate.measure(&t, MeasuredParam::DataValidTime, 25.0 + 0.1 * f64::from(i)))
+                .collect();
+            (verdicts, *ate.ledger())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faults_disable_memoization() {
+        let faults = TesterFaultModel::transient(0.0, 0.2);
+        let ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 1))
+            .with_memoization();
+        assert!(ate.memoization_enabled());
+        assert!(!ate.memo_active(), "glitching verdicts must not be cached");
+    }
+
+    #[test]
+    fn robust_oracle_recovers_dropouts_and_charges_ledger() {
+        let t = march_test();
+        let faults = TesterFaultModel::transient(0.0, 0.3);
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), faulty_config(faults, 21));
+        let policy = cichar_search::RetryPolicy::new(5, 100.0);
+        let mut oracle = ate.robust_oracle(&t, MeasuredParam::DataValidTime, policy);
+        use cichar_search::PassFailOracle;
+        for _ in 0..50 {
+            // Deep in the window: with retries, every verdict resolves.
+            assert_eq!(oracle.probe(20.0), Probe::Pass);
+        }
+        let stats = oracle.into_stats();
+        assert!(stats.retries > 0, "30% dropouts need retries");
+        ate.absorb_recovery(&stats);
+        assert_eq!(ate.ledger().retries(), stats.retries);
+        assert!(ate.ledger().backoff_time_us() > 0.0);
+        assert!(ate.ledger().dropouts() >= stats.retries, "every retry was caused by a dropout");
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig2
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --threads 4
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --fault-rate 0.02 --retries 4
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{thread_policy, Scale};
+use cichar_bench::{robustness, thread_policy, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
 use cichar_dut::MemoryDevice;
@@ -19,6 +20,7 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
+    let robustness = robustness();
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
     let mut rng = StdRng::seed_from_u64(scale.seed());
@@ -26,9 +28,16 @@ fn main() {
         .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
         .collect();
 
-    let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+    let config = AteConfig {
+        faults: robustness.faults,
+        ..AteConfig::default()
+    };
+    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
     let param = MeasuredParam::DataValidTime;
-    let runner = MultiTripRunner::new(param);
+    let mut runner = MultiTripRunner::new(param);
+    if let Some(policy) = robustness.recovery {
+        runner = runner.with_recovery(policy);
+    }
     let (report, ledger) =
         runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy);
 

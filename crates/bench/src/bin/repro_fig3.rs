@@ -5,10 +5,11 @@
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig3
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --threads 4
+//! cargo run --release -p cichar-bench --bin repro_fig3 -- --fault-rate 0.02
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{thread_policy, Scale};
+use cichar_bench::{robustness, thread_policy, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_stp_saving;
 use cichar_dut::MemoryDevice;
@@ -19,6 +20,7 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
+    let robustness = robustness();
     let total = scale.random_tests();
     let mut rng = StdRng::seed_from_u64(scale.seed());
     let tests: Vec<Test> = (0..total)
@@ -26,8 +28,15 @@ fn main() {
         .collect();
 
     let param = MeasuredParam::DataValidTime;
-    let runner = MultiTripRunner::new(param);
-    let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+    let mut runner = MultiTripRunner::new(param);
+    if let Some(policy) = robustness.recovery {
+        runner = runner.with_recovery(policy);
+    }
+    let config = AteConfig {
+        faults: robustness.faults,
+        ..AteConfig::default()
+    };
+    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
     let (full, ledger_full) =
         runner.run_parallel(&blueprint, &tests, SearchStrategy::FullRange, policy);
     let (stp, ledger_stp) =

@@ -5,10 +5,11 @@
 //! cargo run --release -p cichar-bench --bin repro_table1
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_table1
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --threads 4
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --fault-rate 0.02 --retries 4
 //! ```
 
-use cichar_ate::Ate;
-use cichar_bench::{thread_policy, Scale};
+use cichar_ate::{Ate, AteConfig};
+use cichar_bench::{robustness, thread_policy, Scale};
 use cichar_core::compare::Comparison;
 use cichar_dut::MemoryDevice;
 use rand::rngs::StdRng;
@@ -17,8 +18,16 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
-    let config = scale.compare_config();
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let robustness = robustness();
+    let mut config = scale.compare_config();
+    config.optimization.recovery = robustness.recovery;
+    let mut ate = Ate::with_config(
+        MemoryDevice::nominal(),
+        AteConfig {
+            faults: robustness.faults,
+            ..AteConfig::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(scale.seed());
 
     println!(

@@ -8,46 +8,150 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cichar_ate::TesterFaultModel;
 use cichar_core::compare::{quick_config, CompareConfig};
 use cichar_core::learning::LearningConfig;
 use cichar_core::optimization::OptimizationConfig;
 use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
+use cichar_search::RetryPolicy;
 
 /// Execution policy for a repro binary: `--threads N` from the command
 /// line when given, otherwise `CICHAR_THREADS`, otherwise the machine's
 /// available parallelism.
+///
+/// A present-but-invalid `--threads` value (zero, negative, or
+/// non-numeric) is a usage error: the binary prints a diagnostic to
+/// stderr and exits with status 2 rather than silently running at an
+/// unrequested width.
 pub fn thread_policy() -> ExecPolicy {
-    thread_policy_from(std::env::args().skip(1))
+    thread_policy_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
 }
 
 /// [`thread_policy`] over an explicit argument list (testable).
 ///
-/// Accepts `--threads N` and `--threads=N`; `0` or an unparsable value
-/// falls back to available parallelism, an absent flag to
-/// [`ExecPolicy::from_env`].
-pub fn thread_policy_from<I>(args: I) -> ExecPolicy
+/// Accepts `--threads N` and `--threads=N`. An absent flag defers to
+/// [`ExecPolicy::from_env`]; `0`, a non-numeric value, or a missing
+/// operand is rejected with a descriptive error.
+pub fn thread_policy_from<I>(args: I) -> Result<ExecPolicy, String>
 where
     I: IntoIterator<Item = String>,
 {
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        let value = if let Some(v) = arg.strip_prefix("--threads=") {
-            Some(v.to_string())
-        } else if arg == "--threads" {
-            args.next()
-        } else {
-            None
-        };
-        if let Some(raw) = value {
+        if let Some(raw) = flag_value("--threads", &arg, &mut args)? {
             return match cichar_exec::parse_thread_count(&raw) {
-                Some(n) => ExecPolicy::with_threads(n),
-                None => ExecPolicy::default(),
+                Some(n) => Ok(ExecPolicy::with_threads(n)),
+                None => Err(format!(
+                    "invalid --threads value {raw:?}: expected a positive integer"
+                )),
             };
         }
     }
-    ExecPolicy::from_env()
+    Ok(ExecPolicy::from_env())
+}
+
+/// Fault-injection and recovery settings for a repro binary, from
+/// `--fault-rate R` and `--retries N`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Robustness {
+    /// The tester fault model: transient flips at the requested rate and
+    /// dropouts at half of it ([`TesterFaultModel::none`] at rate 0).
+    pub faults: TesterFaultModel,
+    /// The recovery policy, `None` when no faults are injected and no
+    /// retry budget was requested.
+    pub recovery: Option<RetryPolicy>,
+}
+
+impl Robustness {
+    /// No injected faults, no recovery — the historical behaviour of
+    /// every repro binary.
+    pub fn off() -> Self {
+        Robustness {
+            faults: TesterFaultModel::none(),
+            recovery: None,
+        }
+    }
+}
+
+/// Robustness settings for a repro binary: `--fault-rate R` injects
+/// transient verdict flips at rate `R` and probe-contact dropouts at
+/// `R/2`; `--retries N` bounds the recovery ladder (default 4 when
+/// faults are on). Any nonzero fault rate also enables 2-of-3
+/// majority-vote strobes. Exits with status 2 on an invalid value.
+pub fn robustness() -> Robustness {
+    robustness_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// [`robustness`] over an explicit argument list (testable).
+pub fn robustness_from<I>(args: I) -> Result<Robustness, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut fault_rate = 0.0f64;
+    let mut retries: Option<usize> = None;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(raw) = flag_value("--fault-rate", &arg, &mut args)? {
+            fault_rate = match raw.trim().parse::<f64>() {
+                Ok(r) if (0.0..1.0).contains(&r) => r,
+                _ => {
+                    return Err(format!(
+                        "invalid --fault-rate value {raw:?}: expected a probability in [0, 1)"
+                    ))
+                }
+            };
+        } else if let Some(raw) = flag_value("--retries", &arg, &mut args)? {
+            retries = match raw.trim().parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return Err(format!(
+                        "invalid --retries value {raw:?}: expected a non-negative integer"
+                    ))
+                }
+            };
+        }
+    }
+    let faults = if fault_rate > 0.0 {
+        TesterFaultModel::transient(fault_rate, fault_rate / 2.0)
+    } else {
+        TesterFaultModel::none()
+    };
+    let recovery = match (fault_rate > 0.0, retries) {
+        (false, None) => None,
+        (injecting, budget) => {
+            let policy = RetryPolicy::new(budget.unwrap_or(4), 50.0);
+            Some(if injecting { policy.with_vote(2, 3) } else { policy })
+        }
+    };
+    Ok(Robustness { faults, recovery })
+}
+
+/// Extracts the operand of `flag` from `arg` (either `flag=value` or
+/// `flag` followed by the next argument). `Ok(None)` when `arg` is not
+/// this flag; an error when the operand is missing.
+fn flag_value<I>(flag: &str, arg: &str, rest: &mut I) -> Result<Option<String>, String>
+where
+    I: Iterator<Item = String>,
+{
+    if let Some(v) = arg.strip_prefix(flag) {
+        if let Some(v) = v.strip_prefix('=') {
+            return Ok(Some(v.to_string()));
+        }
+        if v.is_empty() {
+            return match rest.next() {
+                Some(v) => Ok(Some(v)),
+                None => Err(format!("{flag} requires a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn usage_error(err: &str) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(2);
 }
 
 /// The run scale selected through `CICHAR_SCALE`.
@@ -136,25 +240,79 @@ mod tests {
 
     #[test]
     fn threads_flag_is_parsed_in_both_spellings() {
-        let a = thread_policy_from(strings(&["--threads", "4"]));
+        let a = thread_policy_from(strings(&["--threads", "4"])).unwrap();
         assert_eq!(a.threads(), 4);
-        let b = thread_policy_from(strings(&["--scale", "full", "--threads=7"]));
+        let b = thread_policy_from(strings(&["--scale", "full", "--threads=7"])).unwrap();
         assert_eq!(b.threads(), 7);
     }
 
     #[test]
-    fn bad_or_zero_thread_values_fall_back_to_the_machine() {
-        for args in [&["--threads", "0"][..], &["--threads=junk"][..]] {
-            let policy = thread_policy_from(strings(args));
-            assert_eq!(policy, ExecPolicy::default());
+    fn bad_or_zero_thread_values_are_rejected_with_a_clear_error() {
+        for args in [
+            &["--threads", "0"][..],
+            &["--threads=junk"][..],
+            &["--threads", "-3"][..],
+            &["--threads"][..],
+        ] {
+            let err = thread_policy_from(strings(args)).unwrap_err();
+            assert!(err.contains("--threads"), "{err}");
         }
+        let err = thread_policy_from(strings(&["--threads=0"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
     }
 
     #[test]
     fn absent_flag_defers_to_the_environment() {
         // The test environment does not set CICHAR_THREADS.
         if std::env::var("CICHAR_THREADS").is_err() {
-            assert_eq!(thread_policy_from(strings(&[])), ExecPolicy::from_env());
+            assert_eq!(
+                thread_policy_from(strings(&[])).unwrap(),
+                ExecPolicy::from_env()
+            );
+        }
+    }
+
+    #[test]
+    fn robustness_defaults_to_off() {
+        let r = robustness_from(strings(&[])).unwrap();
+        assert_eq!(r, Robustness::off());
+        assert!(r.faults.is_none());
+        assert!(r.recovery.is_none());
+    }
+
+    #[test]
+    fn fault_rate_enables_injection_and_voting_recovery() {
+        let r = robustness_from(strings(&["--fault-rate", "0.02"])).unwrap();
+        assert!((r.faults.flip_rate() - 0.02).abs() < 1e-12);
+        assert!((r.faults.dropout_rate() - 0.01).abs() < 1e-12);
+        let policy = r.recovery.expect("faults imply recovery");
+        assert_eq!(policy.max_retries(), 4);
+        assert_eq!(policy.vote(), Some((2, 3)));
+    }
+
+    #[test]
+    fn retries_flag_overrides_the_ladder_depth() {
+        let r = robustness_from(strings(&["--fault-rate=0.1", "--retries", "9"])).unwrap();
+        assert_eq!(r.recovery.expect("recovery on").max_retries(), 9);
+        // A retry budget without faults still arms recovery (real testers
+        // fault on their own), but without the voting overhead.
+        let bare = robustness_from(strings(&["--retries=2"])).unwrap();
+        let policy = bare.recovery.expect("recovery armed");
+        assert_eq!(policy.max_retries(), 2);
+        assert_eq!(policy.vote(), None);
+        assert!(bare.faults.is_none());
+    }
+
+    #[test]
+    fn bad_robustness_values_are_rejected() {
+        for args in [
+            &["--fault-rate", "1.5"][..],
+            &["--fault-rate=nope"][..],
+            &["--fault-rate", "-0.1"][..],
+            &["--retries", "many"][..],
+            &["--retries"][..],
+        ] {
+            assert!(robustness_from(strings(args)).is_err(), "{args:?}");
         }
     }
 

@@ -170,6 +170,32 @@ impl WorstCaseDatabase {
     }
 }
 
+/// Saves any serializable characterization artifact — a
+/// [`DsvReport`](crate::dsv::DsvReport), a raw
+/// [`SearchOutcome`](cichar_search::SearchOutcome), a ledger — as pretty
+/// JSON at `path`. Robustness metadata (quarantine reasons, recovery
+/// statuses, `Invalid` probes) round-trips with it, so a replayed
+/// campaign can be audited offline.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn save_artifact<T: Serialize>(artifact: &T, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(artifact)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads an artifact saved by [`save_artifact`].
+///
+/// # Errors
+///
+/// Propagates I/O and deserialization errors.
+pub fn load_artifact<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<T> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
 impl fmt::Display for WorstCaseDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -278,6 +304,80 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = WorstCaseDatabase::new(0);
+    }
+
+    #[test]
+    fn search_outcome_with_invalid_probes_round_trips_as_artifact() {
+        use cichar_search::{Probe, SearchOutcome};
+        let outcome = SearchOutcome {
+            trip_point: None,
+            converged: false,
+            trace: vec![
+                (31.0, Probe::Pass),
+                (26.0, Probe::Invalid),
+                (28.5, Probe::Fail),
+            ],
+        };
+        let dir = std::env::temp_dir().join("cichar_db_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("outcome.json");
+        save_artifact(&outcome, &path).expect("save");
+        let loaded: SearchOutcome = load_artifact(&path).expect("load");
+        assert_eq!(loaded, outcome);
+        assert_eq!(loaded.trace[1].1, Probe::Invalid, "Invalid survives serde");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dsv_report_with_quarantine_statuses_round_trips_as_artifact() {
+        use crate::dsv::{DsvEntry, DsvReport, QuarantineReason, SearchStrategy, TripStatus};
+        use cichar_ate::MeasuredParam;
+        let report = DsvReport {
+            param: MeasuredParam::DataValidTime,
+            strategy: SearchStrategy::SearchUntilTrip,
+            entries: vec![
+                DsvEntry {
+                    test_name: String::from("clean"),
+                    trip_point: Some(31.5),
+                    measurements: 7,
+                    status: TripStatus::Clean,
+                },
+                DsvEntry {
+                    test_name: String::from("retried"),
+                    trip_point: Some(30.9),
+                    measurements: 11,
+                    status: TripStatus::Recovered {
+                        retries: 3,
+                        rebracketed: true,
+                    },
+                },
+                DsvEntry {
+                    test_name: String::from("lost"),
+                    trip_point: None,
+                    measurements: 15,
+                    status: TripStatus::Quarantined {
+                        reason: QuarantineReason::InconsistentTrace,
+                    },
+                },
+            ],
+            reference_trip_point: Some(31.5),
+            total_measurements: 33,
+        };
+        let dir = std::env::temp_dir().join("cichar_db_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("dsv.json");
+        save_artifact(&report, &path).expect("save");
+        let loaded: DsvReport = load_artifact(&path).expect("load");
+        assert_eq!(loaded, report);
+        assert_eq!(loaded.quarantined(), 1);
+        assert_eq!(loaded.recovered(), 1);
+        assert_eq!(
+            loaded.quarantined_entries()[0].status,
+            TripStatus::Quarantined {
+                reason: QuarantineReason::InconsistentTrace
+            }
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     mod properties {

@@ -9,7 +9,9 @@
 use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::Test;
-use cichar_search::{SearchUntilTrip, SuccessiveApproximation};
+use cichar_search::{
+    trace_is_consistent, RebracketingStp, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -24,15 +26,94 @@ pub enum SearchStrategy {
     SearchUntilTrip,
 }
 
+/// Why a test's trip point was withheld from the DSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineReason {
+    /// The verdict channel stayed unavailable — a probe-contact dropout or
+    /// tester session abort the retry ladder could not ride out.
+    Dropout,
+    /// The search exhausted the generous range without finding a trip.
+    Unconverged,
+    /// The search converged but its trace puts pass probes beyond fail
+    /// probes for the region ordering — the trip point cannot be trusted.
+    InconsistentTrace,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QuarantineReason::Dropout => "dropout",
+            QuarantineReason::Unconverged => "unconverged",
+            QuarantineReason::InconsistentTrace => "inconsistent trace",
+        })
+    }
+}
+
+/// Per-test measurement health in a DSV campaign.
+///
+/// A faulty tester session no longer panics a campaign or silently poisons
+/// eq. 1: every test records how its trip point was obtained, and
+/// quarantined tests are excluded from the worst-case extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TripStatus {
+    /// The search converged with no recovery action.
+    Clean,
+    /// The search converged, but only after the recovery ladder stepped in.
+    Recovered {
+        /// Strobes the retry ladder re-issued.
+        retries: u64,
+        /// Whether the full-range re-bracketing fallback produced the
+        /// trip point after the STP walk failed.
+        rebracketed: bool,
+    },
+    /// No trustworthy trip point: the entry carries no value and is
+    /// excluded from the eq. 1 extraction.
+    Quarantined {
+        /// Why the point was excluded.
+        reason: QuarantineReason,
+    },
+}
+
+impl TripStatus {
+    /// Whether this entry was excluded from the DSV.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, TripStatus::Quarantined { .. })
+    }
+
+    /// Whether this entry needed retries or re-bracketing to converge.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, TripStatus::Recovered { .. })
+    }
+}
+
+impl fmt::Display for TripStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripStatus::Clean => f.write_str("clean"),
+            TripStatus::Recovered { retries, rebracketed } => {
+                write!(f, "recovered ({retries} retries")?;
+                if *rebracketed {
+                    f.write_str(", rebracketed")?;
+                }
+                f.write_str(")")
+            }
+            TripStatus::Quarantined { reason } => write!(f, "quarantined ({reason})"),
+        }
+    }
+}
+
 /// One test's entry in the DSV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DsvEntry {
     /// Name of the test.
     pub test_name: String,
-    /// The measured trip point, if the search converged.
+    /// The measured trip point. `None` whenever the entry is quarantined,
+    /// so eq. 1 extraction excludes it automatically.
     pub trip_point: Option<f64>,
     /// Measurements this test's search consumed.
     pub measurements: u64,
+    /// How the trip point was obtained (or why it is missing).
+    pub status: TripStatus,
 }
 
 /// The design-specification-value set of eq. 1 plus cost accounting.
@@ -103,6 +184,21 @@ impl DsvReport {
         self.total_measurements as f64 / self.entries.len() as f64
     }
 
+    /// Entries quarantined out of the DSV.
+    pub fn quarantined(&self) -> usize {
+        self.entries.iter().filter(|e| e.status.is_quarantined()).count()
+    }
+
+    /// Entries that converged only through retries or re-bracketing.
+    pub fn recovered(&self) -> usize {
+        self.entries.iter().filter(|e| e.status.is_recovered()).count()
+    }
+
+    /// The quarantined entries, in execution order.
+    pub fn quarantined_entries(&self) -> Vec<&DsvEntry> {
+        self.entries.iter().filter(|e| e.status.is_quarantined()).collect()
+    }
+
     /// The entry with the smallest trip point, if any converged.
     pub fn worst_entry(&self) -> Option<&DsvEntry> {
         self.entries
@@ -126,7 +222,12 @@ impl fmt::Display for DsvReport {
             self.max().unwrap_or(f64::NAN),
             self.spread().unwrap_or(f64::NAN),
             self.mean_measurements_per_test(),
-        )
+        )?;
+        let (recovered, quarantined) = (self.recovered(), self.quarantined());
+        if recovered > 0 || quarantined > 0 {
+            write!(f, " ({recovered} recovered, {quarantined} quarantined)")?;
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +256,7 @@ pub struct MultiTripRunner {
     param: MeasuredParam,
     refine: bool,
     rtp_refresh: Option<usize>,
+    recovery: Option<RetryPolicy>,
 }
 
 impl MultiTripRunner {
@@ -165,6 +267,7 @@ impl MultiTripRunner {
             param,
             refine: true,
             rtp_refresh: None,
+            recovery: None,
         }
     }
 
@@ -188,20 +291,59 @@ impl MultiTripRunner {
         self
     }
 
+    /// Enables the fault-tolerant measurement ladder: every strobe runs
+    /// through a [`cichar_search::RobustOracle`] applying `policy`'s
+    /// retries, backoff and voting; STP walks that fail or produce an
+    /// inconsistent trace re-bracket with a fresh full-range search (which
+    /// also refreshes the reference trip point on the sequential path);
+    /// and tests that still cannot yield a trustworthy trip point are
+    /// quarantined instead of poisoning the DSV.
+    pub fn with_recovery(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// The active recovery policy, if fault tolerance is enabled.
+    pub fn recovery(&self) -> Option<RetryPolicy> {
+        self.recovery
+    }
+
     /// The characterized parameter.
     pub fn param(&self) -> MeasuredParam {
         self.param
     }
 
-    /// Runs the characterization, consuming measurements from `ate`.
-    pub fn run(&self, ate: &mut Ate, tests: &[Test], strategy: SearchStrategy) -> DsvReport {
+    /// The eq. 2 full-range search and the eq. 3/4 STP wrapped with its
+    /// re-bracketing fallback, as configured for this runner.
+    fn searches(&self) -> (SuccessiveApproximation, RebracketingStp) {
         let param = self.param;
-        let order = param.region_order();
         let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
         let mut stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
         if self.refine {
             stp = stp.with_refinement(param.resolution());
         }
+        (full.clone(), RebracketingStp::new(stp, full))
+    }
+
+    /// One test's trip-point search on `ate`, with the configured recovery
+    /// ladder. `reference = None` runs eq. 2 full-range; otherwise the STP
+    /// walk (re-bracketing when recovery is on). Both [`Self::run`] and
+    /// [`Self::run_parallel`] go through this single path so sequential
+    /// and parallel campaigns classify faults identically.
+    fn measure_one(
+        &self,
+        ate: &mut Ate,
+        test: &Test,
+        reference: Option<f64>,
+        full: &SuccessiveApproximation,
+        rebracket: &RebracketingStp,
+    ) -> Measured {
+        measure_with_recovery(ate, test, self.param, reference, full, rebracket, self.recovery)
+    }
+    /// Runs the characterization, consuming measurements from `ate`.
+    pub fn run(&self, ate: &mut Ate, tests: &[Test], strategy: SearchStrategy) -> DsvReport {
+        let param = self.param;
+        let (full, rebracket) = self.searches();
 
         let mut entries = Vec::with_capacity(tests.len());
         let mut rtp: Option<f64> = None;
@@ -215,28 +357,30 @@ impl MultiTripRunner {
                 }
             }
             let baseline = *ate.ledger();
-            let outcome = match (strategy, rtp) {
-                // Eq. 2: the first (or any un-referenced) test searches the
-                // full generous range.
-                (SearchStrategy::FullRange, _) | (SearchStrategy::SearchUntilTrip, None) => {
-                    full.run(order, ate.trip_oracle(test, param))
-                }
-                // Eqs. 3–4: subsequent tests search around the RTP.
-                (SearchStrategy::SearchUntilTrip, Some(reference)) => {
-                    stp.run(reference, order, ate.trip_oracle(test, param))
-                }
+            // Eq. 2 for the first (or any un-referenced) test, eqs. 3–4
+            // around the RTP for the rest.
+            let reference = match strategy {
+                SearchStrategy::FullRange => None,
+                SearchStrategy::SearchUntilTrip => rtp,
             };
+            let measured = self.measure_one(ate, test, reference, &full, &rebracket);
             let measurements = ate.ledger().measurements_since(&baseline);
             total += measurements;
             if strategy == SearchStrategy::SearchUntilTrip {
-                if let (None, Some(tp)) = (rtp, outcome.trip_point) {
-                    rtp = Some(tp);
+                if let Some(fresh) = measured.refreshed_reference {
+                    // Re-bracketing already paid for a full search; its
+                    // trip point re-anchors the reference (sequential runs
+                    // only — the parallel fan-out must stay index-pure).
+                    rtp = Some(fresh);
+                } else if rtp.is_none() {
+                    rtp = measured.trip_point;
                 }
             }
             entries.push(DsvEntry {
                 test_name: test.name().to_string(),
-                trip_point: outcome.trip_point,
+                trip_point: measured.trip_point,
                 measurements,
+                status: measured.status,
             });
         }
         DsvReport {
@@ -276,25 +420,22 @@ impl MultiTripRunner {
         policy: ExecPolicy,
     ) -> (DsvReport, MeasurementLedger) {
         let param = self.param;
-        let order = param.region_order();
-        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
-        let mut stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
-        if self.refine {
-            stp = stp.with_refinement(param.resolution());
-        }
+        let (full, rebracket) = self.searches();
 
         // One test on its own derived-seed session; the session's ledger
-        // is the per-test cost record.
+        // is the per-test cost record. Fan-out workers run the same
+        // recovery ladder as the sequential path, but a re-bracketed
+        // fallback never updates the shared reference: the anchor must
+        // stay a pure function of the schedule, not of which worker
+        // finished first.
         let probe_one = |index: usize, test: &Test, reference: Option<f64>| {
             let mut session = blueprint.session(index as u64);
-            let outcome = match reference {
-                None => full.run(order, session.trip_oracle(test, param)),
-                Some(r) => stp.run(r, order, session.trip_oracle(test, param)),
-            };
+            let measured = self.measure_one(&mut session, test, reference, &full, &rebracket);
             let entry = DsvEntry {
                 test_name: test.name().to_string(),
-                trip_point: outcome.trip_point,
+                trip_point: measured.trip_point,
                 measurements: session.ledger().measurements(),
+                status: measured.status,
             };
             (entry, *session.ledger())
         };
@@ -353,6 +494,121 @@ impl MultiTripRunner {
             ledger,
         )
     }
+}
+
+/// The shared fault-tolerant search ladder: robust-oracle strobes,
+/// re-bracketing fallback, trace-consistency screening, and quarantine
+/// accounting. Every characterization path in this crate (DSV runs, GA
+/// fitness evaluations, sample sweeps) measures through this single
+/// function so faults are classified identically everywhere.
+pub(crate) fn measure_with_recovery(
+    ate: &mut Ate,
+    test: &Test,
+    param: MeasuredParam,
+    reference: Option<f64>,
+    full: &SuccessiveApproximation,
+    rebracket: &RebracketingStp,
+    recovery: Option<RetryPolicy>,
+) -> Measured {
+    let order = param.region_order();
+    let Some(policy) = recovery else {
+        // Raw path: no retries, no re-bracketing. Searches still abort
+        // honestly on an unavailable verdict, and the entry records why
+        // a trip point is missing.
+        let outcome = match reference {
+            None => full.run(order, ate.trip_oracle(test, param)),
+            Some(r) => rebracket.stp().run(r, order, ate.trip_oracle(test, param)),
+        };
+        let status = match outcome.trip_point {
+            Some(_) => TripStatus::Clean,
+            None => {
+                ate.quarantine();
+                TripStatus::Quarantined {
+                    reason: if outcome.has_invalid() {
+                        QuarantineReason::Dropout
+                    } else {
+                        QuarantineReason::Unconverged
+                    },
+                }
+            }
+        };
+        return Measured {
+            trip_point: outcome.trip_point,
+            status,
+            refreshed_reference: None,
+        };
+    };
+
+    let tolerance = rebracket.tolerance();
+    let mut oracle = ate.robust_oracle(test, param, policy);
+    let (outcome, rebracketed, consistent, refreshed) = match reference {
+        None => {
+            let outcome = full.run(order, &mut oracle);
+            let consistent = trace_is_consistent(&outcome.trace, order, tolerance);
+            (outcome, false, consistent, None)
+        }
+        Some(r) => {
+            let result = rebracket.run(r, order, &mut oracle);
+            let consistent =
+                trace_is_consistent(result.authoritative_trace(), order, tolerance);
+            // A converged fallback is a fresh eq. 2 anchor.
+            let refreshed = if result.rebracketed {
+                result.outcome.trip_point
+            } else {
+                None
+            };
+            (result.outcome, result.rebracketed, consistent, refreshed)
+        }
+    };
+    let stats = oracle.into_stats();
+    ate.absorb_recovery(&stats);
+
+    if !outcome.converged {
+        ate.quarantine();
+        return Measured {
+            trip_point: None,
+            status: TripStatus::Quarantined {
+                reason: if outcome.has_invalid() {
+                    QuarantineReason::Dropout
+                } else {
+                    QuarantineReason::Unconverged
+                },
+            },
+            refreshed_reference: None,
+        };
+    }
+    if !consistent {
+        ate.quarantine();
+        return Measured {
+            trip_point: None,
+            status: TripStatus::Quarantined {
+                reason: QuarantineReason::InconsistentTrace,
+            },
+            refreshed_reference: None,
+        };
+    }
+    let status = if stats.retries > 0 || rebracketed {
+        TripStatus::Recovered {
+            retries: stats.retries,
+            rebracketed,
+        }
+    } else {
+        TripStatus::Clean
+    };
+    Measured {
+        trip_point: outcome.trip_point,
+        status,
+        refreshed_reference: refreshed,
+    }
+}
+
+/// The product of one test's search: what lands in the [`DsvEntry`], plus
+/// the fresh reference a re-bracketing fallback discovered (only the
+/// sequential path may act on it).
+pub(crate) struct Measured {
+    pub(crate) trip_point: Option<f64>,
+    pub(crate) status: TripStatus,
+    pub(crate) refreshed_reference: Option<f64>,
 }
 
 #[cfg(test)]
@@ -513,6 +769,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::new(60.0, 3e5),
             seed: 0,
+            ..AteConfig::default()
         };
         let tests = random_tests(60);
         let stale = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
@@ -558,6 +815,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::none(),
             seed: 11,
+            ..AteConfig::default()
         };
         let tests = random_tests(24);
         for strategy in [SearchStrategy::FullRange, SearchStrategy::SearchUntilTrip] {
@@ -601,6 +859,7 @@ mod tests {
             noise: NoiseModel::noiseless(),
             drift: DriftModel::none(),
             seed: 5,
+            ..AteConfig::default()
         };
         let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
         let tests = suite();
@@ -633,6 +892,140 @@ mod tests {
         let got: Vec<&str> = report.entries.iter().map(|e| e.test_name.as_str()).collect();
         let expected: Vec<&str> = tests.iter().map(|t| t.name()).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn quarantined_points_never_reach_the_extremes() {
+        use cichar_ate::{AteConfig, TesterFaultModel};
+        // Brutal dropout rate with no recovery ladder: searches abort on
+        // the first unavailable verdict and the entries quarantine.
+        let config = AteConfig {
+            faults: TesterFaultModel::transient(0.0, 0.25),
+            seed: 9,
+            ..AteConfig::default()
+        };
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
+        let report = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut ate,
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        assert!(report.quarantined() > 0, "{report}");
+        for entry in report.quarantined_entries() {
+            assert_eq!(entry.trip_point, None, "{}", entry.test_name);
+            assert_eq!(
+                entry.status,
+                TripStatus::Quarantined {
+                    reason: QuarantineReason::Dropout
+                }
+            );
+        }
+        // Eq. 1 extraction only ever sees surviving entries.
+        assert_eq!(
+            report.trip_points().len(),
+            report.entries.len() - report.quarantined()
+        );
+        // Every quarantine is accounted in the ledger.
+        assert_eq!(ate.ledger().quarantined(), report.quarantined() as u64);
+        assert!(ate.ledger().dropouts() > 0);
+    }
+
+    #[test]
+    fn retry_ladder_rides_out_dropouts() {
+        use cichar_ate::{AteConfig, NoiseModel, TesterFaultModel};
+        // The same brutal dropout rate, now with bounded retries: every
+        // verdict eventually resolves, and because dropouts hide but never
+        // alter verdicts, the trip points match a fault-free session
+        // exactly.
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            faults: TesterFaultModel::transient(0.0, 0.25),
+            seed: 9,
+            ..AteConfig::default()
+        };
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime)
+            .with_recovery(RetryPolicy::new(8, 50.0));
+        let report = runner.run(&mut ate, &suite(), SearchStrategy::SearchUntilTrip);
+        assert_eq!(report.quarantined(), 0, "{report}");
+        assert!(report.recovered() > 0, "25% dropouts must need retries");
+        assert!(ate.ledger().retries() > 0);
+        assert!(ate.ledger().backoff_time_us() > 0.0, "backoff settles in simulated time");
+
+        let baseline = MultiTripRunner::new(MeasuredParam::DataValidTime).run(
+            &mut Ate::noiseless(MemoryDevice::nominal()),
+            &suite(),
+            SearchStrategy::SearchUntilTrip,
+        );
+        for (faulty, clean) in report.entries.iter().zip(&baseline.entries) {
+            assert_eq!(faulty.trip_point, clean.trip_point, "{}", faulty.test_name);
+        }
+    }
+
+    #[test]
+    fn rebracketing_recovers_aborted_stp_walks_and_reanchors() {
+        use cichar_ate::{AteConfig, NoiseModel, TesterFaultModel};
+        // Session aborts knock out bursts of 5 strobes — exactly one retry
+        // ladder. The aborted probe exhausts its retries inside the burst
+        // and stays unavailable, the STP walk dies, and the full-range
+        // fallback re-brackets right after the burst clears; the fresh
+        // trip point re-anchors the reference.
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            faults: TesterFaultModel::none().with_session_aborts(0.02, 5),
+            seed: 5,
+            ..AteConfig::default()
+        };
+        let mut ate = Ate::with_config(MemoryDevice::nominal(), config);
+        let tests = random_tests(20);
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime)
+            .with_recovery(RetryPolicy::new(4, 50.0));
+        let report = runner.run(&mut ate, &tests, SearchStrategy::SearchUntilTrip);
+        let rebracketed: Vec<&DsvEntry> = report
+            .entries
+            .iter()
+            .filter(|e| matches!(e.status, TripStatus::Recovered { rebracketed: true, .. }))
+            .collect();
+        assert!(!rebracketed.is_empty(), "aborts must trigger re-bracketing: {report}");
+        for entry in &rebracketed {
+            assert!(entry.trip_point.is_some(), "{}", entry.test_name);
+        }
+        // The last fallback's trip point is the reference the run ended on.
+        assert_eq!(
+            report.reference_trip_point,
+            rebracketed.last().expect("non-empty").trip_point
+        );
+        assert!(ate.ledger().aborts() > 0);
+    }
+
+    #[test]
+    fn parallel_faulty_run_is_thread_count_invariant() {
+        use cichar_ate::{AteConfig, ParallelAte, TesterFaultModel};
+        use cichar_exec::ExecPolicy;
+        // Fault injection and recovery live inside the per-test derived
+        //-seed sessions, so a faulty campaign stays a pure function of the
+        // schedule.
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                faults: TesterFaultModel::transient(0.02, 0.01),
+                seed: 99,
+                ..AteConfig::default()
+            },
+        );
+        let tests = random_tests(24);
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime)
+            .with_recovery(RetryPolicy::new(3, 100.0).with_vote(2, 3));
+        let run = |policy: ExecPolicy| {
+            runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy)
+        };
+        let (serial_report, serial_ledger) = run(ExecPolicy::serial());
+        let (wide_report, wide_ledger) = run(ExecPolicy::with_threads(8));
+        assert_eq!(wide_report, serial_report);
+        assert_eq!(wide_ledger, serial_ledger);
+        // The merged ledger accounts the campaign's quarantines.
+        assert_eq!(serial_ledger.quarantined(), serial_report.quarantined() as u64);
+        assert!(serial_ledger.injected_faults() > 0);
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::generator::NeuralTestGenerator;
 use crate::learning::{LearnedModel, LearningConfig, LearningScheme};
 use crate::optimization::{OptimizationConfig, OptimizationOutcome, OptimizationScheme};
 use crate::wcr::CharacterizationObjective;
-use cichar_ate::{Ate, MeasuredParam, ParallelAte};
+use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::TestConditions;
+use cichar_search::RetryPolicy;
 use rand::Rng;
 use std::fmt;
 
@@ -82,6 +83,12 @@ pub struct CampaignReport {
     pub tasks: Vec<TaskOutcome>,
     /// Total ATE measurements across the campaign.
     pub total_measurements: u64,
+    /// The campaign-scoped measurement ledger: cost, fault, and recovery
+    /// accounting for exactly this campaign's tester activity (parallel
+    /// worker-session ledgers merged in). Every injected fault the tester
+    /// reported during the campaign shows up here, whether it was retried
+    /// away, voted down, or ended in a quarantined point.
+    pub ledger: MeasurementLedger,
 }
 
 impl CampaignReport {
@@ -110,6 +117,18 @@ impl fmt::Display for CampaignReport {
             self.tasks.len(),
             self.total_measurements
         )?;
+        if self.ledger.injected_faults() > 0 || self.ledger.quarantined() > 0 {
+            writeln!(
+                f,
+                "  tester faults: {} dropouts, {} flips, {} stuck, {} aborts → {} retries, {} quarantined",
+                self.ledger.dropouts(),
+                self.ledger.flips(),
+                self.ledger.stuck_probes(),
+                self.ledger.aborts(),
+                self.ledger.retries(),
+                self.ledger.quarantined()
+            )?;
+        }
         for t in &self.tasks {
             writeln!(
                 f,
@@ -164,6 +183,15 @@ impl MultiParamCampaign {
         self
     }
 
+    /// Applies a fault-recovery policy to every task's measured fitness
+    /// evaluations (see [`OptimizationConfig::recovery`]). The learning
+    /// rounds tolerate tester faults without it — unconverged trip points
+    /// are simply excluded from the training set.
+    pub fn with_recovery(mut self, policy: RetryPolicy) -> Self {
+        self.optimization.recovery = Some(policy);
+        self
+    }
+
     /// The campaign's tasks.
     pub fn tasks(&self) -> &[AnalysisTask] {
         &self.tasks
@@ -201,9 +229,11 @@ impl MultiParamCampaign {
                 optimization: outcome,
             });
         }
+        let ledger = ate.ledger().since(&start);
         CampaignReport {
             tasks: outcomes,
-            total_measurements: ate.ledger().measurements_since(&start),
+            total_measurements: ledger.measurements(),
+            ledger,
         }
     }
 
@@ -222,7 +252,7 @@ impl MultiParamCampaign {
         rng: &mut R,
     ) -> CampaignReport {
         let start = *ate.ledger();
-        let mut parallel_measurements = 0u64;
+        let mut parallel_ledger = MeasurementLedger::new();
         let mut outcomes = Vec::with_capacity(self.tasks.len());
         for task in &self.tasks {
             let learning = LearningConfig {
@@ -248,16 +278,19 @@ impl MultiParamCampaign {
                 policy,
                 rng,
             );
-            parallel_measurements += ledger.measurements();
+            parallel_ledger.merge(&ledger);
             outcomes.push(TaskOutcome {
                 task: *task,
                 model,
                 optimization: outcome,
             });
         }
+        let mut ledger = ate.ledger().since(&start);
+        ledger.merge(&parallel_ledger);
         CampaignReport {
             tasks: outcomes,
-            total_measurements: ate.ledger().measurements_since(&start) + parallel_measurements,
+            total_measurements: ledger.measurements(),
+            ledger,
         }
     }
 }
@@ -390,6 +423,34 @@ mod tests {
         assert!(text.contains("T_DQ"), "{text}");
         assert!(text.contains("f_max"), "{text}");
         assert!(text.contains("Vdd_min"), "{text}");
+    }
+
+    #[test]
+    fn faulty_campaign_accounts_faults_and_stays_thread_invariant() {
+        use cichar_ate::{AteConfig, TesterFaultModel};
+        use cichar_search::RetryPolicy;
+        let config = AteConfig {
+            faults: TesterFaultModel::transient(0.02, 0.01),
+            seed: 41,
+            ..AteConfig::default()
+        };
+        let campaign = tiny_campaign().with_recovery(RetryPolicy::new(3, 100.0).with_vote(2, 3));
+        let run = |policy: ExecPolicy| {
+            let mut ate = Ate::with_config(MemoryDevice::nominal(), config.clone());
+            let mut rng = StdRng::seed_from_u64(41);
+            campaign.run_parallel(&mut ate, policy, &mut rng)
+        };
+        let serial = run(ExecPolicy::serial());
+        assert!(serial.ledger.injected_faults() > 0, "{}", serial.ledger);
+        assert!(serial.ledger.retries() > 0, "{}", serial.ledger);
+        assert_eq!(serial.total_measurements, serial.ledger.measurements());
+        assert!(serial.to_string().contains("tester faults:"), "{serial}");
+        let wide = run(ExecPolicy::with_threads(8));
+        assert_eq!(wide.ledger, serial.ledger);
+        for (s, w) in serial.tasks.iter().zip(&wide.tasks) {
+            assert_eq!(s.optimization.best.trip_point, w.optimization.best.trip_point);
+            assert_eq!(s.optimization.best.test, w.optimization.best.test);
+        }
     }
 
     #[test]

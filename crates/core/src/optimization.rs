@@ -15,6 +15,7 @@
 //!    the surviving tests land in the [`WorstCaseDatabase`].
 
 use crate::db::{WorstCaseDatabase, WorstCaseTest};
+use crate::dsv::measure_with_recovery;
 use crate::generator::Candidate;
 use crate::wcr::CharacterizationObjective;
 use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
@@ -25,7 +26,9 @@ use cichar_genetic::{
 use cichar_patterns::{
     ConditionSpace, SegmentProgram, Stimulus, Test, TestConditions, TestSource,
 };
-use cichar_search::{SearchUntilTrip, SuccessiveApproximation};
+use cichar_search::{
+    Probe, RebracketingStp, RegionOrder, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -50,6 +53,13 @@ pub struct OptimizationConfig {
     pub pinned_conditions: TestConditions,
     /// Worst-case entries kept in the database.
     pub database_capacity: usize,
+    /// Fault-tolerance policy for the ATE-measured fitness: when set,
+    /// every strobe runs through the retry / backoff / voting ladder,
+    /// failed STP walks re-bracket with a full-range search, and
+    /// individuals whose measurement stays untrustworthy are scored
+    /// unmeasurable (and quarantined in the ledger) instead of feeding a
+    /// corrupted trip point to the GA.
+    pub recovery: Option<RetryPolicy>,
 }
 
 impl Default for OptimizationConfig {
@@ -66,6 +76,7 @@ impl Default for OptimizationConfig {
             evolve_conditions: false,
             pinned_conditions: TestConditions::nominal(),
             database_capacity: 16,
+            recovery: None,
         }
     }
 }
@@ -174,6 +185,7 @@ impl OptimizationScheme {
         let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor())
             .with_refinement(param.resolution());
         let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let rebracket = RebracketingStp::new(stp, full.clone());
         let start_ledger = *ate.ledger();
 
         let mut database = WorstCaseDatabase::new(c.database_capacity);
@@ -199,35 +211,22 @@ impl OptimizationScheme {
                     let test = self.decode(individual, format!("ga_{:06}", *counter));
                     // GA fitness = TPV measurement via ATE (fig. 5 step 3),
                     // using eq. 2 (full search) only until a reference
-                    // exists, then eqs. 3/4 (STP).
-                    let outcome = match *rtp {
-                        Some(reference) => {
-                            stp.run(reference, order, ate.trip_oracle(&test, param))
-                        }
-                        None => full.run(order, ate.trip_oracle(&test, param)),
-                    };
-                    let Some(tp) = outcome.trip_point else {
+                    // exists, then eqs. 3/4 (STP), through the shared
+                    // fault-tolerant ladder.
+                    let measured =
+                        measure_with_recovery(ate, &test, param, *rtp, &full, &rebracket, c.recovery);
+                    let Some(tp) = measured.trip_point else {
                         // Unmeasurable individuals are worthless, not worst.
                         return f64::NEG_INFINITY;
                     };
-                    // Functional verification: re-probe at the pass-region
-                    // extreme, where only outright functional failure can
-                    // reject. A test living on the edge of its functional
-                    // envelope flickers under measurement noise and can
-                    // fake a deep trip point (§4's "false convergence");
-                    // such candidates must not enter the database.
-                    let extreme = match order {
-                        cichar_search::RegionOrder::PassBelowFail => {
-                            param.generous_range().start()
-                        }
-                        cichar_search::RegionOrder::PassAboveFail => param.generous_range().end(),
-                    };
-                    for _ in 0..2 {
-                        if ate.measure(&test, param, extreme) != cichar_search::Probe::Pass {
-                            return f64::NEG_INFINITY;
-                        }
+                    if !Self::functionally_verified(ate, &test, param, order, c.recovery) {
+                        return f64::NEG_INFINITY;
                     }
-                    if rtp.is_none() {
+                    if let Some(fresh) = measured.refreshed_reference {
+                        // Re-bracketing paid for a full search; re-anchor
+                        // on its fresh trip point.
+                        *rtp = Some(fresh);
+                    } else if rtp.is_none() {
                         *rtp = Some(tp);
                     }
                     let wcr = c.objective.wcr(tp);
@@ -335,32 +334,32 @@ impl OptimizationScheme {
         let stp = SearchUntilTrip::new(param.generous_range(), param.search_factor())
             .with_refinement(param.resolution());
         let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let rebracket = RebracketingStp::new(stp, full.clone());
 
         let mut session = blueprint.session(index as u64);
         let test = self.decode(individual, format!("ga_{:06}", index + 1));
-        let outcome = match reference {
-            Some(r) => stp.run(r, order, session.trip_oracle(&test, param)),
-            None => full.run(order, session.trip_oracle(&test, param)),
-        };
-        let Some(tp) = outcome.trip_point else {
+        let measured = measure_with_recovery(
+            &mut session,
+            &test,
+            param,
+            reference,
+            &full,
+            &rebracket,
+            c.recovery,
+        );
+        let Some(tp) = measured.trip_point else {
             return WcrEvaluation {
                 fitness: f64::NEG_INFINITY,
                 entry: None,
                 ledger: *session.ledger(),
             };
         };
-        let extreme = match order {
-            cichar_search::RegionOrder::PassBelowFail => param.generous_range().start(),
-            cichar_search::RegionOrder::PassAboveFail => param.generous_range().end(),
-        };
-        for _ in 0..2 {
-            if session.measure(&test, param, extreme) != cichar_search::Probe::Pass {
-                return WcrEvaluation {
-                    fitness: f64::NEG_INFINITY,
-                    entry: None,
-                    ledger: *session.ledger(),
-                };
-            }
+        if !Self::functionally_verified(&mut session, &test, param, order, c.recovery) {
+            return WcrEvaluation {
+                fitness: f64::NEG_INFINITY,
+                entry: None,
+                ledger: *session.ledger(),
+            };
         }
         let wcr = c.objective.wcr(tp);
         WcrEvaluation {
@@ -373,6 +372,37 @@ impl OptimizationScheme {
                 predicted_severity: None,
             }),
             ledger: *session.ledger(),
+        }
+    }
+
+    /// Functional verification: re-probe at the pass-region extreme, where
+    /// only outright functional failure can reject. A test living on the
+    /// edge of its functional envelope flickers under measurement noise
+    /// and can fake a deep trip point (§4's "false convergence"); such
+    /// candidates must not enter the database. With recovery enabled the
+    /// verification strobes run through the same retry / voting ladder,
+    /// so a single injected flip cannot disqualify a healthy candidate.
+    fn functionally_verified(
+        ate: &mut Ate,
+        test: &Test,
+        param: MeasuredParam,
+        order: RegionOrder,
+        recovery: Option<RetryPolicy>,
+    ) -> bool {
+        let extreme = match order {
+            RegionOrder::PassBelowFail => param.generous_range().start(),
+            RegionOrder::PassAboveFail => param.generous_range().end(),
+        };
+        match recovery {
+            None => (0..2).all(|_| ate.measure(test, param, extreme) == Probe::Pass),
+            Some(policy) => {
+                use cichar_search::PassFailOracle;
+                let mut oracle = ate.robust_oracle(test, param, policy);
+                let verified = (0..2).all(|_| oracle.probe(extreme) == Probe::Pass);
+                let stats = oracle.into_stats();
+                ate.absorb_recovery(&stats);
+                verified
+            }
         }
     }
 }
@@ -638,6 +668,7 @@ mod tests {
                 noise: NoiseModel::noiseless(),
                 drift: DriftModel::none(),
                 seed: 0,
+                ..AteConfig::default()
             },
         );
         let (parallel, ledger) = scheme.run_parallel(
@@ -671,6 +702,41 @@ mod tests {
         let (wide_outcome, wide_ledger) = run(8);
         assert_eq!(wide_outcome, serial_outcome);
         assert_eq!(wide_ledger, serial_ledger);
+    }
+
+    #[test]
+    fn faulty_fitness_with_recovery_is_thread_count_invariant() {
+        use cichar_ate::{AteConfig, TesterFaultModel};
+        let scheme = OptimizationScheme::new(OptimizationConfig {
+            recovery: Some(RetryPolicy::new(3, 100.0).with_vote(2, 3)),
+            ..small_config()
+        });
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                faults: TesterFaultModel::transient(0.02, 0.01),
+                seed: 7,
+                ..AteConfig::default()
+            },
+        );
+        let run = |threads: usize| {
+            scheme.run_parallel(
+                &blueprint,
+                &[],
+                None,
+                ExecPolicy::with_threads(threads),
+                &mut StdRng::seed_from_u64(54),
+            )
+        };
+        let (serial_outcome, serial_ledger) = run(1);
+        let (wide_outcome, wide_ledger) = run(8);
+        assert_eq!(wide_outcome, serial_outcome);
+        assert_eq!(wide_ledger, serial_ledger);
+        // The injected faults and their recovery show up in the ledger.
+        assert!(serial_ledger.injected_faults() > 0);
+        assert!(serial_ledger.retries() > 0);
+        // And the campaign still produced a plausible worst case.
+        assert!(serial_outcome.best.trip_point.is_finite());
     }
 
     #[test]

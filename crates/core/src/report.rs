@@ -46,7 +46,18 @@ pub fn render_multi_trip(report: &DsvReport, unit: &str) -> String {
     );
     for entry in &report.entries {
         let Some(tp) = entry.trip_point else {
-            let _ = writeln!(out, "{:<20} | (did not converge)", entry.test_name);
+            // Quarantined points say why they were excluded; a plain
+            // unconverged search (no fault involved) keeps the old label.
+            if entry.status.is_quarantined() {
+                let _ = writeln!(
+                    out,
+                    "{:<20} | ({})",
+                    truncate_name(&entry.test_name, 20),
+                    entry.status
+                );
+            } else {
+                let _ = writeln!(out, "{:<20} | (did not converge)", entry.test_name);
+            }
             continue;
         };
         let pos = (((tp - min) / span) * (width - 1) as f64).round() as usize;
@@ -64,6 +75,13 @@ pub fn render_multi_trip(report: &DsvReport, unit: &str) -> String {
         "worst case trip point variation: {:.3} {unit} (min {min:.3}, max {max:.3})",
         max - min
     );
+    let (recovered, quarantined) = (report.recovered(), report.quarantined());
+    if recovered > 0 || quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "measurement robustness: {recovered} recovered, {quarantined} quarantined (excluded from the band)"
+        );
+    }
     out
 }
 
@@ -191,6 +209,36 @@ mod tests {
         let text = render_multi_trip(&stp, "ns");
         assert!(text.contains("worst case trip point variation"));
         assert!(text.matches('*').count() >= stp.trip_points().len());
+    }
+
+    #[test]
+    fn multi_trip_labels_quarantined_points() {
+        use crate::dsv::{DsvEntry, QuarantineReason, TripStatus};
+        let (_, mut stp) = reports();
+        stp.entries.push(DsvEntry {
+            test_name: String::from("flaky_contact"),
+            trip_point: None,
+            measurements: 12,
+            status: TripStatus::Quarantined {
+                reason: QuarantineReason::Dropout,
+            },
+        });
+        stp.entries.push(DsvEntry {
+            test_name: String::from("retried_ok"),
+            trip_point: Some(stp.max().unwrap()),
+            measurements: 9,
+            status: TripStatus::Recovered {
+                retries: 2,
+                rebracketed: false,
+            },
+        });
+        let text = render_multi_trip(&stp, "ns");
+        assert!(text.contains("quarantined (dropout)"), "{text}");
+        assert!(!text.contains("did not converge"), "{text}");
+        assert!(
+            text.contains("measurement robustness: 1 recovered, 1 quarantined"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! statistics the final specification is cut from.
 
 use crate::dsv::{MultiTripRunner, SearchStrategy};
+use cichar_search::RetryPolicy;
 use crate::wcr::{CharacterizationObjective, WcrClass};
 use cichar_ate::{Ate, AteConfig, MeasuredParam};
 use cichar_dut::{Die, Lot, MemoryDevice};
@@ -31,6 +32,11 @@ pub struct CornerResult {
     pub spread: Option<f64>,
     /// Measurements spent at this corner.
     pub measurements: u64,
+    /// Tests quarantined out of this corner's DSV (fault recovery could
+    /// not produce a trustworthy trip point for them).
+    pub quarantined: u64,
+    /// Tests that converged only through retries or re-bracketing.
+    pub recovered: u64,
 }
 
 /// One die's results across all corners.
@@ -67,6 +73,25 @@ pub struct SampleReport {
 }
 
 impl SampleReport {
+    /// Tests quarantined across the whole sample — every one of them was
+    /// excluded from the population statistics below.
+    pub fn quarantined(&self) -> u64 {
+        self.dies
+            .iter()
+            .flat_map(|d| &d.corners)
+            .map(|c| c.quarantined)
+            .sum()
+    }
+
+    /// Tests that needed fault recovery across the whole sample.
+    pub fn recovered(&self) -> u64 {
+        self.dies
+            .iter()
+            .flat_map(|d| &d.corners)
+            .map(|c| c.recovered)
+            .sum()
+    }
+
     /// Worst trip points of every die that produced one.
     pub fn worst_trip_points(&self) -> Vec<f64> {
         self.dies
@@ -203,6 +228,7 @@ pub struct SampleCharacterization {
     corners: Vec<TestConditions>,
     strategy: SearchStrategy,
     ate_config: AteConfig,
+    recovery: Option<RetryPolicy>,
 }
 
 impl SampleCharacterization {
@@ -223,6 +249,7 @@ impl SampleCharacterization {
             corners,
             strategy: SearchStrategy::SearchUntilTrip,
             ate_config: AteConfig::default(),
+            recovery: None,
         }
     }
 
@@ -235,6 +262,13 @@ impl SampleCharacterization {
     /// Uses full-range searches instead of STP (the cost baseline).
     pub fn with_full_range_searches(mut self) -> Self {
         self.strategy = SearchStrategy::FullRange;
+        self
+    }
+
+    /// Enables the fault-tolerant measurement ladder on every die's sweep
+    /// (see [`MultiTripRunner::with_recovery`]).
+    pub fn with_recovery(mut self, policy: RetryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -252,7 +286,7 @@ impl SampleCharacterization {
         tests: &[Test],
         rng: &mut R,
     ) -> SampleReport {
-        let runner = MultiTripRunner::new(self.param);
+        let runner = self.runner();
         let dies: Vec<DieResult> = lot
             .sample_dies(rng, die_count)
             .into_iter()
@@ -277,12 +311,21 @@ impl SampleCharacterization {
         policy: ExecPolicy,
         rng: &mut R,
     ) -> SampleReport {
-        let runner = MultiTripRunner::new(self.param);
+        let runner = self.runner();
         let sampled = lot.sample_dies(rng, die_count);
         let dies = cichar_exec::par_map(policy, sampled, |_, die| {
             self.characterize_die(&runner, die, tests)
         });
         self.assemble(dies)
+    }
+
+    /// The per-die DSV runner with this campaign's recovery policy.
+    fn runner(&self) -> MultiTripRunner {
+        let runner = MultiTripRunner::new(self.param);
+        match self.recovery {
+            Some(policy) => runner.with_recovery(policy),
+            None => runner,
+        }
     }
 
     /// Runs one die's full corner sweep on its own fresh tester session.
@@ -301,6 +344,8 @@ impl SampleCharacterization {
                 worst_trip_point: report.min(),
                 spread: report.spread(),
                 measurements,
+                quarantined: report.quarantined() as u64,
+                recovered: report.recovered() as u64,
             });
         }
         let worst_trip_point = corners
@@ -517,5 +562,40 @@ mod tests {
         let report = campaign().run(&Lot::default(), 2, &suite(), &mut rng);
         let s = report.to_string();
         assert!(s.contains("2 dies") && s.contains("spec margin"), "{s}");
+    }
+
+    #[test]
+    fn faulty_sample_recovers_the_fault_free_specification() {
+        use cichar_ate::{NoiseModel, TesterFaultModel};
+        use cichar_search::RetryPolicy;
+        // Dropout-prone probes across a sampled lot: the retry ladder
+        // resolves every verdict, so the per-die worst cases — and the
+        // specification cut from them — match the fault-free campaign
+        // exactly (dropouts hide verdicts but never alter them).
+        let faulty = campaign()
+            .with_ate_config(AteConfig {
+                noise: NoiseModel::noiseless(),
+                faults: TesterFaultModel::transient(0.0, 0.15),
+                seed: 17,
+                ..AteConfig::default()
+            })
+            .with_recovery(RetryPolicy::new(8, 50.0));
+        let mut rng_a = StdRng::seed_from_u64(19);
+        let report = faulty.run(&Lot::default(), 4, &suite(), &mut rng_a);
+        assert!(report.recovered() > 0, "15% dropouts must need retries");
+
+        let clean = campaign().with_ate_config(AteConfig {
+            noise: NoiseModel::noiseless(),
+            seed: 17,
+            ..AteConfig::default()
+        });
+        let mut rng_b = StdRng::seed_from_u64(19);
+        let baseline = clean.run(&Lot::default(), 4, &suite(), &mut rng_b);
+        // The only quarantines left are genuine unmeasurables (tests with
+        // no trip in the generous range) that the fault-free campaign
+        // withholds too — none are fault-induced.
+        assert_eq!(report.quarantined(), baseline.quarantined(), "{report}");
+        assert_eq!(report.population_worst(), baseline.population_worst());
+        assert_eq!(report.suggest_spec(3.0), baseline.suggest_spec(3.0));
     }
 }

@@ -82,6 +82,8 @@ impl BinarySearch {
             match verdict {
                 Probe::Pass => lo_pass = mid,
                 Probe::Fail => hi_fail = mid,
+                // A verdictless probe mid-bracket: abort rather than guess.
+                Probe::Invalid => return SearchOutcome::unconverged(trace),
             }
         }
         SearchOutcome {

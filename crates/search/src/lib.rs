@@ -33,13 +33,17 @@
 mod binary;
 mod linear;
 mod outcome;
+mod rebracket;
+mod robust;
 mod stp;
 mod successive;
 mod traits;
 
 pub use binary::BinarySearch;
 pub use linear::LinearSearch;
-pub use outcome::{Probe, SearchOutcome};
+pub use outcome::{trace_is_consistent, Probe, SearchOutcome};
+pub use rebracket::{RebracketedOutcome, RebracketingStp};
+pub use robust::{RecoveryStats, RetryPolicy, RobustOracle, ScriptedOracle};
 pub use stp::SearchUntilTrip;
 pub use successive::SuccessiveApproximation;
 pub use traits::{FnOracle, PassFailOracle, RegionOrder};

@@ -93,6 +93,9 @@ impl LinearSearch {
                         None => SearchOutcome::unconverged(trace),
                     };
                 }
+                // Lost verdict mid-sweep: the state change may have hidden
+                // inside the gap, so the sweep cannot be trusted.
+                Probe::Invalid => return SearchOutcome::unconverged(trace),
             }
         }
         SearchOutcome::unconverged(trace)

@@ -1,5 +1,6 @@
 //! Search results: trip point, probe trace and measurement cost.
 
+use crate::traits::RegionOrder;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -10,12 +11,36 @@ pub enum Probe {
     Pass,
     /// The device failed at the probed value.
     Fail,
+    /// No verdict was available — a probe-contact dropout or session abort
+    /// left the strobe channel silent. Searches treat this as "cannot
+    /// continue" rather than guessing a state.
+    Invalid,
 }
 
 impl Probe {
     /// `true` for [`Probe::Pass`].
     pub fn is_pass(self) -> bool {
         matches!(self, Probe::Pass)
+    }
+
+    /// `true` for [`Probe::Fail`].
+    pub fn is_fail(self) -> bool {
+        matches!(self, Probe::Fail)
+    }
+
+    /// `true` when a verdict was actually delivered (pass or fail).
+    pub fn is_valid(self) -> bool {
+        !matches!(self, Probe::Invalid)
+    }
+
+    /// The opposite verdict; [`Probe::Invalid`] stays invalid (there is
+    /// nothing to flip).
+    pub fn flipped(self) -> Self {
+        match self {
+            Probe::Pass => Probe::Fail,
+            Probe::Fail => Probe::Pass,
+            Probe::Invalid => Probe::Invalid,
+        }
     }
 }
 
@@ -24,7 +49,45 @@ impl fmt::Display for Probe {
         f.write_str(match self {
             Probe::Pass => "PASS",
             Probe::Fail => "FAIL",
+            Probe::Invalid => "INVALID",
         })
+    }
+}
+
+/// Whether an ordered-region probe trace is self-consistent: no passing
+/// probe sits beyond a failing probe (modulo `tolerance`) on the axis, per
+/// the orientation's eq. 3/4 ordering. Invalid probes carry no position
+/// information and are ignored.
+///
+/// An inconsistent trace is the signature of a transient verdict flip —
+/// a monotone device cannot pass above a failure (eq. 3) no matter how the
+/// search walked the axis.
+pub fn trace_is_consistent(trace: &[(f64, Probe)], order: RegionOrder, tolerance: f64) -> bool {
+    let mut extreme_pass: Option<f64> = None;
+    let mut extreme_fail: Option<f64> = None;
+    for &(v, p) in trace {
+        match p {
+            Probe::Pass => {
+                extreme_pass = Some(match order {
+                    RegionOrder::PassBelowFail => extreme_pass.map_or(v, |e| e.max(v)),
+                    RegionOrder::PassAboveFail => extreme_pass.map_or(v, |e| e.min(v)),
+                });
+            }
+            Probe::Fail => {
+                extreme_fail = Some(match order {
+                    RegionOrder::PassBelowFail => extreme_fail.map_or(v, |e| e.min(v)),
+                    RegionOrder::PassAboveFail => extreme_fail.map_or(v, |e| e.max(v)),
+                });
+            }
+            Probe::Invalid => {}
+        }
+    }
+    match (extreme_pass, extreme_fail) {
+        (Some(p), Some(f)) => match order {
+            RegionOrder::PassBelowFail => p <= f + tolerance,
+            RegionOrder::PassAboveFail => p >= f - tolerance,
+        },
+        _ => true,
     }
 }
 
@@ -81,7 +144,23 @@ impl SearchOutcome {
 
     /// Number of failing probes.
     pub fn fails(&self) -> usize {
-        self.trace.len() - self.passes()
+        self.trace.iter().filter(|(_, p)| p.is_fail()).count()
+    }
+
+    /// Number of probes that returned no verdict ([`Probe::Invalid`]).
+    pub fn invalids(&self) -> usize {
+        self.trace.iter().filter(|(_, p)| !p.is_valid()).count()
+    }
+
+    /// `true` when at least one probe in the trace returned no verdict.
+    pub fn has_invalid(&self) -> bool {
+        self.trace.iter().any(|(_, p)| !p.is_valid())
+    }
+
+    /// Whether the trace respects the pass/fail ordering of `order` within
+    /// `tolerance` — see [`trace_is_consistent`].
+    pub fn is_consistent(&self, order: RegionOrder, tolerance: f64) -> bool {
+        trace_is_consistent(&self.trace, order, tolerance)
     }
 
     /// The last probed value and verdict, if any probe was made.
@@ -151,5 +230,49 @@ mod tests {
         assert!(!Probe::Fail.is_pass());
         assert_eq!(Probe::Pass.to_string(), "PASS");
         assert_eq!(Probe::Fail.to_string(), "FAIL");
+        assert_eq!(Probe::Invalid.to_string(), "INVALID");
+        assert!(Probe::Pass.is_valid() && Probe::Fail.is_valid());
+        assert!(!Probe::Invalid.is_valid());
+        assert_eq!(Probe::Pass.flipped(), Probe::Fail);
+        assert_eq!(Probe::Fail.flipped(), Probe::Pass);
+        assert_eq!(Probe::Invalid.flipped(), Probe::Invalid);
+    }
+
+    #[test]
+    fn invalid_probes_are_counted_separately() {
+        let o = SearchOutcome::unconverged(vec![
+            (1.0, Probe::Pass),
+            (2.0, Probe::Invalid),
+            (3.0, Probe::Fail),
+        ]);
+        assert_eq!(o.passes(), 1);
+        assert_eq!(o.fails(), 1);
+        assert_eq!(o.invalids(), 1);
+        assert!(o.has_invalid());
+        assert_eq!(o.measurements(), 3);
+    }
+
+    #[test]
+    fn consistency_detects_pass_beyond_fail() {
+        use crate::traits::RegionOrder;
+        // eq. 3 ordering: pass below fail. A pass at 120 above a fail at
+        // 110 is physically impossible for a monotone device.
+        let bad = vec![(110.0, Probe::Fail), (120.0, Probe::Pass)];
+        assert!(!trace_is_consistent(&bad, RegionOrder::PassBelowFail, 0.0));
+        // The same trace is fine under the mirrored eq. 4 ordering.
+        assert!(trace_is_consistent(&bad, RegionOrder::PassAboveFail, 0.0));
+        let good = vec![(100.0, Probe::Pass), (110.0, Probe::Fail)];
+        assert!(trace_is_consistent(&good, RegionOrder::PassBelowFail, 0.0));
+        // Tolerance forgives boundary jitter within one step.
+        let close = vec![(110.0, Probe::Fail), (110.4, Probe::Pass)];
+        assert!(trace_is_consistent(&close, RegionOrder::PassBelowFail, 0.5));
+        assert!(!trace_is_consistent(&close, RegionOrder::PassBelowFail, 0.1));
+        // Invalid probes carry no ordering information.
+        let with_invalid = vec![(130.0, Probe::Invalid), (100.0, Probe::Pass)];
+        assert!(trace_is_consistent(
+            &with_invalid,
+            RegionOrder::PassBelowFail,
+            0.0
+        ));
     }
 }

@@ -128,28 +128,43 @@ impl SearchUntilTrip {
         let toward_fail = order.toward_fail();
 
         let at_rtp = probe(&mut oracle, &mut trace, rtp);
+        if at_rtp == Probe::Invalid {
+            // No verdict at the anchor: the walk has no direction.
+            return SearchOutcome::unconverged(trace);
+        }
         // Walk away from RTP with the growing step SF·IT. Direction depends
         // on the verdict at RTP: passing walks toward the fail region
         // looking for the first failure, failing walks away from it looking
         // for the first pass.
         let dir = match at_rtp {
             Probe::Pass => toward_fail,
-            Probe::Fail => -toward_fail,
+            _ => -toward_fail,
         };
+        // The window growth SF(IT) = SF·IT saturates at the generous-range
+        // edge: the walk never probes outside the physically meaningful
+        // axis, and the edge itself is probed at most once.
+        let edge = if dir > 0.0 {
+            self.range.end()
+        } else {
+            self.range.start()
+        };
+        let max_offset = (edge - rtp).abs();
         let mut last = (rtp, at_rtp);
-        let mut hit_edge_at: Option<f64> = None;
         let mut offset = 0.0;
         for it in 1..=self.max_iterations {
-            offset += self.sf * it as f64; // SF(IT) = SF·IT, accumulated
-            let raw = rtp + dir * offset;
-            let value = self.range.clamp(raw);
+            offset = (offset + self.sf * it as f64).min(max_offset);
+            let at_edge = offset >= max_offset;
+            let value = if at_edge { edge } else { rtp + dir * offset };
             let verdict = probe(&mut oracle, &mut trace, value);
+            if verdict == Probe::Invalid {
+                return SearchOutcome::unconverged(trace);
+            }
             if verdict != at_rtp {
                 // First state change: the trip point is bracketed between
                 // `last` and `value`.
                 let (mut pass_v, mut fail_v) = match verdict {
                     Probe::Fail => (last.0, value),
-                    Probe::Pass => (value, last.0),
+                    _ => (value, last.0),
                 };
                 if let Some(resolution) = self.refine_to {
                     while (fail_v - pass_v).abs() > resolution {
@@ -157,6 +172,7 @@ impl SearchUntilTrip {
                         match probe(&mut oracle, &mut trace, mid) {
                             Probe::Pass => pass_v = mid,
                             Probe::Fail => fail_v = mid,
+                            Probe::Invalid => return SearchOutcome::unconverged(trace),
                         }
                     }
                 }
@@ -167,12 +183,9 @@ impl SearchUntilTrip {
                 };
             }
             last = (value, verdict);
-            if value != raw {
-                // Clamped at the range edge with no state change yet.
-                if hit_edge_at == Some(value) {
-                    break;
-                }
-                hit_edge_at = Some(value);
+            if at_edge {
+                // The whole window up to the range edge shares RTP's state.
+                break;
             }
         }
         SearchOutcome::unconverged(trace)
@@ -251,6 +264,30 @@ mod tests {
         assert!((ftp - 111.3).abs() <= 0.05, "refined tp = {ftp}");
         assert!((ctp - 111.3).abs() <= 2.0, "coarse tp = {ctp}");
         assert!(f.measurements() > c.measurements());
+    }
+
+    #[test]
+    fn window_growth_clamps_at_generous_range_edge() {
+        // All-pass device: the walk saturates at the range edge, probes it
+        // exactly once, and gives up instead of stepping outside CR.
+        let mut oracle = FnOracle::new(|_| true);
+        let o =
+            SearchUntilTrip::new(range(), 5.0).run(110.0, RegionOrder::PassBelowFail, &mut oracle);
+        assert!(!o.converged);
+        let edge_probes = o.trace.iter().filter(|(v, _)| *v == 130.0).count();
+        assert_eq!(edge_probes, 1, "range edge probed exactly once");
+        assert!(o.trace.iter().all(|(v, _)| range().contains(*v)));
+    }
+
+    #[test]
+    fn invalid_rtp_verdict_aborts_walk() {
+        let o = SearchUntilTrip::new(range(), 1.0).run(
+            110.0,
+            RegionOrder::PassBelowFail,
+            crate::robust::ScriptedOracle::new(vec![Probe::Invalid]),
+        );
+        assert!(!o.converged);
+        assert_eq!(o.measurements(), 1);
     }
 
     #[test]

@@ -105,9 +105,10 @@ impl SuccessiveApproximation {
                 // Same result as the boundary: continue to the other end.
                 match probe(&mut oracle, &mut trace, fail_end) {
                     Probe::Fail => (mid, fail_end),
-                    Probe::Pass => return SearchOutcome::unconverged(trace),
+                    Probe::Pass | Probe::Invalid => return SearchOutcome::unconverged(trace),
                 }
             }
+            Probe::Invalid => return SearchOutcome::unconverged(trace),
         };
 
         let mut retries = self.max_drift_retries;
@@ -118,10 +119,16 @@ impl SuccessiveApproximation {
                 match probe(&mut oracle, &mut trace, mid) {
                     Probe::Pass => lo_pass = mid,
                     Probe::Fail => hi_fail = mid,
+                    Probe::Invalid => return SearchOutcome::unconverged(trace),
                 }
             }
-            // Drift check: the pass side must still pass.
-            if probe(&mut oracle, &mut trace, lo_pass) == Probe::Pass {
+            // Drift check: the pass side must still pass. A missing verdict
+            // is not drift — it is a dead channel, so give up.
+            let reverify = probe(&mut oracle, &mut trace, lo_pass);
+            if reverify == Probe::Invalid {
+                return SearchOutcome::unconverged(trace);
+            }
+            if reverify == Probe::Pass {
                 return SearchOutcome {
                     trip_point: Some(lo_pass),
                     converged: true,
@@ -140,7 +147,11 @@ impl SuccessiveApproximation {
             let mut span = self.resolution.max((hi_fail - pass_end).abs() / 8.0);
             loop {
                 let candidate = self.range.clamp(hi_fail + dir * span);
-                if probe(&mut oracle, &mut trace, candidate) == Probe::Pass {
+                let verdict = probe(&mut oracle, &mut trace, candidate);
+                if verdict == Probe::Invalid {
+                    return SearchOutcome::unconverged(trace);
+                }
+                if verdict == Probe::Pass {
                     lo_pass = candidate;
                     break;
                 }

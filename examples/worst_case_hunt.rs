@@ -5,9 +5,11 @@
 //!
 //! ```text
 //! cargo run --release --example worst_case_hunt
+//! cargo run --release --example worst_case_hunt -- --fault-rate 0.02
 //! ```
 
-use cichar::ate::Ate;
+use cichar::ate::{Ate, AteConfig};
+use cichar::bench::robustness;
 use cichar::core::compare::{quick_config, Comparison};
 use cichar::core::report::render_timing_diagram;
 use cichar::dut::{MemoryDevice, T_DQ_SPEC};
@@ -15,11 +17,28 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let robustness = robustness();
+    let mut ate = Ate::with_config(
+        MemoryDevice::nominal(),
+        AteConfig {
+            faults: robustness.faults,
+            ..AteConfig::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(0xDA7E);
-    let config = quick_config();
+    let mut config = quick_config();
+    config.optimization.recovery = robustness.recovery;
 
     println!("== intelligent worst-case hunt (figs. 4-5) ==\n");
+    if !robustness.faults.is_none() {
+        println!(
+            "injecting tester faults: {:.1}% verdict flips, {:.1}% dropouts; \
+             recovery ladder {} retries\n",
+            100.0 * robustness.faults.flip_rate(),
+            100.0 * robustness.faults.dropout_rate(),
+            robustness.recovery.map_or(0, |p| p.max_retries()),
+        );
+    }
     let comparison = Comparison::run(&mut ate, &config, &mut rng);
 
     println!("learning phase:     {}", comparison.model);

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use cichar_ate as ate;
+pub use cichar_bench as bench;
 pub use cichar_core as core;
 pub use cichar_dut as dut;
 pub use cichar_exec as exec;

@@ -153,6 +153,41 @@ mod parallel_bit_identity {
         }
 
         #[test]
+        fn faulty_dsv_results_match_across_thread_counts(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            suite_seed in 0u64..1000,
+        ) {
+            // Fault injection and the recovery ladder must obey the same
+            // seed-derivation rule as noise: retries, votes, and
+            // quarantine decisions are all per-index deterministic.
+            use cichar::ate::TesterFaultModel;
+            use cichar::search::RetryPolicy;
+            let blueprint = ParallelAte::new(
+                MemoryDevice::nominal(),
+                AteConfig {
+                    faults: TesterFaultModel::transient(0.02, 0.01),
+                    seed: campaign_seed,
+                    ..AteConfig::default()
+                },
+            );
+            let tests = random_tests(suite_seed, 24);
+            let runner = MultiTripRunner::new(MeasuredParam::DataValidTime)
+                .with_recovery(RetryPolicy::new(3, 50.0).with_vote(2, 3));
+            for strategy in [SearchStrategy::FullRange, SearchStrategy::SearchUntilTrip] {
+                let (serial, serial_ledger) =
+                    runner.run_parallel(&blueprint, &tests, strategy, ExecPolicy::serial());
+                let (threaded, threaded_ledger) =
+                    runner.run_parallel(&blueprint, &tests, strategy, ExecPolicy::with_threads(8));
+                prop_assert_eq!(&serial, &threaded);
+                prop_assert_eq!(serial_ledger, threaded_ledger);
+                prop_assert_eq!(
+                    serial_ledger.quarantined(),
+                    serial.quarantined() as u64
+                );
+            }
+        }
+
+        #[test]
         fn shmoo_grids_match_across_thread_counts(
             campaign_seed in 0u64..=u64::from(u32::MAX),
             suite_seed in 0u64..1000,
