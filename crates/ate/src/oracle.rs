@@ -4,6 +4,7 @@ use crate::params::MeasuredParam;
 use crate::tester::Ate;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::{PassFailOracle, Probe};
+use cichar_trace::{SpanTrace, TraceEvent};
 
 /// Borrows an [`Ate`] as a [`PassFailOracle`] for one test and one
 /// parameter, so any `cichar-search` algorithm can drive the tester.
@@ -39,6 +40,9 @@ pub struct TripOracle<'a> {
     /// relaxation forces), present when the session can serve cached
     /// verdicts. Each probe extends it with the strobed value.
     memo_base: Option<u64>,
+    /// The tester's trace span at construction; probes report
+    /// `ProbeIssued` / `ProbeResolved` into it.
+    trace: SpanTrace,
 }
 
 impl<'a> TripOracle<'a> {
@@ -52,6 +56,7 @@ impl<'a> TripOracle<'a> {
                 param.relax_forces(),
             )
         });
+        let trace = ate.trace().clone();
         Self {
             ate,
             test,
@@ -59,6 +64,7 @@ impl<'a> TripOracle<'a> {
             features: PatternFeatures::extract(&pattern),
             pattern_cycles: pattern.len() as u64,
             memo_base,
+            trace,
         }
     }
 
@@ -81,9 +87,15 @@ impl PassFailOracle for TripOracle<'_> {
         });
         if let Some(key) = key {
             if let Some(verdict) = self.ate.cache_lookup(key) {
+                self.trace.emit(TraceEvent::ProbeResolved {
+                    value,
+                    verdict: verdict.into(),
+                    cached: true,
+                });
                 return verdict;
             }
         }
+        self.trace.emit(TraceEvent::ProbeIssued { value });
         // §4 relaxation: non-measured parameters are forced to relaxed
         // values so only the strobed parameter can cause failure.
         let mut forces: Vec<_> = self.param.relax_forces().to_vec();
@@ -94,6 +106,11 @@ impl PassFailOracle for TripOracle<'_> {
         if let Some(key) = key {
             self.ate.cache_store(key, verdict);
         }
+        self.trace.emit(TraceEvent::ProbeResolved {
+            value,
+            verdict: verdict.into(),
+            cached: false,
+        });
         verdict
     }
 }

@@ -9,6 +9,7 @@ use crate::params::MeasuredParam;
 use cichar_dut::MemoryDevice;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::{Probe, RecoveryStats, RetryPolicy, RobustOracle};
+use cichar_trace::{FaultKind, SpanTrace, TraceEvent};
 use cichar_units::{Celsius, Megahertz, ParamKind, Volts};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -120,6 +121,9 @@ pub struct Ate {
     /// the configuration is noiseless and drift-free — the sole regime
     /// where a verdict is a pure function of the stimulus.
     cache: Option<HashMap<ProbeKey, Probe>>,
+    /// The active trace span. Fault injection emits `FaultInjected` events
+    /// into it; disabled (the default) it costs one branch per fault.
+    trace: SpanTrace,
 }
 
 impl Ate {
@@ -140,7 +144,20 @@ impl Ate {
             fault_rng,
             fault_state: FaultState::default(),
             cache: None,
+            trace: SpanTrace::disabled(),
         }
+    }
+
+    /// Installs the trace span fault injection and probes report into.
+    /// Runners install the span of the test being measured and reset to
+    /// [`SpanTrace::disabled`] when done.
+    pub fn set_trace(&mut self, span: SpanTrace) {
+        self.trace = span;
+    }
+
+    /// The currently installed trace span.
+    pub fn trace(&self) -> &SpanTrace {
+        &self.trace
     }
 
     /// Enables the oracle memoization cache: repeated probes of the same
@@ -320,6 +337,9 @@ impl Ate {
         if self.fault_state.abort_remaining > 0 {
             self.fault_state.abort_remaining -= 1;
             self.ledger.record_dropout();
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Dropout,
+            });
             return Probe::Invalid;
         }
         // Active stuck channel: the comparator repeats its latched verdict.
@@ -332,6 +352,9 @@ impl Ate {
                 self.fault_state.stuck_verdict = None;
             }
             self.ledger.record_stuck_probe();
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Stuck,
+            });
             return stuck;
         }
         // Fixed draw order — abort, dropout, stuck, flip — so the stream
@@ -346,10 +369,16 @@ impl Ate {
             self.fault_state.abort_remaining = faults.abort_len() - 1;
             self.ledger.record_abort();
             self.ledger.record_dropout();
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Abort,
+            });
             return Probe::Invalid;
         }
         if r_dropout < faults.dropout_rate() {
             self.ledger.record_dropout();
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Dropout,
+            });
             return Probe::Invalid;
         }
         if r_stuck < faults.stuck_rate() {
@@ -360,6 +389,9 @@ impl Ate {
         }
         if r_flip < faults.flip_rate() {
             self.ledger.record_flip();
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Flip,
+            });
             return verdict.flipped();
         }
         verdict
@@ -381,7 +413,8 @@ impl Ate {
         param: MeasuredParam,
         policy: RetryPolicy,
     ) -> RobustOracle<TripOracle<'a>> {
-        RobustOracle::new(TripOracle::new(self, test, param), policy)
+        let span = self.trace.clone();
+        RobustOracle::new(TripOracle::new(self, test, param), policy).with_trace(span)
     }
 
     /// Charges a [`RobustOracle`]'s recovery tally to this session's

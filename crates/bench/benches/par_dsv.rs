@@ -17,10 +17,12 @@ use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_dut::MemoryDevice;
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{random, Test, TestConditions};
+use cichar_trace::{NullSink, Tracer};
 use criterion::{black_box, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
 
 const TESTS: usize = 1000;
 
@@ -43,6 +45,10 @@ struct ParDsvReport {
     /// mean(sequential) / mean(threads = hardware parallelism), when that
     /// configuration was measured separately from 4 threads.
     speedup_hw_threads: Option<f64>,
+    /// Wall-clock cost of running with a live `NullSink` tracer instead
+    /// of a disabled one, as a percentage of the untraced 4-thread mean.
+    /// The observability layer's budget is < 2%.
+    null_tracer_overhead_pct: f64,
     bit_identical_across_thread_counts: bool,
     results: Vec<BenchRecord>,
     note: String,
@@ -98,6 +104,23 @@ fn main() {
                 ExecPolicy::with_threads(hardware_threads),
             );
         }
+        // Same 4-thread run, but through a live tracer with a NullSink:
+        // every span is created, every event dispatched and counted, the
+        // bytes go nowhere. The delta against parallel_4_threads is the
+        // observability layer's enabled-but-discarding overhead.
+        let null_tracer = Tracer::new(Arc::new(NullSink));
+        group.bench_function("parallel_4_threads_null_tracer", |b| {
+            b.iter(|| {
+                let (report, ledger) = runner.run_parallel_traced(
+                    &blueprint,
+                    black_box(&tests),
+                    SearchStrategy::SearchUntilTrip,
+                    ExecPolicy::with_threads(4),
+                    &null_tracer,
+                );
+                black_box((report.total_measurements, ledger.measurements()))
+            });
+        });
         group.finish();
     }
     criterion.final_summary();
@@ -123,6 +146,8 @@ fn main() {
     let four = mean_of("parallel_4_threads").expect("measured");
     let speedup_4_threads = sequential / four;
     let speedup_hw_threads = mean_of("parallel_hw_threads").map(|hw| sequential / hw);
+    let null_traced = mean_of("parallel_4_threads_null_tracer").expect("measured");
+    let null_tracer_overhead_pct = 100.0 * (null_traced / four - 1.0);
 
     let report = ParDsvReport {
         bench: "par_dsv",
@@ -130,6 +155,7 @@ fn main() {
         hardware_threads,
         speedup_4_threads,
         speedup_hw_threads,
+        null_tracer_overhead_pct,
         bit_identical_across_thread_counts: true,
         results,
         note: format!(
@@ -145,5 +171,6 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par_dsv.json");
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_par_dsv.json");
     println!("speedup at 4 threads: {speedup_4_threads:.2}x (hardware threads: {hardware_threads})");
+    println!("null-tracer overhead at 4 threads: {null_tracer_overhead_pct:.2}% (budget < 2%)");
     println!("wrote {path}");
 }

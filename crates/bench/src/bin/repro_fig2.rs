@@ -6,10 +6,12 @@
 //! cargo run --release -p cichar-bench --bin repro_fig2
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --fault-rate 0.02 --retries 4
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --trace out.jsonl --manifest out.json
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{robustness, thread_policy, Scale};
+use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
+use cichar_trace::RunManifest;
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
 use cichar_dut::MemoryDevice;
@@ -21,6 +23,8 @@ fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
     let robustness = robustness();
+    let outputs = trace_outputs();
+    let tracer = outputs.tracer();
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
     let mut rng = StdRng::seed_from_u64(scale.seed());
@@ -38,8 +42,14 @@ fn main() {
     if let Some(policy) = robustness.recovery {
         runner = runner.with_recovery(policy);
     }
-    let (report, ledger) =
-        runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy);
+    tracer.phase("dsv");
+    let (report, ledger) = runner.run_parallel_traced(
+        &blueprint,
+        &tests,
+        SearchStrategy::SearchUntilTrip,
+        policy,
+        &tracer,
+    );
 
     println!(
         "== Fig. 2 reproduction: multiple trip points ({total} random tests, {} threads) ==\n",
@@ -68,4 +78,18 @@ fn main() {
     );
     println!("  reference (eq. 2): {:.3} ns", report.reference_trip_point.expect("converged"));
     println!("\n{ledger}");
+
+    if outputs.enabled() {
+        let manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
+            .with_config("scale", format!("{scale:?}"))
+            .with_config("tests", total)
+            .with_config("strategy", "search_until_trip")
+            .with_config("fault_rate", robustness.faults.flip_rate())
+            .capture(&tracer);
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,10 +6,12 @@
 //! cargo run --release -p cichar-bench --bin repro_fig3
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --fault-rate 0.02
+//! cargo run --release -p cichar-bench --bin repro_fig3 -- --trace out.jsonl --manifest out.json
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{robustness, thread_policy, Scale};
+use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
+use cichar_trace::RunManifest;
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_stp_saving;
 use cichar_dut::MemoryDevice;
@@ -21,6 +23,8 @@ fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
     let robustness = robustness();
+    let outputs = trace_outputs();
+    let tracer = outputs.tracer();
     let total = scale.random_tests();
     let mut rng = StdRng::seed_from_u64(scale.seed());
     let tests: Vec<Test> = (0..total)
@@ -37,10 +41,17 @@ fn main() {
         ..AteConfig::default()
     };
     let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+    tracer.phase("full_range");
     let (full, ledger_full) =
-        runner.run_parallel(&blueprint, &tests, SearchStrategy::FullRange, policy);
-    let (stp, ledger_stp) =
-        runner.run_parallel(&blueprint, &tests, SearchStrategy::SearchUntilTrip, policy);
+        runner.run_parallel_traced(&blueprint, &tests, SearchStrategy::FullRange, policy, &tracer);
+    tracer.phase("stp");
+    let (stp, ledger_stp) = runner.run_parallel_traced(
+        &blueprint,
+        &tests,
+        SearchStrategy::SearchUntilTrip,
+        policy,
+        &tracer,
+    );
 
     println!(
         "== Fig. 3 reproduction: search-until-trip-point saving ({total} tests, {} threads) ==\n",
@@ -74,4 +85,17 @@ fn main() {
         .filter_map(|(a, b)| Some((a.trip_point? - b.trip_point?).abs()))
         .fold(0.0, f64::max);
     println!("  trip-point agreement: max |delta| = {max_delta:.4} ns");
+
+    if outputs.enabled() {
+        let manifest = RunManifest::new("fig3", scale.seed(), policy.threads())
+            .with_config("scale", format!("{scale:?}"))
+            .with_config("tests", total)
+            .with_config("fault_rate", robustness.faults.flip_rate())
+            .capture(&tracer);
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,10 +6,12 @@
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_table1
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --fault-rate 0.02 --retries 4
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --trace out.jsonl --manifest out.json
 //! ```
 
 use cichar_ate::{Ate, AteConfig};
-use cichar_bench::{robustness, thread_policy, Scale};
+use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
+use cichar_trace::RunManifest;
 use cichar_core::compare::Comparison;
 use cichar_dut::MemoryDevice;
 use rand::rngs::StdRng;
@@ -19,6 +21,8 @@ fn main() {
     let scale = Scale::from_env();
     let policy = thread_policy();
     let robustness = robustness();
+    let outputs = trace_outputs();
+    let tracer = outputs.tracer();
     let mut config = scale.compare_config();
     config.optimization.recovery = robustness.recovery;
     let mut ate = Ate::with_config(
@@ -34,7 +38,7 @@ fn main() {
         "== Table 1 reproduction ({scale:?} scale, {} threads) ==\n",
         policy.threads()
     );
-    let comparison = Comparison::run_parallel(&mut ate, &config, policy, &mut rng);
+    let comparison = Comparison::run_parallel_traced(&mut ate, &config, policy, &mut rng, &tracer);
     println!("{}", comparison.render());
     println!(
         "paper reference:   March 0.619 / 32.3 ns | Random 0.701 / 28.5 ns | NNGA 0.904 / 22.1 ns"
@@ -49,4 +53,17 @@ fn main() {
     print!("{}", comparison.optimization.database);
     let total: u64 = comparison.rows.iter().map(|r| r.measurements).sum();
     println!("\ntotal measurements across the three techniques: {total}");
+
+    if outputs.enabled() {
+        let manifest = RunManifest::new("table1", scale.seed(), policy.threads())
+            .with_config("scale", format!("{scale:?}"))
+            .with_config("random_tests", config.random_tests)
+            .with_config("fault_rate", robustness.faults.flip_rate())
+            .capture(&tracer);
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
 }

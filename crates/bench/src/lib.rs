@@ -16,6 +16,9 @@ use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
 use cichar_search::RetryPolicy;
+use cichar_trace::{ensure_writable, JsonlSink, NullSink, RunManifest, Tracer};
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Execution policy for a repro binary: `--threads N` from the command
 /// line when given, otherwise `CICHAR_THREADS`, otherwise the machine's
@@ -152,6 +155,98 @@ where
 fn usage_error(err: &str) -> ! {
     eprintln!("error: {err}");
     std::process::exit(2);
+}
+
+/// Observability destinations for a repro binary: `--trace out.jsonl`
+/// streams the structured event log, `--manifest out.json` saves the
+/// [`RunManifest`] artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceOutputs {
+    /// JSONL event-stream destination, when `--trace PATH` was given.
+    pub trace: Option<PathBuf>,
+    /// Run-manifest destination, when `--manifest PATH` was given.
+    pub manifest: Option<PathBuf>,
+}
+
+impl TraceOutputs {
+    /// Whether any observability output was requested.
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.manifest.is_some()
+    }
+
+    /// Builds the tracer for this run, validating every destination
+    /// eagerly: an unwritable `--trace` or `--manifest` path is a usage
+    /// error (status 2) *before* any measurement happens, not after.
+    pub fn tracer(&self) -> Tracer {
+        self.build_tracer().unwrap_or_else(|err| usage_error(&err))
+    }
+
+    /// [`TraceOutputs::tracer`] with errors returned (testable).
+    ///
+    /// The tracer is backed by a [`JsonlSink`] when `--trace` was given,
+    /// a [`NullSink`] when only `--manifest` was (metrics and phases are
+    /// still accumulated), and is disabled entirely otherwise.
+    pub fn build_tracer(&self) -> Result<Tracer, String> {
+        if let Some(path) = &self.manifest {
+            ensure_writable(path).map_err(|e| {
+                format!("cannot write --manifest destination {}: {e}", path.display())
+            })?;
+        }
+        match &self.trace {
+            Some(path) => {
+                let sink = JsonlSink::create(path).map_err(|e| {
+                    format!("cannot write --trace destination {}: {e}", path.display())
+                })?;
+                Ok(Tracer::new(Arc::new(sink)))
+            }
+            None if self.manifest.is_some() => Ok(Tracer::new(Arc::new(NullSink))),
+            None => Ok(Tracer::disabled()),
+        }
+    }
+
+    /// Commits the run's artifacts: closes the trace stream (the JSONL
+    /// file appears atomically) and saves the manifest through
+    /// `cichar_core::db::save_artifact` (also atomic). Called once, after
+    /// the campaign finished.
+    pub fn commit(&self, tracer: &Tracer, manifest: &RunManifest) -> Result<(), String> {
+        tracer
+            .finish()
+            .map_err(|e| format!("failed to commit trace stream: {e}"))?;
+        if let Some(path) = &self.manifest {
+            cichar_core::db::save_artifact(manifest, path)
+                .map_err(|e| format!("failed to save manifest {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Observability destinations from the command line (`--trace PATH`,
+/// `--manifest PATH`). Exits with status 2 on a missing operand.
+pub fn trace_outputs() -> TraceOutputs {
+    trace_outputs_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// [`trace_outputs`] over an explicit argument list (testable).
+pub fn trace_outputs_from<I>(args: I) -> Result<TraceOutputs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut outputs = TraceOutputs::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(raw) = flag_value("--trace", &arg, &mut args)? {
+            if raw.trim().is_empty() {
+                return Err(String::from("--trace requires a non-empty path"));
+            }
+            outputs.trace = Some(PathBuf::from(raw));
+        } else if let Some(raw) = flag_value("--manifest", &arg, &mut args)? {
+            if raw.trim().is_empty() {
+                return Err(String::from("--manifest requires a non-empty path"));
+            }
+            outputs.manifest = Some(PathBuf::from(raw));
+        }
+    }
+    Ok(outputs)
 }
 
 /// The run scale selected through `CICHAR_SCALE`.
@@ -314,6 +409,67 @@ mod tests {
         ] {
             assert!(robustness_from(strings(args)).is_err(), "{args:?}");
         }
+    }
+
+    #[test]
+    fn trace_outputs_parse_both_flags_in_both_spellings() {
+        let o = trace_outputs_from(strings(&["--trace", "a.jsonl", "--manifest=b.json"])).unwrap();
+        assert_eq!(o.trace.as_deref(), Some(std::path::Path::new("a.jsonl")));
+        assert_eq!(o.manifest.as_deref(), Some(std::path::Path::new("b.json")));
+        assert!(o.enabled());
+        let absent = trace_outputs_from(strings(&["--threads", "4"])).unwrap();
+        assert_eq!(absent, TraceOutputs::default());
+        assert!(!absent.enabled());
+        assert!(!absent.build_tracer().unwrap().is_enabled());
+    }
+
+    #[test]
+    fn missing_or_empty_trace_operands_are_rejected() {
+        for args in [
+            &["--trace"][..],
+            &["--manifest"][..],
+            &["--trace="][..],
+            &["--manifest="][..],
+        ] {
+            assert!(trace_outputs_from(strings(args)).is_err(), "{args:?}");
+        }
+    }
+
+    #[test]
+    fn unwritable_destinations_fail_eagerly() {
+        let missing = std::env::temp_dir().join("cichar_no_such_dir");
+        let o = TraceOutputs {
+            trace: Some(missing.join("t.jsonl")),
+            manifest: None,
+        };
+        let err = o.build_tracer().unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let o = TraceOutputs {
+            trace: None,
+            manifest: Some(missing.join("m.json")),
+        };
+        let err = o.build_tracer().unwrap_err();
+        assert!(err.contains("--manifest"), "{err}");
+    }
+
+    #[test]
+    fn manifest_only_runs_accumulate_metrics_and_commit() {
+        use cichar_trace::TraceEvent;
+        let dir = std::env::temp_dir().join("cichar_bench_trace_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let o = TraceOutputs {
+            trace: None,
+            manifest: Some(dir.join("m.json")),
+        };
+        let tracer = o.build_tracer().expect("tmp is writable");
+        assert!(tracer.is_enabled());
+        let span = tracer.span(0);
+        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        tracer.absorb(span);
+        let manifest = RunManifest::new("selftest", 1, 1).capture(&tracer);
+        assert_eq!(manifest.metrics.probes_issued, 1);
+        o.commit(&tracer, &manifest).expect("commit succeeds");
+        assert!(dir.join("m.json").exists());
     }
 
     #[test]

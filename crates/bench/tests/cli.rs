@@ -1,0 +1,89 @@
+//! Negative-path CLI tests for the repro binaries: every bad flag value
+//! or unwritable observability destination must exit with status 2 and a
+//! clear diagnostic *before* any measurement work starts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Runs the built `repro_fig2` binary with `args` and returns its output.
+/// Fig. 2 is the cheapest repro, and all binaries share the same CLI
+/// layer, so one binary exercises the whole flag surface.
+fn run_fig2(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro_fig2"))
+        .args(args)
+        .env("CICHAR_SCALE", "quick")
+        .output()
+        .expect("repro_fig2 spawns")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn bad_trace_path_exits_2_before_measuring() {
+    let output = run_fig2(&["--trace", "/nonexistent_cichar_dir/out.jsonl"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("--trace"), "{stderr}");
+    assert!(
+        output.stdout.is_empty(),
+        "must fail eagerly, before any campaign output"
+    );
+}
+
+#[test]
+fn manifest_to_read_only_dir_exits_2() {
+    // A directory with the write bit cleared: `ensure_writable` must
+    // reject it up front. Skip (vacuously pass) when running as root,
+    // where permission bits don't bind.
+    let dir = std::env::temp_dir().join("cichar_cli_readonly");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let mut perms = std::fs::metadata(&dir).expect("metadata").permissions();
+    perms.set_readonly(true);
+    std::fs::set_permissions(&dir, perms.clone()).expect("chmod");
+    let probe = dir.join("probe");
+    let readonly_binds = std::fs::write(&probe, b"").is_err();
+    let _ = std::fs::remove_file(&probe);
+    if !readonly_binds {
+        perms.set_readonly(false);
+        let _ = std::fs::set_permissions(&dir, perms);
+        eprintln!("skipping: read-only directories do not bind for this user");
+        return;
+    }
+
+    let target: PathBuf = dir.join("manifest.json");
+    let output = run_fig2(&["--manifest", target.to_str().expect("utf-8 path")]);
+
+    perms.set_readonly(false);
+    let _ = std::fs::set_permissions(&dir, perms);
+
+    assert_eq!(output.status.code(), Some(2), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("--manifest"), "{stderr}");
+}
+
+#[test]
+fn out_of_range_fault_rate_exits_2() {
+    for rate in ["1.5", "-0.1", "nope"] {
+        let output = run_fig2(&["--fault-rate", rate]);
+        assert_eq!(output.status.code(), Some(2), "rate {rate}");
+        let stderr = stderr_of(&output);
+        assert!(stderr.contains("--fault-rate"), "{stderr}");
+        assert!(stderr.contains("[0, 1)"), "{stderr}");
+    }
+}
+
+#[test]
+fn missing_operands_exit_2() {
+    for args in [
+        &["--trace"][..],
+        &["--manifest"][..],
+        &["--threads"][..],
+        &["--trace="][..],
+    ] {
+        let output = run_fig2(args);
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+        assert!(!stderr_of(&output).is_empty(), "{args:?}");
+    }
+}

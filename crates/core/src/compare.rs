@@ -22,6 +22,7 @@ use crate::wcr::{CharacterizationObjective, WcrClass};
 use cichar_ate::{Ate, MeasuredParam, ParallelAte};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{march, random, Test, TestConditions};
+use cichar_trace::Tracer;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -181,35 +182,54 @@ impl Comparison {
         policy: ExecPolicy,
         rng: &mut R,
     ) -> Self {
+        Self::run_parallel_traced(ate, config, policy, rng, &Tracer::disabled())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with the campaign recorded
+    /// into `tracer`: a phase-change event opens each technique's row
+    /// ("march", "random", "nnga"), and the measurement-heavy stages
+    /// record per-test / per-evaluation spans through their traced
+    /// sub-runs.
+    pub fn run_parallel_traced<R: Rng + ?Sized>(
+        ate: &mut Ate,
+        config: &CompareConfig,
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> Self {
         let runner = MultiTripRunner::new(config.param);
 
         // Row 1 — deterministic March test, the production baseline.
+        tracer.phase("march");
         let march_test = Test::deterministic("March Test", march::march_c_minus(64))
             .with_conditions(config.conditions);
         let baseline = *ate.ledger();
-        let march_report = runner.run(ate, &[march_test], SearchStrategy::FullRange);
+        let march_report = runner.run_traced(ate, &[march_test], SearchStrategy::FullRange, tracer);
         let march_tp = march_report.entries[0]
             .trip_point
             .expect("March trip point in generous range");
         let march_cost = ate.ledger().measurements_since(&baseline);
 
         // Row 2 — the refs-[9][10] random generator, fanned out per test.
+        tracer.phase("random");
         let random_tests: Vec<Test> = (0..config.random_tests)
             .map(|_| random::random_test_at(rng, config.conditions))
             .collect();
         let blueprint = ParallelAte::from_ate(ate);
-        let (random_report, random_ledger) = runner.run_parallel(
+        let (random_report, random_ledger) = runner.run_parallel_traced(
             &blueprint,
             &random_tests,
             SearchStrategy::SearchUntilTrip,
             policy,
+            tracer,
         );
         let random_tp = random_report.min().expect("random tests converge");
         let random_cost = random_ledger.measurements();
 
         // Row 3 — the paper's method with parallel GA fitness evaluation.
+        tracer.phase("nnga");
         let baseline = *ate.ledger();
-        let model = LearningScheme::new(config.learning.clone()).run(ate, rng);
+        let model = LearningScheme::new(config.learning.clone()).run_traced(ate, rng, tracer);
         let generator = NeuralTestGenerator::new(&model);
         let seeds = generator.propose(
             config.nn_candidates,
@@ -219,12 +239,13 @@ impl Comparison {
         );
         let blueprint = ParallelAte::from_ate(ate);
         let (optimization, ga_ledger) = OptimizationScheme::new(config.optimization.clone())
-            .run_parallel(
+            .run_parallel_traced(
                 &blueprint,
                 &seeds,
                 Some(model.reference_trip_point),
                 policy,
                 rng,
+                tracer,
             );
         let nnga_cost = ate.ledger().measurements_since(&baseline) + ga_ledger.measurements();
         let nnga_tp = optimization.best.trip_point;

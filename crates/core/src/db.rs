@@ -145,9 +145,7 @@ impl WorstCaseDatabase {
     ///
     /// Propagates I/O and serialization errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        fs::write(path, json)
+        save_artifact(self, path)
     }
 
     /// Loads a database saved by [`Self::save`], rebuilding the dedup
@@ -183,7 +181,21 @@ impl WorstCaseDatabase {
 pub fn save_artifact<T: Serialize>(artifact: &T, path: impl AsRef<Path>) -> io::Result<()> {
     let json = serde_json::to_string_pretty(artifact)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    // Write-then-rename: a crash (or a full disk) mid-write must never
+    // leave a truncated artifact at the target path. The scratch file
+    // lives next to the target so the rename stays on one filesystem.
+    let path = path.as_ref();
+    let mut scratch_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact.json".into());
+    scratch_name.push(".tmp");
+    let scratch = path.with_file_name(scratch_name);
+    if let Err(e) = fs::write(&scratch, json) {
+        let _ = fs::remove_file(&scratch);
+        return Err(e);
+    }
+    fs::rename(&scratch, path)
 }
 
 /// Loads an artifact saved by [`save_artifact`].

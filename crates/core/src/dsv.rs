@@ -12,6 +12,7 @@ use cichar_patterns::Test;
 use cichar_search::{
     trace_is_consistent, RebracketingStp, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
 };
+use cichar_trace::{SpanTrace, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -337,11 +338,71 @@ impl MultiTripRunner {
         reference: Option<f64>,
         full: &SuccessiveApproximation,
         rebracket: &RebracketingStp,
+        span: &SpanTrace,
     ) -> Measured {
-        measure_with_recovery(ate, test, self.param, reference, full, rebracket, self.recovery)
+        measure_with_recovery(
+            ate,
+            test,
+            self.param,
+            reference,
+            full,
+            rebracket,
+            self.recovery,
+            span,
+        )
     }
+
     /// Runs the characterization, consuming measurements from `ate`.
     pub fn run(&self, ate: &mut Ate, tests: &[Test], strategy: SearchStrategy) -> DsvReport {
+        self.run_inner(ate, tests, strategy, |_| SpanTrace::disabled(), |_| {})
+    }
+
+    /// [`run`](Self::run) with per-test spans recorded into `tracer`.
+    ///
+    /// Each test gets a span keyed by its input index; the span is
+    /// absorbed (sequenced into the sink) as soon as the test's search
+    /// completes, so the sequential event stream is ordered by test index
+    /// by construction.
+    pub fn run_traced(
+        &self,
+        ate: &mut Ate,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        tracer: &Tracer,
+    ) -> DsvReport {
+        self.run_inner(
+            ate,
+            tests,
+            strategy,
+            |index| tracer.span(index as u64),
+            |span| tracer.absorb(span),
+        )
+    }
+
+    /// [`run`](Self::run) with every test's events recorded into one
+    /// caller-owned span — used by per-die characterization, where the
+    /// span identifies the die rather than the test.
+    pub(crate) fn run_in_span(
+        &self,
+        ate: &mut Ate,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        span: &SpanTrace,
+    ) -> DsvReport {
+        self.run_inner(ate, tests, strategy, |_| span.clone(), |_| {})
+    }
+
+    /// The single sequential campaign body. `with_span` produces the span
+    /// a test's search reports into; `done` disposes of it afterwards
+    /// (absorbing it into a tracer, or nothing for shared/disabled spans).
+    fn run_inner(
+        &self,
+        ate: &mut Ate,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        mut with_span: impl FnMut(usize) -> SpanTrace,
+        mut done: impl FnMut(SpanTrace),
+    ) -> DsvReport {
         let param = self.param;
         let (full, rebracket) = self.searches();
 
@@ -363,7 +424,9 @@ impl MultiTripRunner {
                 SearchStrategy::FullRange => None,
                 SearchStrategy::SearchUntilTrip => rtp,
             };
-            let measured = self.measure_one(ate, test, reference, &full, &rebracket);
+            let span = with_span(index);
+            let measured = self.measure_one(ate, test, reference, &full, &rebracket, &span);
+            done(span);
             let measurements = ate.ledger().measurements_since(&baseline);
             total += measurements;
             if strategy == SearchStrategy::SearchUntilTrip {
@@ -419,6 +482,24 @@ impl MultiTripRunner {
         strategy: SearchStrategy,
         policy: ExecPolicy,
     ) -> (DsvReport, MeasurementLedger) {
+        self.run_parallel_traced(blueprint, tests, strategy, policy, &Tracer::disabled())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with per-test spans recorded
+    /// into `tracer`.
+    ///
+    /// Workers fill their test's span privately; the coordinator absorbs
+    /// spans at the same index-ordered merge points where entries and
+    /// ledgers fold in. The sequenced event stream (and the metrics
+    /// derived from it) is therefore identical for every thread count.
+    pub fn run_parallel_traced(
+        &self,
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+    ) -> (DsvReport, MeasurementLedger) {
         let param = self.param;
         let (full, rebracket) = self.searches();
 
@@ -429,15 +510,17 @@ impl MultiTripRunner {
         // stay a pure function of the schedule, not of which worker
         // finished first.
         let probe_one = |index: usize, test: &Test, reference: Option<f64>| {
+            let span = tracer.span(index as u64);
             let mut session = blueprint.session(index as u64);
-            let measured = self.measure_one(&mut session, test, reference, &full, &rebracket);
+            let measured =
+                self.measure_one(&mut session, test, reference, &full, &rebracket, &span);
             let entry = DsvEntry {
                 test_name: test.name().to_string(),
                 trip_point: measured.trip_point,
                 measurements: session.ledger().measurements(),
                 status: measured.status,
             };
-            (entry, *session.ledger())
+            (entry, *session.ledger(), span)
         };
 
         let mut entries = Vec::with_capacity(tests.len());
@@ -446,10 +529,11 @@ impl MultiTripRunner {
 
         if strategy == SearchStrategy::FullRange {
             // Every search is independent: fan out the whole batch.
-            for (entry, session_ledger) in
+            for (entry, session_ledger, span) in
                 cichar_exec::par_map_ref(policy, tests, |i, test| probe_one(i, test, None))
             {
                 ledger.merge(&session_ledger);
+                tracer.absorb(span);
                 entries.push(entry);
             }
         } else {
@@ -462,19 +546,21 @@ impl MultiTripRunner {
                 let mut anchor: Option<f64> = None;
                 let mut cursor = start;
                 while cursor < end && anchor.is_none() {
-                    let (entry, session_ledger) = probe_one(cursor, &tests[cursor], None);
+                    let (entry, session_ledger, span) = probe_one(cursor, &tests[cursor], None);
                     anchor = entry.trip_point;
                     ledger.merge(&session_ledger);
+                    tracer.absorb(span);
                     entries.push(entry);
                     cursor += 1;
                 }
                 // Fan out the anchored remainder of the window.
-                for (entry, session_ledger) in
+                for (entry, session_ledger, span) in
                     cichar_exec::par_map_ref(policy, &tests[cursor..end], |i, test| {
                         probe_one(cursor + i, test, anchor)
                     })
                 {
                     ledger.merge(&session_ledger);
+                    tracer.absorb(span);
                     entries.push(entry);
                 }
                 rtp = anchor;
@@ -501,6 +587,7 @@ impl MultiTripRunner {
 /// accounting. Every characterization path in this crate (DSV runs, GA
 /// fitness evaluations, sample sweeps) measures through this single
 /// function so faults are classified identically everywhere.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn measure_with_recovery(
     ate: &mut Ate,
     test: &Test,
@@ -509,6 +596,29 @@ pub(crate) fn measure_with_recovery(
     full: &SuccessiveApproximation,
     rebracket: &RebracketingStp,
     recovery: Option<RetryPolicy>,
+    span: &SpanTrace,
+) -> Measured {
+    // Install the span on the tester for the duration of this measurement
+    // so probe, fault and retry events report into it, then detach — the
+    // tester outlives the span, and a stale span must never leak events
+    // from a later test into an earlier test's stream.
+    ate.set_trace(span.clone());
+    let measured = measure_traced(ate, test, param, reference, full, rebracket, recovery, span);
+    ate.set_trace(SpanTrace::disabled());
+    measured
+}
+
+/// [`measure_with_recovery`] minus the span install/detach bracketing.
+#[allow(clippy::too_many_arguments)]
+fn measure_traced(
+    ate: &mut Ate,
+    test: &Test,
+    param: MeasuredParam,
+    reference: Option<f64>,
+    full: &SuccessiveApproximation,
+    rebracket: &RebracketingStp,
+    recovery: Option<RetryPolicy>,
+    span: &SpanTrace,
 ) -> Measured {
     let order = param.region_order();
     let Some(policy) = recovery else {
@@ -516,20 +626,24 @@ pub(crate) fn measure_with_recovery(
         // honestly on an unavailable verdict, and the entry records why
         // a trip point is missing.
         let outcome = match reference {
-            None => full.run(order, ate.trip_oracle(test, param)),
-            Some(r) => rebracket.stp().run(r, order, ate.trip_oracle(test, param)),
+            None => full.run_traced(order, ate.trip_oracle(test, param), span),
+            Some(r) => rebracket
+                .stp()
+                .run_traced(r, order, ate.trip_oracle(test, param), span),
         };
         let status = match outcome.trip_point {
             Some(_) => TripStatus::Clean,
             None => {
                 ate.quarantine();
-                TripStatus::Quarantined {
-                    reason: if outcome.has_invalid() {
-                        QuarantineReason::Dropout
-                    } else {
-                        QuarantineReason::Unconverged
-                    },
-                }
+                let reason = if outcome.has_invalid() {
+                    QuarantineReason::Dropout
+                } else {
+                    QuarantineReason::Unconverged
+                };
+                span.emit_with(|| TraceEvent::Quarantined {
+                    reason: reason.to_string(),
+                });
+                TripStatus::Quarantined { reason }
             }
         };
         return Measured {
@@ -543,12 +657,12 @@ pub(crate) fn measure_with_recovery(
     let mut oracle = ate.robust_oracle(test, param, policy);
     let (outcome, rebracketed, consistent, refreshed) = match reference {
         None => {
-            let outcome = full.run(order, &mut oracle);
+            let outcome = full.run_traced(order, &mut oracle, span);
             let consistent = trace_is_consistent(&outcome.trace, order, tolerance);
             (outcome, false, consistent, None)
         }
         Some(r) => {
-            let result = rebracket.run(r, order, &mut oracle);
+            let result = rebracket.run_traced(r, order, &mut oracle, span);
             let consistent =
                 trace_is_consistent(result.authoritative_trace(), order, tolerance);
             // A converged fallback is a fresh eq. 2 anchor.
@@ -565,20 +679,25 @@ pub(crate) fn measure_with_recovery(
 
     if !outcome.converged {
         ate.quarantine();
+        let reason = if outcome.has_invalid() {
+            QuarantineReason::Dropout
+        } else {
+            QuarantineReason::Unconverged
+        };
+        span.emit_with(|| TraceEvent::Quarantined {
+            reason: reason.to_string(),
+        });
         return Measured {
             trip_point: None,
-            status: TripStatus::Quarantined {
-                reason: if outcome.has_invalid() {
-                    QuarantineReason::Dropout
-                } else {
-                    QuarantineReason::Unconverged
-                },
-            },
+            status: TripStatus::Quarantined { reason },
             refreshed_reference: None,
         };
     }
     if !consistent {
         ate.quarantine();
+        span.emit_with(|| TraceEvent::Quarantined {
+            reason: QuarantineReason::InconsistentTrace.to_string(),
+        });
         return Measured {
             trip_point: None,
             status: TripStatus::Quarantined {

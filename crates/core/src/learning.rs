@@ -21,6 +21,7 @@ use cichar_ate::{Ate, MeasuredParam};
 use cichar_fuzzy::coding::{CodingScheme, TripPointCoder};
 use cichar_neural::{Committee, Dataset, MinMaxScaler, TrainConfig};
 use cichar_patterns::{random, ConditionSpace, Test};
+use cichar_trace::{TraceEvent, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -191,6 +192,22 @@ impl LearningScheme {
     ///
     /// Panics if no trip point converges at all (a mis-ranged setup).
     pub fn run<R: Rng + ?Sized>(&self, ate: &mut Ate, rng: &mut R) -> LearnedModel {
+        self.run_traced(ate, rng, &Tracer::disabled())
+    }
+
+    /// [`run`](Self::run) with per-test measurement spans and one
+    /// [`TraceEvent::CommitteeEpochFinished`] campaign event per training
+    /// round recorded into `tracer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trip point converges at all (a mis-ranged setup).
+    pub fn run_traced<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> LearnedModel {
         let c = &self.config;
         let coder = TripPointCoder::new(c.coding);
         let encoder = TestEncoder::new(c.space.clone());
@@ -217,7 +234,7 @@ impl LearningScheme {
                 })
                 .collect();
             // Step 2: measure trip points (eq. 2 first, then eqs. 3/4).
-            let report = runner.run(ate, &tests, SearchStrategy::SearchUntilTrip);
+            let report = runner.run_traced(ate, &tests, SearchStrategy::SearchUntilTrip, tracer);
             if rtp.is_none() {
                 rtp = report.reference_trip_point;
             }
@@ -252,6 +269,11 @@ impl LearningScheme {
             let trained = Committee::train(&topology, c.committee_size, &c.train, &dataset, rng)
                 .expect("validated topology");
             let accepted = trained.accepted();
+            tracer.emit_campaign(TraceEvent::CommitteeEpochFinished {
+                epoch: rounds as u64 - 1,
+                members: trained.size() as u64,
+                train_error: trained.mean_validation_error(),
+            });
             committee = Some(trained);
             if accepted {
                 break;

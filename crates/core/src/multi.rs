@@ -20,6 +20,7 @@ use cichar_ate::{Ate, MeasuredParam, MeasurementLedger, ParallelAte};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::TestConditions;
 use cichar_search::RetryPolicy;
+use cichar_trace::Tracer;
 use rand::Rng;
 use std::fmt;
 
@@ -199,15 +200,29 @@ impl MultiParamCampaign {
 
     /// Runs every task against the tester.
     pub fn run<R: Rng + ?Sized>(&self, ate: &mut Ate, rng: &mut R) -> CampaignReport {
+        self.run_traced(ate, rng, &Tracer::disabled())
+    }
+
+    /// [`run`](Self::run) with the campaign recorded into `tracer`: a
+    /// phase-change event opens each task (named after its parameter), and
+    /// the learning and optimization stages record their per-measurement
+    /// spans through their traced sub-runs.
+    pub fn run_traced<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> CampaignReport {
         let start = *ate.ledger();
         let mut outcomes = Vec::with_capacity(self.tasks.len());
         for task in &self.tasks {
+            tracer.phase(&task.param.to_string());
             let learning = LearningConfig {
                 param: task.param,
                 objective: task.objective,
                 ..self.learning.clone()
             };
-            let model = LearningScheme::new(learning).run(ate, rng);
+            let model = LearningScheme::new(learning).run_traced(ate, rng, tracer);
             let generator = NeuralTestGenerator::new(&model);
             let seeds =
                 generator.propose(self.nn_candidates, self.nn_seeds, Some(self.conditions), rng);
@@ -217,11 +232,12 @@ impl MultiParamCampaign {
                 pinned_conditions: self.conditions,
                 ..self.optimization.clone()
             };
-            let outcome = OptimizationScheme::new(optimization).run(
+            let outcome = OptimizationScheme::new(optimization).run_traced(
                 ate,
                 &seeds,
                 Some(model.reference_trip_point),
                 rng,
+                tracer,
             );
             outcomes.push(TaskOutcome {
                 task: *task,
@@ -251,16 +267,32 @@ impl MultiParamCampaign {
         policy: ExecPolicy,
         rng: &mut R,
     ) -> CampaignReport {
+        self.run_parallel_traced(ate, policy, rng, &Tracer::disabled())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with the campaign recorded
+    /// into `tracer` — see [`run_traced`](Self::run_traced) for the event
+    /// layout. Spans from parallel fitness evaluations are absorbed in
+    /// evaluation order, so the stream is identical for every thread
+    /// count.
+    pub fn run_parallel_traced<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> CampaignReport {
         let start = *ate.ledger();
         let mut parallel_ledger = MeasurementLedger::new();
         let mut outcomes = Vec::with_capacity(self.tasks.len());
         for task in &self.tasks {
+            tracer.phase(&task.param.to_string());
             let learning = LearningConfig {
                 param: task.param,
                 objective: task.objective,
                 ..self.learning.clone()
             };
-            let model = LearningScheme::new(learning).run(ate, rng);
+            let model = LearningScheme::new(learning).run_traced(ate, rng, tracer);
             let generator = NeuralTestGenerator::new(&model);
             let seeds =
                 generator.propose(self.nn_candidates, self.nn_seeds, Some(self.conditions), rng);
@@ -271,12 +303,13 @@ impl MultiParamCampaign {
                 ..self.optimization.clone()
             };
             let blueprint = ParallelAte::from_ate(ate);
-            let (outcome, ledger) = OptimizationScheme::new(optimization).run_parallel(
+            let (outcome, ledger) = OptimizationScheme::new(optimization).run_parallel_traced(
                 &blueprint,
                 &seeds,
                 Some(model.reference_trip_point),
                 policy,
                 rng,
+                tracer,
             );
             parallel_ledger.merge(&ledger);
             outcomes.push(TaskOutcome {

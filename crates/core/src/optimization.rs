@@ -29,6 +29,7 @@ use cichar_patterns::{
 use cichar_search::{
     Probe, RebracketingStp, RegionOrder, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
 };
+use cichar_trace::{SpanTrace, TraceEvent, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -179,6 +180,25 @@ impl OptimizationScheme {
         reference_trip_point: Option<f64>,
         rng: &mut R,
     ) -> OptimizationOutcome {
+        self.run_traced(ate, seeds, reference_trip_point, rng, &Tracer::disabled())
+    }
+
+    /// [`run`](Self::run) with per-evaluation spans and per-generation GA
+    /// statistics recorded into `tracer`.
+    ///
+    /// Each fitness evaluation gets a span keyed by its 0-based global
+    /// evaluation index — the same key the parallel variant uses — and
+    /// [`TraceEvent::GaGenerationEvaluated`] campaign events are emitted
+    /// from the GA history after the run, so sequential and parallel
+    /// campaigns describe generations identically.
+    pub fn run_traced<R: Rng + ?Sized>(
+        &self,
+        ate: &mut Ate,
+        seeds: &[Candidate],
+        reference_trip_point: Option<f64>,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> OptimizationOutcome {
         let c = &self.config;
         let param = c.param;
         let order = param.region_order();
@@ -208,40 +228,53 @@ impl OptimizationScheme {
                 seed_individuals,
                 |individual| {
                     *counter += 1;
+                    // Span keyed by the 0-based evaluation index, matching
+                    // the parallel variant's session index.
+                    let span = tracer.span(*counter as u64 - 1);
                     let test = self.decode(individual, format!("ga_{:06}", *counter));
                     // GA fitness = TPV measurement via ATE (fig. 5 step 3),
                     // using eq. 2 (full search) only until a reference
                     // exists, then eqs. 3/4 (STP), through the shared
                     // fault-tolerant ladder.
-                    let measured =
-                        measure_with_recovery(ate, &test, param, *rtp, &full, &rebracket, c.recovery);
-                    let Some(tp) = measured.trip_point else {
+                    let measured = measure_with_recovery(
+                        ate, &test, param, *rtp, &full, &rebracket, c.recovery, &span,
+                    );
+                    let fitness = match measured.trip_point {
                         // Unmeasurable individuals are worthless, not worst.
-                        return f64::NEG_INFINITY;
+                        None => f64::NEG_INFINITY,
+                        Some(_)
+                            if !Self::functionally_verified(
+                                ate, &test, param, order, c.recovery, &span,
+                            ) =>
+                        {
+                            f64::NEG_INFINITY
+                        }
+                        Some(tp) => {
+                            if let Some(fresh) = measured.refreshed_reference {
+                                // Re-bracketing paid for a full search;
+                                // re-anchor on its fresh trip point.
+                                *rtp = Some(fresh);
+                            } else if rtp.is_none() {
+                                *rtp = Some(tp);
+                            }
+                            let wcr = c.objective.wcr(tp);
+                            database.insert(WorstCaseTest {
+                                test,
+                                trip_point: tp,
+                                wcr,
+                                class: c.objective.classify(tp),
+                                predicted_severity: None,
+                            });
+                            wcr
+                        }
                     };
-                    if !Self::functionally_verified(ate, &test, param, order, c.recovery) {
-                        return f64::NEG_INFINITY;
-                    }
-                    if let Some(fresh) = measured.refreshed_reference {
-                        // Re-bracketing paid for a full search; re-anchor
-                        // on its fresh trip point.
-                        *rtp = Some(fresh);
-                    } else if rtp.is_none() {
-                        *rtp = Some(tp);
-                    }
-                    let wcr = c.objective.wcr(tp);
-                    database.insert(WorstCaseTest {
-                        test,
-                        trip_point: tp,
-                        wcr,
-                        class: c.objective.classify(tp),
-                        predicted_severity: None,
-                    });
-                    wcr
+                    tracer.absorb(span);
+                    fitness
                 },
                 rng,
             )
         };
+        emit_generations(tracer, &result);
 
         let best = database
             .entries()
@@ -282,6 +315,32 @@ impl OptimizationScheme {
         policy: ExecPolicy,
         rng: &mut R,
     ) -> (OptimizationOutcome, MeasurementLedger) {
+        self.run_parallel_traced(
+            blueprint,
+            seeds,
+            reference_trip_point,
+            policy,
+            rng,
+            &Tracer::disabled(),
+        )
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with per-evaluation spans
+    /// recorded into `tracer`.
+    ///
+    /// Workers fill each evaluation's span privately; the coordinator
+    /// absorbs spans in evaluation order at the same merge point where
+    /// ledgers and database inserts fold in, so the sequenced stream is
+    /// identical for every thread count.
+    pub fn run_parallel_traced<R: Rng + ?Sized>(
+        &self,
+        blueprint: &ParallelAte,
+        seeds: &[Candidate],
+        reference_trip_point: Option<f64>,
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> (OptimizationOutcome, MeasurementLedger) {
         let c = &self.config;
         let seed_individuals: Vec<Individual> = seeds
             .iter()
@@ -296,8 +355,10 @@ impl OptimizationScheme {
             rtp: reference_trip_point,
             database: WorstCaseDatabase::new(c.database_capacity),
             ledger: MeasurementLedger::new(),
+            tracer,
         };
         let result = engine.run_seeded_with(seed_individuals, &mut evaluator, rng);
+        emit_generations(tracer, &result);
         let best = evaluator
             .database
             .entries()
@@ -327,6 +388,7 @@ impl OptimizationScheme {
         index: usize,
         individual: &Individual,
         reference: Option<f64>,
+        span: &SpanTrace,
     ) -> WcrEvaluation {
         let c = &self.config;
         let param = c.param;
@@ -346,6 +408,7 @@ impl OptimizationScheme {
             &full,
             &rebracket,
             c.recovery,
+            span,
         );
         let Some(tp) = measured.trip_point else {
             return WcrEvaluation {
@@ -354,7 +417,7 @@ impl OptimizationScheme {
                 ledger: *session.ledger(),
             };
         };
-        if !Self::functionally_verified(&mut session, &test, param, order, c.recovery) {
+        if !Self::functionally_verified(&mut session, &test, param, order, c.recovery, span) {
             return WcrEvaluation {
                 fitness: f64::NEG_INFINITY,
                 entry: None,
@@ -388,12 +451,16 @@ impl OptimizationScheme {
         param: MeasuredParam,
         order: RegionOrder,
         recovery: Option<RetryPolicy>,
+        span: &SpanTrace,
     ) -> bool {
         let extreme = match order {
             RegionOrder::PassBelowFail => param.generous_range().start(),
             RegionOrder::PassAboveFail => param.generous_range().end(),
         };
-        match recovery {
+        // Verification strobes report into the evaluation's span (fault
+        // and retry events), like the measurement they vet.
+        ate.set_trace(span.clone());
+        let verified = match recovery {
             None => (0..2).all(|_| ate.measure(test, param, extreme) == Probe::Pass),
             Some(policy) => {
                 use cichar_search::PassFailOracle;
@@ -403,7 +470,26 @@ impl OptimizationScheme {
                 ate.absorb_recovery(&stats);
                 verified
             }
-        }
+        };
+        ate.set_trace(SpanTrace::disabled());
+        verified
+    }
+}
+
+/// Emits one [`TraceEvent::GaGenerationEvaluated`] campaign event per
+/// generation of `result`'s history, after the evaluations themselves have
+/// been absorbed.
+fn emit_generations(tracer: &Tracer, result: &GaResult) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    for stats in &result.history {
+        tracer.emit_campaign(TraceEvent::GaGenerationEvaluated {
+            generation: stats.generation as u64,
+            best_so_far: stats.best_so_far,
+            generation_best: stats.generation_best,
+            mean: stats.mean,
+        });
     }
 }
 
@@ -427,6 +513,7 @@ struct WcrEvaluator<'a> {
     rtp: Option<f64>,
     database: WorstCaseDatabase,
     ledger: MeasurementLedger,
+    tracer: &'a Tracer,
 }
 
 impl FitnessEvaluator for WcrEvaluator<'_> {
@@ -437,31 +524,45 @@ impl FitnessEvaluator for WcrEvaluator<'_> {
     fn evaluate_batch(&mut self, batch: &[Individual]) -> Vec<f64> {
         let base = self.evaluated;
         self.evaluated += batch.len();
-        let mut records: Vec<WcrEvaluation> = Vec::with_capacity(batch.len());
+        let mut records: Vec<(WcrEvaluation, SpanTrace)> = Vec::with_capacity(batch.len());
         // Eq. 2 anchoring is a data dependence: run sequentially until a
         // verified trip point exists.
         let mut cursor = 0;
         while cursor < batch.len() && self.rtp.is_none() {
-            let record =
-                self.scheme
-                    .evaluate_individual(self.blueprint, base + cursor, &batch[cursor], None);
+            let span = self.tracer.span((base + cursor) as u64);
+            let record = self.scheme.evaluate_individual(
+                self.blueprint,
+                base + cursor,
+                &batch[cursor],
+                None,
+                &span,
+            );
             self.rtp = record.entry.as_ref().map(|e| e.trip_point);
-            records.push(record);
+            records.push((record, span));
             cursor += 1;
         }
         let reference = self.rtp;
-        let (scheme, blueprint) = (self.scheme, self.blueprint);
+        let (scheme, blueprint, tracer) = (self.scheme, self.blueprint, self.tracer);
         records.extend(cichar_exec::par_map_ref(
             self.policy,
             &batch[cursor..],
             |i, individual| {
-                scheme.evaluate_individual(blueprint, base + cursor + i, individual, reference)
+                let span = tracer.span((base + cursor + i) as u64);
+                let record = scheme.evaluate_individual(
+                    blueprint,
+                    base + cursor + i,
+                    individual,
+                    reference,
+                    &span,
+                );
+                (record, span)
             },
         ));
         records
             .into_iter()
-            .map(|record| {
+            .map(|(record, span)| {
                 self.ledger.merge(&record.ledger);
+                self.tracer.absorb(span);
                 if let Some(entry) = record.entry {
                     self.database.insert(entry);
                 }

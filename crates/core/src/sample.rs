@@ -16,6 +16,7 @@ use cichar_ate::{Ate, AteConfig, MeasuredParam};
 use cichar_dut::{Die, Lot, MemoryDevice};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{Test, TestConditions};
+use cichar_trace::{SpanTrace, Tracer};
 use cichar_units::{Celsius, Volts};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -286,11 +287,33 @@ impl SampleCharacterization {
         tests: &[Test],
         rng: &mut R,
     ) -> SampleReport {
+        self.run_traced(lot, die_count, tests, rng, &Tracer::disabled())
+    }
+
+    /// [`run`](Self::run) with per-die spans recorded into `tracer`.
+    ///
+    /// Each sampled die gets one span keyed by its sample index; every
+    /// search at every corner of that die reports into it. The span is
+    /// absorbed when the die's sweep completes.
+    pub fn run_traced<R: Rng + ?Sized>(
+        &self,
+        lot: &Lot,
+        die_count: usize,
+        tests: &[Test],
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> SampleReport {
         let runner = self.runner();
         let dies: Vec<DieResult> = lot
             .sample_dies(rng, die_count)
             .into_iter()
-            .map(|die| self.characterize_die(&runner, die, tests))
+            .enumerate()
+            .map(|(index, die)| {
+                let span = tracer.span(index as u64);
+                let result = self.characterize_die(&runner, die, tests, &span);
+                tracer.absorb(span);
+                result
+            })
             .collect();
         self.assemble(dies)
     }
@@ -311,11 +334,38 @@ impl SampleCharacterization {
         policy: ExecPolicy,
         rng: &mut R,
     ) -> SampleReport {
+        self.run_parallel_traced(lot, die_count, tests, policy, rng, &Tracer::disabled())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with per-die spans recorded
+    /// into `tracer`.
+    ///
+    /// Workers fill their die's span privately; the coordinator absorbs
+    /// spans in sample-index order, so the sequenced stream matches the
+    /// traced sequential run and is identical for every thread count.
+    pub fn run_parallel_traced<R: Rng + ?Sized>(
+        &self,
+        lot: &Lot,
+        die_count: usize,
+        tests: &[Test],
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> SampleReport {
         let runner = self.runner();
         let sampled = lot.sample_dies(rng, die_count);
-        let dies = cichar_exec::par_map(policy, sampled, |_, die| {
-            self.characterize_die(&runner, die, tests)
+        let results = cichar_exec::par_map(policy, sampled, |index, die| {
+            let span = tracer.span(index as u64);
+            let result = self.characterize_die(&runner, die, tests, &span);
+            (result, span)
         });
+        let dies = results
+            .into_iter()
+            .map(|(result, span)| {
+                tracer.absorb(span);
+                result
+            })
+            .collect();
         self.assemble(dies)
     }
 
@@ -328,8 +378,15 @@ impl SampleCharacterization {
         }
     }
 
-    /// Runs one die's full corner sweep on its own fresh tester session.
-    fn characterize_die(&self, runner: &MultiTripRunner, die: Die, tests: &[Test]) -> DieResult {
+    /// Runs one die's full corner sweep on its own fresh tester session,
+    /// reporting every search into the die's `span`.
+    fn characterize_die(
+        &self,
+        runner: &MultiTripRunner,
+        die: Die,
+        tests: &[Test],
+        span: &SpanTrace,
+    ) -> DieResult {
         // Each die goes onto a fresh tester session.
         let mut ate = Ate::with_config(MemoryDevice::new(die), self.ate_config.clone());
         let mut corners = Vec::with_capacity(self.corners.len());
@@ -337,7 +394,7 @@ impl SampleCharacterization {
             let corner_tests: Vec<Test> =
                 tests.iter().map(|t| t.with_conditions(conditions)).collect();
             let baseline = *ate.ledger();
-            let report = runner.run(&mut ate, &corner_tests, self.strategy);
+            let report = runner.run_in_span(&mut ate, &corner_tests, self.strategy, span);
             let measurements = ate.ledger().measurements_since(&baseline);
             corners.push(CornerResult {
                 conditions,

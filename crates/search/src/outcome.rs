@@ -44,6 +44,16 @@ impl Probe {
     }
 }
 
+impl From<Probe> for cichar_trace::TraceVerdict {
+    fn from(probe: Probe) -> Self {
+        match probe {
+            Probe::Pass => cichar_trace::TraceVerdict::Pass,
+            Probe::Fail => cichar_trace::TraceVerdict::Fail,
+            Probe::Invalid => cichar_trace::TraceVerdict::Invalid,
+        }
+    }
+}
+
 impl fmt::Display for Probe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

@@ -13,6 +13,7 @@ use crate::outcome::{Probe, SearchOutcome};
 use crate::stp::SearchUntilTrip;
 use crate::successive::SuccessiveApproximation;
 use crate::traits::{PassFailOracle, RegionOrder};
+use cichar_trace::SpanTrace;
 
 /// The result of a re-bracketing search.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,9 +134,27 @@ impl RebracketingStp {
         &self,
         rtp: f64,
         order: RegionOrder,
-        mut oracle: O,
+        oracle: O,
     ) -> RebracketedOutcome {
-        let first = self.stp.run(rtp, order, &mut oracle);
+        self.run_traced(rtp, order, oracle, &SpanTrace::disabled())
+    }
+
+    /// [`run`](Self::run), emitting each constituent search's events into
+    /// `span`: one `SearchStarted`/`SearchFinished` pair for the STP walk
+    /// and, when the fallback runs, a second pair for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtp` lies outside the STP range (same contract as
+    /// [`SearchUntilTrip::run`]).
+    pub fn run_traced<O: PassFailOracle>(
+        &self,
+        rtp: f64,
+        order: RegionOrder,
+        mut oracle: O,
+        span: &SpanTrace,
+    ) -> RebracketedOutcome {
+        let first = self.stp.run_traced(rtp, order, &mut oracle, span);
         if !self.needs_rebracket(&first, order) {
             return RebracketedOutcome {
                 outcome: first,
@@ -143,7 +162,7 @@ impl RebracketingStp {
                 authoritative_from: 0,
             };
         }
-        let fresh = self.fallback.run(order, &mut oracle);
+        let fresh = self.fallback.run_traced(order, &mut oracle, span);
         let authoritative_from = first.trace.len();
         let mut trace = first.trace;
         trace.extend(fresh.trace);

@@ -19,6 +19,7 @@
 
 use crate::outcome::Probe;
 use crate::traits::PassFailOracle;
+use cichar_trace::{SpanTrace, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// How hard a [`RobustOracle`] fights for a verdict.
@@ -142,6 +143,7 @@ pub struct RobustOracle<O> {
     inner: O,
     policy: RetryPolicy,
     stats: RecoveryStats,
+    trace: SpanTrace,
 }
 
 impl<O: PassFailOracle> RobustOracle<O> {
@@ -151,7 +153,15 @@ impl<O: PassFailOracle> RobustOracle<O> {
             inner,
             policy,
             stats: RecoveryStats::default(),
+            trace: SpanTrace::disabled(),
         }
+    }
+
+    /// Attaches a trace span; recovery work then emits `RetryScheduled`
+    /// and `VoteResolved` events into it.
+    pub fn with_trace(mut self, span: SpanTrace) -> Self {
+        self.trace = span;
+        self
     }
 
     /// The recovery tally so far.
@@ -181,8 +191,13 @@ impl<O: PassFailOracle> RobustOracle<O> {
         let mut verdict = self.inner.probe(value);
         let mut attempt = 0u32;
         while verdict == Probe::Invalid && (attempt as usize) < self.policy.max_retries {
-            self.stats.backoff_us += self.policy.backoff_base_us * 2f64.powi(attempt.min(60) as i32);
+            let backoff_us = self.policy.backoff_base_us * 2f64.powi(attempt.min(60) as i32);
+            self.stats.backoff_us += backoff_us;
             self.stats.retries += 1;
+            self.trace.emit(TraceEvent::RetryScheduled {
+                attempt: u64::from(attempt) + 1,
+                backoff_us,
+            });
             verdict = self.inner.probe(value);
             attempt += 1;
         }
@@ -196,11 +211,13 @@ impl<O: PassFailOracle> PassFailOracle for RobustOracle<O> {
             None => self.strobe(value),
             Some((k, n)) => {
                 let (mut passes, mut fails) = (0usize, 0usize);
+                let mut strobes = 0usize;
                 let mut decided = Probe::Invalid;
                 for i in 0..n {
                     if i > 0 {
                         self.stats.vote_strobes += 1;
                     }
+                    strobes += 1;
                     match self.strobe(value) {
                         Probe::Pass => passes += 1,
                         Probe::Fail => fails += 1,
@@ -221,6 +238,12 @@ impl<O: PassFailOracle> PassFailOracle for RobustOracle<O> {
                         break;
                     }
                 }
+                self.trace.emit_with(|| TraceEvent::VoteResolved {
+                    passes: passes as u64,
+                    fails: fails as u64,
+                    invalids: (strobes - passes - fails) as u64,
+                    verdict: decided.into(),
+                });
                 decided
             }
         };

@@ -2,6 +2,7 @@
 
 use crate::outcome::{Probe, SearchOutcome};
 use crate::traits::{PassFailOracle, RegionOrder};
+use cichar_trace::{SpanTrace, TraceEvent};
 use cichar_units::ParamRange;
 
 /// The search-until-trip-point (STP) algorithm of §4, eqs. (2)–(4).
@@ -108,11 +109,51 @@ impl SearchUntilTrip {
     ///
     /// Panics if `rtp` lies outside the search range — the reference must
     /// come from a search over the same range.
-    pub fn run<O: PassFailOracle>(
+    pub fn run<O: PassFailOracle>(&self, rtp: f64, order: RegionOrder, oracle: O) -> SearchOutcome {
+        self.run_traced(rtp, order, oracle, &SpanTrace::disabled())
+    }
+
+    /// [`run`](Self::run), emitting the full event shape of the walk into
+    /// `span`: a `SearchStarted` carrying the window, reference and `SF`;
+    /// one `StepTaken` per eq. 3/4 iteration with the growing step factor
+    /// `SF·IT` and its clamp state at the `CR` edge; a `Bracketed` on the
+    /// first state change; and a closing `SearchFinished`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rtp` lies outside the search range.
+    pub fn run_traced<O: PassFailOracle>(
+        &self,
+        rtp: f64,
+        order: RegionOrder,
+        oracle: O,
+        span: &SpanTrace,
+    ) -> SearchOutcome {
+        span.emit_with(|| TraceEvent::SearchStarted {
+            strategy: String::from("stp"),
+            order: String::from(order.equation_tag()),
+            window: [self.range.start(), self.range.end()],
+            reference: Some(rtp),
+            sf: Some(self.sf),
+        });
+        let outcome = self.walk(rtp, order, oracle, span);
+        span.emit_with(|| TraceEvent::SearchFinished {
+            strategy: String::from("stp"),
+            trip_point: outcome.trip_point,
+            converged: outcome.converged,
+            probes: outcome.measurements() as u64,
+        });
+        outcome
+    }
+
+    /// The eq. 3/4 window walk itself (shared by [`run`](Self::run) and
+    /// [`run_traced`](Self::run_traced)).
+    fn walk<O: PassFailOracle>(
         &self,
         rtp: f64,
         order: RegionOrder,
         mut oracle: O,
+        span: &SpanTrace,
     ) -> SearchOutcome {
         assert!(
             self.range.contains(rtp),
@@ -156,6 +197,13 @@ impl SearchUntilTrip {
             let at_edge = offset >= max_offset;
             let value = if at_edge { edge } else { rtp + dir * offset };
             let verdict = probe(&mut oracle, &mut trace, value);
+            span.emit_with(|| TraceEvent::StepTaken {
+                iteration: it as u64,
+                step_factor: self.sf * it as f64,
+                value,
+                clamped: at_edge,
+                verdict: verdict.into(),
+            });
             if verdict == Probe::Invalid {
                 return SearchOutcome::unconverged(trace);
             }
@@ -166,6 +214,10 @@ impl SearchUntilTrip {
                     Probe::Fail => (last.0, value),
                     _ => (value, last.0),
                 };
+                span.emit(TraceEvent::Bracketed {
+                    pass_value: pass_v,
+                    fail_value: fail_v,
+                });
                 if let Some(resolution) = self.refine_to {
                     while (fail_v - pass_v).abs() > resolution {
                         let mid = pass_v + (fail_v - pass_v) / 2.0;
@@ -330,6 +382,208 @@ mod tests {
             s.measurements(),
             b.measurements()
         );
+    }
+
+    /// The `StepTaken` records of a traced STP run, in emission order.
+    fn steps_of(span: &SpanTrace) -> Vec<(u64, f64, f64, bool)> {
+        span.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::StepTaken {
+                    iteration,
+                    step_factor,
+                    value,
+                    clamped,
+                    ..
+                } => Some((iteration, step_factor, value, clamped)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq3_walk_grows_step_factor_linearly() {
+        // Pass-below-fail, trip far above RTP: the walk must accelerate
+        // with SF(IT) = SF·IT, not a constant step — check every probe
+        // position of the walk, not just the final trip point.
+        let span = SpanTrace::for_test(0);
+        let sf = 1.5;
+        let mut oracle = FnOracle::new(|v| v <= 127.0);
+        let o = SearchUntilTrip::new(range(), sf).run_traced(
+            100.0,
+            RegionOrder::PassBelowFail,
+            &mut oracle,
+            &span,
+        );
+        assert!(o.converged);
+        let steps = steps_of(&span);
+        assert!(steps.len() >= 3, "distant trip needs several steps");
+        let mut expected_offset = 0.0;
+        for (i, (iteration, step_factor, value, clamped)) in steps.iter().enumerate() {
+            let it = (i + 1) as u64;
+            assert_eq!(*iteration, it, "iterations count 1, 2, 3, …");
+            assert!(
+                (*step_factor - sf * it as f64).abs() < 1e-12,
+                "step factor must be SF·IT = {} at IT = {it}, got {step_factor}",
+                sf * it as f64
+            );
+            expected_offset += sf * it as f64;
+            if !clamped {
+                assert!(
+                    (*value - (100.0 + expected_offset)).abs() < 1e-9,
+                    "probe {i} at RTP + ΣSF·IT, got {value}"
+                );
+            }
+        }
+        // The walk accelerates: consecutive probe spacings strictly grow.
+        for w in steps.windows(2) {
+            if !w[1].3 {
+                assert!(w[1].2 - w[0].2 > 0.0, "eq. 3 walks upward");
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_walk_mirrors_direction_with_same_growth() {
+        // Pass-above-fail (eq. 4): a passing RTP walks *down* toward the
+        // fail region with the same SF·IT growth.
+        let span = SpanTrace::for_test(0);
+        let r = ParamRange::new(1.2, 2.1).expect("valid");
+        let sf = 0.02;
+        let mut oracle = FnOracle::new(|v| v >= 1.31);
+        let o = SearchUntilTrip::new(r, sf).run_traced(
+            1.9,
+            RegionOrder::PassAboveFail,
+            &mut oracle,
+            &span,
+        );
+        assert!(o.converged);
+        let steps = steps_of(&span);
+        assert!(steps.len() >= 3);
+        let mut expected_offset = 0.0;
+        for (i, (iteration, step_factor, value, clamped)) in steps.iter().enumerate() {
+            let it = (i + 1) as u64;
+            assert_eq!(*iteration, it);
+            assert!((*step_factor - sf * it as f64).abs() < 1e-12);
+            expected_offset += sf * it as f64;
+            if !clamped {
+                assert!(
+                    (*value - (1.9 - expected_offset)).abs() < 1e-9,
+                    "eq. 4 probe {i} at RTP − ΣSF·IT, got {value}"
+                );
+            }
+        }
+        for w in steps.windows(2) {
+            if !w[1].3 {
+                assert!(w[1].2 - w[0].2 < 0.0, "eq. 4 walks downward");
+            }
+        }
+    }
+
+    #[test]
+    fn failing_rtp_reverses_walk_in_step_events() {
+        // Fails at RTP under eq. 3: StepTaken values must walk *down*,
+        // away from the fail region, with the same growing step.
+        let span = SpanTrace::for_test(0);
+        let mut oracle = FnOracle::new(|v| v <= 93.0);
+        let o = SearchUntilTrip::new(range(), 1.0).run_traced(
+            110.0,
+            RegionOrder::PassBelowFail,
+            &mut oracle,
+            &span,
+        );
+        assert!(o.converged);
+        let steps = steps_of(&span);
+        assert!(!steps.is_empty());
+        assert!(steps[0].2 < 110.0, "first step heads back toward pass");
+        for w in steps.windows(2) {
+            assert!(w[1].2 < w[0].2, "reversed walk keeps heading down");
+        }
+    }
+
+    #[test]
+    fn clamped_step_marks_cr_edge_exactly_once() {
+        // All-pass device: the final step saturates at the CR edge and is
+        // flagged `clamped`; no step probes outside the range, and the
+        // walk stops right after the clamped probe.
+        let span = SpanTrace::for_test(0);
+        let mut oracle = FnOracle::new(|_| true);
+        let o = SearchUntilTrip::new(range(), 5.0).run_traced(
+            110.0,
+            RegionOrder::PassBelowFail,
+            &mut oracle,
+            &span,
+        );
+        assert!(!o.converged);
+        let steps = steps_of(&span);
+        let clamped: Vec<_> = steps.iter().filter(|s| s.3).collect();
+        assert_eq!(clamped.len(), 1, "edge step flagged exactly once");
+        assert_eq!(clamped[0].2, 130.0, "clamped value is the CR edge");
+        assert!(
+            steps.last().expect("walked").3,
+            "clamped step is the last one"
+        );
+        assert!(steps.iter().all(|s| range().contains(s.2)));
+        // Unclamped step factors still follow SF·IT right up to the edge.
+        for (i, s) in steps.iter().enumerate() {
+            assert!((s.1 - 5.0 * (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traced_walk_event_order_is_started_steps_bracket_finished() {
+        let span = SpanTrace::for_test(7);
+        let mut oracle = FnOracle::new(|v| v <= 112.5);
+        let o = SearchUntilTrip::new(range(), 1.0).run_traced(
+            110.0,
+            RegionOrder::PassBelowFail,
+            &mut oracle,
+            &span,
+        );
+        assert!(o.converged);
+        let events = span.events();
+        assert!(
+            matches!(
+                &events[0],
+                TraceEvent::SearchStarted { strategy, reference, sf, .. }
+                    if strategy == "stp" && *reference == Some(110.0) && *sf == Some(1.0)
+            ),
+            "first event opens the search"
+        );
+        assert!(matches!(events[1], TraceEvent::StepTaken { iteration: 1, .. }));
+        let bracket_at = events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Bracketed { .. }))
+            .expect("bracket emitted");
+        assert!(
+            events[..bracket_at]
+                .iter()
+                .skip(1)
+                .all(|e| matches!(e, TraceEvent::StepTaken { .. })),
+            "only steps between start and bracket"
+        );
+        assert!(
+            matches!(
+                events.last(),
+                Some(TraceEvent::SearchFinished { converged: true, .. })
+            ),
+            "last event closes the search"
+        );
+    }
+
+    #[test]
+    fn untraced_run_is_identical_to_traced_run() {
+        let mut a = FnOracle::new(|v| v <= 112.5);
+        let mut b = FnOracle::new(|v| v <= 112.5);
+        let stp = SearchUntilTrip::new(range(), 1.0).with_refinement(0.1);
+        let plain = stp.run(110.0, RegionOrder::PassBelowFail, &mut a);
+        let traced = stp.run_traced(
+            110.0,
+            RegionOrder::PassBelowFail,
+            &mut b,
+            &SpanTrace::for_test(0),
+        );
+        assert_eq!(plain, traced, "tracing must not perturb the search");
     }
 
     proptest! {

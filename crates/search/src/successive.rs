@@ -2,6 +2,7 @@
 
 use crate::outcome::{Probe, SearchOutcome};
 use crate::traits::{PassFailOracle, RegionOrder};
+use cichar_trace::{SpanTrace, TraceEvent};
 use cichar_units::ParamRange;
 
 /// The §1 successive-approximation search, "recommended for device
@@ -81,7 +82,42 @@ impl SuccessiveApproximation {
     }
 
     /// Runs the search.
-    pub fn run<O: PassFailOracle>(&self, order: RegionOrder, mut oracle: O) -> SearchOutcome {
+    pub fn run<O: PassFailOracle>(&self, order: RegionOrder, oracle: O) -> SearchOutcome {
+        self.run_traced(order, oracle, &SpanTrace::disabled())
+    }
+
+    /// [`run`](Self::run), emitting `SearchStarted`, the initial
+    /// `Bracketed` pair and `SearchFinished` into `span`.
+    pub fn run_traced<O: PassFailOracle>(
+        &self,
+        order: RegionOrder,
+        oracle: O,
+        span: &SpanTrace,
+    ) -> SearchOutcome {
+        span.emit_with(|| TraceEvent::SearchStarted {
+            strategy: String::from("successive_approximation"),
+            order: String::from(order.equation_tag()),
+            window: [self.range.start(), self.range.end()],
+            reference: None,
+            sf: None,
+        });
+        let outcome = self.approximate(order, oracle, span);
+        span.emit_with(|| TraceEvent::SearchFinished {
+            strategy: String::from("successive_approximation"),
+            trip_point: outcome.trip_point,
+            converged: outcome.converged,
+            probes: outcome.measurements() as u64,
+        });
+        outcome
+    }
+
+    /// The search body shared by the plain and traced entry points.
+    fn approximate<O: PassFailOracle>(
+        &self,
+        order: RegionOrder,
+        mut oracle: O,
+        span: &SpanTrace,
+    ) -> SearchOutcome {
         let mut trace = Vec::new();
         let (pass_end, fail_end) = match order {
             RegionOrder::PassBelowFail => (self.range.start(), self.range.end()),
@@ -110,6 +146,10 @@ impl SuccessiveApproximation {
             }
             Probe::Invalid => return SearchOutcome::unconverged(trace),
         };
+        span.emit(TraceEvent::Bracketed {
+            pass_value: lo_pass,
+            fail_value: hi_fail,
+        });
 
         let mut retries = self.max_drift_retries;
         loop {

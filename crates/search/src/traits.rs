@@ -40,6 +40,15 @@ impl RegionOrder {
             RegionOrder::PassAboveFail => RegionOrder::PassBelowFail,
         }
     }
+
+    /// The short tag trace events carry: `eq3` for pass-below-fail,
+    /// `eq4` for pass-above-fail — the paper's two step orientations.
+    pub fn equation_tag(self) -> &'static str {
+        match self {
+            RegionOrder::PassBelowFail => "eq3",
+            RegionOrder::PassAboveFail => "eq4",
+        }
+    }
 }
 
 impl fmt::Display for RegionOrder {

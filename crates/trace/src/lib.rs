@@ -1,0 +1,56 @@
+//! Structured campaign observability for the characterization pipeline.
+//!
+//! The paper's argument is statistical — trip-point distributions (fig. 2),
+//! STP step savings (fig. 3, eqs. 3/4), GA and committee convergence
+//! (table 1) — so the evidence has to be *accounted for*: every probe,
+//! search step, vote, retry and generation. This crate provides that
+//! accounting as three layers:
+//!
+//! * **Events** ([`TraceEvent`], [`TraceRecord`]): a typed taxonomy of what
+//!   the machinery did, streamed to a [`TraceSink`] ([`NullSink`],
+//!   [`RingBufferSink`], or the atomically-committed [`JsonlSink`]).
+//! * **Metrics** ([`MetricsRegistry`], [`MetricsSnapshot`]): lock-free
+//!   counters and fixed-bucket histograms derived from the event stream,
+//!   merged deterministically across worker shards like ledgers are.
+//! * **Manifests** ([`RunManifest`]): the per-run artifact tying seed,
+//!   config, code version, metrics and per-phase totals together.
+//!
+//! # Determinism contract
+//!
+//! Per-test events are collected in [`SpanTrace`]s by whichever thread
+//! runs the test, and absorbed by the coordinator **in input-index order**
+//! ([`Tracer::absorb`]). Sequence numbers are assigned at absorb time, so
+//! `threads=1` and `threads=8` runs of a seeded campaign emit identical
+//! event streams up to wall-clock timestamps — which
+//! [`TraceRecord::normalized`] / [`normalize_jsonl`] strip, making golden
+//! traces diffable byte-for-byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use cichar_trace::{RingBufferSink, TraceEvent, Tracer};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(RingBufferSink::unbounded());
+//! let tracer = Tracer::new(sink.clone());
+//! let span = tracer.span(0);
+//! span.emit(TraceEvent::ProbeIssued { value: 110.0 });
+//! tracer.absorb(span);
+//! assert_eq!(sink.records().len(), 1);
+//! assert_eq!(tracer.metrics().probes_issued, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod manifest;
+mod metrics;
+mod sink;
+mod tracer;
+
+pub use event::{normalize_jsonl, FaultKind, TraceEvent, TraceRecord, TraceVerdict};
+pub use manifest::{describe_version, ensure_writable, RunManifest};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use tracer::{PhaseSummary, SpanTrace, Tracer};

@@ -1,0 +1,219 @@
+//! Run manifests: the one-file summary artifact of a traced campaign.
+
+use crate::metrics::MetricsSnapshot;
+use crate::tracer::{PhaseSummary, Tracer};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::process::Command;
+
+/// The manifest of one campaign run: everything needed to identify,
+/// reproduce and account for it.
+///
+/// Serializable as a JSON artifact (the repro binaries save it through
+/// `cichar_core::db::save_artifact`, which commits atomically) and
+/// renderable as a summary table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// The campaign name (`fig2`, `fig3`, `table1`, …).
+    pub campaign: String,
+    /// The RNG seed the campaign ran with.
+    pub seed: u64,
+    /// Worker threads of the execution policy.
+    pub threads: u64,
+    /// The code version: `git describe --always --dirty` when available,
+    /// the crate version otherwise.
+    pub version: String,
+    /// Campaign configuration, as sorted key/value pairs.
+    pub config: Vec<(String, String)>,
+    /// The final metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Per-phase wall-clock and probe totals, in phase order.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `campaign`.
+    pub fn new(campaign: &str, seed: u64, threads: usize) -> Self {
+        Self {
+            campaign: campaign.to_string(),
+            seed,
+            threads: threads as u64,
+            version: describe_version(),
+            config: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Adds one configuration entry (kept sorted by key for deterministic
+    /// serialization).
+    pub fn with_config(mut self, key: &str, value: impl ToString) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self.config.sort();
+        self
+    }
+
+    /// Captures the tracer's final metrics snapshot and phase summaries.
+    pub fn capture(mut self, tracer: &Tracer) -> Self {
+        self.metrics = tracer.metrics();
+        self.phases = tracer.phases();
+        self
+    }
+
+    /// Total wall-clock milliseconds across the recorded phases.
+    pub fn total_wall_ms(&self) -> u64 {
+        self.phases.iter().map(|p| p.wall_ms).sum()
+    }
+
+    /// The manifest as a human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run manifest: {} (seed {:#x}, {} threads, version {})",
+            self.campaign, self.seed, self.threads, self.version
+        );
+        if !self.config.is_empty() {
+            let _ = writeln!(out, "  config:");
+            for (key, value) in &self.config {
+                let _ = writeln!(out, "    {key} = {value}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>10}",
+            "phase", "wall ms", "probes"
+        );
+        for phase in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10} {:>10}",
+                phase.name, phase.wall_ms, phase.probes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10} {:>10}",
+            "total",
+            self.total_wall_ms(),
+            self.metrics.probes_resolved
+        );
+        let m = &self.metrics;
+        let _ = writeln!(
+            out,
+            "  probes: {} resolved ({} issued, {} cached) | searches: {}/{} converged | steps: {}",
+            m.probes_resolved,
+            m.probes_issued,
+            m.probes_cached,
+            m.searches_converged,
+            m.searches_finished,
+            m.search_steps
+        );
+        let _ = writeln!(
+            out,
+            "  recovery: {} retries, {} votes, {} quarantined | faults: {} dropout, {} flip, {} stuck, {} abort",
+            m.retries,
+            m.vote_rounds,
+            m.quarantined,
+            m.faults_dropout,
+            m.faults_flip,
+            m.faults_stuck,
+            m.faults_abort
+        );
+        out
+    }
+}
+
+/// The code version for manifests: `git describe --always --dirty` when
+/// the binary runs inside a git checkout, the crate version otherwise.
+pub fn describe_version() -> String {
+    let described = Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    described.unwrap_or_else(|| format!("v{}", env!("CARGO_PKG_VERSION")))
+}
+
+/// Verifies that `path` can be created and written, by creating and
+/// removing a probe file next to it. Repro binaries call this eagerly so
+/// an unwritable `--manifest` destination fails before hours of
+/// measurement, not after.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (read-only directory, missing parent).
+pub fn ensure_writable(path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact".into());
+    name.push(".probe");
+    let probe = path.with_file_name(name);
+    std::fs::write(&probe, b"")?;
+    std::fs::remove_file(&probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = RunManifest::new("fig2", 0xDA7E_2005, 4)
+            .with_config("tests", 120)
+            .with_config("scale", "quick");
+        let json = serde_json::to_string(&manifest).expect("serializes");
+        let back: RunManifest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, manifest);
+        // Config is sorted by key.
+        assert_eq!(back.config[0].0, "scale");
+    }
+
+    #[test]
+    fn render_mentions_every_phase_and_total() {
+        let mut manifest = RunManifest::new("table1", 7, 1);
+        manifest.phases = vec![
+            PhaseSummary {
+                name: String::from("march"),
+                wall_ms: 10,
+                probes: 100,
+            },
+            PhaseSummary {
+                name: String::from("nnga"),
+                wall_ms: 20,
+                probes: 300,
+            },
+        ];
+        manifest.metrics.probes_resolved = 400;
+        let table = manifest.render();
+        assert!(table.contains("march"), "{table}");
+        assert!(table.contains("nnga"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        assert_eq!(manifest.total_wall_ms(), 30);
+    }
+
+    #[test]
+    fn version_is_never_empty() {
+        assert!(!describe_version().is_empty());
+    }
+
+    #[test]
+    fn ensure_writable_accepts_tmp_and_rejects_missing_dirs() {
+        let dir = std::env::temp_dir().join("cichar_manifest_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        ensure_writable(dir.join("m.json")).expect("tmp is writable");
+        assert!(ensure_writable(
+            std::env::temp_dir()
+                .join("cichar_no_such_dir")
+                .join("m.json")
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! A lock-free metrics registry with deterministic snapshots.
+//!
+//! Counters and fixed-bucket histograms are plain `AtomicU64`s updated with
+//! relaxed ordering — cheap enough for hot paths, and exact because every
+//! update is an integer increment: integer addition commutes, so the final
+//! totals are independent of scheduling. Anything that is a duration is
+//! accumulated in integer nanoseconds for the same reason (summing `f64`
+//! microseconds would make the total depend on absorb order).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed is enough: counters are independent monotone sums, and every
+/// snapshot happens-after the updates it observes through the surrounding
+/// join/merge structure.
+const ORDER: Ordering = Ordering::Relaxed;
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper bound of
+/// bucket `i`, with one final overflow bucket after the last bound.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new(bounds: &'static [u64]) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            counts,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn observe(&self, value: u64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket].fetch_add(1, ORDER);
+        self.count.fetch_add(1, ORDER);
+        self.sum.fetch_add(value, ORDER);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self.counts.iter().map(|c| c.load(ORDER)).collect(),
+            count: self.count.load(ORDER),
+            sum: self.sum.load(ORDER),
+        }
+    }
+}
+
+/// An immutable histogram state: bucket bounds, per-bucket counts (one
+/// extra overflow bucket), total observation count and integer sum.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the fixed buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`
+    /// (the last bucket collects overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (native integer units).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Accumulates another snapshot taken with the same bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds.is_empty() && self.counts.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(self.bounds, other.bounds, "histogram bucket layouts differ");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Whether the per-bucket counts add up to the total count.
+    pub fn is_consistent(&self) -> bool {
+        self.counts.iter().sum::<u64>() == self.count
+    }
+}
+
+macro_rules! registry {
+    ($(#[$m:meta] $name:ident),+ $(,)?) => {
+        /// The live counter set (see [`MetricsSnapshot`] for meanings).
+        #[derive(Debug, Default)]
+        pub(crate) struct Counters {
+            $(#[$m] pub(crate) $name: AtomicU64,)+
+        }
+
+        impl Counters {
+            fn snapshot_into(&self, snap: &mut MetricsSnapshot) {
+                $(snap.$name = self.$name.load(ORDER);)+
+            }
+        }
+
+        /// A deterministic, serializable snapshot of the metrics registry.
+        ///
+        /// Two seeded runs of the same campaign produce equal snapshots
+        /// regardless of thread count: every field is an integer total, and
+        /// totals of integer increments are schedule-independent.
+        #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+        pub struct MetricsSnapshot {
+            $(#[$m] pub $name: u64,)+
+            /// Probe requests consumed per finished trip-point search.
+            pub hist_probes_per_search: HistogramSnapshot,
+            /// STP window-walk steps taken per finished search.
+            pub hist_search_steps: HistogramSnapshot,
+            /// Retry-ladder depth reached per scheduled retry.
+            pub hist_retry_depth: HistogramSnapshot,
+            /// Simulated backoff settle time per retry, in nanoseconds.
+            pub hist_backoff_ns: HistogramSnapshot,
+        }
+
+        impl MetricsSnapshot {
+            /// Accumulates another snapshot — the same way ledgers merge
+            /// across worker shards: plain integer sums, so the result is
+            /// independent of merge order.
+            pub fn merge(&mut self, other: &MetricsSnapshot) {
+                $(self.$name += other.$name;)+
+                self.hist_probes_per_search.merge(&other.hist_probes_per_search);
+                self.hist_search_steps.merge(&other.hist_search_steps);
+                self.hist_retry_depth.merge(&other.hist_retry_depth);
+                self.hist_backoff_ns.merge(&other.hist_backoff_ns);
+            }
+        }
+    };
+}
+
+registry! {
+    /// Probe requests that produced a verdict (cached or measured).
+    probes_resolved,
+    /// Probe requests answered from the oracle memo cache.
+    probes_cached,
+    /// Probe requests issued to the tester as physical measurements.
+    probes_issued,
+    /// Trip-point searches started.
+    searches_started,
+    /// Trip-point searches finished.
+    searches_finished,
+    /// Finished searches that converged on a trip point.
+    searches_converged,
+    /// STP window-walk iterations taken (eqs. 3/4).
+    search_steps,
+    /// Pass/fail brackets established.
+    brackets,
+    /// Strobes re-issued after a silent strobe.
+    retries,
+    /// k-of-n majority votes resolved.
+    vote_rounds,
+    /// Measurement points quarantined after recovery failed.
+    quarantined,
+    /// Probe-contact dropouts injected by the fault model.
+    faults_dropout,
+    /// Transient verdict flips injected by the fault model.
+    faults_flip,
+    /// Stuck-channel replays injected by the fault model.
+    faults_stuck,
+    /// Session-abort bursts injected by the fault model.
+    faults_abort,
+    /// GA generations evaluated.
+    ga_generations,
+    /// Committee learning rounds finished.
+    committee_epochs,
+    /// Campaign phase transitions.
+    phases,
+}
+
+impl MetricsSnapshot {
+    /// The invariants every snapshot of a completed campaign satisfies.
+    /// Returns the first violated invariant's description, or `None`.
+    pub fn check_invariants(&self) -> Option<String> {
+        if self.probes_resolved != self.probes_cached + self.probes_issued {
+            return Some(format!(
+                "probes_resolved {} != cached {} + issued {}",
+                self.probes_resolved, self.probes_cached, self.probes_issued
+            ));
+        }
+        if self.searches_finished != self.hist_probes_per_search.count {
+            return Some(format!(
+                "searches_finished {} != probes-per-search observations {}",
+                self.searches_finished, self.hist_probes_per_search.count
+            ));
+        }
+        if self.searches_finished != self.hist_search_steps.count {
+            return Some(format!(
+                "searches_finished {} != search-steps observations {}",
+                self.searches_finished, self.hist_search_steps.count
+            ));
+        }
+        if self.search_steps != self.hist_search_steps.sum {
+            return Some(format!(
+                "search_steps {} != search-steps histogram sum {}",
+                self.search_steps, self.hist_search_steps.sum
+            ));
+        }
+        if self.retries != self.hist_retry_depth.count {
+            return Some(format!(
+                "retries {} != retry-depth observations {}",
+                self.retries, self.hist_retry_depth.count
+            ));
+        }
+        if self.retries != self.hist_backoff_ns.count {
+            return Some(format!(
+                "retries {} != backoff observations {}",
+                self.retries, self.hist_backoff_ns.count
+            ));
+        }
+        for (name, hist) in [
+            ("probes_per_search", &self.hist_probes_per_search),
+            ("search_steps", &self.hist_search_steps),
+            ("retry_depth", &self.hist_retry_depth),
+            ("backoff_ns", &self.hist_backoff_ns),
+        ] {
+            if !hist.is_consistent() {
+                return Some(format!("histogram {name} buckets do not sum to its count"));
+            }
+        }
+        None
+    }
+}
+
+/// Bucket bounds: probes consumed per trip-point search.
+const PROBE_BOUNDS: &[u64] = &[2, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+/// Bucket bounds: STP walk steps per search.
+const STEP_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24];
+/// Bucket bounds: retry-ladder depth.
+const RETRY_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8];
+/// Bucket bounds: per-retry backoff in nanoseconds (50 µs … 12.8 ms).
+const BACKOFF_BOUNDS: &[u64] = &[
+    50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000, 3_200_000, 12_800_000,
+];
+
+/// The live, lock-free metrics registry behind a [`Tracer`](crate::Tracer).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    pub(crate) counters: Counters,
+    pub(crate) hist_probes_per_search: Histogram,
+    pub(crate) hist_search_steps: Histogram,
+    pub(crate) hist_retry_depth: Histogram,
+    pub(crate) hist_backoff_ns: Histogram,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the standard bucket layouts.
+    pub fn new() -> Self {
+        Self {
+            counters: Counters::default(),
+            hist_probes_per_search: Histogram::new(PROBE_BOUNDS),
+            hist_search_steps: Histogram::new(STEP_BOUNDS),
+            hist_retry_depth: Histogram::new(RETRY_BOUNDS),
+            hist_backoff_ns: Histogram::new(BACKOFF_BOUNDS),
+        }
+    }
+
+    /// A deterministic snapshot of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.counters.snapshot_into(&mut snap);
+        snap.hist_probes_per_search = self.hist_probes_per_search.snapshot();
+        snap.hist_search_steps = self.hist_search_steps.snapshot();
+        snap.hist_retry_depth = self.hist_retry_depth.snapshot();
+        snap.hist_backoff_ns = self.hist_backoff_ns.snapshot();
+        snap
+    }
+
+}
+
+/// Increments a registry counter (relaxed: see [`ORDER`]).
+pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, ORDER);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[2, 4]);
+        for v in [1, 2, 3, 4, 5, 100] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 2], "≤2, ≤4, overflow");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 115);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        bump(&a.counters.probes_resolved, 3);
+        a.hist_probes_per_search.observe(5);
+        bump(&b.counters.probes_resolved, 4);
+        b.hist_probes_per_search.observe(30);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.probes_resolved, 7);
+        assert_eq!(ab.hist_probes_per_search.count, 2);
+    }
+
+    #[test]
+    fn empty_snapshot_satisfies_invariants() {
+        assert_eq!(MetricsRegistry::new().snapshot().check_invariants(), None);
+    }
+
+    #[test]
+    fn invariant_checker_catches_probe_imbalance() {
+        let r = MetricsRegistry::new();
+        bump(&r.counters.probes_resolved, 1);
+        let violation = r.snapshot().check_invariants().expect("imbalanced");
+        assert!(violation.contains("probes_resolved"), "{violation}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = MetricsRegistry::new();
+        bump(&r.counters.retries, 2);
+        r.hist_retry_depth.observe(1);
+        r.hist_retry_depth.observe(2);
+        r.hist_backoff_ns.observe(100_000);
+        r.hist_backoff_ns.observe(200_000);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,466 @@
+//! The tracer: per-test spans, deterministic absorption, metrics
+//! derivation and per-phase accounting.
+//!
+//! # Determinism contract
+//!
+//! Worker threads never write to the sink directly. Each unit of parallel
+//! work (one test index) collects its events into a [`SpanTrace`]; the
+//! coordinating thread absorbs finished spans **in input-index order** —
+//! exactly how measurement ledgers already merge — assigning the global
+//! sequence numbers at absorb time. A `threads=1` and a `threads=8` run of
+//! the same seeded campaign therefore emit identical event streams (up to
+//! wall-clock timestamps) and identical metrics snapshots.
+
+use crate::event::{FaultKind, TraceEvent, TraceRecord};
+use crate::metrics::{bump, MetricsRegistry, MetricsSnapshot};
+use crate::sink::TraceSink;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A per-test event collector handed down through the measurement stack.
+///
+/// Cloning shares the underlying buffer, so the tester's fault model, the
+/// recovery ladder and the search walk all interleave their events in true
+/// probe order even though they hold separate clones. A disabled span
+/// (the default everywhere tracing is not requested) reduces every
+/// operation to one branch on a `None`.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTrace {
+    events: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    test: u64,
+}
+
+impl SpanTrace {
+    /// The inert span: every emit is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled span for `test`, unattached to any tracer — useful in
+    /// unit tests that assert on emitted events directly.
+    pub fn for_test(test: u64) -> Self {
+        Self {
+            events: Some(Arc::new(Mutex::new(Vec::new()))),
+            test,
+        }
+    }
+
+    /// Whether events are being collected.
+    pub fn is_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// The test index this span belongs to.
+    pub fn test_index(&self) -> u64 {
+        self.test
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(events) = &self.events {
+            events.lock().expect("span lock").push(event);
+        }
+    }
+
+    /// Records the event built by `f`, building it only when enabled —
+    /// use when constructing the event allocates.
+    pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(events) = &self.events {
+            events.lock().expect("span lock").push(f());
+        }
+    }
+
+    /// A copy of the collected events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.events {
+            Some(events) => events.lock().expect("span lock").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    fn drain(&self) -> Vec<TraceEvent> {
+        match &self.events {
+            Some(events) => std::mem::take(&mut *events.lock().expect("span lock")),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// One campaign phase's accounting for the run manifest.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseSummary {
+    /// The phase name.
+    pub name: String,
+    /// Wall-clock time spent in the phase, in milliseconds.
+    pub wall_ms: u64,
+    /// Probe requests resolved during the phase.
+    pub probes: u64,
+}
+
+struct OpenPhase {
+    name: String,
+    entered: Instant,
+    probes_at_entry: u64,
+}
+
+struct TracerCore {
+    sink: Arc<dyn TraceSink>,
+    metrics: MetricsRegistry,
+    seq: AtomicU64,
+    started: Instant,
+    phase_state: Mutex<(Vec<PhaseSummary>, Option<OpenPhase>)>,
+}
+
+/// The campaign-level trace handle: creates spans, absorbs them in index
+/// order, tracks phases and owns the metrics registry.
+///
+/// Cheap to clone (an `Arc`); a disabled tracer (the default for every
+/// untraced `run` entry point) costs one branch per interaction.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    core: Option<Arc<TracerCore>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The inert tracer: spans are disabled, absorb is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A tracer recording into `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self {
+            core: Some(Arc::new(TracerCore {
+                sink,
+                metrics: MetricsRegistry::new(),
+                seq: AtomicU64::new(0),
+                started: Instant::now(),
+                phase_state: Mutex::new((Vec::new(), None)),
+            })),
+        }
+    }
+
+    /// Whether tracing is live.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// A span for test index `test` (disabled when the tracer is).
+    pub fn span(&self, test: u64) -> SpanTrace {
+        match &self.core {
+            Some(_) => SpanTrace::for_test(test),
+            None => SpanTrace::disabled(),
+        }
+    }
+
+    /// Absorbs a finished span: stamps its events with the next sequence
+    /// numbers, the span's test index and a wall timestamp, forwards them
+    /// to the sink, and derives metrics.
+    ///
+    /// Call this from the coordinating thread in **input-index order** —
+    /// that ordering is the whole determinism contract.
+    pub fn absorb(&self, span: SpanTrace) {
+        let Some(core) = &self.core else { return };
+        let events = span.drain();
+        core.write(Some(span.test_index()), events);
+    }
+
+    /// Records a campaign-scoped event (GA generation, committee epoch)
+    /// carrying no test index.
+    pub fn emit_campaign(&self, event: TraceEvent) {
+        let Some(core) = &self.core else { return };
+        core.write(None, vec![event]);
+    }
+
+    /// Enters a campaign phase: emits [`TraceEvent::CampaignPhaseChanged`]
+    /// and starts the phase's wall/probe accounting, closing any open
+    /// phase.
+    pub fn phase(&self, name: &str) {
+        let Some(core) = &self.core else { return };
+        core.write(
+            None,
+            vec![TraceEvent::CampaignPhaseChanged {
+                phase: name.to_string(),
+            }],
+        );
+        let probes = core.metrics.snapshot().probes_resolved;
+        let mut state = core.phase_state.lock().expect("phase lock");
+        let (summaries, open) = &mut *state;
+        if let Some(previous) = open.take() {
+            summaries.push(close_phase(previous, probes));
+        }
+        *open = Some(OpenPhase {
+            name: name.to_string(),
+            entered: Instant::now(),
+            probes_at_entry: probes,
+        });
+    }
+
+    /// The per-phase summaries so far; the currently open phase is closed
+    /// as of now.
+    pub fn phases(&self) -> Vec<PhaseSummary> {
+        let Some(core) = &self.core else {
+            return Vec::new();
+        };
+        let probes = core.metrics.snapshot().probes_resolved;
+        let mut state = core.phase_state.lock().expect("phase lock");
+        let (summaries, open) = &mut *state;
+        if let Some(previous) = open.take() {
+            summaries.push(close_phase(previous, probes));
+        }
+        summaries.clone()
+    }
+
+    /// A deterministic snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.core {
+            Some(core) => core.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Flushes and publishes the sink (the atomic commit for file-backed
+    /// sinks). A disabled tracer finishes trivially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's latched or commit-time I/O error.
+    pub fn finish(&self) -> io::Result<()> {
+        match &self.core {
+            Some(core) => core.sink.finish(),
+            None => Ok(()),
+        }
+    }
+}
+
+fn close_phase(open: OpenPhase, probes_now: u64) -> PhaseSummary {
+    PhaseSummary {
+        name: open.name,
+        wall_ms: open.entered.elapsed().as_millis() as u64,
+        probes: probes_now.saturating_sub(open.probes_at_entry),
+    }
+}
+
+impl TracerCore {
+    /// Sequences `events` into the sink and folds them into the metrics.
+    fn write(&self, test: Option<u64>, events: Vec<TraceEvent>) {
+        let ts_us = self.started.elapsed().as_micros() as u64;
+        // Steps since the last SearchStarted: searches within one span are
+        // strictly sequential, so a local counter suffices.
+        let mut steps_in_search = 0u64;
+        for event in events {
+            self.derive_metrics(&event, &mut steps_in_search);
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            self.sink.record(&TraceRecord {
+                seq,
+                test,
+                ts_us,
+                event,
+            });
+        }
+    }
+
+    fn derive_metrics(&self, event: &TraceEvent, steps_in_search: &mut u64) {
+        let c = &self.metrics.counters;
+        match event {
+            TraceEvent::CampaignPhaseChanged { .. } => bump(&c.phases, 1),
+            TraceEvent::ProbeIssued { .. } => bump(&c.probes_issued, 1),
+            TraceEvent::ProbeResolved { cached, .. } => {
+                bump(&c.probes_resolved, 1);
+                if *cached {
+                    bump(&c.probes_cached, 1);
+                }
+            }
+            TraceEvent::SearchStarted { .. } => {
+                bump(&c.searches_started, 1);
+                *steps_in_search = 0;
+            }
+            TraceEvent::StepTaken { .. } => {
+                bump(&c.search_steps, 1);
+                *steps_in_search += 1;
+            }
+            TraceEvent::Bracketed { .. } => bump(&c.brackets, 1),
+            TraceEvent::SearchFinished {
+                converged, probes, ..
+            } => {
+                bump(&c.searches_finished, 1);
+                if *converged {
+                    bump(&c.searches_converged, 1);
+                }
+                self.metrics.hist_probes_per_search.observe(*probes);
+                self.metrics.hist_search_steps.observe(*steps_in_search);
+                *steps_in_search = 0;
+            }
+            TraceEvent::RetryScheduled {
+                attempt,
+                backoff_us,
+            } => {
+                bump(&c.retries, 1);
+                self.metrics.hist_retry_depth.observe(*attempt);
+                // Integer nanoseconds: summation stays exact and
+                // order-independent.
+                self.metrics
+                    .hist_backoff_ns
+                    .observe((backoff_us * 1000.0).round() as u64);
+            }
+            TraceEvent::VoteResolved { .. } => bump(&c.vote_rounds, 1),
+            TraceEvent::FaultInjected { kind } => match kind {
+                FaultKind::Dropout => bump(&c.faults_dropout, 1),
+                FaultKind::Flip => bump(&c.faults_flip, 1),
+                FaultKind::Stuck => bump(&c.faults_stuck, 1),
+                FaultKind::Abort => bump(&c.faults_abort, 1),
+            },
+            TraceEvent::Quarantined { .. } => bump(&c.quarantined, 1),
+            TraceEvent::GaGenerationEvaluated { .. } => bump(&c.ga_generations, 1),
+            TraceEvent::CommitteeEpochFinished { .. } => bump(&c.committee_epochs, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceVerdict;
+    use crate::sink::RingBufferSink;
+
+    fn search_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SearchStarted {
+                strategy: String::from("stp"),
+                order: String::from("eq3"),
+                window: [80.0, 130.0],
+                reference: Some(110.0),
+                sf: Some(1.0),
+            },
+            TraceEvent::ProbeIssued { value: 110.0 },
+            TraceEvent::ProbeResolved {
+                value: 110.0,
+                verdict: TraceVerdict::Pass,
+                cached: false,
+            },
+            TraceEvent::StepTaken {
+                iteration: 1,
+                step_factor: 1.0,
+                value: 111.0,
+                clamped: false,
+                verdict: TraceVerdict::Fail,
+            },
+            TraceEvent::Bracketed {
+                pass_value: 110.0,
+                fail_value: 111.0,
+            },
+            TraceEvent::SearchFinished {
+                strategy: String::from("stp"),
+                trip_point: Some(110.0),
+                converged: true,
+                probes: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn disabled_tracer_and_span_are_inert() {
+        let tracer = Tracer::disabled();
+        let span = tracer.span(0);
+        assert!(!tracer.is_enabled());
+        assert!(!span.is_enabled());
+        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        assert!(span.events().is_empty());
+        tracer.absorb(span);
+        assert_eq!(tracer.metrics(), MetricsSnapshot::default());
+        tracer.finish().expect("trivially ok");
+    }
+
+    #[test]
+    fn absorb_sequences_and_stamps_test_index() {
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let tracer = Tracer::new(sink.clone());
+        for test in 0..3u64 {
+            let span = tracer.span(test);
+            for event in search_events() {
+                span.emit(event);
+            }
+            tracer.absorb(span);
+        }
+        let records = sink.records();
+        assert_eq!(records.len(), 18);
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..18).collect::<Vec<u64>>());
+        assert_eq!(records[0].test, Some(0));
+        assert_eq!(records[17].test, Some(2));
+    }
+
+    #[test]
+    fn metrics_are_derived_from_the_event_stream() {
+        let tracer = Tracer::new(Arc::new(RingBufferSink::unbounded()));
+        let span = tracer.span(0);
+        for event in search_events() {
+            span.emit(event);
+        }
+        span.emit(TraceEvent::RetryScheduled {
+            attempt: 1,
+            backoff_us: 100.0,
+        });
+        tracer.absorb(span);
+        let m = tracer.metrics();
+        assert_eq!(m.probes_resolved, 1);
+        assert_eq!(m.probes_issued, 1);
+        assert_eq!(m.probes_cached, 0);
+        assert_eq!(m.searches_started, 1);
+        assert_eq!(m.searches_finished, 1);
+        assert_eq!(m.searches_converged, 1);
+        assert_eq!(m.search_steps, 1);
+        assert_eq!(m.brackets, 1);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.hist_probes_per_search.count, 1);
+        assert_eq!(m.hist_probes_per_search.sum, 2);
+        assert_eq!(m.hist_search_steps.sum, 1);
+        assert_eq!(m.hist_backoff_ns.sum, 100_000);
+        assert_eq!(m.check_invariants(), None);
+    }
+
+    #[test]
+    fn cloned_spans_share_one_buffer() {
+        let span = SpanTrace::for_test(5);
+        let clone = span.clone();
+        clone.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(TraceEvent::ProbeResolved {
+            value: 1.0,
+            verdict: TraceVerdict::Pass,
+            cached: false,
+        });
+        assert_eq!(span.events().len(), 2, "interleaved in emit order");
+        assert_eq!(clone.test_index(), 5);
+    }
+
+    #[test]
+    fn phases_account_walls_and_probes() {
+        let tracer = Tracer::new(Arc::new(RingBufferSink::unbounded()));
+        tracer.phase("march");
+        let span = tracer.span(0);
+        span.emit(TraceEvent::ProbeResolved {
+            value: 1.0,
+            verdict: TraceVerdict::Pass,
+            cached: false,
+        });
+        tracer.absorb(span);
+        tracer.phase("random");
+        let phases = tracer.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].name, "march");
+        assert_eq!(phases[0].probes, 1);
+        assert_eq!(phases[1].name, "random");
+        assert_eq!(phases[1].probes, 0);
+        assert_eq!(tracer.metrics().phases, 2);
+    }
+}

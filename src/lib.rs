@@ -23,6 +23,7 @@
 //! | [`fuzzy`] | membership functions, Mamdani inference, WCR coding |
 //! | [`genetic`] | the two-species multi-population GA |
 //! | [`core`] | the paper's schemes: DSV, WCR, learning, optimization, Table 1 |
+//! | [`trace`] | structured tracing: events, metrics registry, run manifests |
 //!
 //! # Quickstart
 //!
@@ -66,4 +67,5 @@ pub use cichar_genetic as genetic;
 pub use cichar_neural as neural;
 pub use cichar_patterns as patterns;
 pub use cichar_search as search;
+pub use cichar_trace as trace;
 pub use cichar_units as units;
