@@ -7,6 +7,7 @@
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --fault-rate 0.02 --retries 4
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --trace out.jsonl --manifest out.json
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --manifest out.json --timings
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
@@ -85,6 +86,8 @@ fn main() {
             .with_config("tests", total)
             .with_config("strategy", "search_until_trip")
             .with_config("fault_rate", robustness.faults.flip_rate())
+            .with_config("trip_min", report.min().expect("converged"))
+            .with_config("trip_max", report.max().expect("converged"))
             .capture(&tracer);
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {

@@ -7,6 +7,7 @@
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --fault-rate 0.02
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --trace out.jsonl --manifest out.json
+//! cargo run --release -p cichar-bench --bin repro_fig3 -- --manifest out.json --timings
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
@@ -91,6 +92,8 @@ fn main() {
             .with_config("scale", format!("{scale:?}"))
             .with_config("tests", total)
             .with_config("fault_rate", robustness.faults.flip_rate())
+            .with_config("trip_min", stp.min().expect("converged"))
+            .with_config("trip_max", stp.max().expect("converged"))
             .capture(&tracer);
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {

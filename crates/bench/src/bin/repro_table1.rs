@@ -7,6 +7,7 @@
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --threads 4
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --fault-rate 0.02 --retries 4
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --trace out.jsonl --manifest out.json
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --manifest out.json --timings
 //! ```
 
 use cichar_ate::{Ate, AteConfig};
@@ -55,11 +56,17 @@ fn main() {
     println!("\ntotal measurements across the three techniques: {total}");
 
     if outputs.enabled() {
-        let manifest = RunManifest::new("table1", scale.seed(), policy.threads())
+        let trips: Vec<f64> = comparison.rows.iter().map(|r| r.t_dq).collect();
+        let mut manifest = RunManifest::new("table1", scale.seed(), policy.threads())
             .with_config("scale", format!("{scale:?}"))
             .with_config("random_tests", config.random_tests)
-            .with_config("fault_rate", robustness.faults.flip_rate())
-            .capture(&tracer);
+            .with_config("fault_rate", robustness.faults.flip_rate());
+        if let Some(min) = trips.iter().copied().reduce(f64::min) {
+            manifest = manifest
+                .with_config("trip_min", min)
+                .with_config("trip_max", trips.iter().copied().fold(min, f64::max));
+        }
+        let manifest = manifest.capture(&tracer);
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

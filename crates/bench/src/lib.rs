@@ -16,7 +16,7 @@ use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
 use cichar_search::RetryPolicy;
-use cichar_trace::{ensure_writable, JsonlSink, NullSink, RunManifest, Tracer};
+use cichar_trace::{ensure_writable, JsonlSink, NullSink, RunManifest, TimedTracer, Tracer};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -159,19 +159,22 @@ fn usage_error(err: &str) -> ! {
 
 /// Observability destinations for a repro binary: `--trace out.jsonl`
 /// streams the structured event log, `--manifest out.json` saves the
-/// [`RunManifest`] artifact.
+/// [`RunManifest`] artifact, and `--timings` arms the wall-clock span
+/// timing sidecar (reported in the manifest's `timings` section).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceOutputs {
     /// JSONL event-stream destination, when `--trace PATH` was given.
     pub trace: Option<PathBuf>,
     /// Run-manifest destination, when `--manifest PATH` was given.
     pub manifest: Option<PathBuf>,
+    /// Whether `--timings` armed the wall-clock timing sidecar.
+    pub timings: bool,
 }
 
 impl TraceOutputs {
     /// Whether any observability output was requested.
     pub fn enabled(&self) -> bool {
-        self.trace.is_some() || self.manifest.is_some()
+        self.trace.is_some() || self.manifest.is_some() || self.timings
     }
 
     /// Builds the tracer for this run, validating every destination
@@ -184,23 +187,27 @@ impl TraceOutputs {
     /// [`TraceOutputs::tracer`] with errors returned (testable).
     ///
     /// The tracer is backed by a [`JsonlSink`] when `--trace` was given,
-    /// a [`NullSink`] when only `--manifest` was (metrics and phases are
-    /// still accumulated), and is disabled entirely otherwise.
+    /// a [`NullSink`] when only `--manifest` / `--timings` were (metrics
+    /// and phases are still accumulated), and is disabled entirely
+    /// otherwise. With `--timings`, the returned tracer carries the
+    /// wall-clock timing sidecar — the event stream itself is unaffected.
     pub fn build_tracer(&self) -> Result<Tracer, String> {
         if let Some(path) = &self.manifest {
             ensure_writable(path).map_err(|e| {
                 format!("cannot write --manifest destination {}: {e}", path.display())
             })?;
         }
-        match &self.trace {
-            Some(path) => {
-                let sink = JsonlSink::create(path).map_err(|e| {
-                    format!("cannot write --trace destination {}: {e}", path.display())
-                })?;
-                Ok(Tracer::new(Arc::new(sink)))
-            }
-            None if self.manifest.is_some() => Ok(Tracer::new(Arc::new(NullSink))),
-            None => Ok(Tracer::disabled()),
+        let sink: Arc<dyn cichar_trace::TraceSink> = match &self.trace {
+            Some(path) => Arc::new(JsonlSink::create(path).map_err(|e| {
+                format!("cannot write --trace destination {}: {e}", path.display())
+            })?),
+            None if self.manifest.is_some() || self.timings => Arc::new(NullSink),
+            None => return Ok(Tracer::disabled()),
+        };
+        if self.timings {
+            Ok(TimedTracer::new(sink).tracer().clone())
+        } else {
+            Ok(Tracer::new(sink))
         }
     }
 
@@ -221,7 +228,8 @@ impl TraceOutputs {
 }
 
 /// Observability destinations from the command line (`--trace PATH`,
-/// `--manifest PATH`). Exits with status 2 on a missing operand.
+/// `--manifest PATH`, `--timings`). Exits with status 2 on a missing
+/// operand.
 pub fn trace_outputs() -> TraceOutputs {
     trace_outputs_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
 }
@@ -244,6 +252,8 @@ where
                 return Err(String::from("--manifest requires a non-empty path"));
             }
             outputs.manifest = Some(PathBuf::from(raw));
+        } else if arg == "--timings" {
+            outputs.timings = true;
         }
     }
     Ok(outputs)
@@ -436,17 +446,39 @@ mod tests {
     }
 
     #[test]
+    fn timings_flag_arms_the_wall_clock_sidecar() {
+        use cichar_trace::TraceEvent;
+        let o = trace_outputs_from(strings(&["--timings"])).unwrap();
+        assert!(o.timings);
+        assert!(o.enabled(), "--timings alone still prints a manifest");
+        let tracer = o.build_tracer().expect("NullSink needs no path");
+        assert!(tracer.is_enabled());
+        tracer.phase("dsv");
+        let span = tracer.span(0);
+        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.mark_done();
+        tracer.absorb(span);
+        let timings = tracer.timings().expect("sidecar armed");
+        assert_eq!(timings.phases[0].phase, "dsv");
+        assert_eq!(timings.phases[0].spans, 1);
+        // Without the flag there is no sidecar to pay for.
+        let plain = trace_outputs_from(strings(&[])).unwrap();
+        assert!(!plain.timings);
+        assert_eq!(plain.build_tracer().unwrap().timings(), None);
+    }
+
+    #[test]
     fn unwritable_destinations_fail_eagerly() {
         let missing = std::env::temp_dir().join("cichar_no_such_dir");
         let o = TraceOutputs {
             trace: Some(missing.join("t.jsonl")),
-            manifest: None,
+            ..TraceOutputs::default()
         };
         let err = o.build_tracer().unwrap_err();
         assert!(err.contains("--trace"), "{err}");
         let o = TraceOutputs {
-            trace: None,
             manifest: Some(missing.join("m.json")),
+            ..TraceOutputs::default()
         };
         let err = o.build_tracer().unwrap_err();
         assert!(err.contains("--manifest"), "{err}");
@@ -458,8 +490,8 @@ mod tests {
         let dir = std::env::temp_dir().join("cichar_bench_trace_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         let o = TraceOutputs {
-            trace: None,
             manifest: Some(dir.join("m.json")),
+            ..TraceOutputs::default()
         };
         let tracer = o.build_tracer().expect("tmp is writable");
         assert!(tracer.is_enabled());

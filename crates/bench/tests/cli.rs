@@ -1,6 +1,7 @@
-//! Negative-path CLI tests for the repro binaries: every bad flag value
-//! or unwritable observability destination must exit with status 2 and a
-//! clear diagnostic *before* any measurement work starts.
+//! CLI tests for the repro binaries: every bad flag value or unwritable
+//! observability destination must exit with status 2 and a clear
+//! diagnostic *before* any measurement work starts, and `--timings`
+//! must land a timing sidecar in the saved manifest.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -71,6 +72,41 @@ fn out_of_range_fault_rate_exits_2() {
         let stderr = stderr_of(&output);
         assert!(stderr.contains("--fault-rate"), "{stderr}");
         assert!(stderr.contains("[0, 1)"), "{stderr}");
+    }
+}
+
+#[test]
+fn timings_flag_lands_the_sidecar_in_the_manifest() {
+    let dir = std::env::temp_dir().join("cichar_cli_timings");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let timed_path = dir.join("timed.json");
+    let plain_path = dir.join("plain.json");
+
+    let timed = run_fig2(&["--manifest", timed_path.to_str().unwrap(), "--timings"]);
+    assert_eq!(timed.status.code(), Some(0), "{}", stderr_of(&timed));
+    let stdout = String::from_utf8_lossy(&timed.stdout).into_owned();
+    assert!(stdout.contains("span timings"), "{stdout}");
+
+    let plain = run_fig2(&["--manifest", plain_path.to_str().unwrap()]);
+    assert_eq!(plain.status.code(), Some(0), "{}", stderr_of(&plain));
+
+    let load = |path: &std::path::Path| -> cichar_trace::RunManifest {
+        let text = std::fs::read_to_string(path).expect("manifest saved");
+        serde_json::from_str(&text).expect("manifest parses")
+    };
+    let timed_manifest = load(&timed_path);
+    let plain_manifest = load(&plain_path);
+    let timings = timed_manifest.timings.as_ref().expect("sidecar captured");
+    assert!(timings.spans() > 0);
+    assert_eq!(plain_manifest.timings, None, "no sidecar without --timings");
+    // Both manifests record the trip-point extrema the diff gate compares.
+    for key in ["trip_min", "trip_max"] {
+        for manifest in [&timed_manifest, &plain_manifest] {
+            assert!(
+                manifest.config.iter().any(|(k, _)| k == key),
+                "{key} missing from {}", manifest.campaign
+            );
+        }
     }
 }
 

@@ -426,6 +426,7 @@ impl MultiTripRunner {
             };
             let span = with_span(index);
             let measured = self.measure_one(ate, test, reference, &full, &rebracket, &span);
+            span.mark_done();
             done(span);
             let measurements = ate.ledger().measurements_since(&baseline);
             total += measurements;
@@ -514,6 +515,9 @@ impl MultiTripRunner {
             let mut session = blueprint.session(index as u64);
             let measured =
                 self.measure_one(&mut session, test, reference, &full, &rebracket, &span);
+            // Stamp the span's wall clock on the worker, so a timing
+            // sidecar measures the search itself, not absorb latency.
+            span.mark_done();
             let entry = DsvEntry {
                 test_name: test.name().to_string(),
                 trip_point: measured.trip_point,

@@ -268,6 +268,7 @@ impl OptimizationScheme {
                             wcr
                         }
                     };
+                    span.mark_done();
                     tracer.absorb(span);
                     fitness
                 },
@@ -538,6 +539,7 @@ impl FitnessEvaluator for WcrEvaluator<'_> {
                 &span,
             );
             self.rtp = record.entry.as_ref().map(|e| e.trip_point);
+            span.mark_done();
             records.push((record, span));
             cursor += 1;
         }
@@ -555,6 +557,7 @@ impl FitnessEvaluator for WcrEvaluator<'_> {
                     reference,
                     &span,
                 );
+                span.mark_done();
                 (record, span)
             },
         ));

@@ -311,6 +311,7 @@ impl SampleCharacterization {
             .map(|(index, die)| {
                 let span = tracer.span(index as u64);
                 let result = self.characterize_die(&runner, die, tests, &span);
+                span.mark_done();
                 tracer.absorb(span);
                 result
             })
@@ -357,6 +358,9 @@ impl SampleCharacterization {
         let results = cichar_exec::par_map(policy, sampled, |index, die| {
             let span = tracer.span(index as u64);
             let result = self.characterize_die(&runner, die, tests, &span);
+            // Stamp on the worker: the timing sidecar should measure the
+            // die sweep, not the coordinator's absorb latency.
+            span.mark_done();
             (result, span)
         });
         let dies = results

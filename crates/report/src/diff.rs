@@ -1,0 +1,407 @@
+//! Manifest diffing with a regression gate.
+//!
+//! `cichar-report diff baseline.json current.json --gate` compares two
+//! [`RunManifest`] artifacts and exits non-zero when the current run
+//! drifted past configurable thresholds on the metrics that matter for a
+//! characterization campaign: probe budget (the paper's test-time
+//! currency), quarantine rate (measurement trustworthiness), wall time
+//! (optional — meaningless across machines, useful on one), and the
+//! trip-point extrema recorded in the manifest config.
+
+use cichar_trace::RunManifest;
+use std::fmt::Write as _;
+
+/// Gate thresholds. Every threshold has a CLI flag; the defaults are
+/// deliberately loose enough to absorb seed-stable noise and tight
+/// enough to catch a real regression (the acceptance bar is a 2×
+/// probe-count blowup, caught at +10%).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateConfig {
+    /// Maximum allowed growth of resolved/issued probe counts, percent.
+    pub max_probe_growth_pct: f64,
+    /// Maximum allowed quarantine-rate increase, percentage points.
+    pub max_quarantine_delta_pts: f64,
+    /// Maximum allowed wall-clock growth, percent. `None` disables the
+    /// wall gate (the default: wall time is machine-dependent, so gating
+    /// it in shared CI is flake, not signal).
+    pub max_wall_growth_pct: Option<f64>,
+    /// Maximum allowed relative drift of the `trip_min` / `trip_max`
+    /// config extrema, percent.
+    pub max_extrema_drift_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            max_probe_growth_pct: 10.0,
+            max_quarantine_delta_pts: 0.5,
+            max_wall_growth_pct: None,
+            max_extrema_drift_pct: 0.25,
+        }
+    }
+}
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// What was compared.
+    pub metric: String,
+    /// Baseline rendering.
+    pub baseline: String,
+    /// Current rendering.
+    pub current: String,
+    /// Delta rendering (`+12.0%`, `+0.3pts`, `=`).
+    pub delta: String,
+    /// The gate breach this row caused, if any.
+    pub breach: Option<String>,
+}
+
+/// The full comparison of two manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestDiff {
+    /// Every compared quantity, in report order.
+    pub rows: Vec<DiffRow>,
+    /// Human-readable breach descriptions (empty ⇒ gate passes).
+    pub breaches: Vec<String>,
+}
+
+fn growth_pct(baseline: u64, current: u64) -> f64 {
+    if baseline == 0 {
+        if current == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (current as f64 / baseline as f64 - 1.0)
+    }
+}
+
+fn fmt_pct(p: f64) -> String {
+    if p.is_infinite() {
+        "+inf%".to_string()
+    } else if p == 0.0 {
+        "=".to_string()
+    } else {
+        format!("{p:+.1}%")
+    }
+}
+
+fn config_f64(manifest: &RunManifest, key: &str) -> Option<f64> {
+    manifest
+        .config
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse::<f64>().ok())
+}
+
+impl ManifestDiff {
+    /// Compares `current` against `baseline` under `gate`.
+    pub fn compare(baseline: &RunManifest, current: &RunManifest, gate: &GateConfig) -> Self {
+        let mut rows = Vec::new();
+        let mut breaches = Vec::new();
+        let mut push = |row: DiffRow| {
+            if let Some(breach) = &row.breach {
+                breaches.push(breach.clone());
+            }
+            rows.push(row);
+        };
+
+        // Identity: comparing different campaigns is a gate failure, not a
+        // silent apples-to-oranges report.
+        push(DiffRow {
+            metric: "campaign".into(),
+            baseline: baseline.campaign.clone(),
+            current: current.campaign.clone(),
+            delta: if baseline.campaign == current.campaign {
+                "=".into()
+            } else {
+                "differs".into()
+            },
+            breach: (baseline.campaign != current.campaign).then(|| {
+                format!(
+                    "campaign mismatch: baseline is {:?}, current is {:?}",
+                    baseline.campaign, current.campaign
+                )
+            }),
+        });
+        push(DiffRow {
+            metric: "seed".into(),
+            baseline: format!("{:#x}", baseline.seed),
+            current: format!("{:#x}", current.seed),
+            delta: if baseline.seed == current.seed { "=".into() } else { "differs".into() },
+            breach: None,
+        });
+
+        // Probe budget: the paper's test-time currency.
+        for (name, base, cur) in [
+            (
+                "probes_resolved",
+                baseline.metrics.probes_resolved,
+                current.metrics.probes_resolved,
+            ),
+            (
+                "probes_issued",
+                baseline.metrics.probes_issued,
+                current.metrics.probes_issued,
+            ),
+        ] {
+            let growth = growth_pct(base, cur);
+            push(DiffRow {
+                metric: name.into(),
+                baseline: base.to_string(),
+                current: cur.to_string(),
+                delta: fmt_pct(growth),
+                breach: (growth > gate.max_probe_growth_pct).then(|| {
+                    format!(
+                        "{name} grew {} (limit +{:.1}%): {base} -> {cur}",
+                        fmt_pct(growth),
+                        gate.max_probe_growth_pct
+                    )
+                }),
+            });
+        }
+        push(DiffRow {
+            metric: "searches_finished".into(),
+            baseline: baseline.metrics.searches_finished.to_string(),
+            current: current.metrics.searches_finished.to_string(),
+            delta: fmt_pct(growth_pct(
+                baseline.metrics.searches_finished,
+                current.metrics.searches_finished,
+            )),
+            breach: None,
+        });
+
+        // Quarantine rate, in percentage points of resolved probes.
+        let rate = |m: &RunManifest| {
+            if m.metrics.probes_resolved == 0 {
+                0.0
+            } else {
+                100.0 * m.metrics.quarantined as f64 / m.metrics.probes_resolved as f64
+            }
+        };
+        let (base_rate, cur_rate) = (rate(baseline), rate(current));
+        let delta_pts = cur_rate - base_rate;
+        push(DiffRow {
+            metric: "quarantine_rate".into(),
+            baseline: format!("{base_rate:.3}%"),
+            current: format!("{cur_rate:.3}%"),
+            delta: if delta_pts == 0.0 {
+                "=".into()
+            } else {
+                format!("{delta_pts:+.3}pts")
+            },
+            breach: (delta_pts > gate.max_quarantine_delta_pts).then(|| {
+                format!(
+                    "quarantine rate rose {delta_pts:+.3}pts (limit +{:.3}pts): \
+                     {base_rate:.3}% -> {cur_rate:.3}%",
+                    gate.max_quarantine_delta_pts
+                )
+            }),
+        });
+
+        // Wall time: gated only when explicitly armed.
+        let (base_wall, cur_wall) = (baseline.total_wall_ms(), current.total_wall_ms());
+        let wall_growth = growth_pct(base_wall, cur_wall);
+        push(DiffRow {
+            metric: "wall_ms".into(),
+            baseline: base_wall.to_string(),
+            current: cur_wall.to_string(),
+            delta: fmt_pct(wall_growth),
+            breach: gate.max_wall_growth_pct.and_then(|limit| {
+                (wall_growth > limit).then(|| {
+                    format!(
+                        "wall time grew {} (limit +{limit:.1}%): {base_wall}ms -> {cur_wall}ms",
+                        fmt_pct(wall_growth)
+                    )
+                })
+            }),
+        });
+
+        // Trip-point extrema, when both manifests record them.
+        for key in ["trip_min", "trip_max"] {
+            let (base, cur) = (config_f64(baseline, key), config_f64(current, key));
+            match (base, cur) {
+                (Some(base), Some(cur)) => {
+                    let scale = base.abs().max(1e-12);
+                    let drift_pct = 100.0 * (cur - base).abs() / scale;
+                    push(DiffRow {
+                        metric: key.into(),
+                        baseline: format!("{base}"),
+                        current: format!("{cur}"),
+                        delta: if drift_pct == 0.0 {
+                            "=".into()
+                        } else {
+                            format!("{drift_pct:.3}% drift")
+                        },
+                        breach: (drift_pct > gate.max_extrema_drift_pct).then(|| {
+                            format!(
+                                "{key} drifted {drift_pct:.3}% (limit {:.3}%): {base} -> {cur}",
+                                gate.max_extrema_drift_pct
+                            )
+                        }),
+                    });
+                }
+                (None, None) => {}
+                _ => push(DiffRow {
+                    metric: key.into(),
+                    baseline: base.map_or("absent".into(), |v| format!("{v}")),
+                    current: cur.map_or("absent".into(), |v| format!("{v}")),
+                    delta: "one-sided".into(),
+                    breach: Some(format!(
+                        "{key} present in only one manifest; regenerate the baseline"
+                    )),
+                }),
+            }
+        }
+
+        ManifestDiff { rows, breaches }
+    }
+
+    /// Whether the gate passes (no breaches).
+    pub fn passes(&self) -> bool {
+        self.breaches.is_empty()
+    }
+
+    /// The comparison as a table, with breach lines at the bottom.
+    pub fn render(&self, gated: bool) -> String {
+        let mut out = String::new();
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .max()
+            .unwrap_or(8)
+            .max("metric".len());
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>16} {:>16} {:>14}",
+            "metric", "baseline", "current", "delta"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>16} {:>16} {:>14}{}",
+                row.metric,
+                row.baseline,
+                row.current,
+                row.delta,
+                if row.breach.is_some() { "  <- BREACH" } else { "" }
+            );
+        }
+        if gated {
+            if self.passes() {
+                let _ = writeln!(out, "\ngate: PASS");
+            } else {
+                let _ = writeln!(out, "\ngate: FAIL ({} breaches)", self.breaches.len());
+                for breach in &self.breaches {
+                    let _ = writeln!(out, "  - {breach}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(probes: u64, quarantined: u64, wall_ms: u64) -> RunManifest {
+        let mut m = RunManifest::new("fig2", 0xDA7E_2005, 1)
+            .with_config("trip_min", 82.5)
+            .with_config("trip_max", 118.75);
+        m.metrics.probes_resolved = probes;
+        m.metrics.probes_issued = probes;
+        m.metrics.searches_finished = 12;
+        m.metrics.quarantined = quarantined;
+        m.phases = vec![cichar_trace::PhaseSummary {
+            name: "dsv".into(),
+            wall_ms,
+            probes,
+        }];
+        m
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let m = manifest(1000, 2, 40);
+        let diff = ManifestDiff::compare(&m, &m, &GateConfig::default());
+        assert!(diff.passes(), "breaches: {:?}", diff.breaches);
+        assert!(diff.render(true).contains("gate: PASS"));
+    }
+
+    #[test]
+    fn doubled_probe_count_breaches() {
+        let base = manifest(1000, 2, 40);
+        let cur = manifest(2000, 2, 40);
+        let diff = ManifestDiff::compare(&base, &cur, &GateConfig::default());
+        assert!(!diff.passes());
+        assert!(
+            diff.breaches.iter().any(|b| b.contains("probes_resolved")),
+            "{:?}",
+            diff.breaches
+        );
+        assert!(diff.render(true).contains("gate: FAIL"));
+    }
+
+    #[test]
+    fn quarantine_rate_gate_uses_percentage_points() {
+        let base = manifest(1000, 0, 40);
+        let cur = manifest(1000, 10, 40); // 1.0% > 0.5pts limit
+        let diff = ManifestDiff::compare(&base, &cur, &GateConfig::default());
+        assert!(diff.breaches.iter().any(|b| b.contains("quarantine")));
+        // Within the limit: 4 of 1000 is +0.4pts.
+        let ok = ManifestDiff::compare(&base, &manifest(1000, 4, 40), &GateConfig::default());
+        assert!(ok.passes(), "{:?}", ok.breaches);
+    }
+
+    #[test]
+    fn wall_gate_is_off_by_default_and_arms_explicitly() {
+        let base = manifest(1000, 0, 10);
+        let cur = manifest(1000, 0, 1000); // 100x slower
+        assert!(ManifestDiff::compare(&base, &cur, &GateConfig::default()).passes());
+        let armed = GateConfig {
+            max_wall_growth_pct: Some(50.0),
+            ..GateConfig::default()
+        };
+        let diff = ManifestDiff::compare(&base, &cur, &armed);
+        assert!(diff.breaches.iter().any(|b| b.contains("wall time")));
+    }
+
+    #[test]
+    fn extrema_drift_breaches_and_one_sided_extrema_breach() {
+        let base = manifest(1000, 0, 40);
+        let mut cur = manifest(1000, 0, 40);
+        for (k, v) in cur.config.iter_mut() {
+            if k == "trip_max" {
+                *v = "119.75".into(); // ~0.84% drift > 0.25% limit
+            }
+        }
+        let diff = ManifestDiff::compare(&base, &cur, &GateConfig::default());
+        assert!(diff.breaches.iter().any(|b| b.contains("trip_max")), "{:?}", diff.breaches);
+
+        let mut naked = manifest(1000, 0, 40);
+        naked.config.retain(|(k, _)| !k.starts_with("trip_"));
+        let diff = ManifestDiff::compare(&base, &naked, &GateConfig::default());
+        assert!(diff.breaches.iter().any(|b| b.contains("only one manifest")));
+    }
+
+    #[test]
+    fn campaign_mismatch_breaches() {
+        let base = manifest(1000, 0, 40);
+        let mut cur = manifest(1000, 0, 40);
+        cur.campaign = "fig3".into();
+        let diff = ManifestDiff::compare(&base, &cur, &GateConfig::default());
+        assert!(diff.breaches.iter().any(|b| b.contains("campaign mismatch")));
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_infinite_and_breaches() {
+        let base = manifest(0, 0, 40);
+        let cur = manifest(10, 0, 40);
+        let diff = ManifestDiff::compare(&base, &cur, &GateConfig::default());
+        assert!(!diff.passes());
+        assert!(diff.render(false).contains("+inf%"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The `cichar-report` CLI: trace analytics from the command line.
+//!
+//! ```text
+//! cichar-report summarize <trace.jsonl>
+//! cichar-report perfetto  <trace.jsonl> [--out <chrome_trace.json>]
+//! cichar-report diff      <baseline.json> <current.json> [--gate]
+//!                         [--max-probe-growth-pct X]
+//!                         [--max-quarantine-delta-pts X]
+//!                         [--max-wall-growth-pct X]
+//!                         [--max-extrema-drift-pct X]
+//! ```
+//!
+//! Exit codes follow the repro-binary convention: `0` success, `1` gate
+//! breach (`diff --gate` only), `2` usage error (bad flag, unreadable
+//! input, unwritable output).
+
+use cichar_report::{to_chrome_trace, validate_chrome_trace, GateConfig, ManifestDiff, TraceAnalysis};
+use cichar_trace::{RunManifest, TraceRecord};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff> ...
+  summarize <trace.jsonl>                      search-anatomy summary table
+  perfetto  <trace.jsonl> [--out <file.json>]  Chrome trace-event export
+  diff <baseline.json> <current.json> [--gate] manifest comparison
+       [--max-probe-growth-pct X] [--max-quarantine-delta-pts X]
+       [--max-wall-growth-pct X] [--max-extrema-drift-pct X]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| String::from("missing subcommand"))?;
+    match command.as_str() {
+        "summarize" => summarize(rest),
+        "perfetto" => perfetto(rest),
+        "diff" => diff(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn summarize(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(String::from("summarize takes exactly one trace path"));
+    };
+    let analysis = TraceAnalysis::from_jsonl(&read_input(path)?);
+    print!("{}", analysis.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn perfetto(args: &[String]) -> Result<ExitCode, String> {
+    let mut path: Option<&str> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(value) = flag_value("--out", arg, &mut iter)? {
+            out = Some(value);
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    let path = path.ok_or_else(|| String::from("perfetto takes a trace path"))?;
+
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in read_input(path)?.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceRecord>(line) {
+            Ok(record) => records.push(record),
+            Err(_) => skipped += 1,
+        }
+    }
+    let trace = to_chrome_trace(&records);
+    let events = validate_chrome_trace(&trace)
+        .map_err(|e| format!("internal: produced an invalid chrome trace: {e}"))?;
+    let text = serde_json::to_string(&trace).map_err(|e| format!("serialization failed: {e}"))?;
+    match out {
+        Some(out) => {
+            write_atomic(Path::new(&out), &text)?;
+            eprintln!(
+                "wrote {events} trace events from {} records to {out}{}",
+                records.len(),
+                if skipped > 0 {
+                    format!(" ({skipped} unparseable lines skipped)")
+                } else {
+                    String::new()
+                }
+            );
+        }
+        None => println!("{text}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Writes via temp + rename so a crash mid-write never leaves a
+/// truncated export at the destination (same contract as `JsonlSink`).
+fn write_atomic(path: &Path, text: &str) -> Result<(), String> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "chrome_trace.json".into());
+    name.push(".tmp");
+    let scratch = path.with_file_name(name);
+    std::fs::write(&scratch, text)
+        .and_then(|()| std::fs::rename(&scratch, path))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut gated = false;
+    let mut gate = GateConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--gate" {
+            gated = true;
+        } else if let Some(v) = flag_value("--max-probe-growth-pct", arg, &mut iter)? {
+            gate.max_probe_growth_pct = parse_pct("--max-probe-growth-pct", &v)?;
+        } else if let Some(v) = flag_value("--max-quarantine-delta-pts", arg, &mut iter)? {
+            gate.max_quarantine_delta_pts = parse_pct("--max-quarantine-delta-pts", &v)?;
+        } else if let Some(v) = flag_value("--max-wall-growth-pct", arg, &mut iter)? {
+            gate.max_wall_growth_pct = Some(parse_pct("--max-wall-growth-pct", &v)?);
+        } else if let Some(v) = flag_value("--max-extrema-drift-pct", arg, &mut iter)? {
+            gate.max_extrema_drift_pct = parse_pct("--max-extrema-drift-pct", &v)?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline, current] = paths[..] else {
+        return Err(String::from("diff takes exactly two manifest paths"));
+    };
+    let baseline = load_manifest(baseline)?;
+    let current = load_manifest(current)?;
+    let diff = ManifestDiff::compare(&baseline, &current, &gate);
+    print!("{}", diff.render(gated));
+    if gated && !diff.passes() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load_manifest(path: &str) -> Result<RunManifest, String> {
+    serde_json::from_str(&read_input(path)?).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn parse_pct(flag: &str, raw: &str) -> Result<f64, String> {
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v >= 0.0 && v.is_finite() => Ok(v),
+        _ => Err(format!(
+            "invalid {flag} value {raw:?}: expected a non-negative number"
+        )),
+    }
+}
+
+/// Extracts the operand of `flag` from `arg` (`flag=value` or `flag`
+/// followed by the next argument). Mirrors the repro binaries' parser.
+fn flag_value<'a, I>(flag: &str, arg: &str, rest: &mut I) -> Result<Option<String>, String>
+where
+    I: Iterator<Item = &'a String>,
+{
+    if let Some(v) = arg.strip_prefix(flag) {
+        if let Some(v) = v.strip_prefix('=') {
+            return Ok(Some(v.to_string()));
+        }
+        if v.is_empty() {
+            return match rest.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} requires a value")),
+            };
+        }
+    }
+    Ok(None)
+}

@@ -1,0 +1,442 @@
+//! Chrome trace-event export: renders a JSONL trace stream as a JSON
+//! object loadable by Perfetto (<https://ui.perfetto.dev>) or the legacy
+//! `chrome://tracing` viewer.
+//!
+//! Mapping:
+//! - campaign phases → complete (`"X"`) slices on `tid 0` ("campaign")
+//! - each trip-point search → a `"X"` slice on `tid = test + 1`, with the
+//!   probe/step counts in `args`
+//! - retries, faults, votes, quarantines → instant (`"i"`) events
+//! - GA `best_so_far` → a counter (`"C"`) track
+//! - process/thread names → metadata (`"M"`) events
+//!
+//! Timestamps come from the records' `ts_us` wall clock. A *normalized*
+//! trace (golden fixture) has all timestamps zeroed; the export still
+//! loads, but every slice collapses to t=0 — profile from raw traces.
+
+use crate::analysis::TraceAnalysis;
+use cichar_trace::{TraceEvent, TraceRecord};
+use serde::{map_get, Value};
+use std::collections::BTreeMap;
+
+/// The `pid` used for every event; there is only one process.
+const PID: u64 = 1;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn u(n: u64) -> Value {
+    Value::U64(n)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn complete_event(name: &str, cat: &str, tid: u64, ts: u64, dur: u64, args: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("X")),
+        ("ts", u(ts)),
+        ("dur", u(dur.max(1))),
+        ("pid", u(PID)),
+        ("tid", u(tid)),
+        ("args", args),
+    ])
+}
+
+fn instant_event(name: &str, cat: &str, tid: u64, ts: u64, args: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("i")),
+        ("s", s("t")),
+        ("ts", u(ts)),
+        ("pid", u(PID)),
+        ("tid", u(tid)),
+        ("args", args),
+    ])
+}
+
+fn counter_event(name: &str, ts: u64, values: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s("ga")),
+        ("ph", s("C")),
+        ("ts", u(ts)),
+        ("pid", u(PID)),
+        ("tid", u(0)),
+        ("args", values),
+    ])
+}
+
+fn metadata_event(name: &str, tid: u64, args: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", u(PID)),
+        ("tid", u(tid)),
+        ("args", args),
+    ])
+}
+
+fn tid_for(test: Option<u64>) -> u64 {
+    match test {
+        Some(t) => t + 1,
+        None => 0,
+    }
+}
+
+/// Renders a record stream as a Chrome trace-event JSON object.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(metadata_event(
+        "process_name",
+        0,
+        obj(vec![("name", s("cichar campaign"))]),
+    ));
+    events.push(metadata_event(
+        "thread_name",
+        0,
+        obj(vec![("name", s("campaign"))]),
+    ));
+
+    let mut named_tests: Vec<u64> = records.iter().filter_map(|r| r.test).collect();
+    named_tests.sort_unstable();
+    named_tests.dedup();
+    for test in &named_tests {
+        events.push(metadata_event(
+            "thread_name",
+            test + 1,
+            obj(vec![("name", s(&format!("test {test}")))]),
+        ));
+    }
+
+    // Phase slices: close each phase when the next begins (or at the last
+    // timestamp in the stream).
+    let last_ts = records.iter().map(|r| r.ts_us).max().unwrap_or(0);
+    let mut open_phase: Option<(String, u64)> = None;
+
+    // Search slices; one can be open per test at a time. The tuple is
+    // (label, started_us, probes_observed, steps_observed).
+    let mut open_searches: BTreeMap<Option<u64>, (String, u64, u64, u64)> = BTreeMap::new();
+
+    for record in records {
+        match &record.event {
+            TraceEvent::CampaignPhaseChanged { phase } => {
+                if let Some((name, started)) = open_phase.take() {
+                    events.push(complete_event(
+                        &name,
+                        "phase",
+                        0,
+                        started,
+                        record.ts_us.saturating_sub(started),
+                        obj(vec![]),
+                    ));
+                }
+                open_phase = Some((phase.clone(), record.ts_us));
+            }
+            TraceEvent::SearchStarted { strategy, order, .. } => {
+                open_searches.insert(
+                    record.test,
+                    (format!("{strategy} ({order})"), record.ts_us, 0, 0),
+                );
+            }
+            TraceEvent::ProbeResolved { .. } => {
+                if let Some(entry) = open_searches.get_mut(&record.test) {
+                    entry.2 += 1;
+                }
+            }
+            TraceEvent::StepTaken { .. } => {
+                if let Some(entry) = open_searches.get_mut(&record.test) {
+                    entry.3 += 1;
+                }
+            }
+            TraceEvent::SearchFinished {
+                trip_point,
+                converged,
+                probes,
+                ..
+            } => {
+                if let Some((name, started, probes_seen, steps)) =
+                    open_searches.remove(&record.test)
+                {
+                    let trip = match trip_point {
+                        Some(t) => Value::F64(*t),
+                        None => Value::Null,
+                    };
+                    events.push(complete_event(
+                        &name,
+                        "search",
+                        tid_for(record.test),
+                        started,
+                        record.ts_us.saturating_sub(started),
+                        obj(vec![
+                            ("probes", u(*probes)),
+                            ("probes_observed", u(probes_seen)),
+                            ("steps", u(steps)),
+                            ("converged", Value::Bool(*converged)),
+                            ("trip_point", trip),
+                        ]),
+                    ));
+                }
+            }
+            TraceEvent::RetryScheduled { attempt, backoff_us } => {
+                events.push(instant_event(
+                    "retry",
+                    "recovery",
+                    tid_for(record.test),
+                    record.ts_us,
+                    obj(vec![
+                        ("attempt", u(*attempt)),
+                        ("backoff_us", Value::F64(*backoff_us)),
+                    ]),
+                ));
+            }
+            TraceEvent::VoteResolved {
+                passes,
+                fails,
+                invalids,
+                ..
+            } => {
+                events.push(instant_event(
+                    "vote",
+                    "recovery",
+                    tid_for(record.test),
+                    record.ts_us,
+                    obj(vec![
+                        ("passes", u(*passes)),
+                        ("fails", u(*fails)),
+                        ("invalids", u(*invalids)),
+                    ]),
+                ));
+            }
+            TraceEvent::FaultInjected { kind } => {
+                events.push(instant_event(
+                    "fault",
+                    "fault",
+                    tid_for(record.test),
+                    record.ts_us,
+                    obj(vec![("kind", s(&format!("{kind:?}")))]),
+                ));
+            }
+            TraceEvent::Quarantined { reason } => {
+                events.push(instant_event(
+                    "quarantine",
+                    "fault",
+                    tid_for(record.test),
+                    record.ts_us,
+                    obj(vec![("reason", s(reason))]),
+                ));
+            }
+            TraceEvent::GaGenerationEvaluated {
+                generation,
+                best_so_far,
+                mean,
+                ..
+            } => {
+                events.push(counter_event(
+                    "ga fitness",
+                    // Generation events are batch-emitted with near-equal
+                    // timestamps; offset by index so the counter track
+                    // keeps its x-order in the viewer.
+                    record.ts_us + generation,
+                    obj(vec![
+                        ("best_so_far", Value::F64(*best_so_far)),
+                        ("mean", Value::F64(*mean)),
+                    ]),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if let Some((name, started)) = open_phase.take() {
+        events.push(complete_event(
+            &name,
+            "phase",
+            0,
+            started,
+            last_ts.saturating_sub(started),
+            obj(vec![]),
+        ));
+    }
+
+    let count = records.len() as u64;
+    obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", s("ms")),
+        (
+            "otherData",
+            obj(vec![("exporter", s("cichar-report")), ("records", u(count))]),
+        ),
+    ])
+}
+
+/// Validates that a JSON value is structurally a Chrome trace-event
+/// object: a `traceEvents` array whose members all carry the required
+/// `ph`/`pid`/`tid` fields and a `ts` (plus `dur`) wherever the phase
+/// demands one. Returns the event count, or an error naming the first
+/// offence.
+pub fn validate_chrome_trace(value: &Value) -> Result<usize, String> {
+    let map = value
+        .as_map()
+        .ok_or_else(|| "top level is not an object".to_string())?;
+    let events = map_get(map, "traceEvents")
+        .ok_or_else(|| "missing traceEvents".to_string())?
+        .as_seq()
+        .ok_or_else(|| "traceEvents is not an array".to_string())?;
+    for (i, event) in events.iter().enumerate() {
+        let event = event
+            .as_map()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = map_get(event, "ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        for key in ["pid", "tid"] {
+            if map_get(event, key).and_then(as_u64).is_none() {
+                return Err(format!("event {i} ({ph}) has no integer {key}"));
+            }
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                for key in ["ts", "dur"] {
+                    if map_get(event, key).and_then(as_u64).is_none() {
+                        return Err(format!("event {i} (X) has no integer {key}"));
+                    }
+                }
+            }
+            "i" | "C" => {
+                if map_get(event, "ts").and_then(as_u64).is_none() {
+                    return Err(format!("event {i} ({ph}) has no integer ts"));
+                }
+            }
+            other => return Err(format!("event {i} has unknown ph {other:?}")),
+        }
+        if map_get(event, "name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i} has no name"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Convenience: export + analysis from one JSONL text.
+pub fn chrome_trace_from_jsonl(text: &str) -> (Value, TraceAnalysis) {
+    let mut records = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(record) = serde_json::from_str::<TraceRecord>(line) {
+            records.push(record);
+        }
+    }
+    let value = to_chrome_trace(&records);
+    (value, TraceAnalysis::from_jsonl(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_trace::{FaultKind, TraceVerdict};
+
+    fn sample() -> Vec<TraceRecord> {
+        let mk = |seq, test, ts_us, event| TraceRecord { seq, test, ts_us, event };
+        vec![
+            mk(0, None, 0, TraceEvent::CampaignPhaseChanged { phase: "sweep".into() }),
+            mk(1, Some(0), 5, TraceEvent::SearchStarted {
+                strategy: "stp".into(),
+                order: "eq4".into(),
+                window: [0.0, 10.0],
+                reference: Some(4.0),
+                sf: Some(0.5),
+            }),
+            mk(2, Some(0), 6, TraceEvent::ProbeResolved {
+                value: 4.0,
+                verdict: TraceVerdict::Pass,
+                cached: false,
+            }),
+            mk(3, Some(0), 7, TraceEvent::StepTaken {
+                iteration: 1,
+                step_factor: 0.5,
+                value: 4.5,
+                clamped: false,
+                verdict: TraceVerdict::Fail,
+            }),
+            mk(4, Some(0), 9, TraceEvent::FaultInjected { kind: FaultKind::Flip }),
+            mk(5, Some(0), 12, TraceEvent::SearchFinished {
+                strategy: "stp".into(),
+                trip_point: Some(4.2),
+                converged: true,
+                probes: 2,
+            }),
+            mk(6, None, 20, TraceEvent::GaGenerationEvaluated {
+                generation: 0,
+                best_so_far: 0.9,
+                generation_best: 0.9,
+                mean: 0.4,
+            }),
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_and_validates() {
+        let value = to_chrome_trace(&sample());
+        let text = serde_json::to_string(&value).expect("serializes");
+        let parsed: Value = serde_json::from_str(&text).expect("parses back");
+        assert_eq!(parsed, value, "round trip is lossless");
+        let count = validate_chrome_trace(&parsed).expect("schema-valid");
+        // 2 process/thread metadata + 1 test thread name + 1 search slice
+        // + 1 fault instant + 1 counter + 1 trailing phase slice.
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn search_slice_carries_anatomy_args() {
+        let value = to_chrome_trace(&sample());
+        let events = map_get(value.as_map().unwrap(), "traceEvents")
+            .unwrap()
+            .as_seq()
+            .unwrap();
+        let search = events
+            .iter()
+            .filter_map(Value::as_map)
+            .find(|e| map_get(e, "cat").and_then(Value::as_str) == Some("search"))
+            .expect("search slice present");
+        assert_eq!(map_get(search, "name").and_then(Value::as_str), Some("stp (eq4)"));
+        assert_eq!(map_get(search, "ts").and_then(as_u64), Some(5));
+        assert_eq!(map_get(search, "dur").and_then(as_u64), Some(7));
+        let args = map_get(search, "args").unwrap().as_map().unwrap();
+        assert_eq!(map_get(args, "probes").and_then(as_u64), Some(2));
+        assert_eq!(map_get(args, "steps").and_then(as_u64), Some(1));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_events() {
+        let bad: Value = serde_json::from_str(
+            r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0,"ts":3}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("dur"), "unexpected error: {err}");
+        let not_obj: Value = serde_json::from_str(r#"{"traceEvents":7}"#).unwrap();
+        assert!(validate_chrome_trace(&not_obj).is_err());
+    }
+
+    #[test]
+    fn empty_stream_still_exports_metadata() {
+        let value = to_chrome_trace(&[]);
+        let count = validate_chrome_trace(&value).expect("valid");
+        assert_eq!(count, 2); // process + campaign thread names
+    }
+}

@@ -1,0 +1,233 @@
+//! CLI tests for the `cichar-report` binary, covering the acceptance
+//! criteria: the Perfetto export round-trips through the Chrome
+//! trace-event schema, and `diff --gate` exits 0 on a self-compare but
+//! non-zero on an injected 2× probe-count regression.
+
+use cichar_report::validate_chrome_trace;
+use cichar_trace::{RunManifest, TraceEvent, TraceRecord, TraceVerdict};
+use serde::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cichar-report"))
+        .args(args)
+        .output()
+        .expect("cichar-report spawns")
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cichar_report_cli_{name}"));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// A small but representative trace: a phase change, one full-range
+/// search, one eq4 STP walk with a cached probe and a fault.
+fn sample_trace(path: &Path) {
+    let mut seq = 0u64;
+    let mut lines = String::new();
+    let mut push = |test: Option<u64>, ts_us: u64, event: TraceEvent| {
+        let record = TraceRecord { seq, test, ts_us, event };
+        seq += 1;
+        lines.push_str(&serde_json::to_string(&record).expect("serializes"));
+        lines.push('\n');
+    };
+    push(None, 0, TraceEvent::CampaignPhaseChanged { phase: "dsv".into() });
+    push(Some(0), 5, TraceEvent::SearchStarted {
+        strategy: "successive_approximation".into(),
+        order: "eq3".into(),
+        window: [80.0, 130.0],
+        reference: None,
+        sf: None,
+    });
+    push(Some(0), 6, TraceEvent::ProbeIssued { value: 105.0 });
+    push(Some(0), 7, TraceEvent::ProbeResolved {
+        value: 105.0,
+        verdict: TraceVerdict::Pass,
+        cached: false,
+    });
+    push(Some(0), 9, TraceEvent::SearchFinished {
+        strategy: "successive_approximation".into(),
+        trip_point: Some(105.0),
+        converged: true,
+        probes: 1,
+    });
+    push(Some(1), 12, TraceEvent::SearchStarted {
+        strategy: "stp".into(),
+        order: "eq4".into(),
+        window: [80.0, 130.0],
+        reference: Some(105.0),
+        sf: Some(0.5),
+    });
+    push(Some(1), 13, TraceEvent::ProbeResolved {
+        value: 105.0,
+        verdict: TraceVerdict::Pass,
+        cached: true,
+    });
+    push(Some(1), 14, TraceEvent::StepTaken {
+        iteration: 1,
+        step_factor: 0.5,
+        value: 104.0,
+        clamped: false,
+        verdict: TraceVerdict::Fail,
+    });
+    push(Some(1), 15, TraceEvent::FaultInjected { kind: cichar_trace::FaultKind::Flip });
+    push(Some(1), 18, TraceEvent::SearchFinished {
+        strategy: "stp".into(),
+        trip_point: Some(104.5),
+        converged: true,
+        probes: 2,
+    });
+    std::fs::write(path, lines).expect("trace written");
+}
+
+fn manifest(probes: u64) -> RunManifest {
+    let mut m = RunManifest::new("fig2", 0xDA7E_2005, 1)
+        .with_config("trip_min", 82.5)
+        .with_config("trip_max", 118.75);
+    m.metrics.probes_resolved = probes;
+    m.metrics.probes_issued = probes;
+    m.metrics.searches_finished = 12;
+    m
+}
+
+fn save(manifest: &RunManifest, path: &Path) {
+    std::fs::write(path, serde_json::to_string(manifest).expect("serializes"))
+        .expect("manifest written");
+}
+
+#[test]
+fn summarize_prints_the_anatomy_table() {
+    let dir = scratch_dir("summarize");
+    let trace = dir.join("trace.jsonl");
+    sample_trace(&trace);
+    let output = run(&["summarize", trace.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    for needle in ["trace summary", "stp walk (eq4)", "cache-hit ratio"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn perfetto_export_round_trips_through_the_chrome_schema() {
+    let dir = scratch_dir("perfetto");
+    let trace = dir.join("trace.jsonl");
+    let out = dir.join("chrome.json");
+    sample_trace(&trace);
+    let output = run(&[
+        "perfetto",
+        trace.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr_of(&output));
+    // Round trip: the file the CLI wrote parses back as JSON and
+    // validates against the Chrome trace-event schema.
+    let text = std::fs::read_to_string(&out).expect("export exists");
+    let value: Value = serde_json::from_str(&text).expect("export is valid JSON");
+    let events = validate_chrome_trace(&value).expect("export is schema-valid");
+    assert!(events >= 5, "expected a non-trivial event count, got {events}");
+    // No leftover scratch file from the atomic write.
+    assert!(!dir.join("chrome.json.tmp").exists());
+}
+
+#[test]
+fn perfetto_defaults_to_stdout() {
+    let dir = scratch_dir("perfetto_stdout");
+    let trace = dir.join("trace.jsonl");
+    sample_trace(&trace);
+    let output = run(&["perfetto", trace.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr_of(&output));
+    let value: Value = serde_json::from_str(&stdout_of(&output)).expect("stdout is JSON");
+    validate_chrome_trace(&value).expect("stdout is schema-valid");
+}
+
+#[test]
+fn diff_gate_passes_on_self_compare() {
+    let dir = scratch_dir("diff_self");
+    let base = dir.join("baseline.json");
+    save(&manifest(1000), &base);
+    let output = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        base.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout_of(&output));
+    assert!(stdout_of(&output).contains("gate: PASS"));
+}
+
+#[test]
+fn diff_gate_fails_on_a_doubled_probe_count() {
+    let dir = scratch_dir("diff_regression");
+    let base = dir.join("baseline.json");
+    let cur = dir.join("current.json");
+    save(&manifest(1000), &base);
+    save(&manifest(2000), &cur); // the injected 2× regression
+    let output = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert_eq!(output.status.code(), Some(1), "{}", stdout_of(&output));
+    let stdout = stdout_of(&output);
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(stdout.contains("probes_resolved"), "{stdout}");
+    // Ungated, the same comparison reports but exits 0.
+    let ungated = run(&["diff", base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(ungated.status.code(), Some(0), "{}", stdout_of(&ungated));
+    assert!(stdout_of(&ungated).contains("+100.0%"));
+}
+
+#[test]
+fn diff_thresholds_are_configurable() {
+    let dir = scratch_dir("diff_thresholds");
+    let base = dir.join("baseline.json");
+    let cur = dir.join("current.json");
+    save(&manifest(1000), &base);
+    save(&manifest(1050), &cur); // +5%: inside the default +10% budget
+    let default_gate = run(&["diff", base.to_str().unwrap(), cur.to_str().unwrap(), "--gate"]);
+    assert_eq!(default_gate.status.code(), Some(0), "{}", stdout_of(&default_gate));
+    let tightened = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+        "--max-probe-growth-pct=2",
+    ]);
+    assert_eq!(tightened.status.code(), Some(1), "{}", stdout_of(&tightened));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let dir = scratch_dir("usage");
+    let base = dir.join("baseline.json");
+    save(&manifest(1), &base);
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["summarize"][..],
+        &["summarize", "/nonexistent_cichar/trace.jsonl"][..],
+        &["perfetto"][..],
+        &["diff", "only-one.json"][..],
+        &["diff", "a.json", "b.json", "--max-probe-growth-pct", "nope"][..],
+        &["diff", "a.json", "b.json", "--unknown-flag"][..],
+    ] {
+        let output = run(args);
+        assert_eq!(output.status.code(), Some(2), "{args:?}");
+        let stderr = stderr_of(&output);
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{args:?}: {stderr}");
+    }
+}

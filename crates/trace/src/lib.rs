@@ -14,6 +14,11 @@
 //!   merged deterministically across worker shards like ledgers are.
 //! * **Manifests** ([`RunManifest`]): the per-run artifact tying seed,
 //!   config, code version, metrics and per-phase totals together.
+//! * **Timings** ([`TimedTracer`], [`TimingRegistry`]): an opt-in
+//!   wall-clock sidecar of per-span and per-phase durations. Wall time is
+//!   nondeterministic, so it is kept strictly out of the event stream —
+//!   a timed and an untimed tracer emit byte-identical normalized traces
+//!   — and lands in the manifest's `timings` section instead.
 //!
 //! # Determinism contract
 //!
@@ -47,10 +52,12 @@ mod event;
 mod manifest;
 mod metrics;
 mod sink;
+mod timing;
 mod tracer;
 
 pub use event::{normalize_jsonl, FaultKind, TraceEvent, TraceRecord, TraceVerdict};
 pub use manifest::{describe_version, ensure_writable, RunManifest};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
-pub use tracer::{PhaseSummary, SpanTrace, Tracer};
+pub use timing::{PhaseTiming, SpanClock, TimingRegistry, TimingSnapshot, UNPHASED};
+pub use tracer::{PhaseSummary, SpanTrace, TimedTracer, Tracer};

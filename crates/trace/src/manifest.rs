@@ -1,6 +1,7 @@
 //! Run manifests: the one-file summary artifact of a traced campaign.
 
 use crate::metrics::MetricsSnapshot;
+use crate::timing::TimingSnapshot;
 use crate::tracer::{PhaseSummary, Tracer};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -31,6 +32,11 @@ pub struct RunManifest {
     pub metrics: MetricsSnapshot,
     /// Per-phase wall-clock and probe totals, in phase order.
     pub phases: Vec<PhaseSummary>,
+    /// The wall-clock timing sidecar (per-phase span-duration
+    /// histograms), present when the run used a
+    /// [`TimedTracer`](crate::TimedTracer). `None` parses from manifests
+    /// written before timings existed.
+    pub timings: Option<TimingSnapshot>,
 }
 
 impl RunManifest {
@@ -44,6 +50,7 @@ impl RunManifest {
             config: Vec::new(),
             metrics: MetricsSnapshot::default(),
             phases: Vec::new(),
+            timings: None,
         }
     }
 
@@ -55,10 +62,12 @@ impl RunManifest {
         self
     }
 
-    /// Captures the tracer's final metrics snapshot and phase summaries.
+    /// Captures the tracer's final metrics snapshot, phase summaries and
+    /// (when the tracer carries a timing sidecar) the timing section.
     pub fn capture(mut self, tracer: &Tracer) -> Self {
         self.metrics = tracer.metrics();
         self.phases = tracer.phases();
+        self.timings = tracer.timings().filter(|t| !t.is_empty());
         self
     }
 
@@ -122,6 +131,31 @@ impl RunManifest {
             m.faults_stuck,
             m.faults_abort
         );
+        if let Some(timings) = &self.timings {
+            let _ = writeln!(
+                out,
+                "  span timings ({} spans, {:.1} ms total):",
+                timings.spans(),
+                timings.total_ns() as f64 / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "    {:<14} {:>7} {:>11} {:>11} {:>11} {:>11}",
+                "phase", "spans", "total ms", "mean us", "min us", "max us"
+            );
+            for phase in &timings.phases {
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:>7} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+                    phase.phase,
+                    phase.spans,
+                    phase.total_ns as f64 / 1e6,
+                    phase.mean_ns() as f64 / 1e3,
+                    phase.min_ns as f64 / 1e3,
+                    phase.max_ns as f64 / 1e3
+                );
+            }
+        }
         out
     }
 }
@@ -197,6 +231,42 @@ mod tests {
         assert!(table.contains("nnga"), "{table}");
         assert!(table.contains("total"), "{table}");
         assert_eq!(manifest.total_wall_ms(), 30);
+    }
+
+    #[test]
+    fn manifest_with_timings_round_trips_and_renders() {
+        use crate::sink::NullSink;
+        use crate::tracer::TimedTracer;
+        use std::sync::Arc;
+
+        let timed = TimedTracer::new(Arc::new(NullSink));
+        timed.phase("dsv");
+        let span = timed.span(0);
+        span.emit(crate::event::TraceEvent::ProbeIssued { value: 1.0 });
+        span.mark_done();
+        timed.absorb(span);
+        let manifest = RunManifest::new("fig2", 1, 1).capture(&timed);
+        let timings = manifest.timings.as_ref().expect("timing sidecar captured");
+        assert_eq!(timings.phases[0].phase, "dsv");
+        let json = serde_json::to_string(&manifest).expect("serializes");
+        let back: RunManifest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, manifest);
+        let table = manifest.render();
+        assert!(table.contains("span timings"), "{table}");
+        assert!(table.contains("mean us"), "{table}");
+    }
+
+    #[test]
+    fn manifests_without_a_timings_field_still_parse() {
+        // A pre-timings manifest: the field is simply absent.
+        let manifest = RunManifest::new("fig3", 2, 4);
+        let json = serde_json::to_string(&manifest)
+            .expect("serializes")
+            .replace(",\"timings\":null", "");
+        assert!(!json.contains("timings"), "{json}");
+        let back: RunManifest = serde_json::from_str(&json).expect("old manifests parse");
+        assert_eq!(back.timings, None);
+        assert!(!back.render().contains("span timings"));
     }
 
     #[test]

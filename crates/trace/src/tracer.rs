@@ -14,6 +14,7 @@
 use crate::event::{FaultKind, TraceEvent, TraceRecord};
 use crate::metrics::{bump, MetricsRegistry, MetricsSnapshot};
 use crate::sink::TraceSink;
+use crate::timing::{SpanClock, TimingRegistry, TimingSnapshot};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +30,7 @@ use std::time::Instant;
 #[derive(Debug, Clone, Default)]
 pub struct SpanTrace {
     events: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    clock: Option<Arc<SpanClock>>,
     test: u64,
 }
 
@@ -43,8 +45,35 @@ impl SpanTrace {
     pub fn for_test(test: u64) -> Self {
         Self {
             events: Some(Arc::new(Mutex::new(Vec::new()))),
+            clock: None,
             test,
         }
+    }
+
+    /// An enabled span for `test` carrying a monotonic [`SpanClock`] — the
+    /// form a timing-enabled tracer hands out.
+    pub fn for_test_timed(test: u64) -> Self {
+        Self {
+            events: Some(Arc::new(Mutex::new(Vec::new()))),
+            clock: Some(Arc::new(SpanClock::new())),
+            test,
+        }
+    }
+
+    /// Stamps the span's wall-clock end as of now (no-op without a clock,
+    /// and on every call after the first).
+    ///
+    /// The instrumented measurement paths call this the moment a test's
+    /// work finishes on its worker thread, so the recorded duration
+    /// excludes the coordinator's absorb latency.
+    pub fn mark_done(&self) {
+        if let Some(clock) = &self.clock {
+            clock.mark_done();
+        }
+    }
+
+    fn duration_ns(&self) -> Option<u64> {
+        self.clock.as_ref().map(|clock| clock.duration_ns())
     }
 
     /// Whether events are being collected.
@@ -111,6 +140,10 @@ struct TracerCore {
     seq: AtomicU64,
     started: Instant,
     phase_state: Mutex<(Vec<PhaseSummary>, Option<OpenPhase>)>,
+    /// The wall-clock timing sidecar, present only for timing-enabled
+    /// tracers ([`TimedTracer`]). Never feeds the event stream: the
+    /// normalized trace is byte-identical with and without it.
+    timing: Option<Arc<TimingRegistry>>,
 }
 
 /// The campaign-level trace handle: creates spans, absorbs them in index
@@ -139,6 +172,10 @@ impl Tracer {
 
     /// A tracer recording into `sink`.
     pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Self::build(sink, None)
+    }
+
+    fn build(sink: Arc<dyn TraceSink>, timing: Option<Arc<TimingRegistry>>) -> Self {
         Self {
             core: Some(Arc::new(TracerCore {
                 sink,
@@ -146,6 +183,7 @@ impl Tracer {
                 seq: AtomicU64::new(0),
                 started: Instant::now(),
                 phase_state: Mutex::new((Vec::new(), None)),
+                timing,
             })),
         }
     }
@@ -155,9 +193,11 @@ impl Tracer {
         self.core.is_some()
     }
 
-    /// A span for test index `test` (disabled when the tracer is).
+    /// A span for test index `test` (disabled when the tracer is; clocked
+    /// when the tracer carries a timing sidecar).
     pub fn span(&self, test: u64) -> SpanTrace {
         match &self.core {
+            Some(core) if core.timing.is_some() => SpanTrace::for_test_timed(test),
             Some(_) => SpanTrace::for_test(test),
             None => SpanTrace::disabled(),
         }
@@ -165,7 +205,10 @@ impl Tracer {
 
     /// Absorbs a finished span: stamps its events with the next sequence
     /// numbers, the span's test index and a wall timestamp, forwards them
-    /// to the sink, and derives metrics.
+    /// to the sink, and derives metrics. With a timing sidecar, the span's
+    /// wall-clock duration is also folded into the open phase's timing —
+    /// after the events are written, so timing can never perturb the
+    /// deterministic stream.
     ///
     /// Call this from the coordinating thread in **input-index order** —
     /// that ordering is the whole determinism contract.
@@ -173,6 +216,9 @@ impl Tracer {
         let Some(core) = &self.core else { return };
         let events = span.drain();
         core.write(Some(span.test_index()), events);
+        if let (Some(timing), Some(dur_ns)) = (&core.timing, span.duration_ns()) {
+            timing.record_span(dur_ns);
+        }
     }
 
     /// Records a campaign-scoped event (GA generation, committee epoch)
@@ -204,6 +250,9 @@ impl Tracer {
             entered: Instant::now(),
             probes_at_entry: probes,
         });
+        if let Some(timing) = &core.timing {
+            timing.enter_phase(name);
+        }
     }
 
     /// The per-phase summaries so far; the currently open phase is closed
@@ -229,6 +278,15 @@ impl Tracer {
         }
     }
 
+    /// A snapshot of the wall-clock timing sidecar, or `None` for tracers
+    /// without one (everything except a [`TimedTracer`]).
+    pub fn timings(&self) -> Option<TimingSnapshot> {
+        self.core
+            .as_ref()
+            .and_then(|core| core.timing.as_ref())
+            .map(|timing| timing.snapshot())
+    }
+
     /// Flushes and publishes the sink (the atomic commit for file-backed
     /// sinks). A disabled tracer finishes trivially.
     ///
@@ -240,6 +298,75 @@ impl Tracer {
             Some(core) => core.sink.finish(),
             None => Ok(()),
         }
+    }
+}
+
+/// A [`Tracer`] with the wall-clock timing sidecar armed: spans carry a
+/// monotonic [`SpanClock`], and absorbed durations aggregate per phase in
+/// a [`TimingRegistry`].
+///
+/// Derefs to [`Tracer`], so every traced entry point accepts it
+/// unchanged; the event stream it produces is **byte-identical** to an
+/// untimed tracer's (timings are a separate artifact — they land in
+/// `RunManifest.timings`, never in the trace). Golden tests assert that
+/// identity.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_trace::{NullSink, TimedTracer, TraceEvent};
+/// use std::sync::Arc;
+///
+/// let timed = TimedTracer::new(Arc::new(NullSink));
+/// timed.phase("dsv");
+/// let span = timed.span(0);
+/// span.emit(TraceEvent::ProbeIssued { value: 110.0 });
+/// span.mark_done();
+/// timed.absorb(span);
+/// let timings = timed.timing_snapshot();
+/// assert_eq!(timings.phases[0].phase, "dsv");
+/// assert_eq!(timings.phases[0].spans, 1);
+/// ```
+#[derive(Clone)]
+pub struct TimedTracer {
+    tracer: Tracer,
+    registry: Arc<TimingRegistry>,
+}
+
+impl std::fmt::Debug for TimedTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedTracer")
+            .field("tracer", &self.tracer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimedTracer {
+    /// A timing-enabled tracer recording events into `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        let registry = Arc::new(TimingRegistry::new());
+        Self {
+            tracer: Tracer::build(sink, Some(registry.clone())),
+            registry,
+        }
+    }
+
+    /// The underlying tracer handle (also reachable through deref).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The timing sidecar's current per-phase statistics.
+    pub fn timing_snapshot(&self) -> TimingSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl std::ops::Deref for TimedTracer {
+    type Target = Tracer;
+
+    fn deref(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -441,6 +568,46 @@ mod tests {
         });
         assert_eq!(span.events().len(), 2, "interleaved in emit order");
         assert_eq!(clone.test_index(), 5);
+    }
+
+    #[test]
+    fn timed_tracer_records_span_durations_per_phase() {
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let timed = TimedTracer::new(sink.clone());
+        timed.phase("full_range");
+        for test in 0..2u64 {
+            let span = timed.span(test);
+            for event in search_events() {
+                span.emit(event);
+            }
+            span.mark_done();
+            timed.absorb(span);
+        }
+        timed.phase("stp");
+        let span = timed.span(2);
+        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        timed.absorb(span); // unmarked: falls back to absorb-time duration
+        let timings = timed.timing_snapshot();
+        assert_eq!(timings.phases.len(), 2);
+        assert_eq!(timings.phases[0].phase, "full_range");
+        assert_eq!(timings.phases[0].spans, 2);
+        assert!(timings.phases[0].total_ns > 0);
+        assert_eq!(timings.phases[1].spans, 1);
+        assert_eq!(timed.timings(), Some(timings), "reachable via the Tracer handle");
+        // The sidecar never touches the stream: record count matches an
+        // untimed tracer's for the same campaign.
+        assert_eq!(sink.records().len(), 2 * 6 + 1 + 2, "events + phase changes");
+    }
+
+    #[test]
+    fn untimed_tracer_has_no_timing_sidecar() {
+        let tracer = Tracer::new(Arc::new(RingBufferSink::unbounded()));
+        assert_eq!(tracer.timings(), None);
+        let span = tracer.span(0);
+        span.mark_done(); // a clockless span ignores the stamp
+        tracer.absorb(span);
+        assert_eq!(tracer.timings(), None);
+        assert_eq!(Tracer::disabled().timings(), None);
     }
 
     #[test]

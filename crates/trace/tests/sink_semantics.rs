@@ -1,0 +1,226 @@
+//! Sink contract tests: `RingBufferSink` wraparound semantics and
+//! `JsonlSink` atomic publish.
+//!
+//! The ring buffer is the golden-trace capture vehicle, so its eviction
+//! order must be exact; the JSONL sink is the on-disk artifact writer, so
+//! a crashed or failing run must never leave a partial stream at the
+//! destination path — the destination either holds the previous complete
+//! artifact or the new complete one, nothing in between.
+
+use cichar_trace::{JsonlSink, RingBufferSink, TraceEvent, TraceRecord, TraceSink};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn record(seq: u64) -> TraceRecord {
+    TraceRecord {
+        seq,
+        test: Some(seq % 7),
+        ts_us: 0,
+        event: TraceEvent::ProbeIssued { value: seq as f64 },
+    }
+}
+
+fn seqs(records: &[TraceRecord]) -> Vec<u64> {
+    records.iter().map(|r| r.seq).collect()
+}
+
+/// A fresh scratch directory per test, so parallel tests never collide.
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cichar_sink_semantics").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+// --- RingBufferSink wraparound -----------------------------------------
+
+#[test]
+fn unbounded_buffer_retains_every_record_in_order() {
+    let sink = RingBufferSink::unbounded();
+    for seq in 0..10_000 {
+        sink.record(&record(seq));
+    }
+    assert_eq!(sink.len(), 10_000);
+    assert_eq!(seqs(&sink.records()), (0..10_000).collect::<Vec<_>>());
+}
+
+#[test]
+fn bounded_buffer_does_not_evict_until_full() {
+    let sink = RingBufferSink::with_capacity(8);
+    for seq in 0..8 {
+        sink.record(&record(seq));
+    }
+    assert_eq!(seqs(&sink.records()), (0..8).collect::<Vec<_>>());
+    // The 9th record evicts exactly the oldest one.
+    sink.record(&record(8));
+    assert_eq!(seqs(&sink.records()), (1..9).collect::<Vec<_>>());
+}
+
+#[test]
+fn wraparound_keeps_the_newest_records_across_many_laps() {
+    let sink = RingBufferSink::with_capacity(16);
+    for seq in 0..1000 {
+        sink.record(&record(seq));
+        // Invariant at every step, not just at the end: bounded, and the
+        // retained window is the contiguous tail of what was recorded.
+        assert!(sink.len() <= 16);
+    }
+    assert_eq!(seqs(&sink.records()), (984..1000).collect::<Vec<_>>());
+}
+
+#[test]
+fn take_drains_and_later_records_refill_from_empty() {
+    let sink = RingBufferSink::with_capacity(4);
+    for seq in 0..6 {
+        sink.record(&record(seq));
+    }
+    assert_eq!(seqs(&sink.take()), vec![2, 3, 4, 5]);
+    assert!(sink.is_empty());
+    sink.record(&record(6));
+    assert_eq!(seqs(&sink.records()), vec![6]);
+}
+
+#[test]
+fn concurrent_recording_stays_bounded() {
+    let sink = Arc::new(RingBufferSink::with_capacity(32));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let sink = Arc::clone(&sink);
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    sink.record(&record(t * 1000 + i));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+    assert_eq!(sink.len(), 32, "eviction holds the bound under contention");
+}
+
+#[test]
+#[should_panic(expected = "capacity must be positive")]
+fn zero_capacity_is_rejected() {
+    let _ = RingBufferSink::with_capacity(0);
+}
+
+// --- JsonlSink atomic temp+rename crash-safety -------------------------
+
+/// A writer that dies after `budget` bytes — a run aborted mid-stream.
+struct DyingWriter {
+    budget: usize,
+}
+
+impl Write for DyingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.len() > self.budget {
+            return Err(io::Error::other("tester power loss"));
+        }
+        self.budget -= buf.len();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn parseable_lines(path: &Path) -> usize {
+    let text = std::fs::read_to_string(path).expect("readable");
+    text.lines()
+        .map(|line| {
+            serde_json::from_str::<TraceRecord>(line).expect("every published line parses");
+        })
+        .count()
+}
+
+#[test]
+fn destination_is_never_visible_while_recording() {
+    let dir = test_dir("never_partial");
+    let target = dir.join("stream.jsonl");
+    let sink = JsonlSink::create(&target).expect("writable");
+    for seq in 0..200 {
+        sink.record(&record(seq));
+        // Observe the destination after *every* write: the stream must
+        // only ever appear at the target via the final rename.
+        assert!(!target.exists(), "partial stream visible at seq {seq}");
+    }
+    sink.finish().expect("commit");
+    assert_eq!(parseable_lines(&target), 200);
+}
+
+#[test]
+fn finish_atomically_replaces_a_previous_artifact() {
+    let dir = test_dir("replace");
+    let target = dir.join("stream.jsonl");
+    std::fs::write(&target, "previous run\n").expect("old artifact");
+
+    let sink = JsonlSink::create(&target).expect("writable");
+    sink.record(&record(0));
+    // Until finish, readers still see the previous complete artifact.
+    assert_eq!(
+        std::fs::read_to_string(&target).expect("old artifact intact"),
+        "previous run\n"
+    );
+    sink.finish().expect("commit");
+    assert_eq!(parseable_lines(&target), 1);
+}
+
+#[test]
+fn failing_writer_leaves_a_previous_artifact_untouched() {
+    let dir = test_dir("crash_preserves_old");
+    let target = dir.join("stream.jsonl");
+    let scratch = dir.join("stream.jsonl.tmp");
+    std::fs::write(&target, "previous run\n").expect("old artifact");
+
+    let sink = JsonlSink::from_parts(
+        Box::new(DyingWriter { budget: 120 }),
+        scratch.clone(),
+        target.clone(),
+    );
+    for seq in 0..50 {
+        sink.record(&record(seq));
+    }
+    let err = sink.finish().expect_err("writer died mid-stream");
+    assert_eq!(err.to_string(), "tester power loss");
+    // The previous artifact survives byte-for-byte; no scratch debris.
+    assert_eq!(
+        std::fs::read_to_string(&target).expect("old artifact intact"),
+        "previous run\n"
+    );
+    assert!(!scratch.exists(), "scratch cleaned up after failure");
+}
+
+#[test]
+fn abandoned_sink_publishes_nothing() {
+    let dir = test_dir("abandoned");
+    let target = dir.join("stream.jsonl");
+    {
+        let sink = JsonlSink::create(&target).expect("writable");
+        sink.record(&record(0));
+        // Dropped without finish — the process "crashed" here.
+    }
+    assert!(!target.exists(), "no artifact without an explicit commit");
+}
+
+#[test]
+fn errors_latch_and_recording_continues_silently() {
+    // The hot path must never branch on I/O: after the writer dies,
+    // further records are no-ops and the one latched error surfaces from
+    // finish.
+    let dir = test_dir("latched");
+    let target = dir.join("stream.jsonl");
+    let scratch = dir.join("stream.jsonl.tmp");
+    let sink = JsonlSink::from_parts(
+        Box::new(DyingWriter { budget: 0 }),
+        scratch,
+        target.clone(),
+    );
+    for seq in 0..10 {
+        sink.record(&record(seq));
+    }
+    assert!(sink.finish().is_err());
+    assert!(!target.exists());
+}

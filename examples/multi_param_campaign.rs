@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release --example multi_param_campaign
 //! cargo run --release --example multi_param_campaign -- --threads 4
+//! cargo run --release --example multi_param_campaign -- --trace campaign.jsonl --manifest campaign.json
 //! ```
 //!
 //! Each parameter's GA fitness evaluation fans out across `--threads`
@@ -19,12 +20,15 @@ use cichar::core::optimization::OptimizationConfig;
 use cichar::dut::MemoryDevice;
 use cichar::genetic::GaConfig;
 use cichar::neural::TrainConfig;
-use cichar_bench::thread_policy;
+use cichar::trace::RunManifest;
+use cichar_bench::{thread_policy, trace_outputs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let policy = thread_policy();
+    let outputs = trace_outputs();
+    let tracer = outputs.tracer();
     let campaign = MultiParamCampaign::new(
         AnalysisTask::data_sheet(),
         LearningConfig {
@@ -57,7 +61,7 @@ fn main() {
         "running the figs. 4+5 pipeline once per data-sheet parameter ({} threads)...\n",
         policy.threads()
     );
-    let report = campaign.run_parallel(&mut ate, policy, &mut rng);
+    let report = campaign.run_parallel_traced(&mut ate, policy, &mut rng, &tracer);
     print!("{report}");
 
     println!("\nfinal worst-case suite with fuzzy weakness analysis (§5):");
@@ -70,4 +74,15 @@ fn main() {
         "\nfindings requiring detailed analysis: {}",
         if report.has_findings() { "YES" } else { "none" }
     );
+
+    if outputs.enabled() {
+        let manifest = RunManifest::new("multi_param_campaign", 3, policy.threads())
+            .with_config("parameters", report.worst_case_suite().len())
+            .capture(&tracer);
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,18 +6,23 @@
 //! ```text
 //! cargo run --release --example worst_case_hunt
 //! cargo run --release --example worst_case_hunt -- --fault-rate 0.02
+//! cargo run --release --example worst_case_hunt -- --trace hunt.jsonl --manifest hunt.json --timings
 //! ```
 
 use cichar::ate::{Ate, AteConfig};
-use cichar::bench::robustness;
+use cichar::bench::{robustness, thread_policy, trace_outputs};
 use cichar::core::compare::{quick_config, Comparison};
 use cichar::core::report::render_timing_diagram;
 use cichar::dut::{MemoryDevice, T_DQ_SPEC};
+use cichar::trace::RunManifest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let robustness = robustness();
+    let policy = thread_policy();
+    let outputs = trace_outputs();
+    let tracer = outputs.tracer();
     let mut ate = Ate::with_config(
         MemoryDevice::nominal(),
         AteConfig {
@@ -39,7 +44,7 @@ fn main() {
             robustness.recovery.map_or(0, |p| p.max_retries()),
         );
     }
-    let comparison = Comparison::run(&mut ate, &config, &mut rng);
+    let comparison = Comparison::run_parallel_traced(&mut ate, &config, policy, &mut rng, &tracer);
 
     println!("learning phase:     {}", comparison.model);
     println!(
@@ -80,4 +85,22 @@ fn main() {
         );
     }
     println!("\n{}", ate.ledger());
+
+    if outputs.enabled() {
+        let trips: Vec<f64> = comparison.rows.iter().map(|r| r.t_dq).collect();
+        let mut manifest = RunManifest::new("worst_case_hunt", 0xDA7E, policy.threads())
+            .with_config("random_tests", config.random_tests)
+            .with_config("fault_rate", robustness.faults.flip_rate());
+        if let Some(min) = trips.iter().copied().reduce(f64::min) {
+            manifest = manifest
+                .with_config("trip_min", min)
+                .with_config("trip_max", trips.iter().copied().fold(min, f64::max));
+        }
+        let manifest = manifest.capture(&tracer);
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
 }

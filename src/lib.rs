@@ -23,7 +23,8 @@
 //! | [`fuzzy`] | membership functions, Mamdani inference, WCR coding |
 //! | [`genetic`] | the two-species multi-population GA |
 //! | [`core`] | the paper's schemes: DSV, WCR, learning, optimization, Table 1 |
-//! | [`trace`] | structured tracing: events, metrics registry, run manifests |
+//! | [`trace`] | structured tracing: events, metrics registry, run manifests, span timing |
+//! | [`report`] | trace analytics: search anatomy, Perfetto export, manifest diff gate |
 //!
 //! # Quickstart
 //!
@@ -66,6 +67,7 @@ pub use cichar_fuzzy as fuzzy;
 pub use cichar_genetic as genetic;
 pub use cichar_neural as neural;
 pub use cichar_patterns as patterns;
+pub use cichar_report as report;
 pub use cichar_search as search;
 pub use cichar_trace as trace;
 pub use cichar_units as units;

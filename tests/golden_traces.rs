@@ -29,7 +29,7 @@ use cichar::exec::ExecPolicy;
 use cichar::genetic::GaConfig;
 use cichar::neural::TrainConfig;
 use cichar::patterns::{random, ConditionSpace, Test};
-use cichar::trace::{normalize_jsonl, MetricsSnapshot, RingBufferSink, Tracer};
+use cichar::trace::{normalize_jsonl, MetricsSnapshot, RingBufferSink, TimedTracer, TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -210,6 +210,67 @@ fn table1_campaign_trace_is_golden() {
         let mut rng = StdRng::seed_from_u64(GOLD_SEED);
         Comparison::run_parallel_traced(&mut ate, &mini_table1_config(), policy, &mut rng, tracer);
     });
+}
+
+/// The wall-clock timing sidecar must stay OUT of the event stream: the
+/// same campaign run through a plain [`Tracer`] and through a
+/// [`TimedTracer`] produces byte-identical normalized streams — only the
+/// side-channel snapshot differs. This is what lets every golden fixture
+/// stay valid whether or not `--timings` is on.
+#[test]
+fn timed_tracer_leaves_the_normalized_stream_byte_identical() {
+    let run = |timed: bool| -> (String, bool) {
+        let sink = Arc::new(RingBufferSink::unbounded());
+        let tracer = if timed {
+            TimedTracer::new(sink.clone() as Arc<dyn TraceSink>)
+                .tracer()
+                .clone()
+        } else {
+            Tracer::new(sink.clone())
+        };
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                seed: GOLD_SEED,
+                ..AteConfig::default()
+            },
+        );
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        tracer.phase("dsv");
+        runner.run_parallel_traced(
+            &blueprint,
+            &gold_tests(12),
+            SearchStrategy::SearchUntilTrip,
+            ExecPolicy::with_threads(8),
+            &tracer,
+        );
+        let mut out = String::new();
+        for record in sink.records() {
+            out.push_str(&serde_json::to_string(&record.normalized()).expect("record serializes"));
+            out.push('\n');
+        }
+        let has_timings = tracer.timings().is_some_and(|t| t.spans() > 0);
+        (out, has_timings)
+    };
+
+    let (plain_stream, plain_timed) = run(false);
+    let (timed_stream, timed_timed) = run(true);
+    assert_eq!(
+        plain_stream, timed_stream,
+        "arming the timing sidecar must not change a single byte of the \
+         normalized event stream"
+    );
+    assert!(!plain_timed, "a plain tracer has no timing sidecar");
+    assert!(timed_timed, "the timed tracer captured span durations");
+    // And the timed stream still matches the checked-in fig2 golden.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/fig2.jsonl");
+    if let Ok(golden) = std::fs::read_to_string(&path) {
+        assert_eq!(
+            normalize_jsonl(&golden),
+            timed_stream,
+            "timed stream diverged from the fig2 golden fixture"
+        );
+    }
 }
 
 /// The trace streams carry every event family the taxonomy defines for

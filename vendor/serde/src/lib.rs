@@ -75,6 +75,18 @@ pub fn map_get<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
     map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Error produced when a [`Value`] does not match the shape a
 /// [`Deserialize`] implementation expects (or when JSON text is malformed).
 #[derive(Debug, Clone, PartialEq, Eq)]
