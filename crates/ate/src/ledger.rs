@@ -35,6 +35,11 @@ pub struct MeasurementLedger {
     /// Tracked apart from `measurements` so cached probes never inflate
     /// the paper's measurement-saving numbers (fig. 3).
     cached: u64,
+    /// Measurements issued speculatively (pre-probed children of a
+    /// bisection level that may be discarded). They are real pattern
+    /// applications and count under `measurements` too; this column lets
+    /// eq. 1 economy numbers subtract the speculative waste honestly.
+    speculative: u64,
     /// Injected probe-contact dropouts (verdict unavailable), including
     /// every silent measurement inside a session-abort burst.
     dropouts: u64,
@@ -75,6 +80,13 @@ impl MeasurementLedger {
     /// measurements, cycles, and tester time all stay put.
     pub fn record_cached(&mut self) {
         self.cached += 1;
+    }
+
+    /// Records that the most recent measurement was issued speculatively.
+    /// The measurement itself is already counted by [`Self::record`]; this
+    /// marks it as pre-issued work that may be discarded unused.
+    pub fn record_speculative(&mut self) {
+        self.speculative += 1;
     }
 
     /// Records one injected probe-contact dropout (verdict unavailable).
@@ -119,6 +131,17 @@ impl MeasurementLedger {
     /// Total probes served from the memoization cache.
     pub fn cached_probes(&self) -> u64 {
         self.cached
+    }
+
+    /// Measurements that were issued speculatively.
+    pub fn speculative_probes(&self) -> u64 {
+        self.speculative
+    }
+
+    /// Measurements net of speculative pre-issues — the honest probe
+    /// economy denominator of eq. 1 accounting.
+    pub fn non_speculative_measurements(&self) -> u64 {
+        self.measurements.saturating_sub(self.speculative)
     }
 
     /// Total vector cycles applied.
@@ -192,6 +215,7 @@ impl MeasurementLedger {
             cycles: self.cycles.saturating_sub(baseline.cycles),
             pattern_time_us: (self.pattern_time_us - baseline.pattern_time_us).max(0.0),
             cached: self.cached.saturating_sub(baseline.cached),
+            speculative: self.speculative.saturating_sub(baseline.speculative),
             dropouts: self.dropouts.saturating_sub(baseline.dropouts),
             flips: self.flips.saturating_sub(baseline.flips),
             stuck_probes: self.stuck_probes.saturating_sub(baseline.stuck_probes),
@@ -211,6 +235,7 @@ impl MeasurementLedger {
         self.cycles += other.cycles;
         self.pattern_time_us += other.pattern_time_us;
         self.cached += other.cached;
+        self.speculative += other.speculative;
         self.dropouts += other.dropouts;
         self.flips += other.flips;
         self.stuck_probes += other.stuck_probes;
@@ -237,6 +262,9 @@ impl fmt::Display for MeasurementLedger {
         )?;
         if self.cached > 0 {
             write!(f, " ({} cached probes)", self.cached)?;
+        }
+        if self.speculative > 0 {
+            write!(f, " ({} speculative probes)", self.speculative)?;
         }
         if self.injected_faults() > 0 || self.retries > 0 || self.quarantined > 0 {
             write!(
@@ -342,6 +370,26 @@ mod tests {
         assert_eq!(l.cached_probes(), 2);
         assert_eq!(l.cycles(), 640, "cache hits apply no vectors");
         assert_eq!(l.test_time_ms(), time_before, "cache hits cost no tester time");
+    }
+
+    #[test]
+    fn speculative_probes_stay_inside_measurements() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        l.record(640, 100.0);
+        l.record_speculative();
+        assert_eq!(l.measurements(), 2, "speculative probes are real measurements");
+        assert_eq!(l.speculative_probes(), 1);
+        assert_eq!(l.non_speculative_measurements(), 1);
+        let baseline = l;
+        l.record(640, 100.0);
+        l.record_speculative();
+        let delta = l.since(&baseline);
+        assert_eq!(delta.speculative_probes(), 1);
+        let mut merged = baseline;
+        merged.merge(&delta);
+        assert_eq!(merged, l);
+        assert!(l.to_string().contains("2 speculative probes"), "{l}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::params::MeasuredParam;
 use crate::tester::Ate;
 use cichar_patterns::{PatternFeatures, Test};
-use cichar_search::{PassFailOracle, Probe};
+use cichar_search::{BatchOracle, PassFailOracle, Probe};
 use cichar_trace::{SpanTrace, TraceEvent};
 
 /// Borrows an [`Ate`] as a [`PassFailOracle`] for one test and one
@@ -77,10 +77,10 @@ impl<'a> TripOracle<'a> {
     pub fn test(&self) -> &Test {
         self.test
     }
-}
 
-impl PassFailOracle for TripOracle<'_> {
-    fn probe(&mut self, value: f64) -> Probe {
+    /// One scalar probe, optionally marked speculative. Cache hits never
+    /// count as speculative — they cost no measurement to discard.
+    fn probe_marked(&mut self, value: f64, speculative: bool) -> Probe {
         let key = self.memo_base.map(|base| {
             let h = crate::tester::mix(base, self.param.kind() as u64);
             crate::tester::mix(h, value.to_bits())
@@ -95,7 +95,7 @@ impl PassFailOracle for TripOracle<'_> {
                 return verdict;
             }
         }
-        self.trace.emit(TraceEvent::ProbeIssued { value });
+        self.trace.emit(TraceEvent::ProbeIssued { value, speculative });
         // §4 relaxation: non-measured parameters are forced to relaxed
         // values so only the strobed parameter can cause failure.
         let mut forces: Vec<_> = self.param.relax_forces().to_vec();
@@ -103,6 +103,9 @@ impl PassFailOracle for TripOracle<'_> {
         let verdict =
             self.ate
                 .measure_features(&self.features, self.pattern_cycles, self.test, &forces);
+        if speculative {
+            self.ate.record_speculative(1);
+        }
         if let Some(key) = key {
             self.ate.cache_store(key, verdict);
         }
@@ -112,6 +115,63 @@ impl PassFailOracle for TripOracle<'_> {
             cached: false,
         });
         verdict
+    }
+}
+
+impl PassFailOracle for TripOracle<'_> {
+    fn probe(&mut self, value: f64) -> Probe {
+        self.probe_marked(value, false)
+    }
+}
+
+impl BatchOracle for TripOracle<'_> {
+    fn probe_batch(&mut self, values: &[f64]) -> Vec<Probe> {
+        self.probe_batch_speculative(values, values.len())
+    }
+
+    /// Resolves the batch with bit-identical verdicts to the scalar loop.
+    ///
+    /// With memoization active (noiseless, drift-free, fault-free session)
+    /// the values are walked scalar-style so in-batch duplicates hit the
+    /// cache exactly as sequential probes would. Otherwise every value is
+    /// a physical measurement and the whole batch funnels into one
+    /// [`Ate::measure_features_batch`] call, amortizing condition setup
+    /// and the device's stress evaluation across the batch.
+    fn probe_batch_speculative(&mut self, values: &[f64], first_speculative: usize) -> Vec<Probe> {
+        if self.memo_base.is_some() {
+            return values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| self.probe_marked(v, i >= first_speculative))
+                .collect();
+        }
+        for (i, &value) in values.iter().enumerate() {
+            self.trace.emit(TraceEvent::ProbeIssued {
+                value,
+                speculative: i >= first_speculative,
+            });
+        }
+        let forces = self.param.relax_forces().to_vec();
+        let verdicts = self.ate.measure_features_batch(
+            &self.features,
+            self.pattern_cycles,
+            self.test,
+            &forces,
+            self.param.kind(),
+            values,
+        );
+        let speculated = values.len().saturating_sub(first_speculative) as u64;
+        if speculated > 0 {
+            self.ate.record_speculative(speculated);
+        }
+        for (&value, &verdict) in values.iter().zip(&verdicts) {
+            self.trace.emit(TraceEvent::ProbeResolved {
+                value,
+                verdict: verdict.into(),
+                cached: false,
+            });
+        }
+        verdicts
     }
 }
 
@@ -141,6 +201,68 @@ mod tests {
         let oracle = ate.trip_oracle(&test, MeasuredParam::MinVoltage);
         assert_eq!(oracle.param(), MeasuredParam::MinVoltage);
         assert_eq!(oracle.test().name(), "march_x");
+    }
+
+    #[test]
+    fn probe_batch_matches_scalar_probes_with_noise() {
+        use crate::noise::NoiseModel;
+        use crate::tester::AteConfig;
+        let config = AteConfig {
+            noise: NoiseModel::new(0.05, 0.1, 0.01),
+            seed: 31,
+            ..AteConfig::default()
+        };
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let values: Vec<f64> = (0..24).map(|i| 28.0 + 0.4 * f64::from(i)).collect();
+        let mut a = Ate::with_config(MemoryDevice::nominal(), config.clone());
+        let scalar: Vec<Probe> = {
+            let mut oracle = a.trip_oracle(&test, MeasuredParam::DataValidTime);
+            values.iter().map(|&v| oracle.probe(v)).collect()
+        };
+        let mut b = Ate::with_config(MemoryDevice::nominal(), config);
+        let batch = b
+            .trip_oracle(&test, MeasuredParam::DataValidTime)
+            .probe_batch(&values);
+        assert_eq!(batch, scalar);
+        assert_eq!(*a.ledger(), *b.ledger());
+    }
+
+    #[test]
+    fn memoized_batch_serves_in_batch_duplicates_from_cache() {
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let mut ate = Ate::noiseless(MemoryDevice::nominal()).with_memoization();
+        let batch = ate
+            .trip_oracle(&test, MeasuredParam::DataValidTime)
+            .probe_batch(&[30.0, 30.0, 34.0, 30.0]);
+        assert_eq!(
+            batch,
+            vec![Probe::Pass, Probe::Pass, Probe::Fail, Probe::Pass]
+        );
+        assert_eq!(ate.ledger().measurements(), 2, "two distinct stimuli");
+        assert_eq!(ate.ledger().cached_probes(), 2, "duplicates hit the cache");
+    }
+
+    #[test]
+    fn speculative_tail_is_ledgered_but_verdicts_match() {
+        let test = Test::deterministic("march_x", march::march_x(96));
+        let values = [30.0, 28.0, 34.0];
+        let mut plain_ate = Ate::noiseless(MemoryDevice::nominal());
+        let plain = plain_ate
+            .trip_oracle(&test, MeasuredParam::DataValidTime)
+            .probe_batch(&values);
+        let mut spec_ate = Ate::noiseless(MemoryDevice::nominal());
+        let spec = spec_ate
+            .trip_oracle(&test, MeasuredParam::DataValidTime)
+            .probe_batch_speculative(&values, 1);
+        assert_eq!(spec, plain, "the marker never changes physics");
+        assert_eq!(plain_ate.ledger().speculative_probes(), 0);
+        assert_eq!(spec_ate.ledger().speculative_probes(), 2);
+        assert_eq!(spec_ate.ledger().non_speculative_measurements(), 1);
+        assert_eq!(
+            plain_ate.ledger().measurements(),
+            spec_ate.ledger().measurements(),
+            "speculative probes are still real measurements"
+        );
     }
 
     #[test]

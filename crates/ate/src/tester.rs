@@ -324,6 +324,108 @@ impl Ate {
         self.inject_faults(verdict)
     }
 
+    /// Batched hot path: measures the same test at many values of one
+    /// swept parameter in a single call.
+    ///
+    /// The per-element physics is **bit-identical** to calling
+    /// [`Ate::measure_features`] once per value in order — drift advances
+    /// by the pattern's cycle count between elements, and the noise and
+    /// fault RNG streams are consumed in exactly the scalar order — but
+    /// the device response is evaluated once over the whole batch
+    /// ([`MemoryDevice::evaluate_batch`] hoists the pattern's stress
+    /// breakdown out of the per-value loop), which is what the batched
+    /// oracle call sites buy.
+    ///
+    /// `base_forces` are applied to every element (§4 relaxation);
+    /// `swept` is forced to each of `values` in turn.
+    pub fn measure_features_batch(
+        &mut self,
+        features: &PatternFeatures,
+        pattern_cycles: u64,
+        test: &Test,
+        base_forces: &[(ParamKind, f64)],
+        swept: ParamKind,
+        values: &[f64],
+    ) -> Vec<Probe> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        // Pass 1: per-element conditions. Drift for element `i` is known
+        // analytically — every element of the batch applies the same
+        // pattern, so its cycle counter reads `c0 + i·pattern_cycles`.
+        let c0 = self.ledger.cycles();
+        let mut conditions_batch = Vec::with_capacity(values.len());
+        let mut strobes = Vec::with_capacity(values.len());
+        for (i, &value) in values.iter().enumerate() {
+            let mut conditions = *test.conditions();
+            let mut strobe: Option<f64> = None;
+            let swept_force = (swept, value);
+            for &(kind, forced) in base_forces.iter().chain(std::iter::once(&swept_force)) {
+                match kind {
+                    ParamKind::StrobeDelay => strobe = Some(forced),
+                    ParamKind::SupplyVoltage => {
+                        conditions = conditions.with_vdd(Volts::new(forced))
+                    }
+                    ParamKind::ClockFrequency => {
+                        conditions = conditions.with_clock(Megahertz::new(forced))
+                    }
+                    ParamKind::Temperature => {
+                        conditions = conditions.with_temperature(Celsius::new(forced))
+                    }
+                }
+            }
+            let rise = self
+                .config
+                .drift
+                .temperature_rise(c0 + i as u64 * pattern_cycles);
+            if rise > 0.0 {
+                conditions =
+                    conditions.with_temperature(conditions.temperature + Celsius::new(rise));
+            }
+            conditions_batch.push(conditions);
+            strobes.push(strobe);
+        }
+
+        // One pure device evaluation over the whole batch.
+        let true_params = self.device.evaluate_batch(features, &conditions_batch);
+
+        // Pass 2: sequential bookkeeping in exactly the scalar order —
+        // ledger record, three noise draws, verdict, fault layer.
+        let (t_dq_sigma, f_max_sigma, vdd_min_sigma) = (
+            self.config.noise.t_dq_sigma(),
+            self.config.noise.f_max_sigma(),
+            self.config.noise.vdd_min_sigma(),
+        );
+        let mut verdicts = Vec::with_capacity(values.len());
+        for (i, params) in true_params.iter().enumerate() {
+            let conditions = &conditions_batch[i];
+            self.ledger.record(pattern_cycles, conditions.clock.value());
+            let t_dq = params.t_dq.value() + NoiseModel::sample(&mut self.rng, t_dq_sigma);
+            let f_max = params.f_max.value() + NoiseModel::sample(&mut self.rng, f_max_sigma);
+            let vdd_min =
+                params.vdd_min.value() + NoiseModel::sample(&mut self.rng, vdd_min_sigma);
+            let strobe_ok = strobes[i].is_none_or(|s| s <= t_dq);
+            let clock_ok = conditions.clock.value() <= f_max;
+            let vdd_ok = conditions.vdd.value() >= vdd_min;
+            let verdict = if strobe_ok && clock_ok && vdd_ok {
+                Probe::Pass
+            } else {
+                Probe::Fail
+            };
+            verdicts.push(self.inject_faults(verdict));
+        }
+        verdicts
+    }
+
+    /// Marks the `n` most recent measurements as speculative pre-issues in
+    /// the ledger (batched oracles call this for the discardable tail of a
+    /// speculative batch).
+    pub(crate) fn record_speculative(&mut self, n: u64) {
+        for _ in 0..n {
+            self.ledger.record_speculative();
+        }
+    }
+
     /// Passes the true verdict through the tester's fault layer. A healthy
     /// tester short-circuits without touching the fault RNG; a faulty one
     /// draws a fixed number of uniforms per measurement so replay is exact
@@ -739,6 +841,71 @@ mod tests {
         assert_eq!(ate.ledger().retries(), stats.retries);
         assert!(ate.ledger().backoff_time_us() > 0.0);
         assert!(ate.ledger().dropouts() >= stats.retries, "every retry was caused by a dropout");
+    }
+
+    #[test]
+    fn batch_measurement_is_bit_identical_to_scalar_sequence() {
+        // The nastiest regime: noise, drift AND fault injection all on.
+        // Batch element i must consume exactly the RNG draws, drift cycles
+        // and fault-state transitions of the i-th sequential measurement.
+        let faults = TesterFaultModel::transient(0.05, 0.05)
+            .with_stuck_channels(0.02, 3)
+            .with_session_aborts(0.01, 4);
+        let config = AteConfig {
+            noise: NoiseModel::new(0.05, 0.1, 0.01),
+            drift: DriftModel::new(30.0, 1e5),
+            faults,
+            seed: 77,
+        };
+        let t = march_test();
+        let pattern = t.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let cycles = pattern.len() as u64;
+        let base = MeasuredParam::DataValidTime.relax_forces().to_vec();
+        let values: Vec<f64> = (0..60).map(|i| 25.0 + 0.25 * f64::from(i)).collect();
+
+        let mut scalar = Ate::with_config(MemoryDevice::nominal(), config.clone());
+        let scalar_verdicts: Vec<Probe> = values
+            .iter()
+            .map(|&v| {
+                let mut forces = base.clone();
+                forces.push((ParamKind::StrobeDelay, v));
+                scalar.measure_features(&features, cycles, &t, &forces)
+            })
+            .collect();
+
+        let mut batched = Ate::with_config(MemoryDevice::nominal(), config);
+        let batch = batched.measure_features_batch(
+            &features,
+            cycles,
+            &t,
+            &base,
+            ParamKind::StrobeDelay,
+            &values,
+        );
+        assert_eq!(batch, scalar_verdicts);
+        assert_eq!(*batched.ledger(), *scalar.ledger());
+    }
+
+    #[test]
+    fn batch_of_one_equals_one_measurement() {
+        let t = march_test();
+        let pattern = t.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let cycles = pattern.len() as u64;
+        let base = MeasuredParam::DataValidTime.relax_forces().to_vec();
+        let mut a = Ate::noiseless(MemoryDevice::nominal());
+        let mut forces = base.clone();
+        forces.push((ParamKind::StrobeDelay, 30.0));
+        let scalar = a.measure_features(&features, cycles, &t, &forces);
+        let mut b = Ate::noiseless(MemoryDevice::nominal());
+        let batch =
+            b.measure_features_batch(&features, cycles, &t, &base, ParamKind::StrobeDelay, &[30.0]);
+        assert_eq!(batch, vec![scalar]);
+        assert_eq!(*b.ledger(), *a.ledger());
+        assert!(b
+            .measure_features_batch(&features, cycles, &t, &base, ParamKind::StrobeDelay, &[])
+            .is_empty());
     }
 
     #[test]

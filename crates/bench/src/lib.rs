@@ -455,7 +455,7 @@ mod tests {
         assert!(tracer.is_enabled());
         tracer.phase("dsv");
         let span = tracer.span(0);
-        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         span.mark_done();
         tracer.absorb(span);
         let timings = tracer.timings().expect("sidecar armed");
@@ -496,7 +496,7 @@ mod tests {
         let tracer = o.build_tracer().expect("tmp is writable");
         assert!(tracer.is_enabled());
         let span = tracer.span(0);
-        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         tracer.absorb(span);
         let manifest = RunManifest::new("selftest", 1, 1).capture(&tracer);
         assert_eq!(manifest.metrics.probes_issued, 1);

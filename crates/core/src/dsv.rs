@@ -11,6 +11,7 @@ use cichar_exec::ExecPolicy;
 use cichar_patterns::Test;
 use cichar_search::{
     trace_is_consistent, RebracketingStp, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
+    TripPrediction, WarmStartPlanner,
 };
 use cichar_trace::{SpanTrace, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
@@ -258,6 +259,7 @@ pub struct MultiTripRunner {
     refine: bool,
     rtp_refresh: Option<usize>,
     recovery: Option<RetryPolicy>,
+    speculative: bool,
 }
 
 impl MultiTripRunner {
@@ -269,7 +271,18 @@ impl MultiTripRunner {
             refine: true,
             rtp_refresh: None,
             recovery: None,
+            speculative: false,
         }
+    }
+
+    /// Enables speculative bisection on the full-range searches: both
+    /// children of the next level are pre-issued alongside each midpoint
+    /// as one batch, and the unused half is discarded. Trip points are
+    /// bit-identical; the ledger marks the discarded probes speculative so
+    /// eq. 1 accounting stays honest.
+    pub fn with_speculation(mut self) -> Self {
+        self.speculative = true;
+        self
     }
 
     /// Disables STP bisection refinement — the raw §4 algorithm.
@@ -318,7 +331,10 @@ impl MultiTripRunner {
     /// re-bracketing fallback, as configured for this runner.
     fn searches(&self) -> (SuccessiveApproximation, RebracketingStp) {
         let param = self.param;
-        let full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        let mut full = SuccessiveApproximation::new(param.generous_range(), param.resolution());
+        if self.speculative {
+            full = full.with_speculation();
+        }
         let mut stp = SearchUntilTrip::new(param.generous_range(), param.search_factor());
         if self.refine {
             stp = stp.with_refinement(param.resolution());
@@ -577,6 +593,130 @@ impl MultiTripRunner {
             DsvReport {
                 param,
                 strategy,
+                reference_trip_point: rtp,
+                entries,
+                total_measurements: total,
+            },
+            ledger,
+        )
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with *predicted warm starts*:
+    /// each fanned-out test seeds its STP walk from `planner.plan` over
+    /// the test's own committee prediction, falling back to the
+    /// sequentially-anchored reference trip point when the prediction is
+    /// missing or untrusted (and, under recovery, to a full-range
+    /// re-bracket when even the seed turns out wrong — so trip points
+    /// never depend on prediction quality, only the probe bill does).
+    ///
+    /// `predictions[i]` belongs to `tests[i]`; the anchor head of each
+    /// refresh window still runs eq. 2 full-range, exactly as
+    /// [`Self::run_parallel`], so the fallback reference exists before any
+    /// fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `predictions` is not one slot per test.
+    pub fn run_parallel_warm(
+        &self,
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        predictions: &[Option<TripPrediction>],
+        planner: &WarmStartPlanner,
+        policy: ExecPolicy,
+    ) -> (DsvReport, MeasurementLedger) {
+        self.run_parallel_warm_traced(
+            blueprint,
+            tests,
+            predictions,
+            planner,
+            policy,
+            &Tracer::disabled(),
+        )
+    }
+
+    /// [`run_parallel_warm`](Self::run_parallel_warm) with per-test spans
+    /// recorded into `tracer`, under the same index-ordered absorption
+    /// contract as [`Self::run_parallel_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `predictions` is not one slot per test.
+    pub fn run_parallel_warm_traced(
+        &self,
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        predictions: &[Option<TripPrediction>],
+        planner: &WarmStartPlanner,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+    ) -> (DsvReport, MeasurementLedger) {
+        assert_eq!(
+            tests.len(),
+            predictions.len(),
+            "one prediction slot per test"
+        );
+        let param = self.param;
+        let (full, rebracket) = self.searches();
+
+        let probe_one = |index: usize, test: &Test, reference: Option<f64>| {
+            let span = tracer.span(index as u64);
+            let mut session = blueprint.session(index as u64);
+            let measured =
+                self.measure_one(&mut session, test, reference, &full, &rebracket, &span);
+            span.mark_done();
+            let entry = DsvEntry {
+                test_name: test.name().to_string(),
+                trip_point: measured.trip_point,
+                measurements: session.ledger().measurements(),
+                status: measured.status,
+            };
+            (entry, *session.ledger(), span)
+        };
+
+        let mut entries = Vec::with_capacity(tests.len());
+        let mut ledger = MeasurementLedger::new();
+        let mut rtp: Option<f64> = None;
+        let window = self.rtp_refresh.unwrap_or(tests.len().max(1));
+        let mut start = 0;
+        while start < tests.len() {
+            let end = (start + window).min(tests.len());
+            // Anchor sequentially, as the plain parallel path does: the
+            // warm-start ladder's final rung (the RTP) must exist before
+            // any prediction can be distrusted in favour of it.
+            let mut anchor: Option<f64> = None;
+            let mut cursor = start;
+            while cursor < end && anchor.is_none() {
+                let (entry, session_ledger, span) = probe_one(cursor, &tests[cursor], None);
+                anchor = entry.trip_point;
+                ledger.merge(&session_ledger);
+                tracer.absorb(span);
+                entries.push(entry);
+                cursor += 1;
+            }
+            // Fan out with per-test seeds: the planner picks prediction or
+            // anchor per test, keeping the schedule index-pure.
+            for (entry, session_ledger, span) in
+                cichar_exec::par_map_ref(policy, &tests[cursor..end], |i, test| {
+                    let index = cursor + i;
+                    let warm =
+                        planner.plan(predictions[index].as_ref(), anchor.expect("anchored"));
+                    probe_one(index, test, Some(warm.reference))
+                })
+            {
+                ledger.merge(&session_ledger);
+                tracer.absorb(span);
+                entries.push(entry);
+            }
+            rtp = anchor;
+            start = end;
+        }
+
+        let total = entries.iter().map(|e| e.measurements).sum();
+        (
+            DsvReport {
+                param,
+                strategy: SearchStrategy::SearchUntilTrip,
                 reference_trip_point: rtp,
                 entries,
                 total_measurements: total,
@@ -1149,6 +1289,196 @@ mod tests {
         // The merged ledger accounts the campaign's quarantines.
         assert_eq!(serial_ledger.quarantined(), serial_report.quarantined() as u64);
         assert!(serial_ledger.injected_faults() > 0);
+    }
+
+    #[test]
+    fn speculative_runner_preserves_trip_points_and_marks_waste() {
+        let tests = suite();
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        let mut plain_ate = Ate::noiseless(MemoryDevice::nominal());
+        let plain = runner.run(&mut plain_ate, &tests, SearchStrategy::FullRange);
+        let mut spec_ate = Ate::noiseless(MemoryDevice::nominal());
+        let spec = runner
+            .clone()
+            .with_speculation()
+            .run(&mut spec_ate, &tests, SearchStrategy::FullRange);
+        for (a, b) in plain.entries.iter().zip(&spec.entries) {
+            assert_eq!(a.trip_point, b.trip_point, "{}", a.test_name);
+        }
+        let ledger = spec_ate.ledger();
+        assert!(ledger.speculative_probes() > 0, "children were pre-issued");
+        // The honest eq. 1 bill (speculation subtracted) undercuts the
+        // plain bisection: resolved pending children replace every other
+        // level's midpoint measurement (the un-speculated bracketing
+        // probes keep the ratio above the asymptotic one half).
+        assert!(
+            ledger.non_speculative_measurements() < plain_ate.ledger().measurements() * 3 / 4,
+            "honest {} vs plain {}",
+            ledger.non_speculative_measurements(),
+            plain_ate.ledger().measurements()
+        );
+    }
+
+    fn perfect_predictions(report: &DsvReport) -> Vec<Option<cichar_search::TripPrediction>> {
+        report
+            .entries
+            .iter()
+            .map(|e| {
+                e.trip_point.map(|tp| cichar_search::TripPrediction {
+                    trip_point: tp,
+                    spread: 0.05,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_starts_cut_probes_without_moving_trip_points() {
+        use cichar_ate::{AteConfig, DriftModel, NoiseModel, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        use cichar_search::WarmStartPlanner;
+        let config = AteConfig {
+            noise: NoiseModel::noiseless(),
+            drift: DriftModel::none(),
+            seed: 3,
+            ..AteConfig::default()
+        };
+        let tests = random_tests(30);
+        let param = MeasuredParam::DataValidTime;
+        let runner = MultiTripRunner::new(param);
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+        let (stp, _) = runner.run_parallel(
+            &blueprint,
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+            ExecPolicy::serial(),
+        );
+        let predictions = perfect_predictions(&stp);
+        let planner = WarmStartPlanner::new(param.generous_range(), 1.0);
+        let (warm, ledger) = runner.run_parallel_warm(
+            &blueprint,
+            &tests,
+            &predictions,
+            &planner,
+            ExecPolicy::serial(),
+        );
+        for (a, b) in stp.entries.iter().zip(&warm.entries) {
+            let (ta, tb) = (
+                a.trip_point.expect("stp converges"),
+                b.trip_point.expect("warm converges"),
+            );
+            assert!(
+                (ta - tb).abs() <= 2.0 * param.resolution(),
+                "{}: {ta} vs {tb}",
+                a.test_name
+            );
+        }
+        assert!(
+            warm.total_measurements < stp.total_measurements,
+            "warm {} must undercut rtp-seeded {}",
+            warm.total_measurements,
+            stp.total_measurements
+        );
+        assert_eq!(ledger.measurements(), warm.total_measurements);
+    }
+
+    #[test]
+    fn untrusted_predictions_reduce_to_plain_stp() {
+        use cichar_ate::{AteConfig, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        use cichar_search::{TripPrediction, WarmStartPlanner};
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                seed: 19,
+                ..AteConfig::default()
+            },
+        );
+        let tests = random_tests(16);
+        let param = MeasuredParam::DataValidTime;
+        let runner = MultiTripRunner::new(param).with_rtp_refresh(5);
+        let (plain, plain_ledger) = runner.run_parallel(
+            &blueprint,
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+            ExecPolicy::with_threads(4),
+        );
+        // Every prediction's vote scatter blows the trust band: the ladder
+        // must land on the RTP rung for every test, reproducing the plain
+        // campaign bit for bit.
+        let wild: Vec<Option<TripPrediction>> = tests
+            .iter()
+            .map(|_| {
+                Some(TripPrediction {
+                    trip_point: 5.0,
+                    spread: 50.0,
+                })
+            })
+            .collect();
+        let planner = WarmStartPlanner::new(param.generous_range(), 1.0);
+        let (warm, warm_ledger) = runner.run_parallel_warm(
+            &blueprint,
+            &tests,
+            &wild,
+            &planner,
+            ExecPolicy::with_threads(4),
+        );
+        assert_eq!(warm, plain);
+        assert_eq!(warm_ledger, plain_ledger);
+    }
+
+    #[test]
+    fn warm_run_is_thread_count_invariant() {
+        use cichar_ate::{AteConfig, ParallelAte, TesterFaultModel};
+        use cichar_exec::ExecPolicy;
+        use cichar_search::{TripPrediction, WarmStartPlanner};
+        // Noisy and faulty: the hardest determinism regime.
+        let blueprint = ParallelAte::new(
+            MemoryDevice::nominal(),
+            AteConfig {
+                faults: TesterFaultModel::transient(0.01, 0.01),
+                seed: 41,
+                ..AteConfig::default()
+            },
+        );
+        let tests = random_tests(24);
+        let param = MeasuredParam::DataValidTime;
+        let runner = MultiTripRunner::new(param)
+            .with_recovery(RetryPolicy::new(3, 100.0).with_vote(2, 3));
+        let predictions: Vec<Option<TripPrediction>> = (0..tests.len())
+            .map(|i| {
+                (i % 2 == 0).then_some(TripPrediction {
+                    trip_point: 29.0 + 0.1 * i as f64,
+                    spread: 0.2,
+                })
+            })
+            .collect();
+        let planner = WarmStartPlanner::new(param.generous_range(), 1.0);
+        let run = |policy: ExecPolicy| {
+            runner.run_parallel_warm(&blueprint, &tests, &predictions, &planner, policy)
+        };
+        let (serial_report, serial_ledger) = run(ExecPolicy::serial());
+        let (wide_report, wide_ledger) = run(ExecPolicy::with_threads(8));
+        assert_eq!(wide_report, serial_report);
+        assert_eq!(wide_ledger, serial_ledger);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction slot per test")]
+    fn mismatched_prediction_slots_panic() {
+        use cichar_ate::{AteConfig, ParallelAte};
+        use cichar_exec::ExecPolicy;
+        use cichar_search::WarmStartPlanner;
+        let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
+        let param = MeasuredParam::DataValidTime;
+        let planner = WarmStartPlanner::new(param.generous_range(), 1.0);
+        let _ = MultiTripRunner::new(param).run_parallel_warm(
+            &blueprint,
+            &suite(),
+            &[None],
+            &planner,
+            ExecPolicy::serial(),
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use cichar_ate::{Ate, MeasuredParam};
 use cichar_fuzzy::coding::{CodingScheme, TripPointCoder};
 use cichar_neural::{Committee, Dataset, MinMaxScaler, TrainConfig};
 use cichar_patterns::{random, ConditionSpace, Test};
+use cichar_search::TripPrediction;
 use cichar_trace::{TraceEvent, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,43 @@ impl LearnedModel {
             CodingScheme::Fuzzy => self.coder.severity(&vote.mean),
         };
         (severity, vote.confidence())
+    }
+
+    /// Inverts the committee's vote back into a predicted trip point for
+    /// one test — pure software, no measurement — so a warm-started STP
+    /// walk can seed its window from the test's *own* predicted trip
+    /// instead of the shared reference.
+    ///
+    /// The inversion chain for numeric coding: vote mean (scaler space) →
+    /// [`MinMaxScaler::inverse`] → WCR →
+    /// [`CharacterizationObjective::value_for_wcr`] → trip point. The
+    /// committee's vote spread rides along the same chain (evaluated at
+    /// mean ± one standard deviation) so the planner's trust band works in
+    /// parameter units.
+    ///
+    /// Returns `None` when the committee failed its acceptance checks
+    /// (fig. 4 sends such a model back for more data, not into
+    /// production) or when the coding is fuzzy — band memberships rank
+    /// severity but do not locate a point value.
+    pub fn predict_trip(&self, test: &Test) -> Option<TripPrediction> {
+        if !self.accepted || self.coder.scheme() != CodingScheme::Numeric {
+            return None;
+        }
+        let x = self.encoder.encode(test);
+        let vote = self.committee.vote(&x);
+        let z = *vote.mean.first()?;
+        let dz = vote.std_dev.first().copied().unwrap_or(0.0);
+        let trip = self.objective.value_for_wcr(self.wcr_scaler.inverse(z));
+        // The chain is monotone, so mean ± σ brackets the spread; the
+        // half-width is the uncertainty in parameter units. A vote
+        // straddling WCR = 0 under eq. 6 turns the spread infinite, which
+        // the planner correctly distrusts.
+        let lo = self.objective.value_for_wcr(self.wcr_scaler.inverse(z - dz));
+        let hi = self.objective.value_for_wcr(self.wcr_scaler.inverse(z + dz));
+        Some(TripPrediction {
+            trip_point: trip,
+            spread: 0.5 * (hi - lo).abs(),
+        })
     }
 }
 
@@ -370,6 +408,47 @@ mod tests {
             storm_sev > benign_sev,
             "storm {storm_sev} must out-rank benign {benign_sev}"
         );
+    }
+
+    #[test]
+    fn predicted_trip_lands_near_the_reference() {
+        let model = learn(CodingScheme::Numeric, 1);
+        let t = Test::deterministic("m", cichar_patterns::march::march_x(96));
+        let p = model.predict_trip(&t).expect("accepted numeric model");
+        assert!(p.trip_point.is_finite());
+        assert!(p.spread.is_finite() && p.spread >= 0.0);
+        // Deterministic nominal-condition tests trip within a few ns of
+        // each other (fig. 2's band); the prediction must land in it.
+        assert!(
+            (p.trip_point - model.reference_trip_point).abs() < 8.0,
+            "predicted {} vs rtp {}",
+            p.trip_point,
+            model.reference_trip_point
+        );
+    }
+
+    #[test]
+    fn predicted_trip_is_the_inverted_severity() {
+        let model = learn(CodingScheme::Numeric, 2);
+        let t = Test::deterministic("m", cichar_patterns::march::march_y(96));
+        let p = model.predict_trip(&t).expect("accepted numeric model");
+        let (severity, _) = model.predict_severity(&t);
+        let wcr = model.wcr_scaler.inverse(severity);
+        assert!(
+            (model.objective.wcr(p.trip_point) - wcr).abs() < 1e-9,
+            "trip {} must score the predicted WCR {wcr}",
+            p.trip_point
+        );
+    }
+
+    #[test]
+    fn rejected_or_fuzzy_models_predict_no_trip() {
+        let t = Test::deterministic("m", cichar_patterns::march::march_x(96));
+        let mut model = learn(CodingScheme::Numeric, 1);
+        model.accepted = false;
+        assert_eq!(model.predict_trip(&t), None, "unaccepted committee");
+        let fuzzy = learn(CodingScheme::Fuzzy, 4);
+        assert_eq!(fuzzy.predict_trip(&t), None, "bands rank, not locate");
     }
 
     #[test]

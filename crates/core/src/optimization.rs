@@ -446,6 +446,13 @@ impl OptimizationScheme {
     /// candidates must not enter the database. With recovery enabled the
     /// verification strobes run through the same retry / voting ladder,
     /// so a single injected flip cannot disqualify a healthy candidate.
+    ///
+    /// Both confirmation strobes are issued as one [`BatchOracle`] batch:
+    /// the verdicts are bit-identical to two sequential probes, but the
+    /// tester amortizes condition setup and device evaluation over the
+    /// pair instead of paying it per strobe.
+    ///
+    /// [`BatchOracle`]: cichar_search::BatchOracle
     fn functionally_verified(
         ate: &mut Ate,
         test: &Test,
@@ -454,6 +461,7 @@ impl OptimizationScheme {
         recovery: Option<RetryPolicy>,
         span: &SpanTrace,
     ) -> bool {
+        use cichar_search::BatchOracle;
         let extreme = match order {
             RegionOrder::PassBelowFail => param.generous_range().start(),
             RegionOrder::PassAboveFail => param.generous_range().end(),
@@ -462,11 +470,17 @@ impl OptimizationScheme {
         // and retry events), like the measurement they vet.
         ate.set_trace(span.clone());
         let verified = match recovery {
-            None => (0..2).all(|_| ate.measure(test, param, extreme) == Probe::Pass),
+            None => ate
+                .trip_oracle(test, param)
+                .probe_batch(&[extreme, extreme])
+                .iter()
+                .all(|&p| p == Probe::Pass),
             Some(policy) => {
-                use cichar_search::PassFailOracle;
                 let mut oracle = ate.robust_oracle(test, param, policy);
-                let verified = (0..2).all(|_| oracle.probe(extreme) == Probe::Pass);
+                let verified = oracle
+                    .probe_batch(&[extreme, extreme])
+                    .iter()
+                    .all(|&p| p == Probe::Pass);
                 let stats = oracle.into_stats();
                 ate.absorb_recovery(&stats);
                 verified
@@ -841,6 +855,46 @@ mod tests {
         assert!(serial_ledger.retries() > 0);
         // And the campaign still produced a plausible worst case.
         assert!(serial_outcome.best.trip_point.is_finite());
+    }
+
+    #[test]
+    fn functional_verification_spends_exactly_two_batched_strobes() {
+        use cichar_ate::{AteConfig, NoiseModel};
+        let test = Test::deterministic("m", cichar_patterns::march::march_x(96));
+        let param = MeasuredParam::DataValidTime;
+        let order = param.region_order();
+        let span = SpanTrace::disabled();
+        // Probe-count regression: the batched pair must cost the same two
+        // measurements the scalar loop always did — amortization, not
+        // extra strobes.
+        let mut ate = Ate::noiseless(MemoryDevice::nominal());
+        assert!(OptimizationScheme::functionally_verified(
+            &mut ate, &test, param, order, None, &span
+        ));
+        assert_eq!(ate.ledger().measurements(), 2);
+        // And the batch changes no physics: on a noisy twin session the
+        // two batched strobes see exactly the noise draws two sequential
+        // measurements would have.
+        let config = AteConfig {
+            noise: NoiseModel::new(0.05, 0.1, 0.01),
+            seed: 23,
+            ..AteConfig::default()
+        };
+        let mut batched = Ate::with_config(MemoryDevice::nominal(), config.clone());
+        let verified = OptimizationScheme::functionally_verified(
+            &mut batched,
+            &test,
+            param,
+            order,
+            None,
+            &span,
+        );
+        let mut scalar = Ate::with_config(MemoryDevice::nominal(), config);
+        let extreme = param.generous_range().start();
+        let sequential =
+            (0..2).all(|_| scalar.measure(&test, param, extreme) == Probe::Pass);
+        assert_eq!(verified, sequential);
+        assert_eq!(*batched.ledger(), *scalar.ledger());
     }
 
     #[test]

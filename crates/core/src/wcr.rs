@@ -119,6 +119,24 @@ impl CharacterizationObjective {
             .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
+    /// The measured value that would score `wcr` — the inverse of
+    /// [`Self::wcr`] on the positive branch, which is what turns a
+    /// committee's predicted WCR back into a predicted trip point.
+    ///
+    /// Infinite for `wcr == 0` under eq. 6 (a zero ratio needs an
+    /// unboundedly large measurement).
+    pub fn value_for_wcr(&self, wcr: f64) -> f64 {
+        match *self {
+            CharacterizationObjective::DriftToMaximum { vmax } => wcr * vmax.abs(),
+            CharacterizationObjective::DriftToMinimum { vmin } => {
+                if wcr == 0.0 {
+                    return f64::INFINITY;
+                }
+                (vmin / wcr).abs()
+            }
+        }
+    }
+
     /// The specification limit this objective compares against.
     pub fn spec(&self) -> f64 {
         match *self {
@@ -195,6 +213,7 @@ mod tests {
     fn zero_measurement_is_infinite_wcr() {
         let obj = CharacterizationObjective::drift_to_minimum(20.0);
         assert!(obj.wcr(0.0).is_infinite());
+        assert!(obj.value_for_wcr(0.0).is_infinite());
     }
 
     #[test]
@@ -226,6 +245,20 @@ mod tests {
             ) {
                 let obj = CharacterizationObjective::drift_to_maximum(vmax);
                 prop_assert!(obj.wcr(a + delta) >= obj.wcr(a));
+            }
+
+            #[test]
+            fn value_for_wcr_inverts_wcr(
+                spec in 1.0f64..100.0,
+                wcr in 0.05f64..5.0,
+            ) {
+                for obj in [
+                    CharacterizationObjective::drift_to_minimum(spec),
+                    CharacterizationObjective::drift_to_maximum(spec),
+                ] {
+                    let value = obj.value_for_wcr(wcr);
+                    prop_assert!((obj.wcr(value) - wcr).abs() < 1e-9 * wcr, "{obj}: {wcr}");
+                }
             }
 
             #[test]

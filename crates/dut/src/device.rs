@@ -132,6 +132,30 @@ impl MemoryDevice {
         }
     }
 
+    /// Evaluates one stimulus at many condition points in a single pass —
+    /// the SoA fast path behind batched oracle probing.
+    ///
+    /// The stress terms depend only on the pattern features, so they are
+    /// computed once for the whole batch instead of once per probe; every
+    /// per-condition term then goes through exactly the same arithmetic as
+    /// [`Self::evaluate_features`], making element `i` of the result
+    /// bit-identical to `evaluate_features(features, &conditions[i])`.
+    pub fn evaluate_batch(
+        &self,
+        features: &PatternFeatures,
+        conditions: &[TestConditions],
+    ) -> Vec<Parametrics> {
+        let stress_total = self.surface.stress_breakdown(features).total();
+        conditions
+            .iter()
+            .map(|c| Parametrics {
+                t_dq: self.surface.t_dq_with_stress(stress_total, c, &self.die),
+                f_max: self.surface.f_max_with_stress(stress_total, c, &self.die),
+                vdd_min: self.surface.vdd_min_with_stress(stress_total, c, &self.die),
+            })
+            .collect()
+    }
+
     /// Whether the device functions at all under the given test: the test's
     /// clock must not exceed `f_max`, its supply must not drop below
     /// `vdd_min`, and every read of its pattern must return the expected
@@ -184,6 +208,25 @@ mod tests {
             device.evaluate_features(&features, t.conditions()),
             device.evaluate(&t)
         );
+    }
+
+    #[test]
+    fn evaluate_batch_is_bit_identical_to_scalar_calls() {
+        let device = MemoryDevice::nominal();
+        let t = march_test();
+        let features = PatternFeatures::extract(&t.pattern());
+        let conditions: Vec<TestConditions> = (0..16)
+            .map(|i| {
+                TestConditions::nominal()
+                    .with_vdd(V::new(1.5 + 0.04 * f64::from(i)))
+                    .with_clock(Mhz::new(90.0 + 3.0 * f64::from(i)))
+            })
+            .collect();
+        let batch = device.evaluate_batch(&features, &conditions);
+        assert_eq!(batch.len(), conditions.len());
+        for (c, got) in conditions.iter().zip(&batch) {
+            assert_eq!(*got, device.evaluate_features(&features, c));
+        }
     }
 
     #[test]

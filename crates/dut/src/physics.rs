@@ -203,9 +203,17 @@ impl ResponseSurface {
     /// True data-output valid time for a stimulus at given conditions on a
     /// given die. Never below a 1 ns physical floor.
     pub fn t_dq(&self, f: &PatternFeatures, c: &TestConditions, die: &Die) -> Nanoseconds {
+        self.t_dq_with_stress(self.stress_breakdown(f).total(), c, die)
+    }
+
+    /// [`Self::t_dq`] with the stimulus's stress total already computed.
+    /// The stress terms depend only on the pattern features, so a batch of
+    /// probes of one stimulus hoists them out of the per-condition loop;
+    /// the remaining arithmetic is unchanged, keeping the batch verdict
+    /// bit-identical to the scalar one.
+    pub(crate) fn t_dq_with_stress(&self, total: f64, c: &TestConditions, die: &Die) -> Nanoseconds {
         let window = die.speed() * self.window_scale(c) * self.t0;
-        let stress =
-            die.stress_sensitivity() * self.stress_amplification(c) * self.stress_breakdown(f).total();
+        let stress = die.stress_sensitivity() * self.stress_amplification(c) * total;
         Nanoseconds::new((window - stress).max(1.0))
     }
 
@@ -215,12 +223,14 @@ impl ResponseSurface {
     /// frequencies up to `f_max` and fails above it — eq. (3)'s
     /// orientation.
     pub fn f_max(&self, f: &PatternFeatures, c: &TestConditions, die: &Die) -> Megahertz {
+        self.f_max_with_stress(self.stress_breakdown(f).total(), c, die)
+    }
+
+    /// [`Self::f_max`] with the stimulus's stress total already computed.
+    pub(crate) fn f_max_with_stress(&self, total: f64, c: &TestConditions, die: &Die) -> Megahertz {
         let dv = c.vdd.value() - 1.8;
         let base = self.f0 * die.speed() * (1.0 + self.kv_f * dv);
-        let erosion = self.g_f
-            * die.stress_sensitivity()
-            * self.stress_amplification(c)
-            * self.stress_breakdown(f).total();
+        let erosion = self.g_f * die.stress_sensitivity() * self.stress_amplification(c) * total;
         Megahertz::new((base - erosion).max(10.0))
     }
 
@@ -230,9 +240,14 @@ impl ResponseSurface {
     /// voltages down to `vdd_min` and fails below it — eq. (4)'s
     /// orientation.
     pub fn vdd_min(&self, f: &PatternFeatures, c: &TestConditions, die: &Die) -> Volts {
+        self.vdd_min_with_stress(self.stress_breakdown(f).total(), c, die)
+    }
+
+    /// [`Self::vdd_min`] with the stimulus's stress total already computed.
+    pub(crate) fn vdd_min_with_stress(&self, total: f64, c: &TestConditions, die: &Die) -> Volts {
         let dt = (c.temperature.value() - 25.0) / 100.0;
         let base = self.v0 + die.vdd_min_offset() + 0.02 * dt;
-        let erosion = self.g_v * die.stress_sensitivity() * self.stress_breakdown(f).total();
+        let erosion = self.g_v * die.stress_sensitivity() * total;
         Volts::new(base + erosion)
     }
 }

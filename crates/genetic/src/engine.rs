@@ -108,9 +108,12 @@ struct Scored {
 /// hands the whole brood to [`FitnessEvaluator::evaluate_batch`]. A plain
 /// `FnMut(&Individual) -> f64` closure is an evaluator via the blanket
 /// impl and scores the batch one by one; [`ParallelFitness`] fans the
-/// batch out across worker threads instead. Either way the engine's RNG
-/// stream and the order fitness values are consumed in are identical, so
-/// the GA result is the same.
+/// batch out across worker threads instead; measurement-backed evaluators
+/// (the characterization stack's WCR fitness) override `evaluate_batch`
+/// to route each individual's probes through a batched oracle rather than
+/// letting the default per-individual loop pay scalar bookkeeping per
+/// probe. Either way the engine's RNG stream and the order fitness values
+/// are consumed in are identical, so the GA result is the same.
 pub trait FitnessEvaluator {
     /// Scores one individual.
     fn evaluate(&mut self, individual: &Individual) -> f64;

@@ -570,7 +570,7 @@ mod tests {
                 reference: None,
                 sf: None,
             }),
-            next(Some(0), 11, TraceEvent::ProbeIssued { value: 105.0 }),
+            next(Some(0), 11, TraceEvent::ProbeIssued { value: 105.0, speculative: false }),
             next(Some(0), 12, TraceEvent::ProbeResolved {
                 value: 105.0,
                 verdict: TraceVerdict::Pass,

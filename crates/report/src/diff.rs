@@ -19,6 +19,9 @@ use std::fmt::Write as _;
 pub struct GateConfig {
     /// Maximum allowed growth of resolved/issued probe counts, percent.
     pub max_probe_growth_pct: f64,
+    /// Maximum allowed growth of the probe-economy headline — honest
+    /// (non-speculative) probes per finished trip-point search — percent.
+    pub max_probes_per_trip_growth_pct: f64,
     /// Maximum allowed quarantine-rate increase, percentage points.
     pub max_quarantine_delta_pts: f64,
     /// Maximum allowed wall-clock growth, percent. `None` disables the
@@ -34,6 +37,7 @@ impl Default for GateConfig {
     fn default() -> Self {
         Self {
             max_probe_growth_pct: 10.0,
+            max_probes_per_trip_growth_pct: 10.0,
             max_quarantine_delta_pts: 0.5,
             max_wall_growth_pct: None,
             max_extrema_drift_pct: 0.25,
@@ -160,6 +164,48 @@ impl ManifestDiff {
                     )
                 }),
             });
+        }
+        // Probe economy: honest (non-speculative) probes per finished
+        // trip-point search — the headline the warm-start and speculation
+        // machinery exists to shrink. One-sided values (searches finished
+        // in only one run) are a campaign-shape change, gated like
+        // one-sided extrema.
+        match (baseline.probes_per_trip(), current.probes_per_trip()) {
+            (Some(base), Some(cur)) => {
+                let growth = if base == 0.0 {
+                    if cur == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    100.0 * (cur / base - 1.0)
+                };
+                push(DiffRow {
+                    metric: "probes_per_trip".into(),
+                    baseline: format!("{base:.2}"),
+                    current: format!("{cur:.2}"),
+                    delta: fmt_pct(growth),
+                    breach: (growth > gate.max_probes_per_trip_growth_pct).then(|| {
+                        format!(
+                            "probes_per_trip grew {} (limit +{:.1}%): {base:.2} -> {cur:.2}",
+                            fmt_pct(growth),
+                            gate.max_probes_per_trip_growth_pct
+                        )
+                    }),
+                });
+            }
+            (None, None) => {}
+            (base, cur) => push(DiffRow {
+                metric: "probes_per_trip".into(),
+                baseline: base.map_or("absent".into(), |v| format!("{v:.2}")),
+                current: cur.map_or("absent".into(), |v| format!("{v:.2}")),
+                delta: "one-sided".into(),
+                breach: Some(String::from(
+                    "probes_per_trip computable in only one manifest; \
+                     regenerate the baseline",
+                )),
+            }),
         }
         push(DiffRow {
             metric: "searches_finished".into(),
@@ -385,6 +431,48 @@ mod tests {
         naked.config.retain(|(k, _)| !k.starts_with("trip_"));
         let diff = ManifestDiff::compare(&base, &naked, &GateConfig::default());
         assert!(diff.breaches.iter().any(|b| b.contains("only one manifest")));
+    }
+
+    #[test]
+    fn probes_per_trip_gate_rewards_speculation_and_catches_regression() {
+        // Same resolved probes, but the current run marks a third of them
+        // speculative: the honest per-trip bill *improves* and the gate
+        // passes with headroom.
+        let base = manifest(1200, 0, 40);
+        let mut improved = manifest(1200, 0, 40);
+        improved.metrics.probes_speculative = 400;
+        let diff = ManifestDiff::compare(&base, &improved, &GateConfig::default());
+        assert!(diff.passes(), "{:?}", diff.breaches);
+        let row = diff
+            .rows
+            .iter()
+            .find(|r| r.metric == "probes_per_trip")
+            .expect("row present");
+        assert_eq!(row.baseline, "100.00");
+        assert_eq!(row.current, "66.67");
+        // The reverse direction — losing the speculation accounting —
+        // reads as a +50% per-trip blowup and breaches.
+        let diff = ManifestDiff::compare(&improved, &base, &GateConfig::default());
+        assert!(
+            diff.breaches.iter().any(|b| b.contains("probes_per_trip")),
+            "{:?}",
+            diff.breaches
+        );
+    }
+
+    #[test]
+    fn one_sided_probes_per_trip_breaches() {
+        let base = manifest(1000, 0, 40);
+        let mut searchless = manifest(1000, 0, 40);
+        searchless.metrics.searches_finished = 0;
+        let diff = ManifestDiff::compare(&base, &searchless, &GateConfig::default());
+        assert!(
+            diff.breaches
+                .iter()
+                .any(|b| b.contains("probes_per_trip") && b.contains("only one manifest")),
+            "{:?}",
+            diff.breaches
+        );
     }
 
     #[test]

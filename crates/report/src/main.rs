@@ -5,6 +5,7 @@
 //! cichar-report perfetto  <trace.jsonl> [--out <chrome_trace.json>]
 //! cichar-report diff      <baseline.json> <current.json> [--gate]
 //!                         [--max-probe-growth-pct X]
+//!                         [--max-probes-per-trip-growth-pct X]
 //!                         [--max-quarantine-delta-pts X]
 //!                         [--max-wall-growth-pct X]
 //!                         [--max-extrema-drift-pct X]
@@ -23,8 +24,9 @@ const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff> ...
   summarize <trace.jsonl>                      search-anatomy summary table
   perfetto  <trace.jsonl> [--out <file.json>]  Chrome trace-event export
   diff <baseline.json> <current.json> [--gate] manifest comparison
-       [--max-probe-growth-pct X] [--max-quarantine-delta-pts X]
-       [--max-wall-growth-pct X] [--max-extrema-drift-pct X]";
+       [--max-probe-growth-pct X] [--max-probes-per-trip-growth-pct X]
+       [--max-quarantine-delta-pts X] [--max-wall-growth-pct X]
+       [--max-extrema-drift-pct X]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -135,6 +137,9 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
             gated = true;
         } else if let Some(v) = flag_value("--max-probe-growth-pct", arg, &mut iter)? {
             gate.max_probe_growth_pct = parse_pct("--max-probe-growth-pct", &v)?;
+        } else if let Some(v) = flag_value("--max-probes-per-trip-growth-pct", arg, &mut iter)? {
+            gate.max_probes_per_trip_growth_pct =
+                parse_pct("--max-probes-per-trip-growth-pct", &v)?;
         } else if let Some(v) = flag_value("--max-quarantine-delta-pts", arg, &mut iter)? {
             gate.max_quarantine_delta_pts = parse_pct("--max-quarantine-delta-pts", &v)?;
         } else if let Some(v) = flag_value("--max-wall-growth-pct", arg, &mut iter)? {

@@ -49,7 +49,7 @@ fn sample_trace(path: &Path) {
         reference: None,
         sf: None,
     });
-    push(Some(0), 6, TraceEvent::ProbeIssued { value: 105.0 });
+    push(Some(0), 6, TraceEvent::ProbeIssued { value: 105.0, speculative: false });
     push(Some(0), 7, TraceEvent::ProbeResolved {
         value: 105.0,
         verdict: TraceVerdict::Pass,
@@ -207,6 +207,32 @@ fn diff_thresholds_are_configurable() {
         "--max-probe-growth-pct=2",
     ]);
     assert_eq!(tightened.status.code(), Some(1), "{}", stdout_of(&tightened));
+}
+
+#[test]
+fn probes_per_trip_threshold_is_configurable() {
+    let dir = scratch_dir("diff_ppt_threshold");
+    let base = dir.join("baseline.json");
+    let cur = dir.join("current.json");
+    // Resolved-probe growth stays inside the default +10% budget, but the
+    // current run finishes fewer searches, so the per-trip bill jumps +31%.
+    let mut cheap = manifest(1000);
+    cheap.metrics.searches_finished = 16;
+    let mut pricey = manifest(1050);
+    pricey.metrics.searches_finished = 13;
+    save(&cheap, &base);
+    save(&pricey, &cur);
+    let default_gate = run(&["diff", base.to_str().unwrap(), cur.to_str().unwrap(), "--gate"]);
+    assert_eq!(default_gate.status.code(), Some(1), "{}", stdout_of(&default_gate));
+    assert!(stdout_of(&default_gate).contains("probes_per_trip"));
+    let loosened = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--gate",
+        "--max-probes-per-trip-growth-pct=50",
+    ]);
+    assert_eq!(loosened.status.code(), Some(0), "{}", stdout_of(&loosened));
 }
 
 #[test]

@@ -38,6 +38,7 @@ mod robust;
 mod stp;
 mod successive;
 mod traits;
+mod warm;
 
 pub use binary::BinarySearch;
 pub use linear::LinearSearch;
@@ -46,4 +47,5 @@ pub use rebracket::{RebracketedOutcome, RebracketingStp};
 pub use robust::{RecoveryStats, RetryPolicy, RobustOracle, ScriptedOracle};
 pub use stp::SearchUntilTrip;
 pub use successive::SuccessiveApproximation;
-pub use traits::{FnOracle, PassFailOracle, RegionOrder};
+pub use traits::{BatchOracle, FnOracle, PassFailOracle, RegionOrder};
+pub use warm::{TripPrediction, WarmStart, WarmStartPlanner, WarmStartSource};

@@ -12,7 +12,7 @@
 use crate::outcome::{Probe, SearchOutcome};
 use crate::stp::SearchUntilTrip;
 use crate::successive::SuccessiveApproximation;
-use crate::traits::{PassFailOracle, RegionOrder};
+use crate::traits::{BatchOracle, RegionOrder};
 use cichar_trace::SpanTrace;
 
 /// The result of a re-bracketing search.
@@ -130,7 +130,7 @@ impl RebracketingStp {
     ///
     /// Panics if `rtp` lies outside the STP range (same contract as
     /// [`SearchUntilTrip::run`]).
-    pub fn run<O: PassFailOracle>(
+    pub fn run<O: BatchOracle>(
         &self,
         rtp: f64,
         order: RegionOrder,
@@ -147,7 +147,7 @@ impl RebracketingStp {
     ///
     /// Panics if `rtp` lies outside the STP range (same contract as
     /// [`SearchUntilTrip::run`]).
-    pub fn run_traced<O: PassFailOracle>(
+    pub fn run_traced<O: BatchOracle>(
         &self,
         rtp: f64,
         order: RegionOrder,
@@ -202,7 +202,7 @@ mod tests {
         calls: usize,
     }
 
-    impl PassFailOracle for FlakyContact {
+    impl crate::traits::PassFailOracle for FlakyContact {
         fn probe(&mut self, value: f64) -> Probe {
             self.calls += 1;
             if self.calls <= self.dropouts {
@@ -214,6 +214,8 @@ mod tests {
             }
         }
     }
+
+    impl BatchOracle for FlakyContact {}
 
     #[test]
     fn healthy_stp_is_passed_through_untouched() {

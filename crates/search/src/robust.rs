@@ -18,7 +18,7 @@
 //! charge the simulated backoff time and count the retries.
 
 use crate::outcome::Probe;
-use crate::traits::PassFailOracle;
+use crate::traits::{BatchOracle, PassFailOracle};
 use cichar_trace::{SpanTrace, TraceEvent};
 use serde::{Deserialize, Serialize};
 
@@ -185,10 +185,11 @@ impl<O: PassFailOracle> RobustOracle<O> {
         (self.inner, self.stats)
     }
 
-    /// One strobe through the retry ladder: re-issue silent strobes up to
-    /// the retry budget, doubling the simulated settle wait each time.
-    fn strobe(&mut self, value: f64) -> Probe {
-        let mut verdict = self.inner.probe(value);
+    /// Applies the retry ladder to an already-issued strobe's verdict:
+    /// re-issue silent strobes up to the retry budget, doubling the
+    /// simulated settle wait each time.
+    fn settle(&mut self, value: f64, first: Probe) -> Probe {
+        let mut verdict = first;
         let mut attempt = 0u32;
         while verdict == Probe::Invalid && (attempt as usize) < self.policy.max_retries {
             let backoff_us = self.policy.backoff_base_us * 2f64.powi(attempt.min(60) as i32);
@@ -203,9 +204,15 @@ impl<O: PassFailOracle> RobustOracle<O> {
         }
         verdict
     }
+
+    /// One strobe through the retry ladder.
+    fn strobe(&mut self, value: f64) -> Probe {
+        let first = self.inner.probe(value);
+        self.settle(value, first)
+    }
 }
 
-impl<O: PassFailOracle> PassFailOracle for RobustOracle<O> {
+impl<O: BatchOracle> PassFailOracle for RobustOracle<O> {
     fn probe(&mut self, value: f64) -> Probe {
         let verdict = match self.policy.vote {
             None => self.strobe(value),
@@ -213,12 +220,25 @@ impl<O: PassFailOracle> PassFailOracle for RobustOracle<O> {
                 let (mut passes, mut fails) = (0usize, 0usize);
                 let mut strobes = 0usize;
                 let mut decided = Probe::Invalid;
+                // No vote can resolve before min(k, n−k+1) strobes: a
+                // verdict needs k agreeing strobes, and undecidability
+                // needs n−k+1 silent ones. That mandatory prefix is
+                // issued as one batch so the tester amortizes its
+                // bookkeeping; silent strobes in the batch still run
+                // their retry ladder, in strobe order, before tallying.
+                let upfront = k.min(n - k + 1);
+                let raw = self.inner.probe_batch(&vec![value; upfront]);
+                let mut pending = raw.into_iter();
                 for i in 0..n {
                     if i > 0 {
                         self.stats.vote_strobes += 1;
                     }
                     strobes += 1;
-                    match self.strobe(value) {
+                    let verdict = match pending.next() {
+                        Some(first) => self.settle(value, first),
+                        None => self.strobe(value),
+                    };
+                    match verdict {
                         Probe::Pass => passes += 1,
                         Probe::Fail => fails += 1,
                         Probe::Invalid => {}
@@ -253,6 +273,10 @@ impl<O: PassFailOracle> PassFailOracle for RobustOracle<O> {
         verdict
     }
 }
+
+/// Each batched value runs the full recovery ladder in order (votes are
+/// already batched internally, so the default scalar loop is exact).
+impl<O: BatchOracle> BatchOracle for RobustOracle<O> {}
 
 /// A test oracle replaying a fixed verdict script; once the script is
 /// exhausted the last verdict repeats.
@@ -293,6 +317,8 @@ impl PassFailOracle for ScriptedOracle {
         verdict
     }
 }
+
+impl BatchOracle for ScriptedOracle {}
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! Drift-tolerant successive approximation.
 
 use crate::outcome::{Probe, SearchOutcome};
-use crate::traits::{PassFailOracle, RegionOrder};
+use crate::traits::{BatchOracle, RegionOrder};
 use cichar_trace::{SpanTrace, TraceEvent};
 use cichar_units::ParamRange;
 
@@ -36,6 +36,7 @@ pub struct SuccessiveApproximation {
     range: ParamRange,
     resolution: f64,
     max_drift_retries: usize,
+    speculative: bool,
 }
 
 impl SuccessiveApproximation {
@@ -63,7 +64,28 @@ impl SuccessiveApproximation {
             range,
             resolution,
             max_drift_retries,
+            speculative: false,
         }
+    }
+
+    /// Enables speculative bisection: while halving, both children of the
+    /// *next* bisection level are pre-issued alongside the current midpoint
+    /// as one [`BatchOracle`] batch. Whichever child the midpoint's verdict
+    /// selects resolves the next level without a fresh round trip; the
+    /// other half is discarded. Both children are marked speculative so a
+    /// measurement ledger can keep eq. 1 probe accounting honest.
+    ///
+    /// Off by default: speculation trades extra (ledgered) probes for
+    /// fewer oracle round trips, which only pays off when a batch is
+    /// cheaper than two sequential calls.
+    pub fn with_speculation(mut self) -> Self {
+        self.speculative = true;
+        self
+    }
+
+    /// Whether speculative bisection is enabled.
+    pub fn speculative(&self) -> bool {
+        self.speculative
     }
 
     /// The searched range.
@@ -82,13 +104,13 @@ impl SuccessiveApproximation {
     }
 
     /// Runs the search.
-    pub fn run<O: PassFailOracle>(&self, order: RegionOrder, oracle: O) -> SearchOutcome {
+    pub fn run<O: BatchOracle>(&self, order: RegionOrder, oracle: O) -> SearchOutcome {
         self.run_traced(order, oracle, &SpanTrace::disabled())
     }
 
     /// [`run`](Self::run), emitting `SearchStarted`, the initial
     /// `Bracketed` pair and `SearchFinished` into `span`.
-    pub fn run_traced<O: PassFailOracle>(
+    pub fn run_traced<O: BatchOracle>(
         &self,
         order: RegionOrder,
         oracle: O,
@@ -112,7 +134,7 @@ impl SuccessiveApproximation {
     }
 
     /// The search body shared by the plain and traced entry points.
-    fn approximate<O: PassFailOracle>(
+    fn approximate<O: BatchOracle>(
         &self,
         order: RegionOrder,
         mut oracle: O,
@@ -153,12 +175,39 @@ impl SuccessiveApproximation {
 
         let mut retries = self.max_drift_retries;
         loop {
-            // Halve until the bracket closes.
+            // Halve until the bracket closes. With speculation on, a level
+            // may pre-issue both children of the next level in the same
+            // batch as its midpoint; the verdict then selects one child to
+            // resolve that next level (`pending`) and discards the other.
+            let mut pending: Option<(f64, Probe)> = None;
             while (hi_fail - lo_pass).abs() > self.resolution {
                 let mid = lo_pass + (hi_fail - lo_pass) / 2.0;
-                match probe(&mut oracle, &mut trace, mid) {
-                    Probe::Pass => lo_pass = mid,
-                    Probe::Fail => hi_fail = mid,
+                let next_open = (hi_fail - lo_pass).abs() / 2.0 > self.resolution;
+                let (verdict, children) = match pending.take() {
+                    Some((value, verdict)) if value == mid => (verdict, None),
+                    _ if self.speculative && next_open => {
+                        // Children mirror the next iteration's midpoint
+                        // expression exactly for either verdict, so the
+                        // selected child resolves it bit-for-bit.
+                        let left = lo_pass + (mid - lo_pass) / 2.0;
+                        let right = mid + (hi_fail - mid) / 2.0;
+                        let verdicts = oracle.probe_batch_speculative(&[mid, left, right], 1);
+                        trace.push((mid, verdicts[0]));
+                        trace.push((left, verdicts[1]));
+                        trace.push((right, verdicts[2]));
+                        (verdicts[0], Some(((left, verdicts[1]), (right, verdicts[2]))))
+                    }
+                    _ => (probe(&mut oracle, &mut trace, mid), None),
+                };
+                match verdict {
+                    Probe::Pass => {
+                        lo_pass = mid;
+                        pending = children.map(|(_, right)| right);
+                    }
+                    Probe::Fail => {
+                        hi_fail = mid;
+                        pending = children.map(|(left, _)| left);
+                    }
                     Probe::Invalid => return SearchOutcome::unconverged(trace),
                 }
             }
@@ -287,6 +336,50 @@ mod tests {
         assert_eq!(o.measurements(), 1, "first probe already failing");
     }
 
+    #[test]
+    fn speculation_is_off_by_default() {
+        let search = SuccessiveApproximation::new(range(), 0.05);
+        assert!(!search.speculative());
+        assert!(search.clone().with_speculation().speculative());
+    }
+
+    #[test]
+    fn speculative_matches_plain_trip_point() {
+        let mut plain_oracle = FnOracle::new(|v| v <= 112.4);
+        let plain = SuccessiveApproximation::new(range(), 0.05)
+            .run(RegionOrder::PassBelowFail, &mut plain_oracle);
+        let mut spec_oracle = FnOracle::new(|v| v <= 112.4);
+        let spec = SuccessiveApproximation::new(range(), 0.05)
+            .with_speculation()
+            .run(RegionOrder::PassBelowFail, &mut spec_oracle);
+        // On a deterministic device the selected children carry the exact
+        // verdicts sequential probes would have, so the trip point is
+        // bit-identical — speculation only adds discarded measurements.
+        assert_eq!(spec.trip_point, plain.trip_point);
+        assert!(spec.converged);
+        assert!(
+            spec_oracle.probes() > plain_oracle.probes(),
+            "speculation must cost extra probes ({} vs {})",
+            spec_oracle.probes(),
+            plain_oracle.probes()
+        );
+    }
+
+    #[test]
+    fn speculative_recovers_from_drift_too() {
+        let probes = Cell::new(0usize);
+        let mut oracle = FnOracle::new(|v| {
+            probes.set(probes.get() + 1);
+            let boundary = if probes.get() <= 6 { 110.0 } else { 107.0 };
+            v <= boundary
+        });
+        let o = SuccessiveApproximation::new(range(), 0.05)
+            .with_speculation()
+            .run(RegionOrder::PassBelowFail, &mut oracle);
+        let tp = o.trip_point.expect("recovered from drift");
+        assert!((tp - 107.0).abs() <= 0.5, "tp = {tp} should track drifted spec");
+    }
+
     proptest! {
         #[test]
         fn stable_device_converges_within_resolution(
@@ -299,6 +392,20 @@ mod tests {
             let tp = o.trip_point.expect("inside range");
             prop_assert!(tp <= boundary + 1e-9);
             prop_assert!(boundary - tp <= resolution + 1e-9);
+        }
+
+        #[test]
+        fn speculation_never_changes_a_stable_trip_point(
+            boundary in 81.0f64..129.0,
+            resolution in 0.01f64..0.5,
+        ) {
+            let search = SuccessiveApproximation::new(range(), resolution);
+            let plain = search.run(RegionOrder::PassBelowFail, FnOracle::new(|v| v <= boundary));
+            let spec = search
+                .clone()
+                .with_speculation()
+                .run(RegionOrder::PassBelowFail, FnOracle::new(|v| v <= boundary));
+            prop_assert_eq!(spec.trip_point, plain.trip_point);
         }
     }
 }

@@ -76,6 +76,52 @@ impl<T: PassFailOracle + ?Sized> PassFailOracle for &mut T {
     }
 }
 
+/// An oracle that can resolve many probe values in one round trip.
+///
+/// Naturally-batched call sites — k-of-n vote strobes, GA fitness broods,
+/// speculative bisection children — hand the whole value set to
+/// [`BatchOracle::probe_batch`], letting the tester amortize ledger, fault
+/// and trace bookkeeping over the batch instead of paying it per probe.
+///
+/// # Contract
+///
+/// `probe_batch(values)` must return exactly `values.len()` verdicts, and
+/// element `i` must be **bit-identical** to what the `i`-th of
+/// `values.len()` sequential [`PassFailOracle::probe`] calls would have
+/// returned on the same oracle state — including noise draws, fault
+/// injection and cache hits. Batching buys bookkeeping amortization, never
+/// different physics. The default implementation is the scalar loop
+/// itself, so any oracle satisfies the contract trivially.
+pub trait BatchOracle: PassFailOracle {
+    /// Resolves every value in order, as one batch.
+    fn probe_batch(&mut self, values: &[f64]) -> Vec<Probe> {
+        values.iter().map(|&v| self.probe(v)).collect()
+    }
+
+    /// [`Self::probe_batch`] with values from index `first_speculative`
+    /// onward marked as *speculative*: pre-issued work (e.g. both children
+    /// of the next bisection level) that the caller may discard unused.
+    ///
+    /// Verdicts are identical to [`Self::probe_batch`]; only the
+    /// accounting differs — oracles with a measurement ledger mark the
+    /// speculative tail so probe-economy numbers can subtract the waste.
+    /// The default ignores the marker.
+    fn probe_batch_speculative(&mut self, values: &[f64], first_speculative: usize) -> Vec<Probe> {
+        let _ = first_speculative;
+        self.probe_batch(values)
+    }
+}
+
+impl<T: BatchOracle + ?Sized> BatchOracle for &mut T {
+    fn probe_batch(&mut self, values: &[f64]) -> Vec<Probe> {
+        (**self).probe_batch(values)
+    }
+
+    fn probe_batch_speculative(&mut self, values: &[f64], first_speculative: usize) -> Vec<Probe> {
+        (**self).probe_batch_speculative(values, first_speculative)
+    }
+}
+
 /// A closure-backed oracle: `true` means pass.
 ///
 /// # Examples
@@ -117,6 +163,8 @@ impl<F: FnMut(f64) -> bool> PassFailOracle for FnOracle<F> {
     }
 }
 
+impl<F: FnMut(f64) -> bool> BatchOracle for FnOracle<F> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +200,30 @@ mod tests {
         let mut oracle = FnOracle::new(|_| true);
         assert_eq!(takes_oracle(&mut oracle), Probe::Pass);
         assert_eq!(oracle.probes(), 1);
+    }
+
+    #[test]
+    fn default_probe_batch_is_the_scalar_loop() {
+        let values = [1.0, 7.0, 3.0, 9.0];
+        let mut batched = FnOracle::new(|v| v < 5.0);
+        let batch = batched.probe_batch(&values);
+        let mut scalar = FnOracle::new(|v| v < 5.0);
+        let loop_verdicts: Vec<Probe> = values.iter().map(|&v| scalar.probe(v)).collect();
+        assert_eq!(batch, loop_verdicts);
+        assert_eq!(batched.probes(), scalar.probes());
+        // The speculative marker changes nothing for a ledger-less oracle.
+        let mut spec = FnOracle::new(|v| v < 5.0);
+        assert_eq!(spec.probe_batch_speculative(&values, 1), batch);
+    }
+
+    #[test]
+    fn mut_ref_is_a_batch_oracle() {
+        fn takes_batch<O: BatchOracle>(mut o: O) -> Vec<Probe> {
+            o.probe_batch(&[0.0, 10.0])
+        }
+        let mut oracle = FnOracle::new(|v| v < 5.0);
+        assert_eq!(takes_batch(&mut oracle), vec![Probe::Pass, Probe::Fail]);
+        assert_eq!(oracle.probes(), 2);
     }
 
     #[test]

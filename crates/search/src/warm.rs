@@ -1,0 +1,273 @@
+//! Predicted warm starts: seeding a search-until-trip-point window from a
+//! model-predicted trip point instead of the campaign's reference.
+//!
+//! The paper's committee (§5) predicts per-test severity, which inverts to
+//! a per-test trip point — yet eq. 2 seeds every STP walk from one shared
+//! reference trip point (RTP). A warm start replaces that shared seed with
+//! the *test's own* predicted trip point whenever the prediction is
+//! trustworthy, shrinking the SF·IT walk toward a couple of steps. The
+//! fallback ladder keeps correctness independent of prediction quality:
+//!
+//! 1. committee trained and vote spread within band → predicted seed,
+//!    clamped into the generous range CR;
+//! 2. untrained committee / spread beyond the band / non-finite or
+//!    out-of-band prediction → the RTP (plain eq. 2 behaviour);
+//! 3. regardless of the seed's origin, a [`RebracketingStp`] wrapper's
+//!    full-range fallback still guarantees the same trip point as a
+//!    full-range successive approximation when the seed was wrong.
+//!
+//! [`RebracketingStp`]: crate::RebracketingStp
+
+use cichar_units::ParamRange;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A model's trip-point prediction for one test, with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TripPrediction {
+    /// The predicted trip point, in the parameter's units.
+    pub trip_point: f64,
+    /// Committee vote spread (standard deviation across members) mapped
+    /// into the parameter's units — the planner's trust signal.
+    pub spread: f64,
+}
+
+/// Where a warm start's seed came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarmStartSource {
+    /// The committee's prediction was trusted (possibly clamped into CR).
+    Predicted,
+    /// Fell back to the reference trip point (eq. 2).
+    Reference,
+}
+
+/// The planned seed for one test's STP walk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// The value the STP walk starts from, always inside CR.
+    pub reference: f64,
+    /// Which rung of the fallback ladder produced it.
+    pub source: WarmStartSource,
+}
+
+impl WarmStart {
+    /// Whether the seed came from a trusted prediction.
+    pub fn is_predicted(&self) -> bool {
+        self.source == WarmStartSource::Predicted
+    }
+}
+
+impl fmt::Display for WarmStart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.source {
+            WarmStartSource::Predicted => write!(f, "predicted seed {:.4}", self.reference),
+            WarmStartSource::Reference => write!(f, "reference seed {:.4}", self.reference),
+        }
+    }
+}
+
+/// Plans per-test STP seeds from committee predictions, with the RTP
+/// fallback ladder described in the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_search::{TripPrediction, WarmStartPlanner};
+/// use cichar_units::ParamRange;
+///
+/// let cr = ParamRange::new(10.0, 40.0)?;
+/// let planner = WarmStartPlanner::new(cr, 1.5);
+/// // A confident prediction seeds the walk directly…
+/// let warm = planner.plan(
+///     Some(&TripPrediction { trip_point: 31.2, spread: 0.4 }),
+///     25.0,
+/// );
+/// assert!(warm.is_predicted());
+/// assert_eq!(warm.reference, 31.2);
+/// // …an uncertain one falls back to the reference trip point.
+/// let cold = planner.plan(
+///     Some(&TripPrediction { trip_point: 31.2, spread: 9.0 }),
+///     25.0,
+/// );
+/// assert!(!cold.is_predicted());
+/// assert_eq!(cold.reference, 25.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStartPlanner {
+    range: ParamRange,
+    max_spread: f64,
+}
+
+impl WarmStartPlanner {
+    /// Creates a planner over the parameter's generous range `CR`,
+    /// trusting predictions whose vote spread is at most `max_spread`
+    /// (in the parameter's units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_spread` is negative or not finite.
+    pub fn new(range: ParamRange, max_spread: f64) -> Self {
+        assert!(
+            max_spread.is_finite() && max_spread >= 0.0,
+            "invalid spread band {max_spread}"
+        );
+        Self { range, max_spread }
+    }
+
+    /// The generous range every seed is clamped into.
+    pub fn range(&self) -> ParamRange {
+        self.range
+    }
+
+    /// The largest vote spread still trusted.
+    pub fn max_spread(&self) -> f64 {
+        self.max_spread
+    }
+
+    /// Plans one test's seed: the committee's prediction when present,
+    /// finite, and within the spread band — clamped into CR — otherwise
+    /// the reference trip point `rtp` (itself clamped, so a drifted
+    /// reference can never seed a walk outside the searched range).
+    pub fn plan(&self, prediction: Option<&TripPrediction>, rtp: f64) -> WarmStart {
+        if let Some(p) = prediction {
+            let trusted = p.trip_point.is_finite()
+                && p.spread.is_finite()
+                && p.spread <= self.max_spread;
+            if trusted {
+                return WarmStart {
+                    reference: self.range.clamp(p.trip_point),
+                    source: WarmStartSource::Predicted,
+                };
+            }
+        }
+        WarmStart {
+            reference: self.range.clamp(rtp),
+            source: WarmStartSource::Reference,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> WarmStartPlanner {
+        WarmStartPlanner::new(ParamRange::new(10.0, 40.0).expect("valid"), 2.0)
+    }
+
+    #[test]
+    fn trusted_prediction_seeds_the_walk() {
+        let warm = planner().plan(
+            Some(&TripPrediction {
+                trip_point: 28.0,
+                spread: 0.5,
+            }),
+            20.0,
+        );
+        assert_eq!(warm.source, WarmStartSource::Predicted);
+        assert_eq!(warm.reference, 28.0);
+    }
+
+    #[test]
+    fn predictions_clamp_at_cr_edges() {
+        let p = planner();
+        let low = p.plan(
+            Some(&TripPrediction {
+                trip_point: -5.0,
+                spread: 0.1,
+            }),
+            20.0,
+        );
+        assert_eq!(low.reference, 10.0, "clamped to CR start");
+        assert!(low.is_predicted(), "a clamped prediction is still trusted");
+        let high = p.plan(
+            Some(&TripPrediction {
+                trip_point: 1e6,
+                spread: 0.1,
+            }),
+            20.0,
+        );
+        assert_eq!(high.reference, 40.0, "clamped to CR end");
+    }
+
+    #[test]
+    fn missing_prediction_falls_back_to_rtp() {
+        let warm = planner().plan(None, 23.5);
+        assert_eq!(warm.source, WarmStartSource::Reference);
+        assert_eq!(warm.reference, 23.5);
+    }
+
+    #[test]
+    fn high_variance_vote_falls_back_to_rtp() {
+        let warm = planner().plan(
+            Some(&TripPrediction {
+                trip_point: 28.0,
+                spread: 2.5,
+            }),
+            23.5,
+        );
+        assert_eq!(warm.source, WarmStartSource::Reference);
+        assert_eq!(warm.reference, 23.5);
+    }
+
+    #[test]
+    fn spread_exactly_at_band_is_trusted() {
+        let warm = planner().plan(
+            Some(&TripPrediction {
+                trip_point: 28.0,
+                spread: 2.0,
+            }),
+            23.5,
+        );
+        assert!(warm.is_predicted());
+    }
+
+    #[test]
+    fn non_finite_predictions_fall_back() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let warm = planner().plan(
+                Some(&TripPrediction {
+                    trip_point: bad,
+                    spread: 0.1,
+                }),
+                23.5,
+            );
+            assert_eq!(warm.source, WarmStartSource::Reference, "{bad}");
+            let warm = planner().plan(
+                Some(&TripPrediction {
+                    trip_point: 28.0,
+                    spread: bad,
+                }),
+                23.5,
+            );
+            assert_eq!(warm.source, WarmStartSource::Reference, "{bad}");
+        }
+    }
+
+    #[test]
+    fn fallback_rtp_is_clamped_too() {
+        let warm = planner().plan(None, 99.0);
+        assert_eq!(warm.reference, 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid spread band")]
+    fn negative_band_rejected() {
+        let _ = WarmStartPlanner::new(ParamRange::new(0.0, 1.0).expect("valid"), -1.0);
+    }
+
+    #[test]
+    fn display_names_the_source() {
+        let p = planner();
+        assert!(p.plan(None, 20.0).to_string().contains("reference"));
+        let warm = p.plan(
+            Some(&TripPrediction {
+                trip_point: 28.0,
+                spread: 0.1,
+            }),
+            20.0,
+        );
+        assert!(warm.to_string().contains("predicted"));
+    }
+}

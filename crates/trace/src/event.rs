@@ -7,6 +7,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// `skip_serializing_if` helper: omit a `false` flag from the wire format.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(flag: &bool) -> bool {
+    !*flag
+}
+
 /// A probe verdict as seen by the trace layer.
 ///
 /// Mirrors `cichar_search::Probe` without depending on it — the trace crate
@@ -53,6 +59,11 @@ pub enum TraceEvent {
     ProbeIssued {
         /// The parameter value being probed.
         value: f64,
+        /// Whether this probe was pre-issued speculatively (e.g. a child of
+        /// the next bisection level) and may be discarded unused. Skipped
+        /// when `false` so pre-existing traces stay byte-identical.
+        #[serde(default, skip_serializing_if = "is_false")]
+        speculative: bool,
     },
     /// A probe request produced a verdict.
     ProbeResolved {
@@ -258,7 +269,10 @@ mod tests {
             seq: 0,
             test: Some(0),
             ts_us: 55,
-            event: TraceEvent::ProbeIssued { value: 1.5 },
+            event: TraceEvent::ProbeIssued {
+                value: 1.5,
+                speculative: false,
+            },
         };
         let line = serde_json::to_string(&record).expect("serializes");
         let text = format!("{line}\nnot json\n\n");
@@ -267,5 +281,34 @@ mod tests {
         assert!(once.contains("\"ts_us\":0"), "{once}");
         assert!(once.contains("not json"), "unparseable lines survive");
         assert_eq!(once.lines().count(), 2, "blank lines dropped");
+    }
+
+    #[test]
+    fn speculative_flag_is_invisible_when_false() {
+        let plain = serde_json::to_string(&TraceEvent::ProbeIssued {
+            value: 2.5,
+            speculative: false,
+        })
+        .expect("serializes");
+        assert!(
+            !plain.contains("speculative"),
+            "false flag must not appear on the wire: {plain}"
+        );
+        // Pre-flag traces (no field at all) parse as non-speculative.
+        let legacy: TraceEvent =
+            serde_json::from_str(r#"{"ProbeIssued":{"value":2.5}}"#).expect("parses");
+        assert_eq!(
+            legacy,
+            TraceEvent::ProbeIssued {
+                value: 2.5,
+                speculative: false
+            }
+        );
+        let marked = serde_json::to_string(&TraceEvent::ProbeIssued {
+            value: 2.5,
+            speculative: true,
+        })
+        .expect("serializes");
+        assert!(marked.contains("\"speculative\":true"), "{marked}");
     }
 }

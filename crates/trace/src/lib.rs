@@ -39,7 +39,7 @@
 //! let sink = Arc::new(RingBufferSink::unbounded());
 //! let tracer = Tracer::new(sink.clone());
 //! let span = tracer.span(0);
-//! span.emit(TraceEvent::ProbeIssued { value: 110.0 });
+//! span.emit(TraceEvent::ProbeIssued { value: 110.0, speculative: false });
 //! tracer.absorb(span);
 //! assert_eq!(sink.records().len(), 1);
 //! assert_eq!(tracer.metrics().probes_issued, 1);

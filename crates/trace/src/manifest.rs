@@ -76,6 +76,21 @@ impl RunManifest {
         self.phases.iter().map(|p| p.wall_ms).sum()
     }
 
+    /// Non-speculative probe verdicts spent per finished trip-point
+    /// search — the probe-economy headline number. Speculative pre-issues
+    /// are subtracted so eq. 1 accounting stays honest; `None` when the
+    /// run finished no searches.
+    pub fn probes_per_trip(&self) -> Option<f64> {
+        if self.metrics.searches_finished == 0 {
+            return None;
+        }
+        let honest = self
+            .metrics
+            .probes_resolved
+            .saturating_sub(self.metrics.probes_speculative);
+        Some(honest as f64 / self.metrics.searches_finished as f64)
+    }
+
     /// The manifest as a human-readable summary table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -112,14 +127,18 @@ impl RunManifest {
         let m = &self.metrics;
         let _ = writeln!(
             out,
-            "  probes: {} resolved ({} issued, {} cached) | searches: {}/{} converged | steps: {}",
+            "  probes: {} resolved ({} issued, {} cached, {} speculative) | searches: {}/{} converged | steps: {}",
             m.probes_resolved,
             m.probes_issued,
             m.probes_cached,
+            m.probes_speculative,
             m.searches_converged,
             m.searches_finished,
             m.search_steps
         );
+        if let Some(ppt) = self.probes_per_trip() {
+            let _ = writeln!(out, "  probe economy: {ppt:.2} non-speculative probes/trip");
+        }
         let _ = writeln!(
             out,
             "  recovery: {} retries, {} votes, {} quarantined | faults: {} dropout, {} flip, {} stuck, {} abort",
@@ -242,7 +261,7 @@ mod tests {
         let timed = TimedTracer::new(Arc::new(NullSink));
         timed.phase("dsv");
         let span = timed.span(0);
-        span.emit(crate::event::TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(crate::event::TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         span.mark_done();
         timed.absorb(span);
         let manifest = RunManifest::new("fig2", 1, 1).capture(&timed);
@@ -267,6 +286,18 @@ mod tests {
         let back: RunManifest = serde_json::from_str(&json).expect("old manifests parse");
         assert_eq!(back.timings, None);
         assert!(!back.render().contains("span timings"));
+    }
+
+    #[test]
+    fn probes_per_trip_subtracts_speculation() {
+        let mut manifest = RunManifest::new("fig2", 1, 1);
+        assert_eq!(manifest.probes_per_trip(), None, "no searches yet");
+        manifest.metrics.searches_finished = 10;
+        manifest.metrics.probes_resolved = 130;
+        manifest.metrics.probes_speculative = 30;
+        assert_eq!(manifest.probes_per_trip(), Some(10.0));
+        let table = manifest.render();
+        assert!(table.contains("10.00 non-speculative probes/trip"), "{table}");
     }
 
     #[test]

@@ -151,6 +151,8 @@ registry! {
     probes_cached,
     /// Probe requests issued to the tester as physical measurements.
     probes_issued,
+    /// Issued probes that were pre-issued speculatively (subset of issued; subtracting them yields the honest eq. 1 cost).
+    probes_speculative,
     /// Trip-point searches started.
     searches_started,
     /// Trip-point searches finished.
@@ -191,6 +193,12 @@ impl MetricsSnapshot {
             return Some(format!(
                 "probes_resolved {} != cached {} + issued {}",
                 self.probes_resolved, self.probes_cached, self.probes_issued
+            ));
+        }
+        if self.probes_speculative > self.probes_issued {
+            return Some(format!(
+                "probes_speculative {} > issued {}",
+                self.probes_speculative, self.probes_issued
             ));
         }
         if self.searches_finished != self.hist_probes_per_search.count {

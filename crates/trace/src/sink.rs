@@ -232,7 +232,7 @@ mod tests {
             seq,
             test: Some(0),
             ts_us: 0,
-            event: TraceEvent::ProbeIssued { value: seq as f64 },
+            event: TraceEvent::ProbeIssued { value: seq as f64, speculative: false },
         }
     }
 

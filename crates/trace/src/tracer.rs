@@ -320,7 +320,7 @@ impl Tracer {
 /// let timed = TimedTracer::new(Arc::new(NullSink));
 /// timed.phase("dsv");
 /// let span = timed.span(0);
-/// span.emit(TraceEvent::ProbeIssued { value: 110.0 });
+/// span.emit(TraceEvent::ProbeIssued { value: 110.0, speculative: false });
 /// span.mark_done();
 /// timed.absorb(span);
 /// let timings = timed.timing_snapshot();
@@ -401,7 +401,12 @@ impl TracerCore {
         let c = &self.metrics.counters;
         match event {
             TraceEvent::CampaignPhaseChanged { .. } => bump(&c.phases, 1),
-            TraceEvent::ProbeIssued { .. } => bump(&c.probes_issued, 1),
+            TraceEvent::ProbeIssued { speculative, .. } => {
+                bump(&c.probes_issued, 1);
+                if *speculative {
+                    bump(&c.probes_speculative, 1);
+                }
+            }
             TraceEvent::ProbeResolved { cached, .. } => {
                 bump(&c.probes_resolved, 1);
                 if *cached {
@@ -469,7 +474,7 @@ mod tests {
                 reference: Some(110.0),
                 sf: Some(1.0),
             },
-            TraceEvent::ProbeIssued { value: 110.0 },
+            TraceEvent::ProbeIssued { value: 110.0, speculative: false },
             TraceEvent::ProbeResolved {
                 value: 110.0,
                 verdict: TraceVerdict::Pass,
@@ -501,7 +506,7 @@ mod tests {
         let span = tracer.span(0);
         assert!(!tracer.is_enabled());
         assert!(!span.is_enabled());
-        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         assert!(span.events().is_empty());
         tracer.absorb(span);
         assert_eq!(tracer.metrics(), MetricsSnapshot::default());
@@ -560,7 +565,7 @@ mod tests {
     fn cloned_spans_share_one_buffer() {
         let span = SpanTrace::for_test(5);
         let clone = span.clone();
-        clone.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        clone.emit(TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         span.emit(TraceEvent::ProbeResolved {
             value: 1.0,
             verdict: TraceVerdict::Pass,
@@ -585,7 +590,7 @@ mod tests {
         }
         timed.phase("stp");
         let span = timed.span(2);
-        span.emit(TraceEvent::ProbeIssued { value: 1.0 });
+        span.emit(TraceEvent::ProbeIssued { value: 1.0, speculative: false });
         timed.absorb(span); // unmarked: falls back to absorb-time duration
         let timings = timed.timing_snapshot();
         assert_eq!(timings.phases.len(), 2);

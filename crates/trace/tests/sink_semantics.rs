@@ -17,7 +17,7 @@ fn record(seq: u64) -> TraceRecord {
         seq,
         test: Some(seq % 7),
         ts_us: 0,
-        event: TraceEvent::ProbeIssued { value: seq as f64 },
+        event: TraceEvent::ProbeIssued { value: seq as f64, speculative: false },
     }
 }
 

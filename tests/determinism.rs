@@ -102,6 +102,91 @@ fn different_seeds_explore_differently() {
     assert_ne!(a, b, "seeds must actually matter");
 }
 
+/// The batched oracle path's contract: element `i` of a batch is
+/// bit-identical to the `i`-th sequential scalar call — same noise draws,
+/// same injected faults, same ledger — so batching is a pure bookkeeping
+/// optimization that can never change a characterization result.
+mod batch_scalar_parity {
+    use cichar::ate::{Ate, AteConfig, MeasuredParam, NoiseModel, TesterFaultModel};
+    use cichar::dut::MemoryDevice;
+    use cichar::patterns::{random, ConditionSpace, PatternFeatures};
+    use cichar::search::{BatchOracle, PassFailOracle, Probe, RetryPolicy};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn device_batch_matches_scalar_evaluations(
+            suite_seed in 0u64..1000,
+            n in 1usize..32,
+        ) {
+            let mut rng = StdRng::seed_from_u64(suite_seed);
+            let space = ConditionSpace::default();
+            let conditions_seed = space.sample(&mut rng);
+            let test = random::random_test_at(&mut rng, conditions_seed);
+            let features = PatternFeatures::extract(&test.pattern());
+            let conditions: Vec<_> = (0..n).map(|_| space.sample(&mut rng)).collect();
+            let device = MemoryDevice::nominal();
+            let batch = device.evaluate_batch(&features, &conditions);
+            let scalar: Vec<_> = conditions
+                .iter()
+                .map(|c| device.evaluate_features(&features, c))
+                .collect();
+            prop_assert_eq!(batch, scalar);
+        }
+
+        #[test]
+        fn oracle_batch_matches_scalar_probes_under_faults(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            suite_seed in 0u64..1000,
+        ) {
+            let config = AteConfig {
+                noise: NoiseModel::new(0.05, 0.1, 0.01),
+                faults: TesterFaultModel::transient(0.02, 0.01),
+                seed: campaign_seed,
+                ..AteConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(suite_seed);
+            let space = ConditionSpace::default();
+            let at = space.sample(&mut rng);
+            let test = random::random_test_at(&mut rng, at);
+            let values: Vec<f64> = (0..24).map(|i| 26.0 + 0.35 * f64::from(i)).collect();
+            let param = MeasuredParam::DataValidTime;
+
+            let mut a = Ate::with_config(MemoryDevice::nominal(), config.clone());
+            let scalar: Vec<Probe> = {
+                let mut oracle = a.trip_oracle(&test, param);
+                values.iter().map(|&v| oracle.probe(v)).collect()
+            };
+            let mut b = Ate::with_config(MemoryDevice::nominal(), config.clone());
+            let batch = b.trip_oracle(&test, param).probe_batch(&values);
+            prop_assert_eq!(batch, scalar);
+            prop_assert_eq!(a.ledger(), b.ledger());
+
+            // The k-of-n voting wrapper batches its strobes too; the
+            // retry/vote decisions must come out identical.
+            let policy = RetryPolicy::new(3, 50.0).with_vote(2, 3);
+            let mut a = Ate::with_config(MemoryDevice::nominal(), config.clone());
+            let (robust_scalar, stats_scalar) = {
+                let mut oracle = a.robust_oracle(&test, param, policy);
+                let probes: Vec<Probe> = values.iter().map(|&v| oracle.probe(v)).collect();
+                (probes, oracle.into_stats())
+            };
+            let mut b = Ate::with_config(MemoryDevice::nominal(), config);
+            let (robust_batch, stats_batch) = {
+                let mut oracle = b.robust_oracle(&test, param, policy);
+                (oracle.probe_batch(&values), oracle.into_stats())
+            };
+            prop_assert_eq!(robust_batch, robust_scalar);
+            prop_assert_eq!(stats_batch, stats_scalar);
+            prop_assert_eq!(a.ledger(), b.ledger());
+        }
+    }
+}
+
 /// The parallel layer's contract: `threads = 1` and `threads = 8` produce
 /// bit-identical results for every campaign seed, because each work item's
 /// random stream is a pure function of (campaign seed, item index) and
@@ -185,6 +270,57 @@ mod parallel_bit_identity {
                     serial.quarantined() as u64
                 );
             }
+        }
+
+        #[test]
+        fn speculative_and_warm_paths_match_across_thread_counts(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            suite_seed in 0u64..1000,
+        ) {
+            // The probe-economy paths (speculative batched bisection and
+            // committee-seeded warm starts) must honor the same
+            // per-index seed-derivation rule as the plain runner, even
+            // with fault injection and the recovery ladder engaged.
+            use cichar::ate::TesterFaultModel;
+            use cichar::search::{RetryPolicy, TripPrediction, WarmStartPlanner};
+            let param = MeasuredParam::DataValidTime;
+            let blueprint = ParallelAte::new(
+                MemoryDevice::nominal(),
+                AteConfig {
+                    faults: TesterFaultModel::transient(0.02, 0.01),
+                    seed: campaign_seed,
+                    ..AteConfig::default()
+                },
+            );
+            let tests = random_tests(suite_seed, 24);
+            let runner = MultiTripRunner::new(param)
+                .with_recovery(RetryPolicy::new(3, 50.0).with_vote(2, 3))
+                .with_speculation();
+            let serial = runner.run_parallel(
+                &blueprint, &tests, SearchStrategy::FullRange, ExecPolicy::serial());
+            let threaded = runner.run_parallel(
+                &blueprint, &tests, SearchStrategy::FullRange, ExecPolicy::with_threads(8));
+            prop_assert_eq!(&serial, &threaded);
+
+            // Warm starts: alternate trusted predictions with missing
+            // slots so the fan-out exercises both rungs of the fallback
+            // ladder at every thread count.
+            let planner = WarmStartPlanner::new(param.generous_range(), 1.0);
+            let predictions: Vec<Option<TripPrediction>> = serial.0.entries.iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    if i % 2 == 0 {
+                        e.trip_point.map(|tp| TripPrediction { trip_point: tp, spread: 0.1 })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let warm_serial = runner.run_parallel_warm(
+                &blueprint, &tests, &predictions, &planner, ExecPolicy::serial());
+            let warm_threaded = runner.run_parallel_warm(
+                &blueprint, &tests, &predictions, &planner, ExecPolicy::with_threads(8));
+            prop_assert_eq!(warm_serial, warm_threaded);
         }
 
         #[test]

@@ -11,7 +11,12 @@
 //!   (externally tagged, `serde_json`-style);
 //! * `#[serde(transparent)]` on single-field structs;
 //! * `#[serde(skip)]` on named fields (omitted when serializing,
-//!   `Default::default()` when deserializing).
+//!   `Default::default()` when deserializing);
+//! * `#[serde(default)]` on named fields (absent map entries deserialize
+//!   via `Default::default()` instead of erroring);
+//! * `#[serde(skip_serializing_if = "path")]` on named fields (the entry
+//!   is omitted from the serialized map when `path(&field)` is true; the
+//!   path is resolved in the deriving module, as with real serde).
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
@@ -32,6 +37,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    /// Absent map entries deserialize as `Default::default()`.
+    default: bool,
+    /// Serialization predicate path: the entry is omitted when
+    /// `path(&field)` returns true.
+    skip_if: Option<String>,
 }
 
 enum Variant {
@@ -53,29 +63,45 @@ struct Item {
     kind: Kind,
 }
 
-/// Returns the serde helper idents (e.g. `transparent`, `skip`) carried by
-/// an attribute's bracket group, or an empty list for non-serde attributes.
-fn serde_attr_idents(group: &Group) -> Vec<String> {
+/// Returns the serde helper entries carried by an attribute's bracket
+/// group — bare idents (`transparent`, `skip`, `default`) paired with
+/// `None`, and `ident = "literal"` assignments (`skip_serializing_if`)
+/// paired with the literal's unquoted content. Empty for non-serde
+/// attributes.
+fn serde_attr_idents(group: &Group) -> Vec<(String, Option<String>)> {
     let toks: Vec<TokenTree> = group.stream().into_iter().collect();
-    match (toks.first(), toks.get(1)) {
+    let args = match (toks.first(), toks.get(1)) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
         {
-            args.stream()
-                .into_iter()
-                .filter_map(|t| match t {
-                    TokenTree::Ident(id) => Some(id.to_string()),
-                    _ => None,
-                })
-                .collect()
+            args.stream().into_iter().collect::<Vec<TokenTree>>()
         }
-        _ => Vec::new(),
+        _ => return Vec::new(),
+    };
+    let mut entries = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let TokenTree::Ident(id) = &args[i] {
+            let name = id.to_string();
+            let value = match (args.get(i + 1), args.get(i + 2)) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    i += 2;
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                _ => None,
+            };
+            entries.push((name, value));
+        }
+        i += 1;
     }
+    entries
 }
 
 /// Consumes leading `#[...]` attributes starting at `*i`, collecting any
-/// serde helper idents found in them.
-fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+/// serde helper entries found in them.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<(String, Option<String>)> {
     let mut idents = Vec::new();
     while let Some(TokenTree::Punct(p)) = toks.get(*i) {
         if p.as_char() != '#' {
@@ -142,7 +168,12 @@ fn parse_named_fields(group: &Group) -> Vec<Field> {
         skip_type(&toks, &mut i);
         fields.push(Field {
             name,
-            skip: attrs.iter().any(|a| a == "skip"),
+            skip: attrs.iter().any(|(a, _)| a == "skip"),
+            default: attrs.iter().any(|(a, _)| a == "default"),
+            skip_if: attrs
+                .iter()
+                .find(|(a, _)| a == "skip_serializing_if")
+                .and_then(|(_, v)| v.clone()),
         });
     }
     fields
@@ -158,7 +189,7 @@ fn count_tuple_fields(group: &Group) -> usize {
     while i < toks.len() {
         let attrs = eat_attrs(&toks, &mut i);
         assert!(
-            !attrs.iter().any(|a| a == "skip"),
+            !attrs.iter().any(|(a, _)| a == "skip"),
             "#[serde(skip)] on tuple fields is not supported by the vendored derive"
         );
         eat_visibility(&toks, &mut i);
@@ -210,7 +241,7 @@ fn parse_item(input: TokenStream) -> Item {
     let toks: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
     let attrs = eat_attrs(&toks, &mut i);
-    let transparent = attrs.iter().any(|a| a == "transparent");
+    let transparent = attrs.iter().any(|(a, _)| a == "transparent");
     eat_visibility(&toks, &mut i);
     let keyword = match toks.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -254,16 +285,46 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-fn named_struct_to_value(fields: &[Field], accessor_prefix: &str) -> String {
-    let mut out = String::from("::serde::Value::Map(vec![");
+/// Map-building expression for a named-field body. `accessor_prefix` is
+/// `"self."` for structs and `""` for variant bindings; `take_ref` adds a
+/// leading `&` for struct accessors (variant bindings are already
+/// references from the `match self` arm).
+fn named_struct_to_value(fields: &[Field], accessor_prefix: &str, take_ref: bool) -> String {
+    let amp = if take_ref { "&" } else { "" };
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let mut out = String::from("::serde::Value::Map(vec![");
+        for f in fields.iter().filter(|f| !f.skip) {
+            out.push_str(&format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({amp}{p}{n})),",
+                n = f.name,
+                p = accessor_prefix,
+            ));
+        }
+        out.push_str("])");
+        return out;
+    }
+    // At least one field carries a serialization predicate: build the map
+    // imperatively so predicated entries can be omitted at runtime.
+    let mut out = String::from(
+        "{ let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
     for f in fields.iter().filter(|f| !f.skip) {
-        out.push_str(&format!(
-            "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{p}{n})),",
+        let push = format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value({amp}{p}{n})));",
             n = f.name,
             p = accessor_prefix,
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!(
+                "if !{path}({amp}{p}{n}) {{ {push} }}",
+                n = f.name,
+                p = accessor_prefix,
+            )),
+            None => out.push_str(&push),
+        }
     }
-    out.push_str("])");
+    out.push_str("::serde::Value::Map(entries) }");
     out
 }
 
@@ -275,6 +336,14 @@ fn named_struct_from_map(fields: &[Field]) -> String {
     for f in fields {
         if f.skip {
             out.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if f.default {
+            out.push_str(&format!(
+                "{n}: match ::serde::map_get(m, \"{n}\") {{ \
+                     ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+                     ::core::option::Option::None => ::core::default::Default::default(), \
+                 }},",
+                n = f.name,
+            ));
         } else {
             out.push_str(&format!(
                 "{n}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{n}\").unwrap_or(&::serde::Value::Null))?,",
@@ -297,7 +366,7 @@ fn gen_serialize(item: &Item) -> String {
                 );
                 format!("::serde::Serialize::to_value(&self.{})", live[0].name)
             } else {
-                named_struct_to_value(fields, "self.")
+                named_struct_to_value(fields, "self.", true)
             }
         }
         Kind::TupleStruct(arity) => {
@@ -339,14 +408,10 @@ fn gen_serialize(item: &Item) -> String {
                     Variant::Struct(vn, fields) => {
                         let binds: Vec<String> =
                             fields.iter().map(|f| f.name.clone()).collect();
-                        let mut inner = String::from("::serde::Value::Map(vec![");
-                        for f in fields.iter().filter(|f| !f.skip) {
-                            inner.push_str(&format!(
-                                "(\"{n}\".to_string(), ::serde::Serialize::to_value({n})),",
-                                n = f.name
-                            ));
-                        }
-                        inner.push_str("])");
+                        // Bindings carry the field names, so the shared
+                        // struct body generator applies with no accessor
+                        // prefix (predicates take `&binding`).
+                        let inner = named_struct_to_value(fields, "", false);
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),",
                             binds = binds.join(","),
