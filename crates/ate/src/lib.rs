@@ -51,6 +51,7 @@
 mod drift;
 mod fault;
 mod ledger;
+mod multisite;
 mod noise;
 mod oracle;
 mod parallel;
@@ -61,6 +62,7 @@ mod tester;
 pub use drift::DriftModel;
 pub use fault::TesterFaultModel;
 pub use ledger::MeasurementLedger;
+pub use multisite::MultiSiteAte;
 pub use noise::NoiseModel;
 pub use oracle::TripOracle;
 pub use parallel::ParallelAte;

@@ -1,0 +1,440 @@
+//! Multi-site tester: N sites share one test program, each keeping its own
+//! device, ledger, noise/drift state, fault state and RNG streams.
+//!
+//! Real ATE amortizes touchdown cost by strobing many dies at once. The
+//! simulator mirrors that: a [`MultiSiteAte`] is a vector of per-site
+//! [`Ate`] sessions whose seeds derive from the campaign seed and the site
+//! index ([`cichar_exec::derive_seed`]), so every site's verdict stream is
+//! a pure function of its identity — bit-identical to running that site
+//! alone, and therefore independent of how sites are grouped into
+//! touchdowns, which site is strobed first, or how many worker threads the
+//! campaign uses.
+//!
+//! The throughput win is structural: all sites of a touchdown apply the
+//! *same* stimulus, and the stress breakdown of a stimulus depends only on
+//! its pattern features (never on the die), so one
+//! [`MemoryDevice::stress_total`] hoist serves the entire batch. Each
+//! site's measurement then runs the exact per-condition arithmetic of the
+//! scalar path ([`MemoryDevice::evaluate_with_stress`]).
+
+use crate::ledger::MeasurementLedger;
+use crate::tester::{Ate, AteConfig};
+use cichar_dut::MemoryDevice;
+use cichar_patterns::{PatternFeatures, Test};
+use cichar_search::Probe;
+use cichar_units::ParamKind;
+
+/// A touchdown's worth of tester sites sharing one test program.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{AteConfig, MultiSiteAte};
+/// use cichar_dut::{Die, MemoryDevice};
+/// use cichar_patterns::{march, PatternFeatures, Test};
+/// use cichar_units::ParamKind;
+///
+/// let devices = vec![MemoryDevice::nominal(), MemoryDevice::nominal()];
+/// let mut sites = MultiSiteAte::new(devices, AteConfig::default());
+/// let test = Test::deterministic("march_x", march::march_x(96));
+/// let pattern = test.pattern();
+/// let features = PatternFeatures::extract(&pattern);
+/// let verdicts = sites.measure_sites(
+///     &features,
+///     pattern.len() as u64,
+///     &test,
+///     &[(ParamKind::StrobeDelay, 15.0)],
+/// );
+/// assert_eq!(verdicts.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSiteAte {
+    sites: Vec<Ate>,
+    /// Whether every site shares one response surface — the regime where a
+    /// single stress hoist is provably identical to per-site hoists.
+    uniform_surface: bool,
+}
+
+impl MultiSiteAte {
+    /// Loads one device per site. Site `i`'s session seed is
+    /// `derive_seed(config.seed, i)`, mirroring
+    /// [`ParallelAte::session`](crate::ParallelAte::session), so per-site
+    /// streams never alias and results are reproducible from the campaign
+    /// seed alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty — a touchdown needs at least one
+    /// site.
+    pub fn new(devices: Vec<MemoryDevice>, config: AteConfig) -> Self {
+        let campaign = config.seed;
+        let sites = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, device)| {
+                Ate::with_config(
+                    device,
+                    AteConfig {
+                        seed: cichar_exec::derive_seed(campaign, i as u64),
+                        ..config.clone()
+                    },
+                )
+            })
+            .collect();
+        Self::from_sessions(sites)
+    }
+
+    /// Assembles a touchdown from caller-seeded sessions. The wafer runner
+    /// uses this so a die's seed derives from its *global* die index, which
+    /// makes results invariant under re-grouping dies into touchdowns of
+    /// any site count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sites` is empty.
+    pub fn from_sessions(sites: Vec<Ate>) -> Self {
+        assert!(!sites.is_empty(), "a touchdown needs at least one site");
+        let uniform_surface = sites
+            .windows(2)
+            .all(|w| w[0].device().surface() == w[1].device().surface());
+        Self {
+            sites,
+            uniform_surface,
+        }
+    }
+
+    /// Number of sites on the touchdown.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The per-site sessions.
+    pub fn sites(&self) -> &[Ate] {
+        &self.sites
+    }
+
+    /// One site's session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is out of range.
+    pub fn site(&self, site: usize) -> &Ate {
+        &self.sites[site]
+    }
+
+    /// One site's session, mutably — per-site span installation, searches
+    /// and quarantine accounting go through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `site` is out of range.
+    pub fn site_mut(&mut self, site: usize) -> &mut Ate {
+        &mut self.sites[site]
+    }
+
+    /// Releases the per-site sessions (the wafer runner folds their
+    /// ledgers after a touchdown completes).
+    pub fn into_sessions(self) -> Vec<Ate> {
+        self.sites
+    }
+
+    /// The campaign-level ledger: per-site ledgers folded in site order.
+    /// Per-site accounting always reconciles with this merge — merging is
+    /// column-wise addition, so any counter here equals the sum of that
+    /// counter across [`Self::sites`].
+    pub fn merged_ledger(&self) -> MeasurementLedger {
+        let mut merged = MeasurementLedger::new();
+        for site in &self.sites {
+            merged.merge(site.ledger());
+        }
+        merged
+    }
+
+    /// Strobes every site once with the same stimulus and forces — the
+    /// shared-test-program touchdown strobe. One stress hoist serves the
+    /// whole batch; each site's verdict, noise draws, drift cycles and
+    /// fault transitions are bit-identical to a scalar
+    /// [`Ate::measure_features`] call on that site alone.
+    pub fn measure_sites(
+        &mut self,
+        features: &PatternFeatures,
+        pattern_cycles: u64,
+        test: &Test,
+        forces: &[(ParamKind, f64)],
+    ) -> Vec<Probe> {
+        let shared = self.shared_stress(features);
+        (0..self.sites.len())
+            .map(|site| {
+                let stress = self.stress_for(site, features, shared);
+                self.sites[site].measure_features_with_stress(
+                    stress,
+                    pattern_cycles,
+                    test,
+                    forces,
+                )
+            })
+            .collect()
+    }
+
+    /// Strobes an explicit subset of sites, each at its own value of the
+    /// swept parameter — the batched probe a lockstep cross-site search
+    /// issues when its sites have diverged (different walk positions, or
+    /// some sites already converged).
+    ///
+    /// `probes` pairs a site index with the value forced for `swept` on
+    /// that site; `base_forces` (§4 relaxation) apply to every probe. The
+    /// stress hoist is shared across the batch; verdicts come back in
+    /// `probes` order. Each site's subsequence of probes is bit-identical
+    /// to scalar measurements on that site in the same order — sites never
+    /// share RNG, drift or fault state, so interleaving across sites is
+    /// irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a probe names a site out of range.
+    pub fn measure_subset(
+        &mut self,
+        features: &PatternFeatures,
+        pattern_cycles: u64,
+        test: &Test,
+        base_forces: &[(ParamKind, f64)],
+        swept: ParamKind,
+        probes: &[(usize, f64)],
+    ) -> Vec<Probe> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
+        let shared = self.shared_stress(features);
+        // One forces buffer reused across the batch: only the swept slot
+        // changes per probe.
+        let mut forces = base_forces.to_vec();
+        forces.push((swept, 0.0));
+        let swept_slot = forces.len() - 1;
+        probes
+            .iter()
+            .map(|&(site, value)| {
+                forces[swept_slot].1 = value;
+                let stress = self.stress_for(site, features, shared);
+                self.sites[site].measure_features_with_stress(
+                    stress,
+                    pattern_cycles,
+                    test,
+                    &forces,
+                )
+            })
+            .collect()
+    }
+
+    /// The batch-wide stress total, when all sites share a surface.
+    fn shared_stress(&self, features: &PatternFeatures) -> Option<f64> {
+        self.uniform_surface
+            .then(|| self.sites[0].device().stress_total(features))
+    }
+
+    /// A site's stress total: the shared hoist, or (heterogeneous
+    /// surfaces — ablation rigs) its own device's.
+    fn stress_for(&self, site: usize, features: &PatternFeatures, shared: Option<f64>) -> f64 {
+        shared.unwrap_or_else(|| self.sites[site].device().stress_total(features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DriftModel;
+    use crate::fault::TesterFaultModel;
+    use crate::noise::NoiseModel;
+    use cichar_dut::{Die, ProcessCorner};
+    use cichar_patterns::march;
+    use proptest::prelude::*;
+
+    fn march_test() -> Test {
+        Test::deterministic("march_c-", march::march_c_minus(64))
+    }
+
+    fn harsh_config(seed: u64) -> AteConfig {
+        AteConfig {
+            noise: NoiseModel::new(0.05, 0.1, 0.01),
+            drift: DriftModel::new(30.0, 1e5),
+            faults: TesterFaultModel::transient(0.05, 0.05)
+                .with_stuck_channels(0.02, 3)
+                .with_session_aborts(0.01, 4),
+            seed,
+        }
+    }
+
+    fn corner_devices(n: usize) -> Vec<MemoryDevice> {
+        let corners = [
+            ProcessCorner::Typical,
+            ProcessCorner::Fast,
+            ProcessCorner::Slow,
+            ProcessCorner::Noisy,
+        ];
+        (0..n)
+            .map(|i| MemoryDevice::new(Die::at_corner(corners[i % corners.len()])))
+            .collect()
+    }
+
+    /// A solo session identical to site `i` of `MultiSiteAte::new`.
+    fn solo_site(i: usize, config: &AteConfig) -> Ate {
+        let device = corner_devices(i + 1).pop().expect("device");
+        Ate::with_config(
+            device,
+            AteConfig {
+                seed: cichar_exec::derive_seed(config.seed, i as u64),
+                ..config.clone()
+            },
+        )
+    }
+
+    #[test]
+    fn touchdown_strobe_matches_solo_sessions_bit_exactly() {
+        // The nastiest regime: noise, drift AND faults on, across four
+        // sites with different dies.
+        let config = harsh_config(0x5EED);
+        let t = march_test();
+        let pattern = t.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let cycles = pattern.len() as u64;
+        let mut touchdown = MultiSiteAte::new(corner_devices(4), config.clone());
+
+        let values: Vec<f64> = (0..40).map(|i| 25.0 + 0.3 * f64::from(i)).collect();
+        let mut batched: Vec<Vec<Probe>> = vec![Vec::new(); 4];
+        for &v in &values {
+            let verdicts = touchdown.measure_sites(
+                &features,
+                cycles,
+                &t,
+                &[(ParamKind::StrobeDelay, v)],
+            );
+            for (site, verdict) in verdicts.into_iter().enumerate() {
+                batched[site].push(verdict);
+            }
+        }
+
+        for site in 0..4 {
+            let mut solo = solo_site(site, &config);
+            let scalar: Vec<Probe> = values
+                .iter()
+                .map(|&v| {
+                    solo.measure_features(
+                        &features,
+                        cycles,
+                        &t,
+                        &[(ParamKind::StrobeDelay, v)],
+                    )
+                })
+                .collect();
+            assert_eq!(batched[site], scalar, "site {site} verdict stream");
+            assert_eq!(
+                *touchdown.site(site).ledger(),
+                *solo.ledger(),
+                "site {site} ledger"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_ledger_reconciles_with_per_site_ledgers() {
+        let config = harsh_config(0xACC0);
+        let t = march_test();
+        let pattern = t.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let cycles = pattern.len() as u64;
+        let mut touchdown = MultiSiteAte::new(corner_devices(3), config);
+        for i in 0..30 {
+            let _ = touchdown.measure_sites(
+                &features,
+                cycles,
+                &t,
+                &[(ParamKind::StrobeDelay, 28.0 + 0.2 * f64::from(i))],
+            );
+        }
+        touchdown.site_mut(1).quarantine();
+
+        let merged = touchdown.merged_ledger();
+        let sum = |f: fn(&MeasurementLedger) -> u64| -> u64 {
+            touchdown.sites().iter().map(|s| f(s.ledger())).sum()
+        };
+        assert_eq!(merged.measurements(), sum(MeasurementLedger::measurements));
+        assert_eq!(merged.dropouts(), sum(MeasurementLedger::dropouts));
+        assert_eq!(merged.flips(), sum(MeasurementLedger::flips));
+        assert_eq!(merged.quarantined(), sum(MeasurementLedger::quarantined));
+        assert_eq!(merged.quarantined(), 1);
+        assert_eq!(merged.measurements(), 3 * 30);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The multi-site extension of the scalar-parity batch proptest:
+        /// any interleaving of subset probes across any number of sites
+        /// leaves each site's verdict stream and ledger bit-identical to
+        /// a solo session consuming that site's subsequence — so site
+        /// ordering and touchdown grouping can never change a result.
+        #[test]
+        fn subset_probes_match_solo_sessions(
+            seed in any::<u64>(),
+            site_count in 1usize..5,
+            schedule in proptest::collection::vec((0usize..5, 20.0f64..40.0), 1..80),
+            noisy in any::<bool>(),
+            faulty in any::<bool>(),
+        ) {
+            let config = AteConfig {
+                noise: if noisy { NoiseModel::new(0.05, 0.1, 0.01) } else { NoiseModel::noiseless() },
+                drift: DriftModel::new(30.0, 1e5),
+                faults: if faulty {
+                    TesterFaultModel::transient(0.05, 0.05)
+                        .with_stuck_channels(0.02, 3)
+                        .with_session_aborts(0.01, 4)
+                } else {
+                    TesterFaultModel::none()
+                },
+                seed,
+            };
+            let t = march_test();
+            let pattern = t.pattern();
+            let features = PatternFeatures::extract(&pattern);
+            let cycles = pattern.len() as u64;
+            let base = MeasuredParam::DataValidTime.relax_forces().to_vec();
+            let probes: Vec<(usize, f64)> = schedule
+                .into_iter()
+                .map(|(site, value)| (site % site_count, value))
+                .collect();
+
+            let mut touchdown = MultiSiteAte::new(corner_devices(site_count), config.clone());
+            let verdicts = touchdown.measure_subset(
+                &features,
+                cycles,
+                &t,
+                &base,
+                ParamKind::StrobeDelay,
+                &probes,
+            );
+            prop_assert_eq!(verdicts.len(), probes.len());
+
+            for site in 0..site_count {
+                let mut solo = solo_site(site, &config);
+                let scalar: Vec<Probe> = probes
+                    .iter()
+                    .filter(|(s, _)| *s == site)
+                    .map(|&(_, v)| {
+                        let mut forces = base.clone();
+                        forces.push((ParamKind::StrobeDelay, v));
+                        solo.measure_features(&features, cycles, &t, &forces)
+                    })
+                    .collect();
+                let batched: Vec<Probe> = probes
+                    .iter()
+                    .zip(&verdicts)
+                    .filter(|((s, _), _)| *s == site)
+                    .map(|(_, &v)| v)
+                    .collect();
+                prop_assert_eq!(batched, scalar);
+                prop_assert_eq!(*touchdown.site(site).ledger(), *solo.ledger());
+            }
+        }
+    }
+
+    use crate::params::MeasuredParam;
+}

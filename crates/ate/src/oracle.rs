@@ -3,6 +3,7 @@
 use crate::params::MeasuredParam;
 use crate::tester::Ate;
 use cichar_patterns::{PatternFeatures, Test};
+use cichar_units::ParamKind;
 use cichar_search::{BatchOracle, PassFailOracle, Probe};
 use cichar_trace::{SpanTrace, TraceEvent};
 
@@ -36,6 +37,10 @@ pub struct TripOracle<'a> {
     param: MeasuredParam,
     features: PatternFeatures,
     pattern_cycles: u64,
+    /// §4 relaxation forces plus one trailing slot for the strobed value,
+    /// allocated once per search instead of once per probe. The last
+    /// element is overwritten with `(param.kind(), value)` at each probe.
+    forces: Vec<(ParamKind, f64)>,
     /// Precomputed memoization-key prefix (pattern + conditions +
     /// relaxation forces), present when the session can serve cached
     /// verdicts. Each probe extends it with the strobed value.
@@ -57,12 +62,15 @@ impl<'a> TripOracle<'a> {
             )
         });
         let trace = ate.trace().clone();
+        let mut forces: Vec<(ParamKind, f64)> = param.relax_forces().to_vec();
+        forces.push((param.kind(), f64::NAN));
         Self {
             ate,
             test,
             param,
             features: PatternFeatures::extract(&pattern),
             pattern_cycles: pattern.len() as u64,
+            forces,
             memo_base,
             trace,
         }
@@ -97,12 +105,15 @@ impl<'a> TripOracle<'a> {
         }
         self.trace.emit(TraceEvent::ProbeIssued { value, speculative });
         // §4 relaxation: non-measured parameters are forced to relaxed
-        // values so only the strobed parameter can cause failure.
-        let mut forces: Vec<_> = self.param.relax_forces().to_vec();
-        forces.push((self.param.kind(), value));
-        let verdict =
-            self.ate
-                .measure_features(&self.features, self.pattern_cycles, self.test, &forces);
+        // values so only the strobed parameter can cause failure. The
+        // strobed value lands in the preallocated trailing slot.
+        *self.forces.last_mut().expect("trailing strobe slot") = (self.param.kind(), value);
+        let verdict = self.ate.measure_features(
+            &self.features,
+            self.pattern_cycles,
+            self.test,
+            &self.forces,
+        );
         if speculative {
             self.ate.record_speculative(1);
         }
@@ -151,12 +162,14 @@ impl BatchOracle for TripOracle<'_> {
                 speculative: i >= first_speculative,
             });
         }
-        let forces = self.param.relax_forces().to_vec();
+        // The relaxation prefix of the hoisted buffer (the trailing slot
+        // is the scalar path's strobe; the batch strobes via `values`).
+        let relax = &self.forces[..self.forces.len() - 1];
         let verdicts = self.ate.measure_features_batch(
             &self.features,
             self.pattern_cycles,
             self.test,
-            &forces,
+            relax,
             self.param.kind(),
             values,
         );

@@ -6,8 +6,8 @@ use crate::ledger::MeasurementLedger;
 use crate::noise::NoiseModel;
 use crate::oracle::TripOracle;
 use crate::params::MeasuredParam;
-use cichar_dut::MemoryDevice;
-use cichar_patterns::{PatternFeatures, Test};
+use cichar_dut::{MemoryDevice, Parametrics};
+use cichar_patterns::{PatternFeatures, Test, TestConditions};
 use cichar_search::{Probe, RecoveryStats, RetryPolicy, RobustOracle};
 use cichar_trace::{FaultKind, SpanTrace, TraceEvent};
 use cichar_units::{Celsius, Megahertz, ParamKind, Volts};
@@ -49,6 +49,31 @@ pub(crate) fn probe_identity(
         h = mix(h, value.to_bits());
     }
     h
+}
+
+/// Applies forced parameters over a test's base conditions, returning the
+/// effective conditions and the forced strobe delay (if any). Force order
+/// matters: a later force of the same parameter wins, exactly as the
+/// historical inline loop behaved.
+pub(crate) fn apply_forces(
+    base: &TestConditions,
+    forces: &[(ParamKind, f64)],
+) -> (TestConditions, Option<f64>) {
+    let mut conditions = *base;
+    let mut strobe: Option<f64> = None;
+    for &(kind, value) in forces {
+        match kind {
+            ParamKind::StrobeDelay => strobe = Some(value),
+            ParamKind::SupplyVoltage => conditions = conditions.with_vdd(Volts::new(value)),
+            ParamKind::ClockFrequency => {
+                conditions = conditions.with_clock(Megahertz::new(value))
+            }
+            ParamKind::Temperature => {
+                conditions = conditions.with_temperature(Celsius::new(value))
+            }
+        }
+    }
+    (conditions, strobe)
 }
 
 /// Tester configuration.
@@ -281,31 +306,59 @@ impl Ate {
         test: &Test,
         forces: &[(ParamKind, f64)],
     ) -> Probe {
-        // Apply forced environmental conditions.
-        let mut conditions = *test.conditions();
-        let mut strobe: Option<f64> = None;
-        for &(kind, value) in forces {
-            match kind {
-                ParamKind::StrobeDelay => strobe = Some(value),
-                ParamKind::SupplyVoltage => conditions = conditions.with_vdd(Volts::new(value)),
-                ParamKind::ClockFrequency => {
-                    conditions = conditions.with_clock(Megahertz::new(value))
-                }
-                ParamKind::Temperature => {
-                    conditions = conditions.with_temperature(Celsius::new(value))
-                }
-            }
-        }
+        let (conditions, strobe) = self.conditioned(test, forces);
+        self.ledger.record(pattern_cycles, conditions.clock.value());
+        let true_params = self.device.evaluate_features(features, &conditions);
+        self.finish_measurement(true_params, strobe, &conditions)
+    }
+
+    /// [`Ate::measure_features`] with the stimulus' stress total already
+    /// hoisted by the caller — the multi-site hot path, where one stress
+    /// breakdown serves every site of a touchdown batch
+    /// ([`crate::MultiSiteAte`]). Bit-identical to `measure_features` when
+    /// `stress_total` comes from this device's stimulus (the scalar path
+    /// itself evaluates through the same stress-hoisted arithmetic).
+    pub(crate) fn measure_features_with_stress(
+        &mut self,
+        stress_total: f64,
+        pattern_cycles: u64,
+        test: &Test,
+        forces: &[(ParamKind, f64)],
+    ) -> Probe {
+        let (conditions, strobe) = self.conditioned(test, forces);
+        self.ledger.record(pattern_cycles, conditions.clock.value());
+        let true_params = self.device.evaluate_with_stress(stress_total, &conditions);
+        self.finish_measurement(true_params, strobe, &conditions)
+    }
+
+    /// The effective conditions and strobe of one measurement: forced
+    /// environmental parameters applied over the test's own conditions,
+    /// plus the session's drift-heated ambient.
+    fn conditioned(
+        &self,
+        test: &Test,
+        forces: &[(ParamKind, f64)],
+    ) -> (TestConditions, Option<f64>) {
+        let (mut conditions, strobe) = apply_forces(test.conditions(), forces);
         // Session drift heats the die on top of the forced ambient.
         let rise = self.config.drift.temperature_rise(self.ledger.cycles());
         if rise > 0.0 {
             conditions =
                 conditions.with_temperature(conditions.temperature + Celsius::new(rise));
         }
+        (conditions, strobe)
+    }
 
-        self.ledger.record(pattern_cycles, conditions.clock.value());
-
-        let true_params = self.device.evaluate_features(features, &conditions);
+    /// The measurement back half shared by the scalar and stress-hoisted
+    /// paths: three noise draws (t_dq, f_max, vdd_min order), the verdict,
+    /// and the fault layer. The ledger entry is recorded by the caller
+    /// *before* the device evaluation, matching the historical order.
+    fn finish_measurement(
+        &mut self,
+        true_params: Parametrics,
+        strobe: Option<f64>,
+        conditions: &TestConditions,
+    ) -> Probe {
         let noise = &self.config.noise;
         let t_dq = true_params.t_dq.value() + NoiseModel::sample(&mut self.rng, noise.t_dq_sigma());
         let f_max =

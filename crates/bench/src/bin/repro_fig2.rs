@@ -8,15 +8,21 @@
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --fault-rate 0.02 --retries 4
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --manifest out.json --timings
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --sites 4
 //! ```
+//!
+//! With `--sites N` (N > 1) the same program runs on `N` lot-sampled dies
+//! per touchdown through the wafer engine; the default of 1 preserves the
+//! historical single-device campaign bit-for-bit.
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
-use cichar_trace::RunManifest;
+use cichar_bench::{robustness, site_count, thread_policy, trace_outputs, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
-use cichar_dut::MemoryDevice;
+use cichar_core::wafer::{WaferConfig, WaferRunner};
+use cichar_dut::{Lot, MemoryDevice};
 use cichar_patterns::{random, Test, TestConditions};
+use cichar_trace::RunManifest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,6 +31,7 @@ fn main() {
     let policy = thread_policy();
     let robustness = robustness();
     let outputs = trace_outputs();
+    let sites = site_count();
     let tracer = outputs.tracer();
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
@@ -37,12 +44,77 @@ fn main() {
         faults: robustness.faults,
         ..AteConfig::default()
     };
-    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
     let param = MeasuredParam::DataValidTime;
     let mut runner = MultiTripRunner::new(param);
     if let Some(policy) = robustness.recovery {
         runner = runner.with_recovery(policy);
     }
+
+    if sites > 1 {
+        // Multi-site mode: one touchdown of `sites` lot-sampled dies, the
+        // full fig. 2 population on each, streamed through the wafer
+        // engine.
+        let mut die_rng = StdRng::seed_from_u64(scale.seed() ^ 0xD1E5);
+        let dies = Lot::default().sample_dies(&mut die_rng, sites);
+        let wafer = WaferRunner::from_runner(runner).with_config(WaferConfig {
+            sites,
+            ..WaferConfig::default()
+        });
+        tracer.phase("dsv");
+        let (report, ledger) = wafer
+            .run_traced(
+                &config,
+                &dies,
+                &tests,
+                SearchStrategy::SearchUntilTrip,
+                policy,
+                &tracer,
+            )
+            .expect("no spill directory configured, no I/O to fail");
+
+        println!(
+            "== Fig. 2 reproduction: multiple trip points ({total} random tests, {sites} sites, {} threads) ==\n",
+            policy.threads()
+        );
+        let agg = &report.aggregate;
+        println!("  entries measured:  {} ({} converged)", agg.entries, agg.converged);
+        println!(
+            "  trip point range:  [{:.3}, {:.3}] ns",
+            agg.min.expect("converged"),
+            agg.max.expect("converged")
+        );
+        println!(
+            "  worst-case band:   {:.3} ns (mean {:.3})",
+            agg.spread().expect("converged"),
+            agg.mean().expect("converged")
+        );
+        println!(
+            "  contact faults:    {} across {} touchdowns",
+            report.contact_faults, report.touchdowns
+        );
+        println!("\n{ledger}");
+
+        if outputs.enabled() {
+            let manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
+                .with_config("scale", format!("{scale:?}"))
+                .with_config("tests", total)
+                .with_config("sites", sites)
+                .with_config("strategy", "search_until_trip")
+                .with_config("fault_rate", robustness.faults.flip_rate())
+                .with_config("trip_min", agg.min.expect("converged"))
+                .with_config("trip_max", agg.max.expect("converged"))
+                .capture(&tracer)
+                .with_host();
+            println!("\n{}", manifest.render());
+            if let Err(err) = outputs.commit(&tracer, &manifest) {
+                eprintln!("error: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
     tracer.phase("dsv");
     let (report, ledger) = runner.run_parallel_traced(
         &blueprint,
@@ -88,7 +160,8 @@ fn main() {
             .with_config("fault_rate", robustness.faults.flip_rate())
             .with_config("trip_min", report.min().expect("converged"))
             .with_config("trip_max", report.max().expect("converged"))
-            .capture(&tracer);
+            .capture(&tracer)
+            .with_host();
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

@@ -94,7 +94,8 @@ fn main() {
             .with_config("fault_rate", robustness.faults.flip_rate())
             .with_config("trip_min", stp.min().expect("converged"))
             .with_config("trip_max", stp.max().expect("converged"))
-            .capture(&tracer);
+            .capture(&tracer)
+            .with_host();
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

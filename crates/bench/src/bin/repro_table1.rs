@@ -66,7 +66,7 @@ fn main() {
                 .with_config("trip_min", min)
                 .with_config("trip_max", trips.iter().copied().fold(min, f64::max));
         }
-        let manifest = manifest.capture(&tracer);
+        let manifest = manifest.capture(&tracer).with_host();
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

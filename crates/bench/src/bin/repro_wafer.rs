@@ -1,0 +1,128 @@
+//! Wafer-scale throughput campaign: streams a full lot of dies through
+//! the multi-site DSV engine and reports trips/sec, per-core throughput
+//! and the memory high-water mark — the numbers `cichar-report diff
+//! --gate` ratchets in CI.
+//!
+//! ```text
+//! cargo run --release -p cichar-bench --bin repro_wafer
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --sites 8 --threads 4
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --dies 640 --manifest out.json
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --fault-rate 0.02 --retries 4
+//! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_wafer
+//! ```
+//!
+//! The campaign shape comes from `CICHAR_SCALE` (`quick`: 96 dies × 4
+//! tests; `full`: 2000 × 50 — the ROADMAP's 10^5 searches); `--dies N`
+//! overrides the die count.
+
+use cichar_ate::{AteConfig, MeasuredParam};
+use cichar_bench::{
+    positive_count_from, robustness, site_count, thread_policy, trace_outputs, Scale,
+};
+use cichar_core::dsv::SearchStrategy;
+use cichar_core::wafer::{WaferConfig, WaferRunner};
+use cichar_dut::Lot;
+use cichar_patterns::{random, Test, TestConditions};
+use cichar_trace::RunManifest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let policy = thread_policy();
+    let robustness = robustness();
+    let outputs = trace_outputs();
+    let sites = site_count();
+    let tracer = outputs.tracer();
+
+    let (default_dies, tests_per_die) = scale.wafer_shape();
+    let die_count = positive_count_from(std::env::args().skip(1), "--dies")
+        .unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        })
+        .unwrap_or(default_dies);
+
+    let mut rng = StdRng::seed_from_u64(scale.seed());
+    let dies = Lot::default().sample_dies(&mut rng, die_count);
+    let tests: Vec<Test> = (0..tests_per_die)
+        .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
+        .collect();
+
+    let config = AteConfig {
+        faults: robustness.faults,
+        ..AteConfig::default()
+    };
+    let mut wafer = WaferRunner::new(MeasuredParam::DataValidTime).with_config(WaferConfig {
+        sites,
+        ..WaferConfig::default()
+    });
+    if let Some(policy) = robustness.recovery {
+        wafer = wafer.with_recovery(policy);
+    }
+
+    tracer.phase("wafer");
+    let started = std::time::Instant::now();
+    let (report, ledger) = wafer
+        .run_traced(
+            &config,
+            &dies,
+            &tests,
+            SearchStrategy::SearchUntilTrip,
+            policy,
+            &tracer,
+        )
+        .expect("no spill directory configured, no I/O to fail");
+    let elapsed = started.elapsed();
+
+    let searches = report.dies * report.tests;
+    let trips_per_sec = searches as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "== Wafer-scale throughput: {} dies x {} tests ({} sites, {} threads) ==\n",
+        report.dies,
+        report.tests,
+        report.sites,
+        policy.threads()
+    );
+    let agg = &report.aggregate;
+    println!("  searches:          {searches} ({} converged, {} quarantined, {} recovered)",
+        agg.converged, agg.quarantined, agg.recovered);
+    if let (Some(min), Some(max)) = (agg.min, agg.max) {
+        println!("  trip point range:  [{min:.3}, {max:.3}] ns");
+        println!(
+            "  percentiles:       p50 {:.2}  p90 {:.2}  p99 {:.2} (±{:.2} ns sketch)",
+            agg.quantile(0.50).unwrap_or(f64::NAN),
+            agg.quantile(0.90).unwrap_or(f64::NAN),
+            agg.quantile(0.99).unwrap_or(f64::NAN),
+            agg.sketch.resolution()
+        );
+    }
+    println!(
+        "  touchdowns:        {} ({} contact faults)",
+        report.touchdowns, report.contact_faults
+    );
+    println!(
+        "  throughput:        {trips_per_sec:.1} trips/s ({:.1} trips/s per core)",
+        trips_per_sec / policy.threads() as f64
+    );
+    println!("\n{ledger}");
+
+    if outputs.enabled() {
+        let manifest = RunManifest::new("wafer", scale.seed(), policy.threads())
+            .with_config("scale", format!("{scale:?}"))
+            .with_config("dies", report.dies)
+            .with_config("tests", report.tests)
+            .with_config("sites", report.sites)
+            .with_config("strategy", "search_until_trip")
+            .with_config("fault_rate", robustness.faults.flip_rate())
+            .with_config("trip_min", agg.min.expect("converged"))
+            .with_config("trip_max", agg.max.expect("converged"))
+            .capture(&tracer)
+            .with_host();
+        println!("\n{}", manifest.render());
+        if let Err(err) = outputs.commit(&tracer, &manifest) {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

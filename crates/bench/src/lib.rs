@@ -131,6 +131,43 @@ where
     Ok(Robustness { faults, recovery })
 }
 
+/// Touchdown width for a repro binary: `--sites N`, defaulting to 1 —
+/// the historical single-site behaviour. Exits with status 2 on an
+/// invalid value.
+pub fn site_count() -> usize {
+    site_count_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// [`site_count`] over an explicit argument list (testable).
+pub fn site_count_from<I>(args: I) -> Result<usize, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    Ok(positive_count_from(args, "--sites")?.unwrap_or(1))
+}
+
+/// Shared strict parser for `FLAG N` positive-integer operands — one
+/// implementation behind `--sites` (and any future count-style flag), so
+/// every binary rejects `0`, junk, and missing operands with the same
+/// diagnostic instead of growing its own copy of the loop.
+pub fn positive_count_from<I>(args: I, flag: &str) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(raw) = flag_value(flag, &arg, &mut args)? {
+            return match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!(
+                    "invalid {flag} value {raw:?}: expected a positive integer"
+                )),
+            };
+        }
+    }
+    Ok(None)
+}
+
 /// Extracts the operand of `flag` from `arg` (either `flag=value` or
 /// `flag` followed by the next argument). `Ok(None)` when `arg` is not
 /// this flag; an error when the operand is missing.
@@ -321,6 +358,15 @@ impl Scale {
         }
     }
 
+    /// Wafer-campaign shape at this scale: `(dies, tests per die)`. The
+    /// full shape lands at the ROADMAP's 10^5 (test, die) searches.
+    pub fn wafer_shape(self) -> (usize, usize) {
+        match self {
+            Scale::Quick => (96, 4),
+            Scale::Full => (2000, 50),
+        }
+    }
+
     /// Deterministic RNG seed shared by all repro binaries.
     pub fn seed(self) -> u64 {
         0xDA7E_2005
@@ -375,6 +421,30 @@ mod tests {
                 ExecPolicy::from_env()
             );
         }
+    }
+
+    #[test]
+    fn sites_flag_is_strict_in_both_spellings_and_defaults_to_one() {
+        assert_eq!(site_count_from(strings(&[])).unwrap(), 1);
+        assert_eq!(site_count_from(strings(&["--sites", "4"])).unwrap(), 4);
+        assert_eq!(site_count_from(strings(&["--threads=2", "--sites=8"])).unwrap(), 8);
+        for args in [
+            &["--sites", "0"][..],
+            &["--sites=junk"][..],
+            &["--sites", "-2"][..],
+            &["--sites"][..],
+        ] {
+            let err = site_count_from(strings(args)).unwrap_err();
+            assert!(err.contains("--sites"), "{err}");
+        }
+    }
+
+    #[test]
+    fn positive_count_parser_is_reusable_for_other_flags() {
+        let dies = positive_count_from(strings(&["--dies", "640"]), "--dies").unwrap();
+        assert_eq!(dies, Some(640));
+        assert_eq!(positive_count_from(strings(&[]), "--dies").unwrap(), None);
+        assert!(positive_count_from(strings(&["--dies=0"]), "--dies").is_err());
     }
 
     #[test]

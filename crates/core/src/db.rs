@@ -208,6 +208,94 @@ pub fn load_artifact<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<T> {
     serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Saves a slice of serializable records as JSONL (one compact JSON value
+/// per line) at `path`, through the same write-then-rename commit as
+/// [`save_artifact`]. The wafer pipeline spills each chunk of streamed
+/// entries this way, so a crash mid-campaign leaves only whole chunk
+/// files behind, never a truncated line.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn save_jsonl<T: Serialize>(records: &[T], path: impl AsRef<Path>) -> io::Result<()> {
+    let mut body = String::new();
+    for record in records {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        body.push_str(&line);
+        body.push('\n');
+    }
+    commit_atomically(body.as_bytes(), path.as_ref())
+}
+
+/// Loads every record of a JSONL file written by [`save_jsonl`]. Blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Propagates I/O and deserialization errors.
+pub fn load_jsonl<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<Vec<T>> {
+    let body = fs::read_to_string(path)?;
+    body.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            serde_json::from_str(line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })
+        .collect()
+}
+
+/// Compacts several JSONL spill files into one, atomically, preserving
+/// source order — the wafer pipeline's end-of-run step that turns
+/// per-chunk spill files into a single artifact. Sources are read one at
+/// a time, so peak memory is one chunk, not the whole wafer.
+///
+/// # Errors
+///
+/// Propagates I/O errors; no source is removed on failure.
+pub fn compact_jsonl<P: AsRef<Path>>(sources: &[P], dest: impl AsRef<Path>) -> io::Result<()> {
+    let dest = dest.as_ref();
+    let mut scratch_name = dest
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact.jsonl".into());
+    scratch_name.push(".tmp");
+    let scratch = dest.with_file_name(scratch_name);
+    let write_all = || -> io::Result<()> {
+        use std::io::Write;
+        let mut out = std::io::BufWriter::new(fs::File::create(&scratch)?);
+        for source in sources {
+            let chunk = fs::read(source)?;
+            out.write_all(&chunk)?;
+        }
+        out.into_inner().map_err(|e| e.into_error())?.sync_all()
+    };
+    if let Err(e) = write_all() {
+        let _ = fs::remove_file(&scratch);
+        return Err(e);
+    }
+    fs::rename(&scratch, dest)?;
+    for source in sources {
+        fs::remove_file(source)?;
+    }
+    Ok(())
+}
+
+/// The shared write-then-rename commit: scratch file next to the target,
+/// renamed into place only once fully written.
+fn commit_atomically(bytes: &[u8], path: &Path) -> io::Result<()> {
+    let mut scratch_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact.json".into());
+    scratch_name.push(".tmp");
+    let scratch = path.with_file_name(scratch_name);
+    if let Err(e) = fs::write(&scratch, bytes) {
+        let _ = fs::remove_file(&scratch);
+        return Err(e);
+    }
+    fs::rename(&scratch, path)
+}
+
 impl fmt::Display for WorstCaseDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

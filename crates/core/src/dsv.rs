@@ -118,6 +118,19 @@ pub struct DsvEntry {
     pub status: TripStatus,
 }
 
+/// A streamed per-test outcome: everything a [`DsvEntry`] records except
+/// the test's name — streaming consumers carry the test *index* instead,
+/// so handing one over allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct StreamedEntry {
+    /// The measured trip point (`None` when quarantined).
+    pub trip_point: Option<f64>,
+    /// Measurements this test's search consumed.
+    pub measurements: u64,
+    /// How the trip point was obtained (or why it is missing).
+    pub status: TripStatus,
+}
+
 /// The design-specification-value set of eq. 1 plus cost accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DsvReport {
@@ -408,23 +421,72 @@ impl MultiTripRunner {
         self.run_inner(ate, tests, strategy, |_| span.clone(), |_| {})
     }
 
-    /// The single sequential campaign body. `with_span` produces the span
-    /// a test's search reports into; `done` disposes of it afterwards
-    /// (absorbing it into a tracer, or nothing for shared/disabled spans).
+    /// [`run_in_span`](Self::run_in_span) without materializing a
+    /// [`DsvReport`]: each test's outcome streams to `sink` (keyed by test
+    /// index) as its search completes. This is the wafer engine's hot
+    /// path — it shares [`Self::fold_inner`] with the report-building
+    /// runs, so every entry is classified identically either way; only
+    /// the packaging differs. No per-entry name strings, no entries
+    /// vector — the caller owns whatever it accumulates.
+    pub(crate) fn run_fold(
+        &self,
+        ate: &mut Ate,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        span: &SpanTrace,
+        sink: impl FnMut(usize, StreamedEntry),
+    ) {
+        self.fold_inner(ate, tests, strategy, |_| span.clone(), |_| {}, sink);
+    }
+
+    /// The single sequential campaign body, packaged as a report.
+    /// `with_span` produces the span a test's search reports into; `done`
+    /// disposes of it afterwards (absorbing it into a tracer, or nothing
+    /// for shared/disabled spans).
     fn run_inner(
+        &self,
+        ate: &mut Ate,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        with_span: impl FnMut(usize) -> SpanTrace,
+        done: impl FnMut(SpanTrace),
+    ) -> DsvReport {
+        let mut entries = Vec::with_capacity(tests.len());
+        let mut total = 0u64;
+        let rtp = self.fold_inner(ate, tests, strategy, with_span, done, |index, entry| {
+            total += entry.measurements;
+            entries.push(DsvEntry {
+                test_name: tests[index].name().to_string(),
+                trip_point: entry.trip_point,
+                measurements: entry.measurements,
+                status: entry.status,
+            });
+        });
+        DsvReport {
+            param: self.param,
+            strategy,
+            reference_trip_point: rtp,
+            entries,
+            total_measurements: total,
+        }
+    }
+
+    /// The sequential campaign loop itself: per-test searches with the
+    /// RTP refresh/re-anchor discipline, streaming each outcome to `sink`.
+    /// Both the report-building and the wafer fold paths run exactly this
+    /// code. Returns the final reference trip point.
+    fn fold_inner(
         &self,
         ate: &mut Ate,
         tests: &[Test],
         strategy: SearchStrategy,
         mut with_span: impl FnMut(usize) -> SpanTrace,
         mut done: impl FnMut(SpanTrace),
-    ) -> DsvReport {
-        let param = self.param;
+        mut sink: impl FnMut(usize, StreamedEntry),
+    ) -> Option<f64> {
         let (full, rebracket) = self.searches();
 
-        let mut entries = Vec::with_capacity(tests.len());
         let mut rtp: Option<f64> = None;
-        let mut total = 0u64;
         for (index, test) in tests.iter().enumerate() {
             // Periodic reference refresh: drop the stale RTP so the next
             // search runs full-range and re-anchors the reference.
@@ -445,7 +507,6 @@ impl MultiTripRunner {
             span.mark_done();
             done(span);
             let measurements = ate.ledger().measurements_since(&baseline);
-            total += measurements;
             if strategy == SearchStrategy::SearchUntilTrip {
                 if let Some(fresh) = measured.refreshed_reference {
                     // Re-bracketing already paid for a full search; its
@@ -456,20 +517,16 @@ impl MultiTripRunner {
                     rtp = measured.trip_point;
                 }
             }
-            entries.push(DsvEntry {
-                test_name: test.name().to_string(),
-                trip_point: measured.trip_point,
-                measurements,
-                status: measured.status,
-            });
+            sink(
+                index,
+                StreamedEntry {
+                    trip_point: measured.trip_point,
+                    measurements,
+                    status: measured.status,
+                },
+            );
         }
-        DsvReport {
-            param,
-            strategy,
-            reference_trip_point: rtp,
-            entries,
-            total_measurements: total,
-        }
+        rtp
     }
 
     /// Runs the characterization across worker threads, spawning one

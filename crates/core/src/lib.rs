@@ -62,4 +62,6 @@ pub mod optimization;
 pub mod production;
 pub mod report;
 pub mod sample;
+pub mod stream;
+pub mod wafer;
 pub mod wcr;

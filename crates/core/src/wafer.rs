@@ -1,0 +1,624 @@
+//! Wafer-scale streaming characterization: the ROADMAP's 10^5–10^6
+//! (test, die) campaigns in bounded memory.
+//!
+//! A wafer run is organised the way real ATE organises it:
+//!
+//! * dies are grouped into **touchdowns** of `sites` dies, measured on a
+//!   [`MultiSiteAte`] whose per-site sessions are seeded by *global die
+//!   index* — so results are bit-identical across thread counts, site
+//!   groupings and chunk sizes (a die's random streams depend only on its
+//!   identity);
+//! * touchdowns are dispatched in **chunks** through
+//!   [`cichar_exec::par_map_ref`], and each chunk's entries are folded
+//!   into an incremental [`TripAggregate`] (eq. 1 extrema bit-exact,
+//!   percentiles sketch-bounded) and then dropped — peak memory holds one
+//!   chunk, never the wafer;
+//! * optionally every chunk **spills** its entries as an atomic JSONL
+//!   artifact ([`db::save_jsonl`]), and a final compaction step merges the
+//!   chunk files into one artifact plus a summary
+//!   ([`db::save_artifact`]).
+//!
+//! Searches themselves reuse the exact [`MultiTripRunner`] ladder —
+//! recovery, re-bracketing, quarantine classification — so a wafer entry
+//! is classified identically to a bench-top entry.
+
+use crate::db;
+use crate::dsv::{MultiTripRunner, SearchStrategy, TripStatus};
+use crate::stream::TripAggregate;
+use cichar_ate::{Ate, AteConfig, MeasuredParam, MeasurementLedger, MultiSiteAte};
+use cichar_dut::{Die, MemoryDevice};
+use cichar_exec::ExecPolicy;
+use cichar_patterns::{PatternFeatures, Test};
+use cichar_search::RegionOrder;
+use cichar_trace::{SpanTrace, Tracer};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
+
+/// Shape of a wafer campaign: touchdown width, dispatch chunking, sketch
+/// resolution, and the optional spill destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferConfig {
+    /// Dies measured per touchdown (multi-site width). Grouping never
+    /// changes results — only batching shape.
+    pub sites: usize,
+    /// Touchdowns dispatched per parallel chunk; one chunk of entries is
+    /// the peak materialized memory.
+    pub chunk_touchdowns: usize,
+    /// Buckets of the percentile sketch over the parameter's generous
+    /// range.
+    pub sketch_buckets: usize,
+    /// Whether each touchdown opens with one shared contact-check strobe
+    /// per site (at the parameter's pass edge); an unavailable verdict
+    /// counts as a contact fault. One strobe per die either way, so the
+    /// check is invariant under site grouping.
+    pub contact_check: bool,
+    /// Directory for JSONL entry spills; `None` keeps only the aggregate.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for WaferConfig {
+    fn default() -> Self {
+        Self {
+            sites: 4,
+            chunk_touchdowns: 32,
+            sketch_buckets: 256,
+            contact_check: true,
+            spill_dir: None,
+        }
+    }
+}
+
+/// One streamed (die, test) measurement record — the spill row. Compact
+/// by design: test identity is an index into the campaign's test list,
+/// not a per-entry name allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaferEntry {
+    /// The die's serial id.
+    pub die: u32,
+    /// Index of the test in the campaign's test list.
+    pub test: u32,
+    /// The measured trip point (`None` when quarantined).
+    pub trip_point: Option<f64>,
+    /// How the trip point was obtained (or why it is missing).
+    pub status: TripStatus,
+}
+
+/// Where the streamed entries went on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpillManifest {
+    /// Chunk files written before compaction.
+    pub chunks: u64,
+    /// Entries in the compacted artifact.
+    pub entries: u64,
+    /// Path of the compacted JSONL artifact.
+    pub path: String,
+}
+
+/// The bounded-memory result of a wafer campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaferReport {
+    /// The measured parameter.
+    pub param: MeasuredParam,
+    /// The per-test search strategy.
+    pub strategy: SearchStrategy,
+    /// Dies characterized.
+    pub dies: u64,
+    /// Tests per die.
+    pub tests: u64,
+    /// Touchdown width the campaign ran with.
+    pub sites: u64,
+    /// Touchdowns performed.
+    pub touchdowns: u64,
+    /// Sites whose contact-check strobe returned no verdict.
+    pub contact_faults: u64,
+    /// The streaming eq. 1 aggregate over every (test, die) entry.
+    pub aggregate: TripAggregate,
+    /// Quarantined entries by site position within the touchdown — always
+    /// sums to `aggregate.quarantined` (per-site accounting reconciles
+    /// with the merged ledger by construction).
+    pub per_site_quarantined: Vec<u64>,
+    /// Total tester measurements across every site session.
+    pub total_measurements: u64,
+    /// The spill artifact, when the campaign spilled.
+    pub spill: Option<SpillManifest>,
+}
+
+/// One touchdown's raw product, produced on a worker and folded by the
+/// coordinator in touchdown order.
+struct TouchdownOutcome {
+    entries: Vec<WaferEntry>,
+    ledgers: Vec<MeasurementLedger>,
+    contact_faults: u64,
+    spans: Vec<SpanTrace>,
+}
+
+/// Streaming wafer/lot characterization over the [`MultiTripRunner`]
+/// search ladder.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{AteConfig, MeasuredParam};
+/// use cichar_core::dsv::SearchStrategy;
+/// use cichar_core::wafer::{WaferConfig, WaferRunner};
+/// use cichar_dut::Lot;
+/// use cichar_exec::ExecPolicy;
+/// use cichar_patterns::{march, Test};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let dies = Lot::default().sample_dies(&mut rng, 8);
+/// let tests = vec![Test::deterministic("march_x", march::march_x(96))];
+/// let runner = WaferRunner::new(MeasuredParam::DataValidTime)
+///     .with_config(WaferConfig { sites: 4, ..WaferConfig::default() });
+/// let (report, ledger) = runner
+///     .run(&AteConfig::default(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+///     .expect("no spill configured, no I/O to fail");
+/// assert_eq!(report.dies, 8);
+/// assert_eq!(ledger.measurements(), report.total_measurements);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaferRunner {
+    runner: MultiTripRunner,
+    config: WaferConfig,
+}
+
+impl WaferRunner {
+    /// A wafer runner measuring `param` with default search behaviour and
+    /// wafer shape.
+    pub fn new(param: MeasuredParam) -> Self {
+        Self {
+            runner: MultiTripRunner::new(param),
+            config: WaferConfig::default(),
+        }
+    }
+
+    /// Wraps an already-configured per-die search runner (speculation,
+    /// refinement, RTP refresh, recovery — everything carries over).
+    pub fn from_runner(runner: MultiTripRunner) -> Self {
+        Self {
+            runner,
+            config: WaferConfig::default(),
+        }
+    }
+
+    /// Replaces the wafer shape.
+    pub fn with_config(mut self, config: WaferConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables the fault-tolerant recovery ladder on every search.
+    pub fn with_recovery(mut self, policy: cichar_search::RetryPolicy) -> Self {
+        self.runner = self.runner.with_recovery(policy);
+        self
+    }
+
+    /// The wafer shape.
+    pub fn config(&self) -> &WaferConfig {
+        &self.config
+    }
+
+    /// Characterizes `dies` × `tests`, streaming entries through the
+    /// chunked aggregate. See [`Self::run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill I/O errors (only possible with a spill directory
+    /// configured).
+    pub fn run(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+    ) -> io::Result<(WaferReport, MeasurementLedger)> {
+        self.run_traced(ate_config, dies, tests, strategy, policy, &Tracer::disabled())
+    }
+
+    /// [`Self::run`] with per-die spans recorded into `tracer` (span index
+    /// = global die index, absorbed in die order — the event stream is
+    /// identical for every thread count, chunk size and site grouping).
+    ///
+    /// Die `d`'s session seed is `derive_seed(ate_config.seed, d)`, so a
+    /// die's verdict stream is a pure function of the campaign seed and
+    /// its position in `dies` — never of scheduling, touchdown grouping
+    /// or chunking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spill I/O errors.
+    pub fn run_traced(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+    ) -> io::Result<(WaferReport, MeasurementLedger)> {
+        let sites = self.config.sites.max(1);
+        let chunk_touchdowns = self.config.chunk_touchdowns.max(1);
+        let param = self.runner.param();
+        let range = param.generous_range();
+
+        let mut aggregate = TripAggregate::new(range.start(), range.end(), self.config.sketch_buckets);
+        let mut merged = MeasurementLedger::new();
+        let mut per_site_quarantined = vec![0u64; sites.min(dies.len().max(1))];
+        let mut contact_faults = 0u64;
+        let mut spill_paths: Vec<PathBuf> = Vec::new();
+        let mut spill_buffer: Vec<WaferEntry> = Vec::new();
+
+        let touchdowns: Vec<&[Die]> = dies.chunks(sites).collect();
+        let touchdown_count = touchdowns.len();
+
+        for (chunk_index, chunk) in touchdowns.chunks(chunk_touchdowns).enumerate() {
+            let first_touchdown = chunk_index * chunk_touchdowns;
+            let outcomes = cichar_exec::par_map_ref(policy, chunk, |i, td_dies| {
+                self.process_touchdown(
+                    first_touchdown + i,
+                    td_dies,
+                    ate_config,
+                    tests,
+                    strategy,
+                    tracer,
+                )
+            });
+
+            // Fold in touchdown order: aggregates, ledgers, spans, spill.
+            for outcome in outcomes {
+                contact_faults += outcome.contact_faults;
+                for span in outcome.spans {
+                    tracer.absorb(span);
+                }
+                for (site, ledger) in outcome.ledgers.iter().enumerate() {
+                    merged.merge(ledger);
+                    per_site_quarantined[site] += ledger.quarantined();
+                }
+                for entry in &outcome.entries {
+                    aggregate.observe(entry.trip_point, &entry.status);
+                }
+                if self.config.spill_dir.is_some() {
+                    spill_buffer.extend(outcome.entries);
+                }
+            }
+            if let Some(dir) = &self.config.spill_dir {
+                let path = dir.join(format!("wafer_chunk_{chunk_index:05}.jsonl"));
+                db::save_jsonl(&spill_buffer, &path)?;
+                spill_paths.push(path);
+                spill_buffer.clear();
+            }
+        }
+
+        let spill = match &self.config.spill_dir {
+            Some(dir) => {
+                let dest = dir.join("wafer_entries.jsonl");
+                db::compact_jsonl(&spill_paths, &dest)?;
+                Some(SpillManifest {
+                    chunks: spill_paths.len() as u64,
+                    entries: aggregate.entries,
+                    path: dest.display().to_string(),
+                })
+            }
+            None => None,
+        };
+
+        let report = WaferReport {
+            param,
+            strategy,
+            dies: dies.len() as u64,
+            tests: tests.len() as u64,
+            sites: sites as u64,
+            touchdowns: touchdown_count as u64,
+            contact_faults,
+            aggregate,
+            per_site_quarantined,
+            total_measurements: merged.measurements(),
+            spill,
+        };
+        if let Some(dir) = &self.config.spill_dir {
+            db::save_artifact(&report, dir.join("wafer_summary.json"))?;
+        }
+        Ok((report, merged))
+    }
+
+    /// One touchdown: per-die sessions seeded by global die index, the
+    /// shared contact-check strobe (one stress hoist across sites), then
+    /// each site's per-test searches through the standard recovery ladder.
+    fn process_touchdown(
+        &self,
+        touchdown: usize,
+        td_dies: &[Die],
+        ate_config: &AteConfig,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        tracer: &Tracer,
+    ) -> TouchdownOutcome {
+        let sites = self.config.sites.max(1);
+        let first_die = touchdown * sites;
+        let sessions: Vec<Ate> = td_dies
+            .iter()
+            .enumerate()
+            .map(|(site, die)| {
+                Ate::with_config(
+                    MemoryDevice::new(*die),
+                    AteConfig {
+                        seed: cichar_exec::derive_seed(ate_config.seed, (first_die + site) as u64),
+                        ..ate_config.clone()
+                    },
+                )
+            })
+            .collect();
+        let mut touchdown_ate = MultiSiteAte::from_sessions(sessions);
+
+        let mut contact_faults = 0u64;
+        if self.config.contact_check {
+            if let Some(test) = tests.first() {
+                contact_faults = self.contact_check(&mut touchdown_ate, test);
+            }
+        }
+
+        let mut entries = Vec::with_capacity(td_dies.len() * tests.len());
+        let mut spans = Vec::with_capacity(td_dies.len());
+        for site in 0..touchdown_ate.site_count() {
+            let die_index = first_die + site;
+            let die_id = touchdown_ate.site(site).device().die().id();
+            let span = tracer.span(die_index as u64);
+            // The fold path: entries stream straight into the touchdown
+            // buffer — no per-die report, no per-entry name strings.
+            self.runner.run_fold(
+                touchdown_ate.site_mut(site),
+                tests,
+                strategy,
+                &span,
+                |test_index, e| {
+                    entries.push(WaferEntry {
+                        die: die_id,
+                        test: test_index as u32,
+                        trip_point: e.trip_point,
+                        status: e.status,
+                    });
+                },
+            );
+            span.mark_done();
+            spans.push(span);
+        }
+
+        let ledgers = touchdown_ate
+            .into_sessions()
+            .iter()
+            .map(|s| *s.ledger())
+            .collect();
+        TouchdownOutcome {
+            entries,
+            ledgers,
+            contact_faults,
+            spans,
+        }
+    }
+
+    /// The shared touchdown strobe: every site measures the first test at
+    /// the parameter's pass edge in one batch (one stress-breakdown hoist
+    /// across all sites). Returns how many sites answered with no verdict.
+    fn contact_check(&self, touchdown_ate: &mut MultiSiteAte, test: &Test) -> u64 {
+        let param = self.runner.param();
+        let range = param.generous_range();
+        let edge = match param.region_order() {
+            RegionOrder::PassBelowFail => range.start(),
+            RegionOrder::PassAboveFail => range.end(),
+        };
+        let pattern = test.pattern();
+        let features = PatternFeatures::extract(&pattern);
+        let mut forces = param.relax_forces().to_vec();
+        forces.push((param.kind(), edge));
+        let verdicts =
+            touchdown_ate.measure_sites(&features, pattern.len() as u64, test, &forces);
+        verdicts.iter().filter(|v| !v.is_valid()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_ate::{DriftModel, NoiseModel, TesterFaultModel};
+    use cichar_dut::Lot;
+    use cichar_patterns::{random, TestConditions};
+    use cichar_search::RetryPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn harsh_config() -> AteConfig {
+        AteConfig {
+            noise: NoiseModel::new(0.03, 0.05, 0.005),
+            drift: DriftModel::new(20.0, 1e5),
+            faults: TesterFaultModel::transient(0.01, 0.02),
+            seed: 0xD1E5,
+        }
+    }
+
+    fn wafer(dies: usize, tests: usize) -> (Vec<Die>, Vec<Test>) {
+        let mut rng = StdRng::seed_from_u64(0x57AF);
+        let dies = Lot::default().sample_dies(&mut rng, dies);
+        let tests = (0..tests)
+            .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
+            .collect();
+        (dies, tests)
+    }
+
+    fn runner(sites: usize, chunk: usize) -> WaferRunner {
+        WaferRunner::new(MeasuredParam::DataValidTime)
+            .with_recovery(RetryPolicy::new(3, 50.0))
+            .with_config(WaferConfig {
+                sites,
+                chunk_touchdowns: chunk,
+                sketch_buckets: 128,
+                contact_check: true,
+                spill_dir: None,
+            })
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_thread_counts() {
+        let (dies, tests) = wafer(12, 5);
+        let r = runner(4, 2);
+        let serial = r
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("no spill");
+        for threads in [2, 8] {
+            let parallel = r
+                .run(
+                    &harsh_config(),
+                    &dies,
+                    &tests,
+                    SearchStrategy::SearchUntilTrip,
+                    ExecPolicy::with_threads(threads),
+                )
+                .expect("no spill");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reports_are_invariant_under_chunk_size() {
+        let (dies, tests) = wafer(10, 4);
+        let base = runner(2, 1)
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+            .expect("no spill");
+        for chunk in [3, 64] {
+            let other = runner(2, chunk)
+                .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+                .expect("no spill");
+            assert_eq!(base, other, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn site_grouping_never_changes_results() {
+        // sites=1 vs sites=4: different touchdown shapes, same per-die
+        // streams — entries, aggregate, ledger and contact accounting all
+        // agree.
+        let (dies, tests) = wafer(8, 4);
+        let spill_a = std::env::temp_dir().join("cichar_wafer_sites1");
+        let spill_b = std::env::temp_dir().join("cichar_wafer_sites4");
+        for dir in [&spill_a, &spill_b] {
+            let _ = std::fs::remove_dir_all(dir);
+            std::fs::create_dir_all(dir).expect("tmp dir");
+        }
+        let run = |sites: usize, dir: &std::path::Path| {
+            let mut r = runner(sites, 2);
+            r.config.spill_dir = Some(dir.to_path_buf());
+            r.run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+                .expect("spill dir writable")
+        };
+        let (one, ledger_one) = run(1, &spill_a);
+        let (four, ledger_four) = run(4, &spill_b);
+
+        assert_eq!(one.aggregate, four.aggregate);
+        assert_eq!(one.contact_faults, four.contact_faults);
+        assert_eq!(ledger_one, ledger_four);
+        assert_eq!(
+            one.per_site_quarantined.iter().sum::<u64>(),
+            four.per_site_quarantined.iter().sum::<u64>()
+        );
+        let entries_one: Vec<WaferEntry> =
+            db::load_jsonl(spill_a.join("wafer_entries.jsonl")).expect("compacted spill");
+        let entries_four: Vec<WaferEntry> =
+            db::load_jsonl(spill_b.join("wafer_entries.jsonl")).expect("compacted spill");
+        assert_eq!(entries_one, entries_four);
+        for dir in [&spill_a, &spill_b] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn per_site_accounting_reconciles_with_merged_ledger() {
+        let (dies, tests) = wafer(9, 4);
+        // Heavier faults so quarantines actually occur.
+        let config = AteConfig {
+            faults: TesterFaultModel::transient(0.02, 0.25),
+            ..harsh_config()
+        };
+        let r = WaferRunner::new(MeasuredParam::DataValidTime).with_config(WaferConfig {
+            sites: 3,
+            chunk_touchdowns: 2,
+            ..WaferConfig::default()
+        });
+        let (report, ledger) = r
+            .run(&config, &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("no spill");
+        assert!(report.aggregate.quarantined > 0, "fault rate high enough to quarantine");
+        assert_eq!(
+            report.per_site_quarantined.iter().sum::<u64>(),
+            report.aggregate.quarantined,
+            "per-site quarantines sum to the aggregate"
+        );
+        assert_eq!(ledger.quarantined(), report.aggregate.quarantined);
+        assert_eq!(ledger.measurements(), report.total_measurements);
+        assert_eq!(report.aggregate.entries, report.dies * report.tests);
+    }
+
+    #[test]
+    fn wafer_entries_match_independent_per_die_runs() {
+        // With the contact check off, each die's wafer stream is exactly
+        // an independent MultiTripRunner campaign on a session seeded by
+        // its global die index.
+        let (dies, tests) = wafer(6, 4);
+        let config = harsh_config();
+        let mut r = runner(3, 2);
+        r.config.contact_check = false;
+        let (report, _) = r
+            .run(&config, &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+            .expect("no spill");
+        assert_eq!(report.aggregate.entries, 6 * 4);
+
+        let mut reference = TripAggregate::new(
+            MeasuredParam::DataValidTime.generous_range().start(),
+            MeasuredParam::DataValidTime.generous_range().end(),
+            128,
+        );
+        let per_die = MultiTripRunner::new(MeasuredParam::DataValidTime)
+            .with_recovery(RetryPolicy::new(3, 50.0));
+        for (die_index, die) in dies.iter().enumerate() {
+            let mut session = Ate::with_config(
+                MemoryDevice::new(*die),
+                AteConfig {
+                    seed: cichar_exec::derive_seed(config.seed, die_index as u64),
+                    ..config.clone()
+                },
+            );
+            let report = per_die.run(&mut session, &tests, SearchStrategy::SearchUntilTrip);
+            for e in &report.entries {
+                reference.observe(e.trip_point, &e.status);
+            }
+        }
+        assert_eq!(report.aggregate, reference);
+    }
+
+    #[test]
+    fn spill_compacts_chunks_and_writes_summary() {
+        let (dies, tests) = wafer(6, 3);
+        let dir = std::env::temp_dir().join("cichar_wafer_spill");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let mut r = runner(2, 1);
+        r.config.spill_dir = Some(dir.clone());
+        let (report, _) = r
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("spill dir writable");
+
+        let spill = report.spill.as_ref().expect("spill manifest");
+        assert_eq!(spill.chunks, 3, "three chunks of one touchdown each");
+        assert_eq!(spill.entries, 6 * 3);
+        let entries: Vec<WaferEntry> = db::load_jsonl(&spill.path).expect("compacted artifact");
+        assert_eq!(entries.len(), 18);
+        // Chunk files are gone after compaction; the summary artifact parses.
+        assert!(!dir.join("wafer_chunk_00000.jsonl").exists());
+        let summary: WaferReport =
+            db::load_artifact(dir.join("wafer_summary.json")).expect("summary");
+        assert_eq!(summary, report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -132,6 +132,38 @@ impl MemoryDevice {
         }
     }
 
+    /// The total stress contribution of a stimulus, hoisted out of the
+    /// per-condition arithmetic. Stress depends only on the pattern
+    /// features — not on the die or the conditions — so one stress total
+    /// can serve an entire batch of condition points *and* every site in
+    /// a multi-site touchdown that shares the calibrated surface.
+    pub fn stress_total(&self, features: &PatternFeatures) -> f64 {
+        self.surface.stress_breakdown(features).total()
+    }
+
+    /// Evaluates one condition point with a pre-hoisted stress total (from
+    /// [`Self::stress_total`]). Bit-identical to
+    /// [`Self::evaluate_features`] when the stress total comes from the
+    /// same features, because the per-condition terms go through exactly
+    /// the same arithmetic.
+    pub fn evaluate_with_stress(
+        &self,
+        stress_total: f64,
+        conditions: &TestConditions,
+    ) -> Parametrics {
+        Parametrics {
+            t_dq: self
+                .surface
+                .t_dq_with_stress(stress_total, conditions, &self.die),
+            f_max: self
+                .surface
+                .f_max_with_stress(stress_total, conditions, &self.die),
+            vdd_min: self
+                .surface
+                .vdd_min_with_stress(stress_total, conditions, &self.die),
+        }
+    }
+
     /// Evaluates one stimulus at many condition points in a single pass —
     /// the SoA fast path behind batched oracle probing.
     ///
@@ -145,14 +177,10 @@ impl MemoryDevice {
         features: &PatternFeatures,
         conditions: &[TestConditions],
     ) -> Vec<Parametrics> {
-        let stress_total = self.surface.stress_breakdown(features).total();
+        let stress_total = self.stress_total(features);
         conditions
             .iter()
-            .map(|c| Parametrics {
-                t_dq: self.surface.t_dq_with_stress(stress_total, c, &self.die),
-                f_max: self.surface.f_max_with_stress(stress_total, c, &self.die),
-                vdd_min: self.surface.vdd_min_with_stress(stress_total, c, &self.die),
-            })
+            .map(|c| self.evaluate_with_stress(stress_total, c))
             .collect()
     }
 

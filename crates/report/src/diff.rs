@@ -31,6 +31,14 @@ pub struct GateConfig {
     /// Maximum allowed relative drift of the `trip_min` / `trip_max`
     /// config extrema, percent.
     pub max_extrema_drift_pct: f64,
+    /// Maximum allowed drop of the trips/s-per-core throughput, percent.
+    /// `None` disables the throughput gate. Per-core (not absolute)
+    /// throughput is gated so the check survives baseline and current
+    /// runs landing on hosts with different core counts.
+    pub max_throughput_drop_pct: Option<f64>,
+    /// Maximum allowed growth of the peak resident set size, percent.
+    /// `None` disables the memory gate.
+    pub max_peak_rss_growth_pct: Option<f64>,
 }
 
 impl Default for GateConfig {
@@ -41,6 +49,8 @@ impl Default for GateConfig {
             max_quarantine_delta_pts: 0.5,
             max_wall_growth_pct: None,
             max_extrema_drift_pct: 0.25,
+            max_throughput_drop_pct: None,
+            max_peak_rss_growth_pct: None,
         }
     }
 }
@@ -67,6 +77,11 @@ pub struct ManifestDiff {
     pub rows: Vec<DiffRow>,
     /// Human-readable breach descriptions (empty ⇒ gate passes).
     pub breaches: Vec<String>,
+    /// Comparisons that were skipped rather than judged — optional
+    /// metrics present in only one manifest, or gates that don't apply
+    /// on this host. Notes never fail the gate; they keep the report
+    /// honest about what it did *not* check.
+    pub notes: Vec<String>,
 }
 
 fn growth_pct(baseline: u64, current: u64) -> f64 {
@@ -104,6 +119,7 @@ impl ManifestDiff {
     pub fn compare(baseline: &RunManifest, current: &RunManifest, gate: &GateConfig) -> Self {
         let mut rows = Vec::new();
         let mut breaches = Vec::new();
+        let mut notes = Vec::new();
         let mut push = |row: DiffRow| {
             if let Some(breach) = &row.breach {
                 breaches.push(breach.clone());
@@ -168,8 +184,9 @@ impl ManifestDiff {
         // Probe economy: honest (non-speculative) probes per finished
         // trip-point search — the headline the warm-start and speculation
         // machinery exists to shrink. One-sided values (searches finished
-        // in only one run) are a campaign-shape change, gated like
-        // one-sided extrema.
+        // in only one run) are not comparable: reported and skipped, never
+        // a hard error — a baseline from an older binary must not brick
+        // the gate.
         match (baseline.probes_per_trip(), current.probes_per_trip()) {
             (Some(base), Some(cur)) => {
                 let growth = if base == 0.0 {
@@ -196,16 +213,19 @@ impl ManifestDiff {
                 });
             }
             (None, None) => {}
-            (base, cur) => push(DiffRow {
-                metric: "probes_per_trip".into(),
-                baseline: base.map_or("absent".into(), |v| format!("{v:.2}")),
-                current: cur.map_or("absent".into(), |v| format!("{v:.2}")),
-                delta: "one-sided".into(),
-                breach: Some(String::from(
-                    "probes_per_trip computable in only one manifest; \
-                     regenerate the baseline",
-                )),
-            }),
+            (base, cur) => {
+                push(DiffRow {
+                    metric: "probes_per_trip".into(),
+                    baseline: base.map_or("absent".into(), |v| format!("{v:.2}")),
+                    current: cur.map_or("absent".into(), |v| format!("{v:.2}")),
+                    delta: "not comparable — skipped".into(),
+                    breach: None,
+                });
+                notes.push(String::from(
+                    "probes_per_trip computable in only one manifest — \
+                     not comparable, skipped (regenerate the baseline to re-arm)",
+                ));
+            }
         }
         push(DiffRow {
             metric: "searches_finished".into(),
@@ -246,23 +266,126 @@ impl ManifestDiff {
             }),
         });
 
-        // Wall time: gated only when explicitly armed.
+        // Wall time: gated only when explicitly armed, and only on a host
+        // that actually had the cores the run asked for — on an
+        // underprovisioned box (hardware_threads < worker threads) a
+        // wall-clock "speedup regression" is scheduling noise, so the
+        // check is skipped with an explicit note and throughput-per-core
+        // carries the gate instead.
         let (base_wall, cur_wall) = (baseline.total_wall_ms(), current.total_wall_ms());
         let wall_growth = growth_pct(base_wall, cur_wall);
+        let underprovisioned = [baseline, current].into_iter().find_map(|m| {
+            m.hardware_threads
+                .and_then(|hw| (hw < m.threads).then_some((hw, m.threads)))
+        });
+        let wall_breach = match (gate.max_wall_growth_pct, underprovisioned) {
+            (Some(_), Some((hw, workers))) => {
+                notes.push(format!(
+                    "wall gate skipped: host offered {hw} hardware threads for {workers} \
+                     workers, so wall-clock growth is scheduling noise — \
+                     trips_per_sec_per_core carries the throughput gate instead"
+                ));
+                None
+            }
+            (Some(limit), None) => (wall_growth > limit).then(|| {
+                format!(
+                    "wall time grew {} (limit +{limit:.1}%): {base_wall}ms -> {cur_wall}ms",
+                    fmt_pct(wall_growth)
+                )
+            }),
+            (None, _) => None,
+        };
         push(DiffRow {
             metric: "wall_ms".into(),
             baseline: base_wall.to_string(),
             current: cur_wall.to_string(),
-            delta: fmt_pct(wall_growth),
-            breach: gate.max_wall_growth_pct.and_then(|limit| {
-                (wall_growth > limit).then(|| {
-                    format!(
-                        "wall time grew {} (limit +{limit:.1}%): {base_wall}ms -> {cur_wall}ms",
-                        fmt_pct(wall_growth)
-                    )
-                })
-            }),
+            delta: if gate.max_wall_growth_pct.is_some() && underprovisioned.is_some() {
+                format!("{} (not gated)", fmt_pct(wall_growth))
+            } else {
+                fmt_pct(wall_growth)
+            },
+            breach: wall_breach,
         });
+
+        // Wafer throughput: finished searches per second per worker
+        // thread, and the memory high-water mark — both optional
+        // (recorded by throughput-aware campaigns), both skipped with a
+        // note when only one side carries them.
+        match (
+            baseline.trips_per_second_per_core(),
+            current.trips_per_second_per_core(),
+        ) {
+            (Some(base), Some(cur)) => {
+                let drop_pct = 100.0 * (1.0 - cur / base);
+                push(DiffRow {
+                    metric: "trips_per_sec_per_core".into(),
+                    baseline: format!("{base:.2}"),
+                    current: format!("{cur:.2}"),
+                    delta: if drop_pct == 0.0 {
+                        "=".into()
+                    } else {
+                        format!("{:+.1}%", -drop_pct)
+                    },
+                    breach: gate.max_throughput_drop_pct.and_then(|limit| {
+                        (drop_pct > limit).then(|| {
+                            format!(
+                                "trips_per_sec_per_core dropped {drop_pct:.1}% \
+                                 (limit -{limit:.1}%): {base:.2} -> {cur:.2}",
+                            )
+                        })
+                    }),
+                });
+            }
+            (None, None) => {}
+            (base, cur) => {
+                push(DiffRow {
+                    metric: "trips_per_sec_per_core".into(),
+                    baseline: base.map_or("absent".into(), |v| format!("{v:.2}")),
+                    current: cur.map_or("absent".into(), |v| format!("{v:.2}")),
+                    delta: "not comparable — skipped".into(),
+                    breach: None,
+                });
+                notes.push(String::from(
+                    "trips_per_sec_per_core derivable in only one manifest — \
+                     not comparable, skipped",
+                ));
+            }
+        }
+        let fmt_rss = |bytes: u64| format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64);
+        match (baseline.peak_rss_bytes, current.peak_rss_bytes) {
+            (Some(base), Some(cur)) => {
+                let growth = growth_pct(base, cur);
+                push(DiffRow {
+                    metric: "peak_rss".into(),
+                    baseline: fmt_rss(base),
+                    current: fmt_rss(cur),
+                    delta: fmt_pct(growth),
+                    breach: gate.max_peak_rss_growth_pct.and_then(|limit| {
+                        (growth > limit).then(|| {
+                            format!(
+                                "peak rss grew {} (limit +{limit:.1}%): {} -> {}",
+                                fmt_pct(growth),
+                                fmt_rss(base),
+                                fmt_rss(cur)
+                            )
+                        })
+                    }),
+                });
+            }
+            (None, None) => {}
+            (base, cur) => {
+                push(DiffRow {
+                    metric: "peak_rss".into(),
+                    baseline: base.map_or("absent".into(), fmt_rss),
+                    current: cur.map_or("absent".into(), fmt_rss),
+                    delta: "not comparable — skipped".into(),
+                    breach: None,
+                });
+                notes.push(String::from(
+                    "peak_rss recorded in only one manifest — not comparable, skipped",
+                ));
+            }
+        }
 
         // Trip-point extrema, when both manifests record them.
         for key in ["trip_min", "trip_max"] {
@@ -289,19 +412,23 @@ impl ManifestDiff {
                     });
                 }
                 (None, None) => {}
-                _ => push(DiffRow {
-                    metric: key.into(),
-                    baseline: base.map_or("absent".into(), |v| format!("{v}")),
-                    current: cur.map_or("absent".into(), |v| format!("{v}")),
-                    delta: "one-sided".into(),
-                    breach: Some(format!(
-                        "{key} present in only one manifest; regenerate the baseline"
-                    )),
-                }),
+                _ => {
+                    push(DiffRow {
+                        metric: key.into(),
+                        baseline: base.map_or("absent".into(), |v| format!("{v}")),
+                        current: cur.map_or("absent".into(), |v| format!("{v}")),
+                        delta: "not comparable — skipped".into(),
+                        breach: None,
+                    });
+                    notes.push(format!(
+                        "{key} recorded in only one manifest — not comparable, skipped \
+                         (regenerate the baseline to re-arm)"
+                    ));
+                }
             }
         }
 
-        ManifestDiff { rows, breaches }
+        ManifestDiff { rows, breaches, notes }
     }
 
     /// Whether the gate passes (no breaches).
@@ -334,6 +461,12 @@ impl ManifestDiff {
                 row.delta,
                 if row.breach.is_some() { "  <- BREACH" } else { "" }
             );
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "\nnotes:");
+            for note in &self.notes {
+                let _ = writeln!(out, "  - {note}");
+            }
         }
         if gated {
             if self.passes() {
@@ -430,7 +563,13 @@ mod tests {
         let mut naked = manifest(1000, 0, 40);
         naked.config.retain(|(k, _)| !k.starts_with("trip_"));
         let diff = ManifestDiff::compare(&base, &naked, &GateConfig::default());
-        assert!(diff.breaches.iter().any(|b| b.contains("only one manifest")));
+        assert!(diff.passes(), "one-sided optional metric must not fail the gate");
+        assert!(
+            diff.notes.iter().any(|n| n.contains("trip_min") && n.contains("skipped")),
+            "{:?}",
+            diff.notes
+        );
+        assert!(diff.render(true).contains("not comparable — skipped"));
     }
 
     #[test]
@@ -461,18 +600,80 @@ mod tests {
     }
 
     #[test]
-    fn one_sided_probes_per_trip_breaches() {
+    fn one_sided_probes_per_trip_is_skipped_with_a_note() {
         let base = manifest(1000, 0, 40);
         let mut searchless = manifest(1000, 0, 40);
         searchless.metrics.searches_finished = 0;
         let diff = ManifestDiff::compare(&base, &searchless, &GateConfig::default());
+        assert!(diff.passes(), "{:?}", diff.breaches);
         assert!(
-            diff.breaches
+            diff.notes
                 .iter()
-                .any(|b| b.contains("probes_per_trip") && b.contains("only one manifest")),
+                .any(|n| n.contains("probes_per_trip") && n.contains("only one manifest")),
+            "{:?}",
+            diff.notes
+        );
+    }
+
+    #[test]
+    fn wall_gate_defers_to_per_core_throughput_on_underprovisioned_hosts() {
+        // Baseline from a 8-core box, current from a 1-core box running a
+        // 4-thread policy: the armed wall gate must skip (with a note),
+        // while the armed throughput gate still judges per-core numbers.
+        let armed = GateConfig {
+            max_wall_growth_pct: Some(20.0),
+            max_throughput_drop_pct: Some(30.0),
+            ..GateConfig::default()
+        };
+        let mut base = manifest(1000, 0, 100);
+        base.threads = 4;
+        base.hardware_threads = Some(8);
+        let mut cur = manifest(1000, 0, 400); // 4x slower wall
+        cur.threads = 4;
+        cur.hardware_threads = Some(1);
+        let diff = ManifestDiff::compare(&base, &cur, &armed);
+        assert!(
+            !diff.breaches.iter().any(|b| b.contains("wall time")),
             "{:?}",
             diff.breaches
         );
+        assert!(
+            diff.notes.iter().any(|n| n.contains("wall gate skipped")),
+            "{:?}",
+            diff.notes
+        );
+        // 12 searches in 100ms vs 400ms: per-core throughput dropped 75%.
+        assert!(
+            diff.breaches
+                .iter()
+                .any(|b| b.contains("trips_per_sec_per_core")),
+            "{:?}",
+            diff.breaches
+        );
+        // On a fully provisioned host the same wall growth breaches.
+        cur.hardware_threads = Some(8);
+        let diff = ManifestDiff::compare(&base, &cur, &armed);
+        assert!(diff.breaches.iter().any(|b| b.contains("wall time")));
+    }
+
+    #[test]
+    fn peak_rss_gate_judges_growth_and_skips_one_sided() {
+        let armed = GateConfig {
+            max_peak_rss_growth_pct: Some(25.0),
+            ..GateConfig::default()
+        };
+        let mut base = manifest(1000, 0, 40);
+        base.peak_rss_bytes = Some(100 << 20);
+        let mut cur = manifest(1000, 0, 40);
+        cur.peak_rss_bytes = Some(200 << 20);
+        let diff = ManifestDiff::compare(&base, &cur, &armed);
+        assert!(diff.breaches.iter().any(|b| b.contains("peak rss")), "{:?}", diff.breaches);
+
+        // Baseline without the field (older binary): skipped, not failed.
+        let naked = manifest(1000, 0, 40);
+        let diff = ManifestDiff::compare(&naked, &cur, &armed);
+        assert!(diff.passes(), "{:?}", diff.breaches);
+        assert!(diff.notes.iter().any(|n| n.contains("peak_rss")), "{:?}", diff.notes);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!                         [--max-quarantine-delta-pts X]
 //!                         [--max-wall-growth-pct X]
 //!                         [--max-extrema-drift-pct X]
+//!                         [--max-throughput-drop-pct X]
+//!                         [--max-peak-rss-growth-pct X]
 //! ```
 //!
 //! Exit codes follow the repro-binary convention: `0` success, `1` gate
@@ -26,7 +28,8 @@ const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff> ...
   diff <baseline.json> <current.json> [--gate] manifest comparison
        [--max-probe-growth-pct X] [--max-probes-per-trip-growth-pct X]
        [--max-quarantine-delta-pts X] [--max-wall-growth-pct X]
-       [--max-extrema-drift-pct X]";
+       [--max-extrema-drift-pct X] [--max-throughput-drop-pct X]
+       [--max-peak-rss-growth-pct X]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -146,6 +149,10 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
             gate.max_wall_growth_pct = Some(parse_pct("--max-wall-growth-pct", &v)?);
         } else if let Some(v) = flag_value("--max-extrema-drift-pct", arg, &mut iter)? {
             gate.max_extrema_drift_pct = parse_pct("--max-extrema-drift-pct", &v)?;
+        } else if let Some(v) = flag_value("--max-throughput-drop-pct", arg, &mut iter)? {
+            gate.max_throughput_drop_pct = Some(parse_pct("--max-throughput-drop-pct", &v)?);
+        } else if let Some(v) = flag_value("--max-peak-rss-growth-pct", arg, &mut iter)? {
+            gate.max_peak_rss_growth_pct = Some(parse_pct("--max-peak-rss-growth-pct", &v)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag {arg:?}"));
         } else {

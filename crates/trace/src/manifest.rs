@@ -37,6 +37,17 @@ pub struct RunManifest {
     /// [`TimedTracer`](crate::TimedTracer). `None` parses from manifests
     /// written before timings existed.
     pub timings: Option<TimingSnapshot>,
+    /// Hardware threads of the host the run executed on — recorded so a
+    /// downstream gate can tell a real speedup regression from a
+    /// 1-core CI box that never had the parallelism to begin with.
+    /// `None` parses from manifests written before this field existed.
+    #[serde(default)]
+    pub hardware_threads: Option<u64>,
+    /// Peak resident set size of the process, in bytes, when the platform
+    /// exposes it (Linux `VmHWM`). `None` parses from older manifests and
+    /// on platforms without the counter.
+    #[serde(default)]
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl RunManifest {
@@ -51,7 +62,21 @@ impl RunManifest {
             metrics: MetricsSnapshot::default(),
             phases: Vec::new(),
             timings: None,
+            hardware_threads: None,
+            peak_rss_bytes: None,
         }
+    }
+
+    /// Records the host environment: hardware thread count now, and the
+    /// process's peak resident set size where the platform exposes it.
+    /// Call this *after* the campaign so the RSS high-water mark covers
+    /// the measured work.
+    pub fn with_host(mut self) -> Self {
+        self.hardware_threads = std::thread::available_parallelism()
+            .ok()
+            .map(|n| n.get() as u64);
+        self.peak_rss_bytes = peak_rss_bytes();
+        self
     }
 
     /// Adds one configuration entry (kept sorted by key for deterministic
@@ -89,6 +114,25 @@ impl RunManifest {
             .probes_resolved
             .saturating_sub(self.metrics.probes_speculative);
         Some(honest as f64 / self.metrics.searches_finished as f64)
+    }
+
+    /// Finished trip-point searches per wall-clock second — the
+    /// wafer-throughput headline. `None` when the run finished no
+    /// searches or recorded no wall time.
+    pub fn trips_per_second(&self) -> Option<f64> {
+        let wall_ms = self.total_wall_ms();
+        if wall_ms == 0 || self.metrics.searches_finished == 0 {
+            return None;
+        }
+        Some(self.metrics.searches_finished as f64 * 1000.0 / wall_ms as f64)
+    }
+
+    /// [`Self::trips_per_second`] normalized by worker threads — the
+    /// number that stays comparable when baseline and current ran on
+    /// hosts with different core counts.
+    pub fn trips_per_second_per_core(&self) -> Option<f64> {
+        self.trips_per_second()
+            .map(|tps| tps / self.threads.max(1) as f64)
     }
 
     /// The manifest as a human-readable summary table.
@@ -139,6 +183,23 @@ impl RunManifest {
         if let Some(ppt) = self.probes_per_trip() {
             let _ = writeln!(out, "  probe economy: {ppt:.2} non-speculative probes/trip");
         }
+        if let (Some(tps), Some(per_core)) =
+            (self.trips_per_second(), self.trips_per_second_per_core())
+        {
+            let _ = writeln!(
+                out,
+                "  throughput: {tps:.1} trips/s ({per_core:.1} trips/s per core)"
+            );
+        }
+        if self.hardware_threads.is_some() || self.peak_rss_bytes.is_some() {
+            let hw = self
+                .hardware_threads
+                .map_or("unknown".to_string(), |n| n.to_string());
+            let rss = self
+                .peak_rss_bytes
+                .map_or("unknown".to_string(), |b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64));
+            let _ = writeln!(out, "  host: {hw} hardware threads | peak rss: {rss}");
+        }
         let _ = writeln!(
             out,
             "  recovery: {} retries, {} votes, {} quarantined | faults: {} dropout, {} flip, {} stuck, {} abort",
@@ -177,6 +238,17 @@ impl RunManifest {
         }
         out
     }
+}
+
+/// The process's peak resident set size in bytes, read from the
+/// platform's high-water-mark counter (Linux `VmHWM`). `None` where the
+/// counter is unavailable — callers treat memory accounting as an
+/// optional metric, never a hard requirement.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// The code version for manifests: `git describe --always --dirty` when
@@ -277,15 +349,49 @@ mod tests {
 
     #[test]
     fn manifests_without_a_timings_field_still_parse() {
-        // A pre-timings manifest: the field is simply absent.
+        // A pre-timings, pre-host-accounting manifest: the fields are
+        // simply absent.
         let manifest = RunManifest::new("fig3", 2, 4);
         let json = serde_json::to_string(&manifest)
             .expect("serializes")
-            .replace(",\"timings\":null", "");
+            .replace(",\"timings\":null", "")
+            .replace(",\"hardware_threads\":null", "")
+            .replace(",\"peak_rss_bytes\":null", "");
         assert!(!json.contains("timings"), "{json}");
+        assert!(!json.contains("hardware_threads"), "{json}");
         let back: RunManifest = serde_json::from_str(&json).expect("old manifests parse");
         assert_eq!(back.timings, None);
+        assert_eq!(back.hardware_threads, None);
+        assert_eq!(back.peak_rss_bytes, None);
         assert!(!back.render().contains("span timings"));
+        assert!(!back.render().contains("host:"));
+    }
+
+    #[test]
+    fn trips_per_second_derives_from_searches_and_wall_time() {
+        let mut manifest = RunManifest::new("wafer", 1, 4);
+        assert_eq!(manifest.trips_per_second(), None, "no searches, no wall");
+        manifest.metrics.searches_finished = 500;
+        manifest.phases = vec![PhaseSummary {
+            name: String::from("wafer"),
+            wall_ms: 2000,
+            probes: 5000,
+        }];
+        assert_eq!(manifest.trips_per_second(), Some(250.0));
+        assert_eq!(manifest.trips_per_second_per_core(), Some(62.5));
+        let table = manifest.render();
+        assert!(table.contains("250.0 trips/s (62.5 trips/s per core)"), "{table}");
+    }
+
+    #[test]
+    fn with_host_records_hardware_threads_and_linux_peak_rss() {
+        let manifest = RunManifest::new("wafer", 1, 4).with_host();
+        assert!(manifest.hardware_threads.is_some_and(|n| n >= 1));
+        if cfg!(target_os = "linux") {
+            let rss = manifest.peak_rss_bytes.expect("VmHWM available on Linux");
+            assert!(rss > 1 << 20, "peak rss {rss} should exceed a MiB");
+        }
+        assert!(manifest.render().contains("host:"));
     }
 
     #[test]

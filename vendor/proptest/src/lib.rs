@@ -58,6 +58,22 @@ pub mod strategy {
             rng.inner().gen_range(self.clone())
         }
     }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    // Left-to-right field order, matching upstream.
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A => 0, B => 1);
+    tuple_strategy!(A => 0, B => 1, C => 2);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
 }
 
 /// Test-runner configuration and deterministic per-case RNG.
