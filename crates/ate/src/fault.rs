@@ -54,6 +54,12 @@ pub struct TesterFaultModel {
     stuck_len: u32,
     abort_rate: f64,
     abort_len: u32,
+    // The stall fields postdate the first serialized fault models; they
+    // deserialize as zero (healthy) when absent.
+    #[serde(default)]
+    stall_rate: f64,
+    #[serde(default)]
+    stall_us: f64,
 }
 
 impl Default for TesterFaultModel {
@@ -73,6 +79,8 @@ impl TesterFaultModel {
             stuck_len: DEFAULT_STUCK_LEN,
             abort_rate: 0.0,
             abort_len: DEFAULT_ABORT_LEN,
+            stall_rate: 0.0,
+            stall_us: 0.0,
         }
     }
 
@@ -115,6 +123,26 @@ impl TesterFaultModel {
         self
     }
 
+    /// Adds hung-strobe stalls: at `rate` per measurement the channel
+    /// still answers, but only after `stall_us` extra microseconds of
+    /// simulated tester time. Stalls never corrupt a verdict — they burn
+    /// the clock, which is what the wafer engine's stall watchdog guards
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)` or `stall_us` is not a
+    /// positive finite duration.
+    pub fn with_stalls(mut self, rate: f64, stall_us: f64) -> Self {
+        assert!(
+            stall_us.is_finite() && stall_us > 0.0,
+            "stall duration {stall_us} must be a positive finite µs count"
+        );
+        self.stall_rate = validated(rate, "stall rate");
+        self.stall_us = stall_us;
+        self
+    }
+
     /// `true` when every fault rate is zero — the fast path that skips
     /// fault RNG entirely.
     pub fn is_none(&self) -> bool {
@@ -122,6 +150,7 @@ impl TesterFaultModel {
             && self.flip_rate == 0.0
             && self.stuck_rate == 0.0
             && self.abort_rate == 0.0
+            && self.stall_rate == 0.0
     }
 
     /// Probability of a probe-contact dropout per measurement.
@@ -153,6 +182,16 @@ impl TesterFaultModel {
     pub fn abort_len(&self) -> u32 {
         self.abort_len
     }
+
+    /// Probability of a hung-strobe stall per measurement.
+    pub fn stall_rate(&self) -> f64 {
+        self.stall_rate
+    }
+
+    /// Extra simulated tester time a stalled strobe burns, in µs.
+    pub fn stall_us(&self) -> f64 {
+        self.stall_us
+    }
 }
 
 fn validated(rate: f64, what: &str) -> f64 {
@@ -177,7 +216,16 @@ impl fmt::Display for TesterFaultModel {
             self.stuck_len,
             self.abort_rate * 100.0,
             self.abort_len
-        )
+        )?;
+        if self.stall_rate > 0.0 {
+            write!(
+                f,
+                ", {:.2}% stall({} µs)",
+                self.stall_rate * 100.0,
+                self.stall_us
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -241,9 +289,39 @@ mod tests {
 
     #[test]
     fn round_trips_through_serde() {
-        let m = TesterFaultModel::transient(0.02, 0.01).with_stuck_channels(0.005, 3);
+        let m = TesterFaultModel::transient(0.02, 0.01)
+            .with_stuck_channels(0.005, 3)
+            .with_stalls(0.1, 2_000.0);
         let json = serde_json::to_string(&m).expect("serialize");
         let back: TesterFaultModel = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn stall_model_activates_faults_and_displays() {
+        let m = TesterFaultModel::none().with_stalls(0.25, 1_500.0);
+        assert!(!m.is_none(), "a stalling tester is not healthy");
+        assert_eq!(m.stall_rate(), 0.25);
+        assert_eq!(m.stall_us(), 1_500.0);
+        let s = m.to_string();
+        assert!(s.contains("25.00% stall(1500 µs)"), "{s}");
+    }
+
+    #[test]
+    fn pre_stall_serialized_models_parse_as_stall_free() {
+        let m = TesterFaultModel::transient(0.02, 0.01);
+        let json = serde_json::to_string(&m)
+            .expect("serialize")
+            .replace(",\"stall_rate\":0.0", "")
+            .replace(",\"stall_us\":0.0", "");
+        assert!(!json.contains("stall"), "{json}");
+        let back: TesterFaultModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_zero_stall_duration() {
+        let _ = TesterFaultModel::none().with_stalls(0.1, 0.0);
     }
 }

@@ -58,6 +58,17 @@ pub struct MeasurementLedger {
     quarantined: u64,
     /// Simulated settle time spent in retry backoff, in microseconds.
     backoff_time_us: f64,
+    /// Hung strobes: measurements that answered only after a long stall.
+    /// Postdates the first serialized ledgers; absent fields parse as 0.
+    #[serde(default)]
+    stalls: u64,
+    /// Simulated tester time burned inside stalls, in microseconds.
+    #[serde(default)]
+    stall_time_us: f64,
+    /// Tests the stall watchdog abandoned when a site's touchdown budget
+    /// expired (each is also counted under `quarantined`).
+    #[serde(default)]
+    timeouts: u64,
 }
 
 impl MeasurementLedger {
@@ -123,6 +134,19 @@ impl MeasurementLedger {
         self.quarantined += 1;
     }
 
+    /// Records one hung strobe: the verdict arrived after `stall_us` extra
+    /// microseconds of simulated tester time.
+    pub fn record_stall(&mut self, stall_us: f64) {
+        self.stalls += 1;
+        self.stall_time_us += stall_us;
+    }
+
+    /// Records one test the stall watchdog abandoned. The quarantine
+    /// itself is charged separately via [`Self::record_quarantined`].
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
     /// Total measurements performed.
     pub fn measurements(&self) -> u64 {
         self.measurements
@@ -184,17 +208,33 @@ impl MeasurementLedger {
         self.backoff_time_us
     }
 
+    /// Hung strobes that answered only after a stall.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Simulated tester time burned inside stalls, in microseconds.
+    pub fn stall_time_us(&self) -> f64 {
+        self.stall_time_us
+    }
+
+    /// Tests abandoned by the stall watchdog.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
     /// Total injected tester faults of all kinds.
     pub fn injected_faults(&self) -> u64 {
-        self.dropouts + self.flips + self.stuck_probes + self.aborts
+        self.dropouts + self.flips + self.stuck_probes + self.aborts + self.stalls
     }
 
     /// Estimated tester-occupancy time in milliseconds (pattern time plus
-    /// per-measurement overhead plus retry-backoff settle time).
+    /// per-measurement overhead plus retry-backoff settle and stall time).
     pub fn test_time_ms(&self) -> f64 {
         (self.pattern_time_us
             + self.measurements as f64 * MEASUREMENT_OVERHEAD_US
-            + self.backoff_time_us)
+            + self.backoff_time_us
+            + self.stall_time_us)
             / 1000.0
     }
 
@@ -223,6 +263,9 @@ impl MeasurementLedger {
             retries: self.retries.saturating_sub(baseline.retries),
             quarantined: self.quarantined.saturating_sub(baseline.quarantined),
             backoff_time_us: (self.backoff_time_us - baseline.backoff_time_us).max(0.0),
+            stalls: self.stalls.saturating_sub(baseline.stalls),
+            stall_time_us: (self.stall_time_us - baseline.stall_time_us).max(0.0),
+            timeouts: self.timeouts.saturating_sub(baseline.timeouts),
         }
     }
 
@@ -243,6 +286,9 @@ impl MeasurementLedger {
         self.retries += other.retries;
         self.quarantined += other.quarantined;
         self.backoff_time_us += other.backoff_time_us;
+        self.stalls += other.stalls;
+        self.stall_time_us += other.stall_time_us;
+        self.timeouts += other.timeouts;
     }
 
     /// Resets all counters.
@@ -276,6 +322,15 @@ impl fmt::Display for MeasurementLedger {
                 self.aborts,
                 self.retries,
                 self.quarantined
+            )?;
+        }
+        if self.stalls > 0 || self.timeouts > 0 {
+            write!(
+                f,
+                "; stalls: {} ({:.2} ms) → {} timeouts",
+                self.stalls,
+                self.stall_time_us / 1000.0,
+                self.timeouts
             )?;
         }
         Ok(())
@@ -484,6 +539,47 @@ mod tests {
         l.record_recovery(1, 100.0);
         let s = l.to_string();
         assert!(s.contains("1 dropouts") && s.contains("1 retries"), "{s}");
+    }
+
+    #[test]
+    fn stall_columns_accumulate_merge_and_scope() {
+        let mut l = MeasurementLedger::new();
+        l.record(1000, 100.0);
+        let before = l.test_time_ms();
+        l.record_stall(2_000.0);
+        l.record_stall(2_000.0);
+        l.record_timeout();
+        assert_eq!(l.stalls(), 2);
+        assert_eq!(l.stall_time_us(), 4_000.0);
+        assert_eq!(l.timeouts(), 1);
+        assert_eq!(l.injected_faults(), 2, "stalls are injected faults");
+        assert!((l.test_time_ms() - before - 4.0).abs() < 1e-12, "stalls burn tester time");
+        let baseline = l;
+        l.record_stall(500.0);
+        l.record_timeout();
+        let delta = l.since(&baseline);
+        assert_eq!(delta.stalls(), 1);
+        assert_eq!(delta.stall_time_us(), 500.0);
+        assert_eq!(delta.timeouts(), 1);
+        let mut rebuilt = baseline;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, l);
+        let s = l.to_string();
+        assert!(s.contains("stalls: 3") && s.contains("2 timeouts"), "{s}");
+    }
+
+    #[test]
+    fn pre_stall_serialized_ledgers_parse_with_zero_stall_columns() {
+        let mut l = MeasurementLedger::new();
+        l.record(640, 100.0);
+        let json = serde_json::to_string(&l)
+            .expect("serialize")
+            .replace(",\"stalls\":0", "")
+            .replace(",\"stall_time_us\":0.0", "")
+            .replace(",\"timeouts\":0", "");
+        assert!(!json.contains("stall"), "{json}");
+        let back: MeasurementLedger = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, l);
     }
 
     #[test]

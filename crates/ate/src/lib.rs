@@ -62,7 +62,7 @@ mod tester;
 pub use drift::DriftModel;
 pub use fault::TesterFaultModel;
 pub use ledger::MeasurementLedger;
-pub use multisite::MultiSiteAte;
+pub use multisite::{MultiSiteAte, SiteHealthBreaker};
 pub use noise::NoiseModel;
 pub use oracle::TripOracle;
 pub use parallel::ParallelAte;

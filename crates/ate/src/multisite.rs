@@ -238,6 +238,131 @@ impl MultiSiteAte {
     }
 }
 
+/// Minimum observations (measurements plus watchdog-abandoned tests) a
+/// site must accumulate before its breaker may latch — small-sample fault
+/// bursts must not condemn a healthy site.
+const BREAKER_MIN_OBSERVATIONS: u64 = 8;
+
+/// A per-site-position health circuit breaker for multi-site campaigns.
+///
+/// The wafer engine feeds it one per-touchdown ledger delta per site (in
+/// the deterministic fold order) and evaluates trips only at **chunk
+/// boundaries** via [`Self::end_chunk`] — so whether a site latches is a
+/// pure function of the campaign schedule, never of thread interleaving.
+/// Once latched, a breaker stays open for the rest of the campaign:
+/// the engine excludes the site position from later touchdowns and
+/// quarantines its tests instead of measuring them.
+///
+/// The health signal is the site's rolling fault rate: injected tester
+/// faults plus watchdog-abandoned tests, over measurements performed.
+///
+/// # Examples
+///
+/// ```
+/// use cichar_ate::{MeasurementLedger, SiteHealthBreaker};
+///
+/// let mut breaker = SiteHealthBreaker::new(0.5);
+/// let mut sick = MeasurementLedger::new();
+/// for _ in 0..10 {
+///     sick.record(64, 100.0);
+///     sick.record_dropout();
+/// }
+/// breaker.observe(1, &sick);
+/// assert_eq!(breaker.end_chunk(), vec![1], "site 1 latches");
+/// assert!(breaker.is_open(1));
+/// assert!(!breaker.is_open(0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SiteHealthBreaker {
+    threshold: f64,
+    sites: Vec<SiteHealth>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteHealth {
+    measurements: u64,
+    faults: u64,
+    timeouts: u64,
+    tripped: bool,
+}
+
+impl SiteHealthBreaker {
+    /// A breaker that latches a site whose rolling fault rate reaches
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1]` — a zero threshold would
+    /// quarantine every site on its first fault-free chunk.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0 && threshold <= 1.0,
+            "site fault threshold {threshold} outside (0, 1]"
+        );
+        Self {
+            threshold,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Accumulates one per-touchdown ledger delta for `site`. Call in the
+    /// deterministic fold order (the wafer engine's per-touchdown,
+    /// per-site merge loop) so replayed and live campaigns agree.
+    pub fn observe(&mut self, site: usize, delta: &MeasurementLedger) {
+        if site >= self.sites.len() {
+            self.sites.resize(site + 1, SiteHealth::default());
+        }
+        let health = &mut self.sites[site];
+        health.measurements += delta.measurements();
+        health.faults += delta.injected_faults();
+        health.timeouts += delta.timeouts();
+    }
+
+    /// Evaluates trip conditions at a chunk boundary, latching every site
+    /// whose rolling fault rate reached the threshold. Returns the site
+    /// positions that latched **on this call**, in ascending order.
+    pub fn end_chunk(&mut self) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for (site, health) in self.sites.iter_mut().enumerate() {
+            if health.tripped {
+                continue;
+            }
+            if health.measurements + health.timeouts < BREAKER_MIN_OBSERVATIONS {
+                continue;
+            }
+            if Self::rate(health) >= self.threshold {
+                health.tripped = true;
+                newly.push(site);
+            }
+        }
+        newly
+    }
+
+    /// Whether `site`'s breaker has latched open.
+    pub fn is_open(&self, site: usize) -> bool {
+        self.sites.get(site).is_some_and(|h| h.tripped)
+    }
+
+    /// The site's current rolling fault rate (0 when unobserved).
+    pub fn fault_rate(&self, site: usize) -> f64 {
+        self.sites.get(site).map_or(0.0, Self::rate)
+    }
+
+    /// Every latched site position, ascending.
+    pub fn open_sites(&self) -> Vec<u64> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.tripped)
+            .map(|(site, _)| site as u64)
+            .collect()
+    }
+
+    fn rate(health: &SiteHealth) -> f64 {
+        (health.faults + health.timeouts) as f64 / health.measurements.max(1) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,4 +562,71 @@ mod tests {
     }
 
     use crate::params::MeasuredParam;
+
+    fn ledger_with(measurements: u64, dropouts: u64, timeouts: u64) -> MeasurementLedger {
+        let mut l = MeasurementLedger::new();
+        for _ in 0..measurements {
+            l.record(64, 100.0);
+        }
+        for _ in 0..dropouts {
+            l.record_dropout();
+        }
+        for _ in 0..timeouts {
+            l.record_timeout();
+        }
+        l
+    }
+
+    #[test]
+    fn breaker_latches_only_past_threshold_and_min_observations() {
+        let mut breaker = SiteHealthBreaker::new(0.5);
+        // Faulty but under the observation floor: no trip yet.
+        breaker.observe(0, &ledger_with(2, 2, 0));
+        assert_eq!(breaker.end_chunk(), Vec::<usize>::new());
+        assert!(!breaker.is_open(0));
+        // More of the same pushes it over the floor and the threshold.
+        breaker.observe(0, &ledger_with(6, 4, 0));
+        assert_eq!(breaker.end_chunk(), vec![0]);
+        assert!(breaker.is_open(0));
+        assert_eq!(breaker.open_sites(), vec![0]);
+        // Already-latched sites are not re-reported.
+        breaker.observe(0, &ledger_with(4, 4, 0));
+        assert_eq!(breaker.end_chunk(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn healthy_sites_never_trip() {
+        let mut breaker = SiteHealthBreaker::new(0.2);
+        for _ in 0..50 {
+            breaker.observe(0, &ledger_with(20, 1, 0));
+            assert_eq!(breaker.end_chunk(), Vec::<usize>::new());
+        }
+        assert!(breaker.open_sites().is_empty());
+        assert!(breaker.fault_rate(0) < 0.2);
+        assert_eq!(breaker.fault_rate(7), 0.0, "unobserved sites are healthy");
+    }
+
+    #[test]
+    fn watchdog_timeouts_count_toward_the_fault_rate() {
+        let mut breaker = SiteHealthBreaker::new(0.5);
+        // A site so hung it barely measures: timeouts alone must trip it.
+        breaker.observe(2, &ledger_with(1, 0, 8));
+        assert_eq!(breaker.end_chunk(), vec![2]);
+        assert!(breaker.fault_rate(2) >= 0.5);
+    }
+
+    #[test]
+    fn trips_evaluate_only_at_chunk_boundaries() {
+        let mut breaker = SiteHealthBreaker::new(0.5);
+        breaker.observe(1, &ledger_with(10, 10, 0));
+        // No end_chunk yet: the site stays in service mid-chunk.
+        assert!(!breaker.is_open(1));
+        assert_eq!(breaker.end_chunk(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn breaker_rejects_zero_threshold() {
+        let _ = SiteHealthBreaker::new(0.0);
+    }
 }

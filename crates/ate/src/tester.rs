@@ -512,13 +512,18 @@ impl Ate {
             });
             return stuck;
         }
-        // Fixed draw order — abort, dropout, stuck, flip — so the stream
-        // consumption per measurement is constant and replayable.
+        // Fixed draw order — abort, dropout, stuck, flip, then stall — so
+        // the stream consumption per measurement is constant and
+        // replayable. The stall uniform is drawn only when the config
+        // enables stalls: it was added after the first four, and gating it
+        // on the *config* (never on which fault fired) keeps every
+        // pre-stall seed's fault stream bit-identical.
         let faults = self.config.faults;
         let r_abort: f64 = self.fault_rng.gen();
         let r_dropout: f64 = self.fault_rng.gen();
         let r_stuck: f64 = self.fault_rng.gen();
         let r_flip: f64 = self.fault_rng.gen();
+        let r_stall: Option<f64> = (faults.stall_rate() > 0.0).then(|| self.fault_rng.gen());
         if r_abort < faults.abort_rate() {
             // This measurement is the first casualty of the abort burst.
             self.fault_state.abort_remaining = faults.abort_len() - 1;
@@ -548,6 +553,15 @@ impl Ate {
                 kind: FaultKind::Flip,
             });
             return verdict.flipped();
+        }
+        // Lowest precedence: a hung strobe. The verdict is correct — the
+        // channel just took `stall_us` of extra simulated tester time to
+        // produce it, which is what the wafer watchdog budgets against.
+        if r_stall.is_some_and(|r| r < faults.stall_rate()) {
+            self.ledger.record_stall(faults.stall_us());
+            self.trace.emit(TraceEvent::FaultInjected {
+                kind: FaultKind::Stall,
+            });
         }
         verdict
     }
@@ -584,6 +598,15 @@ impl Ate {
     /// this session was quarantined — excluded from the reported result
     /// because recovery could not produce a trustworthy trip point.
     pub fn quarantine(&mut self) {
+        self.ledger.record_quarantined();
+    }
+
+    /// Records that the stall watchdog abandoned a test on this session:
+    /// the point is quarantined *and* counted as a timeout, so breaker
+    /// and durability accounting can tell "gave up waiting" apart from
+    /// "measured but untrustworthy".
+    pub fn time_out(&mut self) {
+        self.ledger.record_timeout();
         self.ledger.record_quarantined();
     }
 

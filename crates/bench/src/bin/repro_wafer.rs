@@ -8,6 +8,8 @@
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --sites 8 --threads 4
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --dies 640 --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --fault-rate 0.02 --retries 4
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --chunk-timeout-ms 250
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --resume
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_wafer
 //! ```
 //!
@@ -17,13 +19,15 @@
 
 use cichar_ate::{AteConfig, MeasuredParam};
 use cichar_bench::{
-    positive_count_from, robustness, site_count, thread_policy, trace_outputs, Scale,
+    positive_count_from, robustness, site_count, thread_policy, trace_outputs, wafer_durability,
+    Scale,
 };
 use cichar_core::dsv::SearchStrategy;
+use cichar_core::journal::ResumeStats;
 use cichar_core::wafer::{WaferConfig, WaferRunner};
 use cichar_dut::Lot;
 use cichar_patterns::{random, Test, TestConditions};
-use cichar_trace::RunManifest;
+use cichar_trace::{RecoverySection, RunManifest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +37,7 @@ fn main() {
     let robustness = robustness();
     let outputs = trace_outputs();
     let sites = site_count();
+    let durability = wafer_durability();
     let tracer = outputs.tracer();
 
     let (default_dies, tests_per_die) = scale.wafer_shape();
@@ -55,6 +60,9 @@ fn main() {
     };
     let mut wafer = WaferRunner::new(MeasuredParam::DataValidTime).with_config(WaferConfig {
         sites,
+        journal_dir: durability.journal.clone(),
+        chunk_timeout_ms: durability.chunk_timeout_ms,
+        site_fault_threshold: durability.site_fault_threshold,
         ..WaferConfig::default()
     });
     if let Some(policy) = robustness.recovery {
@@ -63,16 +71,24 @@ fn main() {
 
     tracer.phase("wafer");
     let started = std::time::Instant::now();
-    let (report, ledger) = wafer
-        .run_traced(
-            &config,
-            &dies,
-            &tests,
-            SearchStrategy::SearchUntilTrip,
-            policy,
-            &tracer,
-        )
-        .expect("no spill directory configured, no I/O to fail");
+    let strategy = SearchStrategy::SearchUntilTrip;
+    let (report, ledger, resume_stats) = if durability.resume {
+        match wafer.resume_traced(&config, &dies, &tests, strategy, policy, &tracer) {
+            Ok((report, ledger, stats)) => (report, ledger, Some(stats)),
+            Err(err) => {
+                eprintln!("error: resume failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match wafer.run_traced(&config, &dies, &tests, strategy, policy, &tracer) {
+            Ok((report, ledger)) => (report, ledger, None),
+            Err(err) => {
+                eprintln!("error: campaign failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    };
     let elapsed = started.elapsed();
 
     let searches = report.dies * report.tests;
@@ -101,6 +117,21 @@ fn main() {
         "  touchdowns:        {} ({} contact faults)",
         report.touchdowns, report.contact_faults
     );
+    if let Some(stats) = &resume_stats {
+        println!(
+            "  resumed:           {}/{} chunks replayed ({} touchdowns, {} entries)",
+            stats.chunks_replayed,
+            stats.chunks_total,
+            stats.touchdowns_replayed,
+            stats.entries_replayed
+        );
+    }
+    if report.timeouts > 0 || !report.quarantined_sites.is_empty() {
+        println!(
+            "  self-healing:      {} watchdog timeouts, sites quarantined: {:?}",
+            report.timeouts, report.quarantined_sites
+        );
+    }
     println!(
         "  throughput:        {trips_per_sec:.1} trips/s ({:.1} trips/s per core)",
         trips_per_sec / policy.threads() as f64
@@ -108,17 +139,35 @@ fn main() {
     println!("\n{ledger}");
 
     if outputs.enabled() {
-        let manifest = RunManifest::new("wafer", scale.seed(), policy.threads())
+        let mut manifest = RunManifest::new("wafer", scale.seed(), policy.threads())
             .with_config("scale", format!("{scale:?}"))
             .with_config("dies", report.dies)
             .with_config("tests", report.tests)
             .with_config("sites", report.sites)
             .with_config("strategy", "search_until_trip")
-            .with_config("fault_rate", robustness.faults.flip_rate())
-            .with_config("trip_min", agg.min.expect("converged"))
-            .with_config("trip_max", agg.max.expect("converged"))
-            .capture(&tracer)
-            .with_host();
+            .with_config("fault_rate", robustness.faults.flip_rate());
+        if let (Some(min), Some(max)) = (agg.min, agg.max) {
+            manifest = manifest.with_config("trip_min", min).with_config("trip_max", max);
+        }
+        let mut manifest = manifest.capture(&tracer).with_host();
+        if durability.journal.is_some() {
+            let stats = resume_stats.unwrap_or_else(|| ResumeStats {
+                chunks_total: report
+                    .touchdowns
+                    .div_ceil(wafer.config().chunk_touchdowns.max(1) as u64),
+                ..ResumeStats::default()
+            });
+            manifest.recovery = Some(RecoverySection {
+                resumed: durability.resume,
+                chunks_replayed: stats.chunks_replayed,
+                chunks_total: stats.chunks_total,
+                touchdowns_replayed: stats.touchdowns_replayed,
+                entries_replayed: stats.entries_replayed,
+                watchdog_timeouts: report.timeouts,
+                breaker_trips: report.quarantined_sites.len() as u64,
+                quarantined_sites: report.quarantined_sites.clone(),
+            });
+        }
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

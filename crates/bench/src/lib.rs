@@ -194,6 +194,78 @@ fn usage_error(err: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Durability knobs of a wafer campaign, parsed from the CLI:
+/// `--journal DIR` arms chunk-granular crash checkpoints, `--resume`
+/// replays an interrupted journal instead of starting over,
+/// `--chunk-timeout-ms N` arms the stall watchdog (simulated
+/// milliseconds per site-touchdown), and `--site-fault-threshold X`
+/// arms the site health circuit breaker.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WaferDurability {
+    /// Journal directory (`--journal DIR`); `None` runs unjournaled.
+    pub journal: Option<PathBuf>,
+    /// Whether to resume the journal rather than start fresh (`--resume`).
+    pub resume: bool,
+    /// Stall-watchdog budget (`--chunk-timeout-ms N`).
+    pub chunk_timeout_ms: Option<u64>,
+    /// Breaker threshold in `(0, 1]` (`--site-fault-threshold X`).
+    pub site_fault_threshold: Option<f64>,
+}
+
+/// [`wafer_durability_from`] over the process arguments, exiting with
+/// status 2 on an invalid flag (matching every other strict repro flag).
+pub fn wafer_durability() -> WaferDurability {
+    wafer_durability_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// Strict parser for the wafer durability flags (testable). Rejects
+/// empty journal paths, non-positive timeouts, thresholds outside
+/// `(0, 1]`, and `--resume` without `--journal`.
+pub fn wafer_durability_from<I>(args: I) -> Result<WaferDurability, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut durability = WaferDurability::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(dir) = flag_value("--journal", &arg, &mut args)? {
+            if dir.trim().is_empty() {
+                return Err(format!(
+                    "invalid --journal value {dir:?}: expected a directory path"
+                ));
+            }
+            durability.journal = Some(PathBuf::from(dir));
+        } else if arg == "--resume" {
+            durability.resume = true;
+        } else if let Some(raw) = flag_value("--chunk-timeout-ms", &arg, &mut args)? {
+            durability.chunk_timeout_ms = match raw.trim().parse::<u64>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    return Err(format!(
+                        "invalid --chunk-timeout-ms value {raw:?}: expected a positive integer"
+                    ));
+                }
+            };
+        } else if let Some(raw) = flag_value("--site-fault-threshold", &arg, &mut args)? {
+            durability.site_fault_threshold = match raw.trim().parse::<f64>() {
+                Ok(rate) if rate > 0.0 && rate <= 1.0 => Some(rate),
+                _ => {
+                    return Err(format!(
+                        "invalid --site-fault-threshold value {raw:?}: \
+                         expected a rate in (0, 1]"
+                    ));
+                }
+            };
+        }
+    }
+    if durability.resume && durability.journal.is_none() {
+        return Err(String::from(
+            "--resume requires --journal DIR (there is no journal to resume without one)",
+        ));
+    }
+    Ok(durability)
+}
+
 /// Observability destinations for a repro binary: `--trace out.jsonl`
 /// streams the structured event log, `--manifest out.json` saves the
 /// [`RunManifest`] artifact, and `--timings` arms the wall-clock span
@@ -572,6 +644,41 @@ mod tests {
         assert_eq!(manifest.metrics.probes_issued, 1);
         o.commit(&tracer, &manifest).expect("commit succeeds");
         assert!(dir.join("m.json").exists());
+    }
+
+    #[test]
+    fn wafer_durability_parses_all_flags_in_both_spellings() {
+        let d = wafer_durability_from(strings(&[
+            "--journal",
+            "/tmp/j",
+            "--resume",
+            "--chunk-timeout-ms=250",
+            "--site-fault-threshold",
+            "0.25",
+        ]))
+        .unwrap();
+        assert_eq!(d.journal.as_deref(), Some(std::path::Path::new("/tmp/j")));
+        assert!(d.resume);
+        assert_eq!(d.chunk_timeout_ms, Some(250));
+        assert_eq!(d.site_fault_threshold, Some(0.25));
+        assert_eq!(wafer_durability_from(strings(&[])).unwrap(), WaferDurability::default());
+    }
+
+    #[test]
+    fn wafer_durability_rejects_invalid_values_with_the_flag_name() {
+        for (args, needle) in [
+            (&["--journal", ""][..], "--journal"),
+            (&["--journal"][..], "--journal"),
+            (&["--chunk-timeout-ms", "0"][..], "--chunk-timeout-ms"),
+            (&["--chunk-timeout-ms=junk"][..], "--chunk-timeout-ms"),
+            (&["--site-fault-threshold", "1.5"][..], "(0, 1]"),
+            (&["--site-fault-threshold", "0"][..], "(0, 1]"),
+            (&["--site-fault-threshold=nan"][..], "(0, 1]"),
+            (&["--resume"][..], "--resume requires --journal"),
+        ] {
+            let err = wafer_durability_from(strings(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?} -> {err}");
+        }
     }
 
     #[test]

@@ -110,6 +110,58 @@ fn timings_flag_lands_the_sidecar_in_the_manifest() {
     }
 }
 
+/// Runs the built `repro_wafer` binary — the only repro that carries the
+/// durability flag family (`--journal`, `--resume`, timeouts, breaker).
+fn run_wafer(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro_wafer"))
+        .args(args)
+        .env("CICHAR_SCALE", "quick")
+        .output()
+        .expect("repro_wafer spawns")
+}
+
+#[test]
+fn bad_durability_flags_exit_2_before_measuring() {
+    for (args, needle) in [
+        (&["--journal", ""][..], "--journal"),
+        (&["--journal"][..], "--journal"),
+        (&["--chunk-timeout-ms", "0"][..], "--chunk-timeout-ms"),
+        (&["--chunk-timeout-ms", "-5"][..], "--chunk-timeout-ms"),
+        (&["--chunk-timeout-ms=junk"][..], "--chunk-timeout-ms"),
+        (&["--site-fault-threshold", "1.5"][..], "(0, 1]"),
+        (&["--site-fault-threshold", "0"][..], "(0, 1]"),
+        (&["--site-fault-threshold=nan"][..], "(0, 1]"),
+        (&["--site-fault-threshold"][..], "--site-fault-threshold"),
+    ] {
+        let output = run_wafer(args);
+        assert_eq!(output.status.code(), Some(2), "{args:?}: {}", stderr_of(&output));
+        let stderr = stderr_of(&output);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(
+            output.stdout.is_empty(),
+            "{args:?}: must fail eagerly, before any campaign output"
+        );
+    }
+}
+
+#[test]
+fn resume_without_a_journal_exits_2() {
+    let output = run_wafer(&["--resume"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("--resume requires --journal"), "{stderr}");
+}
+
+#[test]
+fn resume_against_a_missing_journal_exits_1() {
+    let dir = std::env::temp_dir().join("cichar_cli_missing_journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = run_wafer(&["--journal", dir.to_str().unwrap(), "--resume", "--dies", "8"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(stderr.contains("resume failed"), "{stderr}");
+}
+
 #[test]
 fn missing_operands_exit_2() {
     for args in [

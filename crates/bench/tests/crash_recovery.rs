@@ -1,0 +1,151 @@
+//! Crash-fault injection harness for the durable wafer campaign: spawn
+//! `repro_wafer --journal`, SIGKILL it at seeded-random points mid-run
+//! (plus a deliberate torn-write on the newest chunk file), then
+//! `--resume` and demand a `wafer_summary.json` byte-identical to an
+//! uninterrupted reference run — at one thread and at eight.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::Duration;
+
+const DIES: &str = "768";
+const SITES: &str = "2";
+
+fn wafer_cmd(journal: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro_wafer"));
+    cmd.args(["--journal", journal.to_str().unwrap(), "--dies", DIES, "--sites", SITES])
+        .args(extra)
+        .env("CICHAR_SCALE", "quick");
+    cmd
+}
+
+fn run_to_completion(journal: &Path, extra: &[&str]) -> Output {
+    let output = wafer_cmd(journal, extra).output().expect("repro_wafer spawns");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cichar_crash_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn summary_bytes(journal: &Path) -> Vec<u8> {
+    std::fs::read(journal.join("wafer_summary.json")).expect("summary artifact exists")
+}
+
+/// Kills a journaled campaign partway through, up to `attempts` times.
+/// Returns how many kills landed before the process finished on its own
+/// (a kill that races completion leaves a complete journal, which
+/// resume must also handle — so no retry is wasted either way).
+fn crash_campaign(journal: &Path, rng: &mut StdRng, attempts: usize) -> usize {
+    let mut kills = 0;
+    for _ in 0..attempts {
+        let mut child = wafer_cmd(journal, &["--threads", "2"])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("repro_wafer spawns");
+        std::thread::sleep(Duration::from_millis(rng.gen_range(20..300)));
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "uninterrupted child must succeed");
+                return kills;
+            }
+            None => {
+                child.kill().expect("SIGKILL delivered");
+                child.wait().expect("reaped");
+                kills += 1;
+            }
+        }
+    }
+    kills
+}
+
+/// Truncates trailing bytes off the newest journal chunk file,
+/// simulating a torn write the crash left behind. The salvage path must
+/// demote that chunk to uncommitted and re-measure it.
+fn tear_newest_chunk(journal: &Path) {
+    let mut chunks: Vec<PathBuf> = std::fs::read_dir(journal)
+        .expect("journal dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("journal_chunk_"))
+        })
+        .collect();
+    chunks.sort();
+    let Some(newest) = chunks.last() else { return };
+    let len = std::fs::metadata(newest).expect("chunk metadata").len();
+    if len > 16 {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(newest)
+            .expect("chunk opens for truncation");
+        file.set_len(len - 11).expect("torn write simulated");
+    }
+}
+
+#[test]
+fn sigkilled_campaign_resumes_bit_identical() {
+    let reference = fresh_dir("reference");
+    run_to_completion(&reference, &["--threads", "2"]);
+    let expected = summary_bytes(&reference);
+
+    let mut rng = StdRng::seed_from_u64(0xC1C4A2);
+    for (name, resume_threads) in [("resume_t1", "1"), ("resume_t8", "8")] {
+        let journal = fresh_dir(name);
+        let kills = crash_campaign(&journal, &mut rng, 4);
+        eprintln!("{name}: {kills} SIGKILLs landed mid-campaign");
+        tear_newest_chunk(&journal);
+        run_to_completion(&journal, &["--resume", "--threads", resume_threads]);
+        assert_eq!(
+            summary_bytes(&journal),
+            expected,
+            "{name}: resumed summary must be byte-identical to the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn resumed_manifest_carries_the_recovery_section() {
+    let journal = fresh_dir("manifest");
+    let mut rng = StdRng::seed_from_u64(0xD1E5);
+    crash_campaign(&journal, &mut rng, 3);
+    let manifest_path = journal.join("manifest.json");
+    run_to_completion(
+        &journal,
+        &["--resume", "--threads", "2", "--manifest", manifest_path.to_str().unwrap()],
+    );
+
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest saved");
+    let manifest: cichar_trace::RunManifest = serde_json::from_str(&text).expect("parses");
+    let recovery = manifest.recovery.as_ref().expect("journaled run records recovery");
+    assert!(recovery.resumed);
+    assert!(recovery.chunks_total > 0);
+    assert!(recovery.chunks_replayed <= recovery.chunks_total);
+    assert_eq!(recovery.watchdog_timeouts, 0, "no watchdog armed");
+    assert!(recovery.quarantined_sites.is_empty(), "no breaker armed");
+}
+
+#[test]
+fn a_completed_journal_resumes_as_a_pure_replay() {
+    // Resume over a journal with every chunk committed re-measures
+    // nothing and still reproduces the summary byte-for-byte.
+    let journal = fresh_dir("pure_replay");
+    run_to_completion(&journal, &["--threads", "2"]);
+    let expected = summary_bytes(&journal);
+    let stdout = run_to_completion(&journal, &["--resume", "--threads", "2"]).stdout;
+    let stdout = String::from_utf8_lossy(&stdout).into_owned();
+    assert!(stdout.contains("resumed:"), "{stdout}");
+    assert_eq!(summary_bytes(&journal), expected);
+}

@@ -231,17 +231,55 @@ pub fn save_jsonl<T: Serialize>(records: &[T], path: impl AsRef<Path>) -> io::Re
 /// Loads every record of a JSONL file written by [`save_jsonl`]. Blank
 /// lines are skipped.
 ///
+/// Torn-write tolerance: [`save_jsonl`] always terminates the last record
+/// with a newline, so a file whose final line lacks one was truncated
+/// mid-write (a torn write on a non-atomic filesystem). The partial line
+/// is dropped and every complete record is returned — use
+/// [`load_jsonl_salvaged`] when the caller needs to know a tail was
+/// dropped. A malformed line *before* the tail is still a hard error:
+/// mid-file corruption is not a torn write.
+///
 /// # Errors
 ///
-/// Propagates I/O and deserialization errors.
+/// Propagates I/O and (non-tail) deserialization errors.
 pub fn load_jsonl<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<Vec<T>> {
+    load_jsonl_salvaged(path).map(|salvaged| salvaged.records)
+}
+
+/// The outcome of a torn-write-tolerant JSONL load: every complete record,
+/// plus whether a truncated trailing line had to be dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvaged<T> {
+    /// Every record with a complete (newline-terminated) line.
+    pub records: Vec<T>,
+    /// Whether the file ended in a truncated partial line that was
+    /// dropped. When `true`, `records.len()` is the salvage count.
+    pub torn: bool,
+}
+
+/// [`load_jsonl`] with explicit torn-write accounting: drops a truncated
+/// trailing line (a file not ending in `\n` was torn mid-write — the
+/// atomic [`save_jsonl`] path always newline-terminates) and reports how
+/// many complete records were salvaged alongside.
+///
+/// # Errors
+///
+/// Propagates I/O errors, and deserialization errors for any *complete*
+/// line — mid-file corruption is a hard error, not a torn write.
+pub fn load_jsonl_salvaged<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<Salvaged<T>> {
     let body = fs::read_to_string(path)?;
-    body.lines()
+    let (complete, torn) = match body.rfind('\n') {
+        Some(last) => (&body[..=last], last + 1 < body.len()),
+        None => ("", !body.is_empty()),
+    };
+    let records = complete
+        .lines()
         .filter(|line| !line.trim().is_empty())
         .map(|line| {
             serde_json::from_str(line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
         })
-        .collect()
+        .collect::<io::Result<Vec<T>>>()?;
+    Ok(Salvaged { records, torn })
 }
 
 /// Compacts several JSONL spill files into one, atomically, preserving
@@ -249,23 +287,81 @@ pub fn load_jsonl<T: Deserialize>(path: impl AsRef<Path>) -> io::Result<Vec<T>> 
 /// per-chunk spill files into a single artifact. Sources are read one at
 /// a time, so peak memory is one chunk, not the whole wafer.
 ///
+/// A source with a truncated trailing line (torn write) contributes only
+/// its complete records: the partial line is dropped rather than glued to
+/// the next source's first record. Returns the total records compacted.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; no source is removed on failure.
-pub fn compact_jsonl<P: AsRef<Path>>(sources: &[P], dest: impl AsRef<Path>) -> io::Result<()> {
-    let dest = dest.as_ref();
+pub fn compact_jsonl<P: AsRef<Path>>(sources: &[P], dest: impl AsRef<Path>) -> io::Result<u64> {
+    compact_jsonl_inner(sources, None, dest.as_ref())
+}
+
+/// [`compact_jsonl`] with per-source record-count verification against a
+/// journal (or any other authority that knows how many records each chunk
+/// must hold). `expected[i]` is the record count source `i` must
+/// contribute; a short or long chunk fails the whole compaction loudly
+/// instead of silently merging a truncated spill file into the artifact.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] on any count mismatch (naming the
+/// offending source); otherwise as [`compact_jsonl`]. No source is
+/// removed on failure.
+pub fn compact_jsonl_verified<P: AsRef<Path>>(
+    sources: &[P],
+    expected: &[u64],
+    dest: impl AsRef<Path>,
+) -> io::Result<u64> {
+    assert_eq!(
+        sources.len(),
+        expected.len(),
+        "one expected record count per spill chunk"
+    );
+    compact_jsonl_inner(sources, Some(expected), dest.as_ref())
+}
+
+fn compact_jsonl_inner<P: AsRef<Path>>(
+    sources: &[P],
+    expected: Option<&[u64]>,
+    dest: &Path,
+) -> io::Result<u64> {
     let mut scratch_name = dest
         .file_name()
         .map(|n| n.to_os_string())
         .unwrap_or_else(|| "artifact.jsonl".into());
     scratch_name.push(".tmp");
     let scratch = dest.with_file_name(scratch_name);
-    let write_all = || -> io::Result<()> {
+    let mut total = 0u64;
+    let mut write_all = || -> io::Result<()> {
         use std::io::Write;
         let mut out = std::io::BufWriter::new(fs::File::create(&scratch)?);
-        for source in sources {
+        for (index, source) in sources.iter().enumerate() {
             let chunk = fs::read(source)?;
-            out.write_all(&chunk)?;
+            // Keep only newline-terminated records: a torn tail must not
+            // be glued onto the next chunk's first line.
+            let complete = match chunk.iter().rposition(|&b| b == b'\n') {
+                Some(last) => &chunk[..=last],
+                None => &[][..],
+            };
+            let records = complete.iter().filter(|&&b| b == b'\n').count() as u64;
+            if let Some(expected) = expected {
+                if records != expected[index] {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "spill chunk {} holds {} records where the journal expects {} — \
+                             refusing to compact a short chunk",
+                            source.as_ref().display(),
+                            records,
+                            expected[index]
+                        ),
+                    ));
+                }
+            }
+            total += records;
+            out.write_all(complete)?;
         }
         out.into_inner().map_err(|e| e.into_error())?.sync_all()
     };
@@ -277,7 +373,7 @@ pub fn compact_jsonl<P: AsRef<Path>>(sources: &[P], dest: impl AsRef<Path>) -> i
     for source in sources {
         fs::remove_file(source)?;
     }
-    Ok(())
+    Ok(total)
 }
 
 /// The shared write-then-rename commit: scratch file next to the target,
@@ -404,6 +500,84 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = WorstCaseDatabase::new(0);
+    }
+
+    #[test]
+    fn torn_jsonl_tail_is_dropped_and_reported() {
+        let dir = std::env::temp_dir().join("cichar_db_torn_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("torn.jsonl");
+        save_jsonl(&[10u64, 20, 30], &path).expect("save");
+
+        // A complete file salvages everything and reports no tear.
+        let whole: Salvaged<u64> = load_jsonl_salvaged(&path).expect("load");
+        assert_eq!(whole.records, vec![10, 20, 30]);
+        assert!(!whole.torn);
+
+        // Truncate into the middle of the last record: torn write.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).expect("truncate");
+        let salvaged: Salvaged<u64> = load_jsonl_salvaged(&path).expect("salvage");
+        assert_eq!(salvaged.records, vec![10, 20], "partial line dropped");
+        assert!(salvaged.torn);
+        let lenient: Vec<u64> = load_jsonl(&path).expect("load_jsonl salvages too");
+        assert_eq!(lenient, vec![10, 20]);
+
+        // Mid-file corruption stays a hard error — it is not a torn tail.
+        std::fs::write(&path, b"10\nnot json\n30\n").expect("write");
+        let err = load_jsonl::<u64>(&path).expect_err("mid-file corruption");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_salvages_torn_sources_and_counts_records() {
+        let dir = std::env::temp_dir().join("cichar_db_compact_salvage_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        save_jsonl(&[1u64, 2], &a).expect("save a");
+        save_jsonl(&[3u64, 4], &b).expect("save b");
+        // Tear chunk a mid-record: its partial line must not be glued to
+        // chunk b's first record.
+        let bytes = std::fs::read(&a).expect("read");
+        std::fs::write(&a, &bytes[..bytes.len() - 1]).expect("truncate");
+        let dest = dir.join("merged.jsonl");
+        let total = compact_jsonl(&[&a, &b], &dest).expect("compact");
+        assert_eq!(total, 3, "one record lost to the tear");
+        let merged: Vec<u64> = load_jsonl(&dest).expect("load");
+        assert_eq!(merged, vec![1, 3, 4]);
+        std::fs::remove_file(&dest).ok();
+    }
+
+    #[test]
+    fn verified_compaction_fails_loudly_on_a_short_chunk() {
+        let dir = std::env::temp_dir().join("cichar_db_compact_verify_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        save_jsonl(&[1u64, 2, 3], &a).expect("save a");
+        save_jsonl(&[4u64], &b).expect("save b");
+        let dest = dir.join("merged.jsonl");
+
+        // Matching counts: compacts and removes sources.
+        let total = compact_jsonl_verified(&[&a, &b], &[3, 1], &dest).expect("compact");
+        assert_eq!(total, 4);
+        assert!(!a.exists() && !b.exists(), "sources consumed");
+
+        // A short chunk (torn spill) must fail loudly, not merge silently.
+        save_jsonl(&[1u64, 2, 3], &a).expect("save a");
+        save_jsonl(&[4u64], &b).expect("save b");
+        let bytes = std::fs::read(&a).expect("read");
+        std::fs::write(&a, &bytes[..bytes.len() - 2]).expect("truncate");
+        let err = compact_jsonl_verified(&[&a, &b], &[3, 1], &dest)
+            .expect_err("short chunk must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("expects 3"), "{err}");
+        assert!(a.exists() && b.exists(), "no source removed on failure");
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+        std::fs::remove_file(&dest).ok();
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum QuarantineReason {
     /// The search converged but its trace puts pass probes beyond fail
     /// probes for the region ordering — the trip point cannot be trusted.
     InconsistentTrace,
+    /// The stall watchdog abandoned the test: the site's touchdown budget
+    /// expired before this search could run.
+    TimedOut,
+    /// The site's health circuit breaker was open: the test was never
+    /// measured because the site had been quarantined wholesale.
+    SiteBreaker,
 }
 
 impl fmt::Display for QuarantineReason {
@@ -47,6 +53,8 @@ impl fmt::Display for QuarantineReason {
             QuarantineReason::Dropout => "dropout",
             QuarantineReason::Unconverged => "unconverged",
             QuarantineReason::InconsistentTrace => "inconsistent trace",
+            QuarantineReason::TimedOut => "timed out",
+            QuarantineReason::SiteBreaker => "site breaker",
         })
     }
 }
@@ -428,15 +436,25 @@ impl MultiTripRunner {
     /// runs, so every entry is classified identically either way; only
     /// the packaging differs. No per-entry name strings, no entries
     /// vector — the caller owns whatever it accumulates.
+    ///
+    /// `deadline_us` arms the stall watchdog: it caps the session's total
+    /// **simulated** tester time. Once the ledger crosses the budget,
+    /// every remaining test is quarantined as
+    /// [`QuarantineReason::TimedOut`] (ledgered as a timeout plus a
+    /// quarantine, with a `Quarantined` trace event) instead of being
+    /// measured. Simulated time makes the watchdog deterministic: whether
+    /// it fires is a pure function of the seeded campaign, never of host
+    /// scheduling.
     pub(crate) fn run_fold(
         &self,
         ate: &mut Ate,
         tests: &[Test],
         strategy: SearchStrategy,
         span: &SpanTrace,
+        deadline_us: Option<f64>,
         sink: impl FnMut(usize, StreamedEntry),
     ) {
-        self.fold_inner(ate, tests, strategy, |_| span.clone(), |_| {}, sink);
+        self.fold_inner(ate, tests, strategy, |_| span.clone(), |_| {}, deadline_us, sink);
     }
 
     /// The single sequential campaign body, packaged as a report.
@@ -453,7 +471,7 @@ impl MultiTripRunner {
     ) -> DsvReport {
         let mut entries = Vec::with_capacity(tests.len());
         let mut total = 0u64;
-        let rtp = self.fold_inner(ate, tests, strategy, with_span, done, |index, entry| {
+        let rtp = self.fold_inner(ate, tests, strategy, with_span, done, None, |index, entry| {
             total += entry.measurements;
             entries.push(DsvEntry {
                 test_name: tests[index].name().to_string(),
@@ -475,6 +493,7 @@ impl MultiTripRunner {
     /// RTP refresh/re-anchor discipline, streaming each outcome to `sink`.
     /// Both the report-building and the wafer fold paths run exactly this
     /// code. Returns the final reference trip point.
+    #[allow(clippy::too_many_arguments)]
     fn fold_inner(
         &self,
         ate: &mut Ate,
@@ -482,12 +501,41 @@ impl MultiTripRunner {
         strategy: SearchStrategy,
         mut with_span: impl FnMut(usize) -> SpanTrace,
         mut done: impl FnMut(SpanTrace),
+        deadline_us: Option<f64>,
         mut sink: impl FnMut(usize, StreamedEntry),
     ) -> Option<f64> {
         let (full, rebracket) = self.searches();
 
         let mut rtp: Option<f64> = None;
+        let mut expired = false;
         for (index, test) in tests.iter().enumerate() {
+            // Stall watchdog: once the session's simulated tester time
+            // crosses the budget, stop measuring — the remaining tests
+            // are abandoned as timed out, not left to hang on a stalled
+            // channel. The latch is one-way; time only moves forward.
+            if let Some(budget_us) = deadline_us {
+                expired = expired || ate.ledger().test_time_ms() * 1000.0 > budget_us;
+            }
+            if expired {
+                let span = with_span(index);
+                ate.time_out();
+                span.emit_with(|| TraceEvent::Quarantined {
+                    reason: QuarantineReason::TimedOut.to_string(),
+                });
+                span.mark_done();
+                done(span);
+                sink(
+                    index,
+                    StreamedEntry {
+                        trip_point: None,
+                        measurements: 0,
+                        status: TripStatus::Quarantined {
+                            reason: QuarantineReason::TimedOut,
+                        },
+                    },
+                );
+                continue;
+            }
             // Periodic reference refresh: drop the stale RTP so the next
             // search runs full-range and re-anchors the reference.
             if let Some(every) = self.rtp_refresh {

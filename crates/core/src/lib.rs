@@ -56,6 +56,7 @@ pub mod db;
 pub mod dsv;
 pub mod encode;
 pub mod generator;
+pub mod journal;
 pub mod learning;
 pub mod multi;
 pub mod optimization;

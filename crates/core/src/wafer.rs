@@ -16,27 +16,50 @@
 //! * optionally every chunk **spills** its entries as an atomic JSONL
 //!   artifact ([`db::save_jsonl`]), and a final compaction step merges the
 //!   chunk files into one artifact plus a summary
-//!   ([`db::save_artifact`]).
+//!   ([`db::save_artifact`]);
+//! * optionally every chunk is **journaled**
+//!   ([`CampaignJournal`]): the chunk's touchdown products are committed
+//!   as one atomic JSONL checkpoint, and [`WaferRunner::resume`] replays
+//!   the committed prefix to reproduce an interrupted campaign
+//!   bit-identically without re-measuring it.
 //!
 //! Searches themselves reuse the exact [`MultiTripRunner`] ladder —
 //! recovery, re-bracketing, quarantine classification — so a wafer entry
 //! is classified identically to a bench-top entry.
+//!
+//! Two self-healing guards ride the same chunk cadence. A **stall
+//! watchdog** (`chunk_timeout_ms`) caps each site-touchdown's simulated
+//! tester time; once a session blows the budget its remaining tests are
+//! abandoned as [`QuarantineReason::TimedOut`] instead of hanging the
+//! campaign. A **site health circuit breaker** (`site_fault_threshold`)
+//! accumulates per-site injected-fault and timeout rates and latches open
+//! at chunk boundaries ([`SiteHealthBreaker`]); an open site's remaining
+//! touchdowns are skipped as [`QuarantineReason::SiteBreaker`] with full
+//! ledger, trace and report accounting.
 
 use crate::db;
-use crate::dsv::{MultiTripRunner, SearchStrategy, TripStatus};
+use crate::dsv::{MultiTripRunner, QuarantineReason, SearchStrategy, TripStatus};
+use crate::journal::{
+    CampaignJournal, ChunkCommit, JournalMeta, JournalRecord, ResumeStats, TouchdownRecord,
+    JOURNAL_VERSION,
+};
 use crate::stream::TripAggregate;
-use cichar_ate::{Ate, AteConfig, MeasuredParam, MeasurementLedger, MultiSiteAte};
+use cichar_ate::{
+    Ate, AteConfig, MeasuredParam, MeasurementLedger, MultiSiteAte, SiteHealthBreaker,
+    TesterFaultModel,
+};
 use cichar_dut::{Die, MemoryDevice};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::RegionOrder;
-use cichar_trace::{SpanTrace, Tracer};
+use cichar_trace::{SpanTrace, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::PathBuf;
 
 /// Shape of a wafer campaign: touchdown width, dispatch chunking, sketch
-/// resolution, and the optional spill destination.
+/// resolution, the optional spill destination, and the durability /
+/// self-healing knobs (journal, watchdog, circuit breaker).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WaferConfig {
     /// Dies measured per touchdown (multi-site width). Grouping never
@@ -55,6 +78,22 @@ pub struct WaferConfig {
     pub contact_check: bool,
     /// Directory for JSONL entry spills; `None` keeps only the aggregate.
     pub spill_dir: Option<PathBuf>,
+    /// Directory of the crash-durable [`CampaignJournal`]; `None` runs
+    /// without checkpoints.
+    pub journal_dir: Option<PathBuf>,
+    /// Stall-watchdog budget per (site, touchdown) in **simulated**
+    /// milliseconds of tester time; `None` never times out. Simulated
+    /// time keeps the watchdog deterministic.
+    pub chunk_timeout_ms: Option<u64>,
+    /// Rolling fault-rate threshold in `(0, 1]` at which a site's health
+    /// breaker latches open ([`SiteHealthBreaker`]); `None` never
+    /// quarantines a site.
+    pub site_fault_threshold: Option<f64>,
+    /// Per-site fault-model overrides (site position → model), for
+    /// degraded-channel scenarios. Overriding a site ties results to the
+    /// touchdown grouping — a die's fault stream then depends on which
+    /// site it lands on.
+    pub site_faults: Vec<(usize, TesterFaultModel)>,
 }
 
 impl Default for WaferConfig {
@@ -65,6 +104,10 @@ impl Default for WaferConfig {
             sketch_buckets: 256,
             contact_check: true,
             spill_dir: None,
+            journal_dir: None,
+            chunk_timeout_ms: None,
+            site_fault_threshold: None,
+            site_faults: Vec::new(),
         }
     }
 }
@@ -120,6 +163,13 @@ pub struct WaferReport {
     pub per_site_quarantined: Vec<u64>,
     /// Total tester measurements across every site session.
     pub total_measurements: u64,
+    /// Tests abandoned by the stall watchdog across every session.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Site positions latched open by the health circuit breaker,
+    /// ascending.
+    #[serde(default)]
+    pub quarantined_sites: Vec<u64>,
     /// The spill artifact, when the campaign spilled.
     pub spill: Option<SpillManifest>,
 }
@@ -131,6 +181,26 @@ struct TouchdownOutcome {
     ledgers: Vec<MeasurementLedger>,
     contact_faults: u64,
     spans: Vec<SpanTrace>,
+}
+
+/// The coordinator's campaign-wide accumulation, shared verbatim between
+/// the live fold and journal replay so a resumed campaign lands on bit
+/// identical `f64` sums.
+struct FoldState {
+    aggregate: TripAggregate,
+    merged: MeasurementLedger,
+    per_site_quarantined: Vec<u64>,
+    contact_faults: u64,
+    timeouts: u64,
+    breaker: Option<SiteHealthBreaker>,
+}
+
+/// Everything one campaign pass produces; trimmed by the public wrappers.
+struct CampaignOutput {
+    report: WaferReport,
+    merged: MeasurementLedger,
+    stats: ResumeStats,
+    committed_chunks: u64,
 }
 
 /// Streaming wafer/lot characterization over the [`MultiTripRunner`]
@@ -206,8 +276,8 @@ impl WaferRunner {
     ///
     /// # Errors
     ///
-    /// Propagates spill I/O errors (only possible with a spill directory
-    /// configured).
+    /// Propagates spill and journal I/O errors (only possible with a
+    /// spill or journal directory configured).
     pub fn run(
         &self,
         ate_config: &AteConfig,
@@ -228,9 +298,14 @@ impl WaferRunner {
     /// its position in `dies` — never of scheduling, touchdown grouping
     /// or chunking.
     ///
+    /// With a `journal_dir` configured, every completed chunk is also
+    /// committed to a fresh [`CampaignJournal`] so a crash mid-campaign
+    /// can be [`Self::resume`]d. Journaling never changes measurement
+    /// behaviour — only what lands on disk.
+    ///
     /// # Errors
     ///
-    /// Propagates spill I/O errors.
+    /// Propagates spill and journal I/O errors.
     pub fn run_traced(
         &self,
         ate_config: &AteConfig,
@@ -240,22 +315,316 @@ impl WaferRunner {
         policy: ExecPolicy,
         tracer: &Tracer,
     ) -> io::Result<(WaferReport, MeasurementLedger)> {
+        let out = self.campaign(ate_config, dies, tests, strategy, policy, tracer, false, None)?;
+        Ok((out.report, out.merged))
+    }
+
+    /// Resumes an interrupted journaled campaign: replays the journal's
+    /// contiguous committed prefix (verifying each chunk's commit-marker
+    /// integrity), re-measures only the incomplete remainder, and returns
+    /// a report and ledger **bit-identical** to the uninterrupted run
+    /// plus what was replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] without a configured
+    /// `journal_dir`, [`io::ErrorKind::NotFound`] when the directory
+    /// holds no journal, and [`io::ErrorKind::InvalidData`] when the
+    /// journal belongs to a different campaign or a committed chunk fails
+    /// integrity verification. Spill/journal I/O errors propagate.
+    pub fn resume(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+    ) -> io::Result<(WaferReport, MeasurementLedger, ResumeStats)> {
+        self.resume_traced(ate_config, dies, tests, strategy, policy, &Tracer::disabled())
+    }
+
+    /// [`Self::resume`] with live (re-measured) spans recorded into
+    /// `tracer`. Replayed chunks emit **no** trace events — their spans
+    /// were already absorbed by the interrupted process — so a resumed
+    /// trace stream covers exactly the work this process performed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::resume`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume_traced(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+    ) -> io::Result<(WaferReport, MeasurementLedger, ResumeStats)> {
+        let out = self.campaign(ate_config, dies, tests, strategy, policy, tracer, true, None)?;
+        Ok((out.report, out.merged, out.stats))
+    }
+
+    /// Crash-injection hook: runs a fresh journaled campaign but stops —
+    /// without finalizing — once `chunks` chunks are committed, exactly
+    /// as if the process died right after the commit rename. Returns how
+    /// many chunks were committed (fewer than `chunks` when the campaign
+    /// is shorter).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] without a configured
+    /// `journal_dir`; journal/spill I/O errors propagate.
+    pub fn run_prefix(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        chunks: usize,
+    ) -> io::Result<u64> {
+        if self.config.journal_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "run_prefix requires a journal directory in the wafer config",
+            ));
+        }
+        let out = self.campaign(
+            ate_config,
+            dies,
+            tests,
+            strategy,
+            policy,
+            &Tracer::disabled(),
+            false,
+            Some(chunks),
+        )?;
+        Ok(out.committed_chunks)
+    }
+
+    /// The journal identity for this campaign: a digest of everything
+    /// that shapes its results. Paths (spill/journal directories) are
+    /// deliberately excluded — they relocate a campaign without changing
+    /// it.
+    fn journal_meta(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        chunks_total: u64,
+    ) -> JournalMeta {
+        let shape = (
+            self.config.sites,
+            self.config.chunk_touchdowns,
+            self.config.sketch_buckets,
+            self.config.contact_check,
+            self.config.chunk_timeout_ms,
+            self.config.site_fault_threshold,
+            &self.config.site_faults,
+        );
+        JournalMeta {
+            version: JOURNAL_VERSION,
+            fingerprint: format!(
+                "runner:{:?}|shape:{:?}|ate:{:?}|strategy:{:?}|dies:{}|tests:{}",
+                self.runner,
+                shape,
+                ate_config,
+                strategy,
+                dies.len(),
+                tests.len()
+            ),
+            chunks_total,
+        }
+    }
+
+    /// Folds one touchdown's product into the campaign state **and** the
+    /// chunk-local partials, in emission order. Live measurement and
+    /// journal replay both come through here — same code, same order,
+    /// same non-associative `f64` sums.
+    fn fold_touchdown(
+        state: &mut FoldState,
+        contact_faults: u64,
+        entries: &[WaferEntry],
+        ledgers: &[MeasurementLedger],
+        chunk_aggregate: &mut TripAggregate,
+        chunk_ledger: &mut MeasurementLedger,
+    ) {
+        state.contact_faults += contact_faults;
+        for (site, ledger) in ledgers.iter().enumerate() {
+            state.merged.merge(ledger);
+            chunk_ledger.merge(ledger);
+            state.per_site_quarantined[site] += ledger.quarantined();
+            state.timeouts += ledger.timeouts();
+            if let Some(breaker) = &mut state.breaker {
+                breaker.observe(site, ledger);
+            }
+        }
+        for entry in entries {
+            state.aggregate.observe(entry.trip_point, &entry.status);
+            chunk_aggregate.observe(entry.trip_point, &entry.status);
+        }
+    }
+
+    /// Chunk-boundary breaker evaluation. Trips latch only here, so which
+    /// sites open is a pure function of the chunk partition — invariant
+    /// under thread count, and reproduced exactly by journal replay.
+    /// Replay passes no tracer: the interrupted process already emitted
+    /// these events.
+    fn latch_breaker(state: &mut FoldState, chunk_index: usize, tracer: Option<&Tracer>) {
+        let Some(breaker) = &mut state.breaker else {
+            return;
+        };
+        for site in breaker.end_chunk() {
+            if let Some(tracer) = tracer {
+                tracer.emit_campaign(TraceEvent::SiteBreakerTripped {
+                    site: site as u64,
+                    chunk: chunk_index as u64,
+                    fault_rate: breaker.fault_rate(site),
+                });
+            }
+        }
+    }
+
+    /// Flushes the chunk's spill buffer as one atomic JSONL chunk file,
+    /// recording its path and entry count for verified compaction.
+    fn flush_spill(
+        &self,
+        buffer: &mut Vec<WaferEntry>,
+        paths: &mut Vec<PathBuf>,
+        counts: &mut Vec<u64>,
+        chunk_index: usize,
+    ) -> io::Result<()> {
+        if let Some(dir) = &self.config.spill_dir {
+            let path = dir.join(format!("wafer_chunk_{chunk_index:05}.jsonl"));
+            db::save_jsonl(buffer, &path)?;
+            paths.push(path);
+            counts.push(buffer.len() as u64);
+            buffer.clear();
+        }
+        Ok(())
+    }
+
+    /// The campaign engine behind [`Self::run_traced`],
+    /// [`Self::resume_traced`] and [`Self::run_prefix`]: replay the
+    /// journal's committed prefix (on resume), measure the remaining
+    /// chunks live, finalize spill/summary artifacts unless stopped
+    /// early.
+    #[allow(clippy::too_many_arguments)]
+    fn campaign(
+        &self,
+        ate_config: &AteConfig,
+        dies: &[Die],
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+        resume: bool,
+        stop_after_chunks: Option<usize>,
+    ) -> io::Result<CampaignOutput> {
         let sites = self.config.sites.max(1);
         let chunk_touchdowns = self.config.chunk_touchdowns.max(1);
         let param = self.runner.param();
         let range = param.generous_range();
 
-        let mut aggregate = TripAggregate::new(range.start(), range.end(), self.config.sketch_buckets);
-        let mut merged = MeasurementLedger::new();
-        let mut per_site_quarantined = vec![0u64; sites.min(dies.len().max(1))];
-        let mut contact_faults = 0u64;
-        let mut spill_paths: Vec<PathBuf> = Vec::new();
-        let mut spill_buffer: Vec<WaferEntry> = Vec::new();
-
         let touchdowns: Vec<&[Die]> = dies.chunks(sites).collect();
         let touchdown_count = touchdowns.len();
+        let chunk_count = touchdowns.chunks(chunk_touchdowns).len();
 
-        for (chunk_index, chunk) in touchdowns.chunks(chunk_touchdowns).enumerate() {
+        let journal = match &self.config.journal_dir {
+            Some(dir) => {
+                let meta =
+                    self.journal_meta(ate_config, dies, tests, strategy, chunk_count as u64);
+                Some(if resume {
+                    CampaignJournal::open(dir, &meta)?
+                } else {
+                    CampaignJournal::create(dir, meta)?
+                })
+            }
+            None if resume => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "resume requires a journal directory in the wafer config",
+                ));
+            }
+            None => None,
+        };
+
+        let fresh_chunk_aggregate =
+            || TripAggregate::new(range.start(), range.end(), self.config.sketch_buckets);
+        let mut state = FoldState {
+            aggregate: fresh_chunk_aggregate(),
+            merged: MeasurementLedger::new(),
+            per_site_quarantined: vec![0u64; sites.min(dies.len().max(1))],
+            contact_faults: 0,
+            timeouts: 0,
+            breaker: self.config.site_fault_threshold.map(SiteHealthBreaker::new),
+        };
+        let mut stats = ResumeStats {
+            chunks_total: chunk_count as u64,
+            ..ResumeStats::default()
+        };
+        let mut spill_paths: Vec<PathBuf> = Vec::new();
+        let mut spill_counts: Vec<u64> = Vec::new();
+        let mut spill_buffer: Vec<WaferEntry> = Vec::new();
+
+        // Replay the journal's contiguous committed prefix: re-fold the
+        // stored touchdown products in live order and cross-check each
+        // chunk against its commit marker's partials.
+        let mut start_chunk = 0usize;
+        if resume {
+            let journal = journal.as_ref().expect("resume opened the journal above");
+            while start_chunk < chunk_count {
+                let Some((replayed, commit)) = journal.load_chunk(start_chunk)? else {
+                    break;
+                };
+                let mut chunk_aggregate = fresh_chunk_aggregate();
+                let mut chunk_ledger = MeasurementLedger::new();
+                for td in &replayed {
+                    Self::fold_touchdown(
+                        &mut state,
+                        td.contact_faults,
+                        &td.entries,
+                        &td.ledgers,
+                        &mut chunk_aggregate,
+                        &mut chunk_ledger,
+                    );
+                    if self.config.spill_dir.is_some() {
+                        spill_buffer.extend(td.entries.iter().copied());
+                    }
+                    stats.touchdowns_replayed += 1;
+                    stats.entries_replayed += td.entries.len() as u64;
+                }
+                if chunk_aggregate != commit.aggregate || chunk_ledger != commit.ledger {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal chunk {start_chunk} failed integrity verification — \
+                             the replayed fold disagrees with its commit marker"
+                        ),
+                    ));
+                }
+                self.flush_spill(&mut spill_buffer, &mut spill_paths, &mut spill_counts, start_chunk)?;
+                Self::latch_breaker(&mut state, start_chunk, None);
+                stats.chunks_replayed += 1;
+                start_chunk += 1;
+            }
+        }
+
+        // Live measurement from the first incomplete chunk.
+        let mut committed_chunks = start_chunk as u64;
+        for (chunk_index, chunk) in touchdowns.chunks(chunk_touchdowns).enumerate().skip(start_chunk)
+        {
+            if stop_after_chunks.is_some_and(|k| chunk_index >= k) {
+                break;
+            }
+            // Snapshot the open sites once per chunk: the breaker latches
+            // only at chunk boundaries, so every touchdown in the chunk
+            // sees the same quarantine set regardless of scheduling.
+            let open: Vec<bool> = (0..sites)
+                .map(|s| state.breaker.as_ref().is_some_and(|b| b.is_open(s)))
+                .collect();
             let first_touchdown = chunk_index * chunk_touchdowns;
             let outcomes = cichar_exec::par_map_ref(policy, chunk, |i, td_dies| {
                 self.process_touchdown(
@@ -265,45 +634,73 @@ impl WaferRunner {
                     tests,
                     strategy,
                     tracer,
+                    &open,
                 )
             });
 
-            // Fold in touchdown order: aggregates, ledgers, spans, spill.
-            for outcome in outcomes {
-                contact_faults += outcome.contact_faults;
+            // Fold in touchdown order: aggregates, ledgers, spans, spill,
+            // journal records.
+            let mut chunk_aggregate = fresh_chunk_aggregate();
+            let mut chunk_ledger = MeasurementLedger::new();
+            let mut records: Vec<JournalRecord> = Vec::new();
+            let mut chunk_entries = 0u64;
+            let mut chunk_touchdown_count = 0u64;
+            for (i, outcome) in outcomes.into_iter().enumerate() {
                 for span in outcome.spans {
                     tracer.absorb(span);
                 }
-                for (site, ledger) in outcome.ledgers.iter().enumerate() {
-                    merged.merge(ledger);
-                    per_site_quarantined[site] += ledger.quarantined();
-                }
-                for entry in &outcome.entries {
-                    aggregate.observe(entry.trip_point, &entry.status);
+                Self::fold_touchdown(
+                    &mut state,
+                    outcome.contact_faults,
+                    &outcome.entries,
+                    &outcome.ledgers,
+                    &mut chunk_aggregate,
+                    &mut chunk_ledger,
+                );
+                chunk_entries += outcome.entries.len() as u64;
+                chunk_touchdown_count += 1;
+                if journal.is_some() {
+                    records.push(JournalRecord::Touchdown(TouchdownRecord {
+                        touchdown: (first_touchdown + i) as u64,
+                        contact_faults: outcome.contact_faults,
+                        entries: outcome.entries.clone(),
+                        ledgers: outcome.ledgers.clone(),
+                    }));
                 }
                 if self.config.spill_dir.is_some() {
                     spill_buffer.extend(outcome.entries);
                 }
             }
-            if let Some(dir) = &self.config.spill_dir {
-                let path = dir.join(format!("wafer_chunk_{chunk_index:05}.jsonl"));
-                db::save_jsonl(&spill_buffer, &path)?;
-                spill_paths.push(path);
-                spill_buffer.clear();
+            self.flush_spill(&mut spill_buffer, &mut spill_paths, &mut spill_counts, chunk_index)?;
+            if let Some(journal) = &journal {
+                // The commit rename is the durability point: spill chunk
+                // files land first so a crash in between re-runs (and
+                // atomically rewrites) the whole chunk.
+                records.push(JournalRecord::Commit(ChunkCommit {
+                    chunk: chunk_index as u64,
+                    touchdowns: chunk_touchdown_count,
+                    entries: chunk_entries,
+                    aggregate: chunk_aggregate,
+                    ledger: chunk_ledger,
+                }));
+                journal.commit_chunk(chunk_index, &records)?;
             }
+            Self::latch_breaker(&mut state, chunk_index, Some(tracer));
+            committed_chunks = chunk_index as u64 + 1;
         }
 
+        let stopped_early = stop_after_chunks.is_some_and(|k| k < chunk_count);
         let spill = match &self.config.spill_dir {
-            Some(dir) => {
+            Some(dir) if !stopped_early => {
                 let dest = dir.join("wafer_entries.jsonl");
-                db::compact_jsonl(&spill_paths, &dest)?;
+                db::compact_jsonl_verified(&spill_paths, &spill_counts, &dest)?;
                 Some(SpillManifest {
                     chunks: spill_paths.len() as u64,
-                    entries: aggregate.entries,
+                    entries: state.aggregate.entries,
                     path: dest.display().to_string(),
                 })
             }
-            None => None,
+            _ => None,
         };
 
         let report = WaferReport {
@@ -313,21 +710,44 @@ impl WaferRunner {
             tests: tests.len() as u64,
             sites: sites as u64,
             touchdowns: touchdown_count as u64,
-            contact_faults,
-            aggregate,
-            per_site_quarantined,
-            total_measurements: merged.measurements(),
+            contact_faults: state.contact_faults,
+            aggregate: state.aggregate,
+            per_site_quarantined: state.per_site_quarantined,
+            total_measurements: state.merged.measurements(),
+            timeouts: state.timeouts,
+            quarantined_sites: state
+                .breaker
+                .as_ref()
+                .map(SiteHealthBreaker::open_sites)
+                .unwrap_or_default(),
             spill,
         };
-        if let Some(dir) = &self.config.spill_dir {
-            db::save_artifact(&report, dir.join("wafer_summary.json"))?;
+        if !stopped_early {
+            if let Some(dir) = &self.config.spill_dir {
+                db::save_artifact(&report, dir.join("wafer_summary.json"))?;
+            }
+            if let Some(journal) = &journal {
+                if self.config.spill_dir.as_deref() != Some(journal.dir()) {
+                    db::save_artifact(&report, journal.dir().join("wafer_summary.json"))?;
+                }
+            }
         }
-        Ok((report, merged))
+        Ok(CampaignOutput {
+            report,
+            merged: state.merged,
+            stats,
+            committed_chunks,
+        })
     }
 
     /// One touchdown: per-die sessions seeded by global die index, the
     /// shared contact-check strobe (one stress hoist across sites), then
-    /// each site's per-test searches through the standard recovery ladder.
+    /// each site's per-test searches through the standard recovery ladder
+    /// — under the stall-watchdog deadline when one is configured, and
+    /// skipped entirely (every test quarantined as
+    /// [`QuarantineReason::SiteBreaker`]) for sites whose breaker is
+    /// `open`.
+    #[allow(clippy::too_many_arguments)]
     fn process_touchdown(
         &self,
         touchdown: usize,
@@ -336,6 +756,7 @@ impl WaferRunner {
         tests: &[Test],
         strategy: SearchStrategy,
         tracer: &Tracer,
+        open: &[bool],
     ) -> TouchdownOutcome {
         let sites = self.config.sites.max(1);
         let first_die = touchdown * sites;
@@ -343,13 +764,16 @@ impl WaferRunner {
             .iter()
             .enumerate()
             .map(|(site, die)| {
-                Ate::with_config(
-                    MemoryDevice::new(*die),
-                    AteConfig {
-                        seed: cichar_exec::derive_seed(ate_config.seed, (first_die + site) as u64),
-                        ..ate_config.clone()
-                    },
-                )
+                let mut site_config = AteConfig {
+                    seed: cichar_exec::derive_seed(ate_config.seed, (first_die + site) as u64),
+                    ..ate_config.clone()
+                };
+                if let Some((_, model)) =
+                    self.config.site_faults.iter().find(|(s, _)| *s == site)
+                {
+                    site_config.faults = *model;
+                }
+                Ate::with_config(MemoryDevice::new(*die), site_config)
             })
             .collect();
         let mut touchdown_ate = MultiSiteAte::from_sessions(sessions);
@@ -361,20 +785,54 @@ impl WaferRunner {
             }
         }
 
+        let deadline_us = self.config.chunk_timeout_ms.map(|ms| ms as f64 * 1000.0);
         let mut entries = Vec::with_capacity(td_dies.len() * tests.len());
         let mut spans = Vec::with_capacity(td_dies.len());
         for site in 0..touchdown_ate.site_count() {
             let die_index = first_die + site;
             let die_id = touchdown_ate.site(site).device().die().id();
             let span = tracer.span(die_index as u64);
+            if open.get(site).copied().unwrap_or(false) {
+                // The site's breaker latched open in an earlier chunk:
+                // skip the searches, quarantine every test with full
+                // ledger/trace accounting.
+                let session = touchdown_ate.site_mut(site);
+                for test_index in 0..tests.len() {
+                    session.quarantine();
+                    span.emit_with(|| TraceEvent::Quarantined {
+                        reason: QuarantineReason::SiteBreaker.to_string(),
+                    });
+                    entries.push(WaferEntry {
+                        die: die_id,
+                        test: test_index as u32,
+                        trip_point: None,
+                        status: TripStatus::Quarantined {
+                            reason: QuarantineReason::SiteBreaker,
+                        },
+                    });
+                }
+                span.mark_done();
+                spans.push(span);
+                continue;
+            }
             // The fold path: entries stream straight into the touchdown
             // buffer — no per-die report, no per-entry name strings.
+            let mut watchdog_skipped = 0u64;
             self.runner.run_fold(
                 touchdown_ate.site_mut(site),
                 tests,
                 strategy,
                 &span,
+                deadline_us,
                 |test_index, e| {
+                    if matches!(
+                        e.status,
+                        TripStatus::Quarantined {
+                            reason: QuarantineReason::TimedOut
+                        }
+                    ) {
+                        watchdog_skipped += 1;
+                    }
                     entries.push(WaferEntry {
                         die: die_id,
                         test: test_index as u32,
@@ -383,6 +841,14 @@ impl WaferRunner {
                     });
                 },
             );
+            if watchdog_skipped > 0 {
+                span.emit_with(|| TraceEvent::WatchdogFired {
+                    site: site as u64,
+                    touchdown: touchdown as u64,
+                    budget_ms: self.config.chunk_timeout_ms.unwrap_or(0),
+                    skipped_tests: watchdog_skipped,
+                });
+            }
             span.mark_done();
             spans.push(span);
         }
@@ -429,6 +895,7 @@ mod tests {
     use cichar_search::RetryPolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::path::Path;
 
     fn harsh_config() -> AteConfig {
         AteConfig {
@@ -456,8 +923,15 @@ mod tests {
                 chunk_touchdowns: chunk,
                 sketch_buckets: 128,
                 contact_check: true,
-                spill_dir: None,
+                ..WaferConfig::default()
             })
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cichar_wafer_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
     }
 
     #[test]
@@ -501,13 +975,9 @@ mod tests {
         // streams — entries, aggregate, ledger and contact accounting all
         // agree.
         let (dies, tests) = wafer(8, 4);
-        let spill_a = std::env::temp_dir().join("cichar_wafer_sites1");
-        let spill_b = std::env::temp_dir().join("cichar_wafer_sites4");
-        for dir in [&spill_a, &spill_b] {
-            let _ = std::fs::remove_dir_all(dir);
-            std::fs::create_dir_all(dir).expect("tmp dir");
-        }
-        let run = |sites: usize, dir: &std::path::Path| {
+        let spill_a = tmp_dir("sites1");
+        let spill_b = tmp_dir("sites4");
+        let run = |sites: usize, dir: &Path| {
             let mut r = runner(sites, 2);
             r.config.spill_dir = Some(dir.to_path_buf());
             r.run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
@@ -600,9 +1070,7 @@ mod tests {
     #[test]
     fn spill_compacts_chunks_and_writes_summary() {
         let (dies, tests) = wafer(6, 3);
-        let dir = std::env::temp_dir().join("cichar_wafer_spill");
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir = tmp_dir("spill");
         let mut r = runner(2, 1);
         r.config.spill_dir = Some(dir.clone());
         let (report, _) = r
@@ -619,6 +1087,204 @@ mod tests {
         let summary: WaferReport =
             db::load_artifact(dir.join("wafer_summary.json")).expect("summary");
         assert_eq!(summary, report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaling_never_changes_results() {
+        let (dies, tests) = wafer(8, 3);
+        let plain = runner(2, 2)
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("no spill");
+
+        let dir = tmp_dir("journal_noop");
+        let mut r = runner(2, 2);
+        r.config.journal_dir = Some(dir.clone());
+        let journaled = r
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("journal dir writable");
+        assert_eq!(plain, journaled);
+
+        // Every chunk committed, and the summary landed in the journal
+        // directory for post-crash byte comparison.
+        let meta: JournalMeta = db::load_artifact(dir.join("journal_meta.json")).expect("meta");
+        let journal = CampaignJournal::open(&dir, &meta).expect("own meta");
+        assert_eq!(journal.committed_chunks().expect("scan"), 2, "4 touchdowns / 2 per chunk");
+        let summary: WaferReport = db::load_artifact(dir.join("wafer_summary.json")).expect("summary");
+        assert_eq!(summary, journaled.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_interrupt_is_bit_identical() {
+        let (dies, tests) = wafer(10, 3);
+        let uninterrupted = runner(2, 1)
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("no spill");
+
+        for kill_after in [0usize, 2, 4] {
+            let dir = tmp_dir(&format!("resume_{kill_after}"));
+            let mut r = runner(2, 1);
+            r.config.journal_dir = Some(dir.clone());
+            let committed = r
+                .run_prefix(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial(), kill_after)
+                .expect("journal dir writable");
+            assert_eq!(committed, kill_after as u64);
+            assert!(!dir.join("wafer_summary.json").exists(), "no finalize on interrupt");
+
+            let (report, ledger, stats) = r
+                .resume(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+                .expect("journal readable");
+            assert_eq!((report, ledger), uninterrupted, "kill_after={kill_after}");
+            assert_eq!(stats.chunks_replayed, kill_after as u64);
+            assert_eq!(stats.chunks_total, 5, "10 dies / 2 sites / 1 td per chunk");
+            assert_eq!(
+                stats.entries_replayed,
+                (kill_after * 2 * 3) as u64,
+                "2 dies × 3 tests per replayed chunk"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn resume_rebuilds_spill_artifacts() {
+        let (dies, tests) = wafer(8, 3);
+        let ref_dir = tmp_dir("respill_ref");
+        let mut reference = runner(2, 2);
+        reference.config.spill_dir = Some(ref_dir.clone());
+        let (ref_report, _) = reference
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("spill dir writable");
+
+        let dir = tmp_dir("respill");
+        let mut r = runner(2, 2);
+        r.config.spill_dir = Some(dir.clone());
+        r.config.journal_dir = Some(dir.clone());
+        r.run_prefix(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial(), 1)
+            .expect("journal dir writable");
+        let (report, _, _) = r
+            .resume(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect("resume");
+
+        // Same aggregate and the same compacted entry stream, replayed
+        // chunk included.
+        assert_eq!(report.aggregate, ref_report.aggregate);
+        let entries: Vec<WaferEntry> =
+            db::load_jsonl(dir.join("wafer_entries.jsonl")).expect("compacted");
+        let ref_entries: Vec<WaferEntry> =
+            db::load_jsonl(ref_dir.join("wafer_entries.jsonl")).expect("compacted");
+        assert_eq!(entries, ref_entries);
+        for d in [&ref_dir, &dir] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_different_campaign() {
+        let (dies, tests) = wafer(6, 2);
+        let dir = tmp_dir("foreign");
+        let mut r = runner(2, 1);
+        r.config.journal_dir = Some(dir.clone());
+        r.run_prefix(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial(), 1)
+            .expect("journal dir writable");
+
+        // A different seed is a different campaign: the fingerprint must
+        // refuse the journal rather than splice foreign chunks.
+        let other = AteConfig { seed: 0xBAD, ..harsh_config() };
+        let err = r
+            .resume(&other, &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect_err("fingerprint mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // And resuming without a journal configured is an input error.
+        let bare = runner(2, 1);
+        let err = bare
+            .resume(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial())
+            .expect_err("no journal dir");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_times_out_over_budget_sessions() {
+        let (dies, tests) = wafer(6, 4);
+        // A zero budget expires the moment the contact strobe lands: every
+        // search is abandoned deterministically.
+        let mut r = runner(2, 2);
+        r.config.chunk_timeout_ms = Some(0);
+        let (report, ledger) = r
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(2))
+            .expect("no spill");
+        assert_eq!(report.timeouts, 6 * 4, "every test timed out");
+        assert_eq!(report.aggregate.quarantined, 6 * 4);
+        assert_eq!(report.aggregate.entries, 6 * 4);
+        assert_eq!(ledger.timeouts(), report.timeouts);
+        assert_eq!(ledger.quarantined(), report.aggregate.quarantined);
+        assert_eq!(
+            report.per_site_quarantined.iter().sum::<u64>(),
+            report.aggregate.quarantined
+        );
+
+        // A generous budget never fires: identical to the unguarded run.
+        let mut generous = runner(2, 2);
+        generous.config.chunk_timeout_ms = Some(u64::MAX / 2_000);
+        let guarded = generous
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(2))
+            .expect("no spill");
+        let unguarded = runner(2, 2)
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(2))
+            .expect("no spill");
+        assert_eq!(guarded.0.timeouts, 0);
+        assert_eq!(guarded, unguarded);
+    }
+
+    #[test]
+    fn breaker_quarantines_a_stuck_site_with_full_accounting() {
+        let (dies, tests) = wafer(16, 4);
+        // Site 1's channel is broken: stalls on most strobes plus heavy
+        // dropouts. The watchdog converts the stalls into timeouts, the
+        // breaker converts the rolling fault rate into a latched-open
+        // site, and later touchdowns skip it entirely.
+        let mut r = runner(2, 2);
+        r.config.chunk_timeout_ms = Some(50);
+        r.config.site_fault_threshold = Some(0.25);
+        r.config.site_faults = vec![(
+            1,
+            TesterFaultModel::transient(0.10, 0.10).with_stalls(0.8, 40_000.0),
+        )];
+        let (report, ledger) = r
+            .run(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+            .expect("no spill");
+
+        assert_eq!(report.quarantined_sites, vec![1], "site 1 latched open");
+        assert!(report.timeouts > 0, "stalls blew the watchdog budget");
+        assert!(
+            report.per_site_quarantined[1] > report.per_site_quarantined[0],
+            "quarantines concentrate on the broken site"
+        );
+        // Accounting reconciles across all three ledgers of record.
+        assert_eq!(report.aggregate.entries, 16 * 4);
+        assert_eq!(
+            report.per_site_quarantined.iter().sum::<u64>(),
+            report.aggregate.quarantined
+        );
+        assert_eq!(ledger.quarantined(), report.aggregate.quarantined);
+        assert_eq!(ledger.timeouts(), report.timeouts);
+        assert_eq!(ledger.measurements(), report.total_measurements);
+
+        // The same campaign journaled, interrupted and resumed replays
+        // the breaker trip bit-identically.
+        let dir = tmp_dir("breaker_resume");
+        r.config.journal_dir = Some(dir.clone());
+        r.run_prefix(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::serial(), 2)
+            .expect("journal dir writable");
+        let (resumed, resumed_ledger, stats) = r
+            .resume(&harsh_config(), &dies, &tests, SearchStrategy::SearchUntilTrip, ExecPolicy::with_threads(4))
+            .expect("resume");
+        assert_eq!(resumed, report);
+        assert_eq!(resumed_ledger, ledger);
+        assert_eq!(stats.chunks_replayed, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

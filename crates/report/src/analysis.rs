@@ -121,6 +121,12 @@ pub struct RecoveryFunnel {
     pub faults_stuck: u64,
     /// Session-abort bursts injected.
     pub faults_abort: u64,
+    /// Hung-strobe stalls injected.
+    pub faults_stall: u64,
+    /// Stall-watchdog firings (per-site touchdown budgets that expired).
+    pub watchdog_timeouts: u64,
+    /// Site health circuit breakers latched open.
+    pub breaker_trips: u64,
     /// Retries scheduled.
     pub retries: u64,
     /// Majority votes resolved.
@@ -132,7 +138,11 @@ pub struct RecoveryFunnel {
 impl RecoveryFunnel {
     /// Total injected faults.
     pub fn faults(&self) -> u64 {
-        self.faults_dropout + self.faults_flip + self.faults_stuck + self.faults_abort
+        self.faults_dropout
+            + self.faults_flip
+            + self.faults_stuck
+            + self.faults_abort
+            + self.faults_stall
     }
 
     /// Total quarantined measurement points.
@@ -299,7 +309,10 @@ impl TraceAnalysis {
                     FaultKind::Flip => analysis.funnel.faults_flip += 1,
                     FaultKind::Stuck => analysis.funnel.faults_stuck += 1,
                     FaultKind::Abort => analysis.funnel.faults_abort += 1,
+                    FaultKind::Stall => analysis.funnel.faults_stall += 1,
                 },
+                TraceEvent::WatchdogFired { .. } => analysis.funnel.watchdog_timeouts += 1,
+                TraceEvent::SiteBreakerTripped { .. } => analysis.funnel.breaker_trips += 1,
                 TraceEvent::Quarantined { reason } => {
                     *analysis.funnel.quarantined.entry(reason.clone()).or_insert(0) += 1;
                 }
@@ -462,9 +475,21 @@ impl TraceAnalysis {
             let _ = writeln!(out, "\nrecovery funnel:");
             let _ = writeln!(
                 out,
-                "  faults injected: {} ({} dropout, {} flip, {} stuck, {} abort)",
-                f.faults(), f.faults_dropout, f.faults_flip, f.faults_stuck, f.faults_abort
+                "  faults injected: {} ({} dropout, {} flip, {} stuck, {} abort, {} stall)",
+                f.faults(),
+                f.faults_dropout,
+                f.faults_flip,
+                f.faults_stuck,
+                f.faults_abort,
+                f.faults_stall
             );
+            if f.watchdog_timeouts + f.breaker_trips > 0 {
+                let _ = writeln!(
+                    out,
+                    "  -> watchdog timeouts: {} | breaker trips: {}",
+                    f.watchdog_timeouts, f.breaker_trips
+                );
+            }
             let _ = writeln!(out, "  -> retries scheduled: {}", f.retries);
             let _ = writeln!(out, "  -> votes resolved:    {}", f.votes);
             let quarantined: Vec<String> = f

@@ -39,6 +39,14 @@ pub struct GateConfig {
     /// Maximum allowed growth of the peak resident set size, percent.
     /// `None` disables the memory gate.
     pub max_peak_rss_growth_pct: Option<f64>,
+    /// Maximum live probe bill of a **resumed** run, as a percentage of
+    /// the baseline's resolved probes. `None` disables the gate; when
+    /// armed it judges only manifests whose durability section says the
+    /// run was resumed (anything else is skipped with a note). A resumed
+    /// campaign replays its journal instead of re-measuring, so its live
+    /// probes should be a small fraction of the uninterrupted bill —
+    /// growth here means recovery is re-doing committed work.
+    pub max_recovery_overhead_pct: Option<f64>,
 }
 
 impl Default for GateConfig {
@@ -51,6 +59,7 @@ impl Default for GateConfig {
             max_extrema_drift_pct: 0.25,
             max_throughput_drop_pct: None,
             max_peak_rss_growth_pct: None,
+            max_recovery_overhead_pct: None,
         }
     }
 }
@@ -387,6 +396,66 @@ impl ManifestDiff {
             }
         }
 
+        // Recovery overhead: how much of the baseline's probe bill a
+        // *resumed* run re-measured live. Journal replay re-folds
+        // committed chunks without issuing probes, so a healthy resume
+        // stays far below the uninterrupted bill. Armed but not resumed
+        // (or resumed against an empty baseline) is a skip, not a breach.
+        match (
+            gate.max_recovery_overhead_pct,
+            current.recovery.as_ref().filter(|r| r.resumed),
+        ) {
+            (Some(limit), Some(recovery)) => {
+                let (base, cur) = (
+                    baseline.metrics.probes_resolved,
+                    current.metrics.probes_resolved,
+                );
+                let overhead = if base == 0 {
+                    if cur == 0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    100.0 * cur as f64 / base as f64
+                };
+                push(DiffRow {
+                    metric: "recovery_overhead".into(),
+                    baseline: format!("{base} probes"),
+                    current: format!(
+                        "{cur} live ({}/{} chunks replayed)",
+                        recovery.chunks_replayed, recovery.chunks_total
+                    ),
+                    delta: if overhead.is_infinite() {
+                        "+inf%".into()
+                    } else {
+                        format!("{overhead:.1}% of baseline")
+                    },
+                    breach: (overhead > limit).then(|| {
+                        format!(
+                            "recovery overhead: resumed run re-measured {overhead:.1}% \
+                             of the baseline probe bill (limit {limit:.1}%): {cur} live \
+                             probes vs {base} baseline"
+                        )
+                    }),
+                });
+            }
+            (Some(_), None) => {
+                push(DiffRow {
+                    metric: "recovery_overhead".into(),
+                    baseline: "-".into(),
+                    current: "not a resumed run".into(),
+                    delta: "not comparable — skipped".into(),
+                    breach: None,
+                });
+                notes.push(String::from(
+                    "recovery overhead gate skipped: current manifest carries no \
+                     resumed durability section",
+                ));
+            }
+            (None, _) => {}
+        }
+
         // Trip-point extrema, when both manifests record them.
         for key in ["trip_min", "trip_max"] {
             let (base, cur) = (config_f64(baseline, key), config_f64(current, key));
@@ -674,6 +743,49 @@ mod tests {
         let diff = ManifestDiff::compare(&naked, &cur, &armed);
         assert!(diff.passes(), "{:?}", diff.breaches);
         assert!(diff.notes.iter().any(|n| n.contains("peak_rss")), "{:?}", diff.notes);
+    }
+
+    #[test]
+    fn recovery_overhead_gate_judges_resumed_runs_only() {
+        let armed = GateConfig {
+            max_recovery_overhead_pct: Some(5.0),
+            ..GateConfig::default()
+        };
+        let base = manifest(1000, 0, 40);
+
+        // A healthy resume: the journal replayed nearly everything, the
+        // live bill is 2% of baseline.
+        let mut resumed = manifest(20, 0, 40);
+        resumed.recovery = Some(cichar_trace::RecoverySection {
+            resumed: true,
+            chunks_replayed: 9,
+            chunks_total: 10,
+            ..cichar_trace::RecoverySection::default()
+        });
+        let diff = ManifestDiff::compare(&base, &resumed, &armed);
+        assert!(diff.passes(), "{:?}", diff.breaches);
+        assert!(diff.render(false).contains("9/10 chunks replayed"));
+
+        // A resume that re-measured half the campaign breaches.
+        let mut wasteful = manifest(500, 0, 40);
+        wasteful.recovery = resumed.recovery.clone();
+        let diff = ManifestDiff::compare(&base, &wasteful, &armed);
+        assert!(
+            diff.breaches.iter().any(|b| b.contains("recovery")),
+            "{:?}",
+            diff.breaches
+        );
+
+        // Armed against a non-resumed current: skipped with a note, and
+        // the probe gate still judges the run on its own merits.
+        let fresh = manifest(1000, 0, 40);
+        let diff = ManifestDiff::compare(&base, &fresh, &armed);
+        assert!(diff.passes(), "{:?}", diff.breaches);
+        assert!(
+            diff.notes.iter().any(|n| n.contains("recovery overhead gate skipped")),
+            "{:?}",
+            diff.notes
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!                         [--max-extrema-drift-pct X]
 //!                         [--max-throughput-drop-pct X]
 //!                         [--max-peak-rss-growth-pct X]
+//!                         [--max-recovery-overhead-pct X]
 //! ```
 //!
 //! Exit codes follow the repro-binary convention: `0` success, `1` gate
@@ -29,7 +30,7 @@ const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff> ...
        [--max-probe-growth-pct X] [--max-probes-per-trip-growth-pct X]
        [--max-quarantine-delta-pts X] [--max-wall-growth-pct X]
        [--max-extrema-drift-pct X] [--max-throughput-drop-pct X]
-       [--max-peak-rss-growth-pct X]";
+       [--max-peak-rss-growth-pct X] [--max-recovery-overhead-pct X]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -153,6 +154,8 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
             gate.max_throughput_drop_pct = Some(parse_pct("--max-throughput-drop-pct", &v)?);
         } else if let Some(v) = flag_value("--max-peak-rss-growth-pct", arg, &mut iter)? {
             gate.max_peak_rss_growth_pct = Some(parse_pct("--max-peak-rss-growth-pct", &v)?);
+        } else if let Some(v) = flag_value("--max-recovery-overhead-pct", arg, &mut iter)? {
+            gate.max_recovery_overhead_pct = Some(parse_pct("--max-recovery-overhead-pct", &v)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag {arg:?}"));
         } else {

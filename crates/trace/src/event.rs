@@ -38,6 +38,9 @@ pub enum FaultKind {
     Stuck,
     /// A session abort burst starting.
     Abort,
+    /// A hung strobe: the verdict arrived, but only after a long simulated
+    /// stall on the tester channel.
+    Stall,
 }
 
 /// One structured trace event.
@@ -147,8 +150,32 @@ pub enum TraceEvent {
     /// A measurement point was quarantined: the recovery ladder could not
     /// produce a trustworthy trip point.
     Quarantined {
-        /// Why: `dropout`, `unconverged`, or `inconsistent_trace`.
+        /// Why: `dropout`, `unconverged`, `inconsistent_trace`, `timed_out`
+        /// or `site_breaker`.
         reason: String,
+    },
+    /// A site's stall watchdog expired mid test program: the remaining
+    /// tests of the touchdown were quarantined instead of waiting on a
+    /// hung strobe.
+    WatchdogFired {
+        /// The site position within the touchdown.
+        site: u64,
+        /// The touchdown whose budget expired.
+        touchdown: u64,
+        /// The per-site simulated tester-time budget, in milliseconds.
+        budget_ms: u64,
+        /// Tests quarantined without running.
+        skipped_tests: u64,
+    },
+    /// A site's health circuit breaker latched open at a chunk boundary:
+    /// later touchdowns exclude the site from characterization.
+    SiteBreakerTripped {
+        /// The site position within the touchdown.
+        site: u64,
+        /// The chunk index after which the breaker latched.
+        chunk: u64,
+        /// The rolling fault rate that crossed the threshold.
+        fault_rate: f64,
     },
     /// A GA generation finished evaluating.
     GaGenerationEvaluated {

@@ -56,7 +56,7 @@ mod timing;
 mod tracer;
 
 pub use event::{normalize_jsonl, FaultKind, TraceEvent, TraceRecord, TraceVerdict};
-pub use manifest::{describe_version, ensure_writable, peak_rss_bytes, RunManifest};
+pub use manifest::{describe_version, ensure_writable, peak_rss_bytes, RecoverySection, RunManifest};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
 pub use timing::{PhaseTiming, SpanClock, TimingRegistry, TimingSnapshot, UNPHASED};

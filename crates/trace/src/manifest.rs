@@ -48,6 +48,35 @@ pub struct RunManifest {
     /// on platforms without the counter.
     #[serde(default)]
     pub peak_rss_bytes: Option<u64>,
+    /// Durability accounting for journaled campaigns: how much of the run
+    /// was replayed from a checkpoint journal and what the self-healing
+    /// machinery did. `None` for unjournaled runs and parses from
+    /// manifests written before the section existed.
+    #[serde(default)]
+    pub recovery: Option<RecoverySection>,
+}
+
+/// The durability section of a [`RunManifest`]: journal-replay and
+/// self-healing accounting for a crash-safe wafer campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoverySection {
+    /// Whether the run resumed from an existing journal (as opposed to
+    /// writing one from scratch).
+    pub resumed: bool,
+    /// Touchdown chunks replayed from the journal instead of re-measured.
+    pub chunks_replayed: u64,
+    /// Total touchdown chunks in the campaign.
+    pub chunks_total: u64,
+    /// Touchdowns replayed from the journal.
+    pub touchdowns_replayed: u64,
+    /// Wafer entries replayed from the journal.
+    pub entries_replayed: u64,
+    /// Tests quarantined by the stall watchdog.
+    pub watchdog_timeouts: u64,
+    /// Site health breakers latched open during the run.
+    pub breaker_trips: u64,
+    /// Site positions excluded from later touchdowns by their breaker.
+    pub quarantined_sites: Vec<u64>,
 }
 
 impl RunManifest {
@@ -64,6 +93,7 @@ impl RunManifest {
             timings: None,
             hardware_threads: None,
             peak_rss_bytes: None,
+            recovery: None,
         }
     }
 
@@ -211,6 +241,24 @@ impl RunManifest {
             m.faults_stuck,
             m.faults_abort
         );
+        if let Some(rec) = &self.recovery {
+            let _ = writeln!(
+                out,
+                "  durability: {} {}/{} chunks replayed ({} touchdowns, {} entries) | {} watchdog timeouts, {} breaker trips{}",
+                if rec.resumed { "resumed," } else { "journaled," },
+                rec.chunks_replayed,
+                rec.chunks_total,
+                rec.touchdowns_replayed,
+                rec.entries_replayed,
+                rec.watchdog_timeouts,
+                rec.breaker_trips,
+                if rec.quarantined_sites.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | quarantined sites: {:?}", rec.quarantined_sites)
+                }
+            );
+        }
         if let Some(timings) = &self.timings {
             let _ = writeln!(
                 out,
@@ -356,15 +404,41 @@ mod tests {
             .expect("serializes")
             .replace(",\"timings\":null", "")
             .replace(",\"hardware_threads\":null", "")
-            .replace(",\"peak_rss_bytes\":null", "");
+            .replace(",\"peak_rss_bytes\":null", "")
+            .replace(",\"recovery\":null", "");
         assert!(!json.contains("timings"), "{json}");
         assert!(!json.contains("hardware_threads"), "{json}");
+        assert!(!json.contains("recovery"), "{json}");
         let back: RunManifest = serde_json::from_str(&json).expect("old manifests parse");
         assert_eq!(back.timings, None);
         assert_eq!(back.hardware_threads, None);
         assert_eq!(back.peak_rss_bytes, None);
+        assert_eq!(back.recovery, None);
         assert!(!back.render().contains("span timings"));
         assert!(!back.render().contains("host:"));
+        assert!(!back.render().contains("durability:"));
+    }
+
+    #[test]
+    fn recovery_section_round_trips_and_renders() {
+        let mut manifest = RunManifest::new("wafer", 3, 2);
+        manifest.recovery = Some(RecoverySection {
+            resumed: true,
+            chunks_replayed: 2,
+            chunks_total: 3,
+            touchdowns_replayed: 64,
+            entries_replayed: 256,
+            watchdog_timeouts: 4,
+            breaker_trips: 1,
+            quarantined_sites: vec![2],
+        });
+        let json = serde_json::to_string(&manifest).expect("serializes");
+        let back: RunManifest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, manifest);
+        let table = manifest.render();
+        assert!(table.contains("resumed, 2/3 chunks replayed"), "{table}");
+        assert!(table.contains("4 watchdog timeouts, 1 breaker trips"), "{table}");
+        assert!(table.contains("quarantined sites: [2]"), "{table}");
     }
 
     #[test]

@@ -98,16 +98,21 @@ impl HistogramSnapshot {
 }
 
 macro_rules! registry {
-    ($(#[$m:meta] $name:ident),+ $(,)?) => {
+    (
+        $(#[$m:meta] $name:ident),+ $(,)?
+        @defaulted $(#[$dm:meta] $dname:ident),+ $(,)?
+    ) => {
         /// The live counter set (see [`MetricsSnapshot`] for meanings).
         #[derive(Debug, Default)]
         pub(crate) struct Counters {
             $(#[$m] pub(crate) $name: AtomicU64,)+
+            $(#[$dm] pub(crate) $dname: AtomicU64,)+
         }
 
         impl Counters {
             fn snapshot_into(&self, snap: &mut MetricsSnapshot) {
                 $(snap.$name = self.$name.load(ORDER);)+
+                $(snap.$dname = self.$dname.load(ORDER);)+
             }
         }
 
@@ -119,6 +124,9 @@ macro_rules! registry {
         #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
         pub struct MetricsSnapshot {
             $(#[$m] pub $name: u64,)+
+            // Counters registered after manifests were first committed
+            // deserialize as zero when a baseline predates them.
+            $(#[$dm] #[serde(default)] pub $dname: u64,)+
             /// Probe requests consumed per finished trip-point search.
             pub hist_probes_per_search: HistogramSnapshot,
             /// STP window-walk steps taken per finished search.
@@ -135,6 +143,7 @@ macro_rules! registry {
             /// independent of merge order.
             pub fn merge(&mut self, other: &MetricsSnapshot) {
                 $(self.$name += other.$name;)+
+                $(self.$dname += other.$dname;)+
                 self.hist_probes_per_search.merge(&other.hist_probes_per_search);
                 self.hist_search_steps.merge(&other.hist_search_steps);
                 self.hist_retry_depth.merge(&other.hist_retry_depth);
@@ -183,6 +192,13 @@ registry! {
     committee_epochs,
     /// Campaign phase transitions.
     phases,
+    @defaulted
+    /// Hung-strobe stalls injected by the fault model.
+    faults_stall,
+    /// Stall-watchdog firings: per-site touchdown budgets that expired.
+    watchdog_timeouts,
+    /// Site health circuit breakers latched open.
+    breaker_trips,
 }
 
 impl MetricsSnapshot {
@@ -348,6 +364,21 @@ mod tests {
         bump(&r.counters.probes_resolved, 1);
         let violation = r.snapshot().check_invariants().expect("imbalanced");
         assert!(violation.contains("probes_resolved"), "{violation}");
+    }
+
+    #[test]
+    fn snapshots_without_the_recovery_counters_still_parse() {
+        // Baseline manifests committed before the durability PR carry no
+        // faults_stall / watchdog_timeouts / breaker_trips fields; they
+        // must deserialize as zero, not fail.
+        let json = serde_json::to_string(&MetricsSnapshot::default()).expect("serializes");
+        let legacy = json
+            .replace(",\"faults_stall\":0", "")
+            .replace(",\"watchdog_timeouts\":0", "")
+            .replace(",\"breaker_trips\":0", "");
+        assert!(!legacy.contains("watchdog_timeouts"), "{legacy}");
+        let back: MetricsSnapshot = serde_json::from_str(&legacy).expect("parses");
+        assert_eq!(back, MetricsSnapshot::default());
     }
 
     #[test]

@@ -451,8 +451,11 @@ impl TracerCore {
                 FaultKind::Flip => bump(&c.faults_flip, 1),
                 FaultKind::Stuck => bump(&c.faults_stuck, 1),
                 FaultKind::Abort => bump(&c.faults_abort, 1),
+                FaultKind::Stall => bump(&c.faults_stall, 1),
             },
             TraceEvent::Quarantined { .. } => bump(&c.quarantined, 1),
+            TraceEvent::WatchdogFired { .. } => bump(&c.watchdog_timeouts, 1),
+            TraceEvent::SiteBreakerTripped { .. } => bump(&c.breaker_trips, 1),
             TraceEvent::GaGenerationEvaluated { .. } => bump(&c.ga_generations, 1),
             TraceEvent::CommitteeEpochFinished { .. } => bump(&c.committee_epochs, 1),
         }

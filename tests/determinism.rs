@@ -363,5 +363,65 @@ mod parallel_bit_identity {
                 prop_assert_eq!(&parallel, &sequential);
             }
         }
+
+        #[test]
+        fn journaled_wafer_resume_is_bit_identical(
+            campaign_seed in 0u64..=u64::from(u32::MAX),
+            die_count in 6usize..40,
+            sites in 1usize..5,
+            chunk in 1usize..5,
+            kill_salt in 0usize..8,
+        ) {
+            // Interrupt a journaled campaign after a random number of
+            // committed chunks, resume at 8 threads, and demand the
+            // exact report and ledger an uninterrupted serial run
+            // produces — the tentpole durability invariant, fuzzed
+            // over campaign shape and kill point.
+            use cichar::ate::TesterFaultModel;
+            use cichar::core::wafer::{WaferConfig, WaferRunner};
+            use cichar::dut::Lot;
+
+            let dies = Lot::default()
+                .sample_dies(&mut StdRng::seed_from_u64(campaign_seed ^ 0x5EED), die_count);
+            let tests = random_tests(campaign_seed % 1000, 3);
+            let ate_config = AteConfig {
+                faults: TesterFaultModel::transient(0.02, 0.01),
+                seed: campaign_seed,
+                ..AteConfig::default()
+            };
+            let strategy = SearchStrategy::SearchUntilTrip;
+            let shape = |journal_dir| WaferConfig {
+                sites,
+                chunk_touchdowns: chunk,
+                journal_dir,
+                ..WaferConfig::default()
+            };
+            let plain = WaferRunner::new(MeasuredParam::DataValidTime)
+                .with_config(shape(None))
+                .run(&ate_config, &dies, &tests, strategy, ExecPolicy::serial())
+                .expect("unjournaled campaigns do no I/O");
+
+            let dir = std::env::temp_dir().join(format!(
+                "cichar_prop_resume_{campaign_seed}_{die_count}_{sites}_{chunk}_{kill_salt}"
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let journaled = WaferRunner::new(MeasuredParam::DataValidTime)
+                .with_config(shape(Some(dir.clone())));
+            let chunk_count = die_count.div_ceil(sites).div_ceil(chunk);
+            let kill_after = kill_salt % chunk_count;
+            let committed = journaled
+                .run_prefix(&ate_config, &dies, &tests, strategy, ExecPolicy::serial(), kill_after)
+                .expect("prefix run journals cleanly");
+            prop_assert_eq!(committed, kill_after as u64);
+
+            let (report, ledger, stats) = journaled
+                .resume(&ate_config, &dies, &tests, strategy, ExecPolicy::with_threads(8))
+                .expect("resume replays the journal");
+            prop_assert_eq!(&report, &plain.0);
+            prop_assert_eq!(&ledger, &plain.1);
+            prop_assert_eq!(stats.chunks_replayed, kill_after as u64);
+            prop_assert_eq!(stats.chunks_total, chunk_count as u64);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }
