@@ -13,13 +13,13 @@
 //! The throughput win is structural: all sites of a touchdown apply the
 //! *same* stimulus, and the stress breakdown of a stimulus depends only on
 //! its pattern features (never on the die), so one
-//! [`MemoryDevice::stress_total`] hoist serves the entire batch. Each
-//! site's measurement then runs the exact per-condition arithmetic of the
-//! scalar path ([`MemoryDevice::evaluate_with_stress`]).
+//! [`Device::stress_total`] hoist serves the entire batch. Each site's
+//! measurement then runs the exact per-condition arithmetic of the
+//! scalar path ([`Device::evaluate_with_stress`]).
 
 use crate::ledger::MeasurementLedger;
 use crate::tester::{Ate, AteConfig};
-use cichar_dut::MemoryDevice;
+use cichar_dut::Device;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::Probe;
 use cichar_units::ParamKind;
@@ -50,8 +50,8 @@ use cichar_units::ParamKind;
 #[derive(Debug, Clone)]
 pub struct MultiSiteAte {
     sites: Vec<Ate>,
-    /// Whether every site shares one response surface — the regime where a
-    /// single stress hoist is provably identical to per-site hoists.
+    /// Whether every site shares one backend structure — the regime where
+    /// a single stress hoist is provably identical to per-site hoists.
     uniform_surface: bool,
 }
 
@@ -66,7 +66,7 @@ impl MultiSiteAte {
     ///
     /// Panics when `devices` is empty — a touchdown needs at least one
     /// site.
-    pub fn new(devices: Vec<MemoryDevice>, config: AteConfig) -> Self {
+    pub fn new<D: Into<Device>>(devices: Vec<D>, config: AteConfig) -> Self {
         let campaign = config.seed;
         let sites = devices
             .into_iter()
@@ -96,7 +96,7 @@ impl MultiSiteAte {
         assert!(!sites.is_empty(), "a touchdown needs at least one site");
         let uniform_surface = sites
             .windows(2)
-            .all(|w| w[0].device().surface() == w[1].device().surface());
+            .all(|w| w[0].device().structural_key() == w[1].device().structural_key());
         Self {
             sites,
             uniform_surface,

@@ -2,7 +2,7 @@
 //! worker sessions.
 
 use crate::tester::{Ate, AteConfig};
-use cichar_dut::MemoryDevice;
+use cichar_dut::Device;
 use cichar_exec::derive_seed;
 
 /// Blueprint for spawning per-work-item [`Ate`] sessions whose results are
@@ -22,7 +22,7 @@ use cichar_exec::derive_seed;
 ///
 /// ```
 /// use cichar_ate::{AteConfig, ParallelAte};
-/// use cichar_dut::MemoryDevice;
+/// use cichar_dut::Device;
 ///
 /// let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
 /// let a = blueprint.session(7);
@@ -34,7 +34,7 @@ use cichar_exec::derive_seed;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ParallelAte {
-    device: MemoryDevice,
+    device: Device,
     config: AteConfig,
     memoize: bool,
 }
@@ -42,9 +42,9 @@ pub struct ParallelAte {
 impl ParallelAte {
     /// Captures a device and campaign configuration as the blueprint every
     /// worker session is cloned from. `config.seed` is the campaign seed.
-    pub fn new(device: MemoryDevice, config: AteConfig) -> Self {
+    pub fn new(device: impl Into<Device>, config: AteConfig) -> Self {
         Self {
-            device,
+            device: device.into(),
             config,
             memoize: false,
         }

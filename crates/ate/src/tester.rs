@@ -6,7 +6,7 @@ use crate::ledger::MeasurementLedger;
 use crate::noise::NoiseModel;
 use crate::oracle::TripOracle;
 use crate::params::MeasuredParam;
-use cichar_dut::{MemoryDevice, Parametrics};
+use cichar_dut::{Device, Parametrics};
 use cichar_patterns::{PatternFeatures, Test, TestConditions};
 use cichar_search::{Probe, RecoveryStats, RetryPolicy, RobustOracle};
 use cichar_trace::{FaultKind, SpanTrace, TraceEvent};
@@ -131,7 +131,7 @@ impl Default for AteConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ate {
-    device: MemoryDevice,
+    device: Device,
     config: AteConfig,
     ledger: MeasurementLedger,
     rng: StdRng,
@@ -153,16 +153,16 @@ pub struct Ate {
 
 impl Ate {
     /// Loads a device with the default configuration.
-    pub fn new(device: MemoryDevice) -> Self {
+    pub fn new(device: impl Into<Device>) -> Self {
         Self::with_config(device, AteConfig::default())
     }
 
     /// Loads a device with an explicit configuration.
-    pub fn with_config(device: MemoryDevice, config: AteConfig) -> Self {
+    pub fn with_config(device: impl Into<Device>, config: AteConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         let fault_rng = StdRng::seed_from_u64(cichar_exec::derive_seed(config.seed, FAULT_STREAM));
         Self {
-            device,
+            device: device.into(),
             config,
             ledger: MeasurementLedger::new(),
             rng,
@@ -238,7 +238,7 @@ impl Ate {
 
     /// A noiseless, drift-free tester — physics assertions in tests and
     /// reproducible examples use this.
-    pub fn noiseless(device: MemoryDevice) -> Self {
+    pub fn noiseless(device: impl Into<Device>) -> Self {
         Self::with_config(
             device,
             AteConfig {
@@ -257,7 +257,7 @@ impl Ate {
 
     /// The loaded device (read-only; the characterization stack must not
     /// peek at true values, but reports may describe the die).
-    pub fn device(&self) -> &MemoryDevice {
+    pub fn device(&self) -> &Device {
         &self.device
     }
 

@@ -8,19 +8,20 @@
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_ablation
 //! cargo run --release -p cichar-bench --bin repro_ablation -- --threads 4
+//! cargo run --release -p cichar-bench --bin repro_ablation -- --device logic
 //! ```
 
 use cichar_ate::Ate;
 use cichar_bench::{thread_policy, Scale};
 use cichar_core::compare::{Comparison, CompareConfig};
-use cichar_dut::MemoryDevice;
 use cichar_exec::ExecPolicy;
 use cichar_fuzzy::coding::CodingScheme;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn run_variant(name: &str, config: &CompareConfig, seed: u64, policy: ExecPolicy) {
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let device = cichar_bench::device_selection();
+    let mut ate = Ate::new(device.device.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let cmp = Comparison::run_parallel(&mut ate, config, policy, &mut rng);
     let nnga = &cmp.rows[2];

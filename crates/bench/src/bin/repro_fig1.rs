@@ -4,12 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig1
+//! cargo run --release -p cichar-bench --bin repro_fig1 -- --device logic
 //! ```
 
 use cichar_ate::{Ate, MeasuredParam};
-use cichar_bench::thread_policy;
+use cichar_bench::{device_selection, thread_policy};
 use cichar_core::report::render_search_trace;
-use cichar_dut::MemoryDevice;
 use cichar_patterns::{march, Test};
 use cichar_search::{BinarySearch, LinearSearch};
 
@@ -21,7 +21,8 @@ fn main() {
     if !policy.is_serial() {
         println!("(note: one binary search has no parallel axis; running serially)\n");
     }
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let device = device_selection();
+    let mut ate = Ate::new(device.device.clone());
     let test = Test::deterministic("march_c-", march::march_c_minus(64));
     let param = MeasuredParam::DataValidTime;
 

@@ -9,6 +9,7 @@
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --manifest out.json --timings
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --sites 4
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --device netlist:levels=16
 //! ```
 //!
 //! With `--sites N` (N > 1) the same program runs on `N` lot-sampled dies
@@ -16,11 +17,11 @@
 //! historical single-device campaign bit-for-bit.
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{robustness, site_count, thread_policy, trace_outputs, Scale};
+use cichar_bench::{device_selection, robustness, site_count, thread_policy, trace_outputs, Scale};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
 use cichar_core::wafer::{WaferConfig, WaferRunner};
-use cichar_dut::{Lot, MemoryDevice};
+use cichar_dut::Lot;
 use cichar_patterns::{random, Test, TestConditions};
 use cichar_trace::RunManifest;
 use rand::rngs::StdRng;
@@ -32,6 +33,7 @@ fn main() {
     let robustness = robustness();
     let outputs = trace_outputs();
     let sites = site_count();
+    let device = device_selection();
     let tracer = outputs.tracer();
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
@@ -54,12 +56,21 @@ fn main() {
         // Multi-site mode: one touchdown of `sites` lot-sampled dies, the
         // full fig. 2 population on each, streamed through the wafer
         // engine.
-        let mut die_rng = StdRng::seed_from_u64(scale.seed() ^ 0xD1E5);
-        let dies = Lot::default().sample_dies(&mut die_rng, sites);
-        let wafer = WaferRunner::from_runner(runner).with_config(WaferConfig {
-            sites,
-            ..WaferConfig::default()
-        });
+        // The default memory path keeps the historical sequential-RNG die
+        // sampling bit-for-bit; other backends sample through their own
+        // process model.
+        let dies = if device.is_default() {
+            let mut die_rng = StdRng::seed_from_u64(scale.seed() ^ 0xD1E5);
+            Lot::default().sample_dies(&mut die_rng, sites)
+        } else {
+            device.sample_dies(scale.seed() ^ 0xD1E5, sites)
+        };
+        let wafer = WaferRunner::from_runner(runner)
+            .with_device(device.device.clone())
+            .with_config(WaferConfig {
+                sites,
+                ..WaferConfig::default()
+            });
         tracer.phase("dsv");
         let (report, ledger) = wafer
             .run_traced(
@@ -95,16 +106,18 @@ fn main() {
         println!("\n{ledger}");
 
         if outputs.enabled() {
-            let manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
+            let mut manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
                 .with_config("scale", format!("{scale:?}"))
                 .with_config("tests", total)
                 .with_config("sites", sites)
                 .with_config("strategy", "search_until_trip")
                 .with_config("fault_rate", robustness.faults.flip_rate())
                 .with_config("trip_min", agg.min.expect("converged"))
-                .with_config("trip_max", agg.max.expect("converged"))
-                .capture(&tracer)
-                .with_host();
+                .with_config("trip_max", agg.max.expect("converged"));
+            if !device.is_default() {
+                manifest = manifest.with_config("device", device.descriptor());
+            }
+            let manifest = manifest.capture(&tracer).with_host();
             println!("\n{}", manifest.render());
             if let Err(err) = outputs.commit(&tracer, &manifest) {
                 eprintln!("error: {err}");
@@ -114,7 +127,7 @@ fn main() {
         return;
     }
 
-    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+    let blueprint = ParallelAte::new(device.device.clone(), config);
     tracer.phase("dsv");
     let (report, ledger) = runner.run_parallel_traced(
         &blueprint,
@@ -153,15 +166,17 @@ fn main() {
     println!("\n{ledger}");
 
     if outputs.enabled() {
-        let manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
+        let mut manifest = RunManifest::new("fig2", scale.seed(), policy.threads())
             .with_config("scale", format!("{scale:?}"))
             .with_config("tests", total)
             .with_config("strategy", "search_until_trip")
             .with_config("fault_rate", robustness.faults.flip_rate())
             .with_config("trip_min", report.min().expect("converged"))
-            .with_config("trip_max", report.max().expect("converged"))
-            .capture(&tracer)
-            .with_host();
+            .with_config("trip_max", report.max().expect("converged"));
+        if !device.is_default() {
+            manifest = manifest.with_config("device", device.descriptor());
+        }
+        let manifest = manifest.capture(&tracer).with_host();
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

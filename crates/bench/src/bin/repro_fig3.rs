@@ -8,14 +8,14 @@
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --fault-rate 0.02
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_fig3 -- --manifest out.json --timings
+//! cargo run --release -p cichar-bench --bin repro_fig3 -- --device netlist
 //! ```
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
+use cichar_bench::{device_selection, robustness, thread_policy, trace_outputs, Scale};
 use cichar_trace::RunManifest;
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_stp_saving;
-use cichar_dut::MemoryDevice;
 use cichar_patterns::{random, Test, TestConditions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,6 +25,7 @@ fn main() {
     let policy = thread_policy();
     let robustness = robustness();
     let outputs = trace_outputs();
+    let device = device_selection();
     let tracer = outputs.tracer();
     let total = scale.random_tests();
     let mut rng = StdRng::seed_from_u64(scale.seed());
@@ -41,7 +42,7 @@ fn main() {
         faults: robustness.faults,
         ..AteConfig::default()
     };
-    let blueprint = ParallelAte::new(MemoryDevice::nominal(), config);
+    let blueprint = ParallelAte::new(device.device.clone(), config);
     tracer.phase("full_range");
     let (full, ledger_full) =
         runner.run_parallel_traced(&blueprint, &tests, SearchStrategy::FullRange, policy, &tracer);
@@ -88,12 +89,16 @@ fn main() {
     println!("  trip-point agreement: max |delta| = {max_delta:.4} ns");
 
     if outputs.enabled() {
-        let manifest = RunManifest::new("fig3", scale.seed(), policy.threads())
+        let mut manifest = RunManifest::new("fig3", scale.seed(), policy.threads())
             .with_config("scale", format!("{scale:?}"))
             .with_config("tests", total)
             .with_config("fault_rate", robustness.faults.flip_rate())
             .with_config("trip_min", stp.min().expect("converged"))
-            .with_config("trip_max", stp.max().expect("converged"))
+            .with_config("trip_max", stp.max().expect("converged"));
+        if !device.is_default() {
+            manifest = manifest.with_config("device", device.descriptor());
+        }
+        let manifest = manifest
             .capture(&tracer)
             .with_host();
         println!("\n{}", manifest.render());

@@ -11,9 +11,11 @@ use cichar_core::wcr::WcrClass;
 use cichar_fuzzy::coding::wcr_variable;
 
 fn main() {
-    // `--threads` is accepted for symmetry with the other repro binaries;
-    // this figure is a pure rendering with no measurements to fan out.
+    // `--threads` and `--device` are accepted (and validated) for
+    // symmetry with the other repro binaries; this figure is a pure
+    // rendering with no measurements to fan out and no device to load.
     let _ = thread_policy();
+    let _ = cichar_bench::device_selection();
     println!("== Fig. 6 reproduction: WCR classification ==\n");
     print!("{}", render_wcr_bands());
 

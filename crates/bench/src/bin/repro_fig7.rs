@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p cichar-bench --bin repro_fig7
+//! cargo run --release -p cichar-bench --bin repro_fig7 -- --device netlist
 //! ```
 
 use cichar_ate::{Ate, MeasuredParam};
-use cichar_bench::thread_policy;
+use cichar_bench::{device_selection, thread_policy};
 use cichar_core::report::render_timing_diagram;
-use cichar_dut::{MemoryDevice, T_DQ_SPEC};
+use cichar_dut::T_DQ_SPEC;
 use cichar_patterns::{march, Test};
 use cichar_search::BinarySearch;
 
@@ -16,7 +17,8 @@ fn main() {
     // `--threads` is accepted for symmetry with the other repro binaries;
     // two dependent binary searches leave nothing worth fanning out.
     let _ = thread_policy();
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let device = device_selection();
+    let mut ate = Ate::new(device.device.clone());
     let param = MeasuredParam::DataValidTime;
     let cycle_ns = 60.0;
 

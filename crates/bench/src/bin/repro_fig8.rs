@@ -6,12 +6,12 @@
 //! cargo run --release -p cichar-bench --bin repro_fig8
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_fig8   # 1000 tests
 //! cargo run --release -p cichar-bench --bin repro_fig8 -- --threads 4
+//! cargo run --release -p cichar-bench --bin repro_fig8 -- --device logic
 //! ```
 
 use cichar_ate::{Ate, OverlayShmoo, ParallelAte};
-use cichar_bench::{thread_policy, Scale};
+use cichar_bench::{device_selection, thread_policy, Scale};
 use cichar_core::compare::Comparison;
-use cichar_dut::MemoryDevice;
 use cichar_patterns::{random, Test, TestConditions};
 use cichar_search::RegionOrder;
 use cichar_units::{Axis, ParamKind};
@@ -31,7 +31,8 @@ fn main() {
         .collect();
 
     // Add the three Table 1 tests so the plot shows the crossover story.
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let device = device_selection();
+    let mut ate = Ate::new(device.device.clone());
     let comparison = Comparison::run(&mut ate, &scale.compare_config(), &mut rng);
     tests.push(Test::deterministic(
         "March Test",

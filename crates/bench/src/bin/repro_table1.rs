@@ -8,13 +8,13 @@
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --fault-rate 0.02 --retries 4
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --manifest out.json --timings
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --device netlist:levels=16
 //! ```
 
 use cichar_ate::{Ate, AteConfig};
-use cichar_bench::{robustness, thread_policy, trace_outputs, Scale};
+use cichar_bench::{device_selection, robustness, thread_policy, trace_outputs, Scale};
 use cichar_trace::RunManifest;
 use cichar_core::compare::Comparison;
-use cichar_dut::MemoryDevice;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,11 +23,12 @@ fn main() {
     let policy = thread_policy();
     let robustness = robustness();
     let outputs = trace_outputs();
+    let device = device_selection();
     let tracer = outputs.tracer();
     let mut config = scale.compare_config();
     config.optimization.recovery = robustness.recovery;
     let mut ate = Ate::with_config(
-        MemoryDevice::nominal(),
+        device.device.clone(),
         AteConfig {
             faults: robustness.faults,
             ..AteConfig::default()
@@ -61,6 +62,9 @@ fn main() {
             .with_config("scale", format!("{scale:?}"))
             .with_config("random_tests", config.random_tests)
             .with_config("fault_rate", robustness.faults.flip_rate());
+        if !device.is_default() {
+            manifest = manifest.with_config("device", device.descriptor());
+        }
         if let Some(min) = trips.iter().copied().reduce(f64::min) {
             manifest = manifest
                 .with_config("trip_min", min)

@@ -10,6 +10,7 @@
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --fault-rate 0.02 --retries 4
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --chunk-timeout-ms 250
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --resume
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --device logic
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_wafer
 //! ```
 //!
@@ -19,8 +20,8 @@
 
 use cichar_ate::{AteConfig, MeasuredParam};
 use cichar_bench::{
-    positive_count_from, robustness, site_count, thread_policy, trace_outputs, wafer_durability,
-    Scale,
+    device_selection, positive_count_from, robustness, site_count, thread_policy, trace_outputs,
+    wafer_durability, Scale,
 };
 use cichar_core::dsv::SearchStrategy;
 use cichar_core::journal::ResumeStats;
@@ -38,6 +39,7 @@ fn main() {
     let outputs = trace_outputs();
     let sites = site_count();
     let durability = wafer_durability();
+    let device = device_selection();
     let tracer = outputs.tracer();
 
     let (default_dies, tests_per_die) = scale.wafer_shape();
@@ -48,8 +50,16 @@ fn main() {
         })
         .unwrap_or(default_dies);
 
+    // The default memory path samples dies and tests from one sequential
+    // RNG stream — the historical, baseline-gated order. Other backends
+    // sample dies through their own process model (index-seeded, so the
+    // test stream below is unaffected).
     let mut rng = StdRng::seed_from_u64(scale.seed());
-    let dies = Lot::default().sample_dies(&mut rng, die_count);
+    let dies = if device.is_default() {
+        Lot::default().sample_dies(&mut rng, die_count)
+    } else {
+        device.sample_dies(scale.seed(), die_count)
+    };
     let tests: Vec<Test> = (0..tests_per_die)
         .map(|_| random::random_test_at(&mut rng, TestConditions::nominal()))
         .collect();
@@ -58,7 +68,9 @@ fn main() {
         faults: robustness.faults,
         ..AteConfig::default()
     };
-    let mut wafer = WaferRunner::new(MeasuredParam::DataValidTime).with_config(WaferConfig {
+    let mut wafer = WaferRunner::new(MeasuredParam::DataValidTime)
+        .with_device(device.device.clone())
+        .with_config(WaferConfig {
         sites,
         journal_dir: durability.journal.clone(),
         chunk_timeout_ms: durability.chunk_timeout_ms,
@@ -146,6 +158,9 @@ fn main() {
             .with_config("sites", report.sites)
             .with_config("strategy", "search_until_trip")
             .with_config("fault_rate", robustness.faults.flip_rate());
+        if !device.is_default() {
+            manifest = manifest.with_config("device", device.descriptor());
+        }
         if let (Some(min), Some(max)) = (agg.min, agg.max) {
             manifest = manifest.with_config("trip_min", min).with_config("trip_max", max);
         }

@@ -12,6 +12,7 @@ use cichar_ate::TesterFaultModel;
 use cichar_core::compare::{quick_config, CompareConfig};
 use cichar_core::learning::LearningConfig;
 use cichar_core::optimization::OptimizationConfig;
+use cichar_dut::{Device, DeviceSpec, Registry};
 use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
@@ -192,6 +193,65 @@ where
 fn usage_error(err: &str) -> ! {
     eprintln!("error: {err}");
     std::process::exit(2);
+}
+
+/// The device backend a repro binary characterizes: the parsed spec plus
+/// the constructed prototype device.
+#[derive(Debug, Clone)]
+pub struct DeviceSelection {
+    /// The parsed `--device` spec (default: `memory`, no overrides).
+    pub spec: DeviceSpec,
+    /// The prototype device built from the spec on the nominal die.
+    pub device: Device,
+}
+
+impl DeviceSelection {
+    /// Whether this is the default selection. Repro binaries omit device
+    /// metadata from manifests on the default path, keeping default
+    /// artifacts byte-identical to the pre-registry engine.
+    pub fn is_default(&self) -> bool {
+        self.spec.is_default()
+    }
+
+    /// Canonical `name[:key=val,...]` of the effective device.
+    pub fn descriptor(&self) -> String {
+        self.device.descriptor()
+    }
+
+    /// Samples `count` dies through the selected backend's process model
+    /// (per-die seeds derive from `lot_seed` and the die index).
+    pub fn sample_dies(&self, lot_seed: u64, count: usize) -> Vec<cichar_dut::Die> {
+        self.device.sample_dies(lot_seed, count)
+    }
+}
+
+/// Device backend for a repro binary: strict `--device NAME[:key=val,...]`,
+/// defaulting to the calibrated `memory` backend. An unknown backend,
+/// unknown parameter, out-of-range value or malformed `key=val` exits
+/// with status 2 and prints the full registry listing.
+pub fn device_selection() -> DeviceSelection {
+    device_selection_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// [`device_selection`] over an explicit argument list (testable).
+pub fn device_selection_from<I>(args: I) -> Result<DeviceSelection, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    let mut spec = DeviceSpec::default_backend();
+    while let Some(arg) = args.next() {
+        if let Some(raw) = flag_value("--device", &arg, &mut args)? {
+            spec = raw
+                .trim()
+                .parse()
+                .map_err(|err| format!("invalid --device value {raw:?}: {err}\n{}", Registry::builtin().listing()))?;
+        }
+    }
+    let device = Registry::builtin()
+        .create_from_spec(&spec)
+        .map_err(|err| format!("invalid --device value: {err}\n{}", Registry::builtin().listing()))?;
+    Ok(DeviceSelection { spec, device })
 }
 
 /// Durability knobs of a wafer campaign, parsed from the CLI:

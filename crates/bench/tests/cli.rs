@@ -163,6 +163,73 @@ fn resume_against_a_missing_journal_exits_1() {
 }
 
 #[test]
+fn bad_device_specs_exit_2_and_print_the_registry() {
+    for (args, needle) in [
+        // Unknown backend name.
+        (&["--device", "vaporware"][..], "unknown device backend"),
+        // Malformed key=val payloads.
+        (&["--device", "netlist:levels"][..], "key=val"),
+        (&["--device", "netlist:=4"][..], "empty key"),
+        (&["--device", "netlist:levels=fast"][..], "levels"),
+        (&["--device", "netlist:"][..], "--device"),
+        (&["--device", ""][..], "--device"),
+        (&["--device"][..], "--device"),
+        // Valid syntax, rejected by the schema.
+        (&["--device", "netlist:levels=9999"][..], "levels"),
+        (&["--device", "netlist:warp=9"][..], "warp"),
+        (&["--device=logic:depth=0"][..], "depth"),
+    ] {
+        // A bare `--device` (missing operand) also exits 2, but fails in
+        // the flag layer before the registry is consulted.
+        if args == ["--device"] {
+            let output = run_fig2(args);
+            assert_eq!(output.status.code(), Some(2));
+            assert!(stderr_of(&output).contains("--device requires a value"));
+            continue;
+        }
+        let output = run_fig2(args);
+        assert_eq!(output.status.code(), Some(2), "{args:?}: {}", stderr_of(&output));
+        let stderr = stderr_of(&output);
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        // Every rejection teaches: the registry listing follows the error.
+        assert!(
+            stderr.contains("registered device backends"),
+            "{args:?}: listing missing from {stderr}"
+        );
+        assert!(
+            output.stdout.is_empty(),
+            "{args:?}: must fail eagerly, before any campaign output"
+        );
+    }
+}
+
+#[test]
+fn non_default_device_runs_and_stamps_the_manifest() {
+    let dir = std::env::temp_dir().join("cichar_cli_device");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("netlist.json");
+    let output = run_fig2(&[
+        "--device",
+        "netlist:levels=10",
+        "--manifest",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stderr_of(&output));
+    let text = std::fs::read_to_string(&path).expect("manifest saved");
+    let manifest: cichar_trace::RunManifest = serde_json::from_str(&text).expect("parses");
+    // The stamped descriptor is canonical: backend name plus the *full*
+    // effective parameter vector (the override folded in).
+    let device = manifest
+        .config
+        .iter()
+        .find(|(k, _)| k == "device")
+        .map(|(_, v)| v.as_str())
+        .expect("manifest records the device selection");
+    assert!(device.starts_with("netlist:"), "{device}");
+    assert!(device.contains("levels=10"), "override folded in: {device}");
+}
+
+#[test]
 fn missing_operands_exit_2() {
     for args in [
         &["--trace"][..],

@@ -13,7 +13,7 @@ use crate::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_search::RetryPolicy;
 use crate::wcr::{CharacterizationObjective, WcrClass};
 use cichar_ate::{Ate, AteConfig, MeasuredParam};
-use cichar_dut::{Die, Lot, MemoryDevice};
+use cichar_dut::{Device, Die, Lot, MemoryDevice};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{Test, TestConditions};
 use cichar_trace::{SpanTrace, Tracer};
@@ -230,6 +230,9 @@ pub struct SampleCharacterization {
     strategy: SearchStrategy,
     ate_config: AteConfig,
     recovery: Option<RetryPolicy>,
+    /// The device prototype each die is characterized on (re-died via
+    /// [`Device::for_die`]). Defaults to the nominal `memory` backend.
+    device: Device,
 }
 
 impl SampleCharacterization {
@@ -251,7 +254,16 @@ impl SampleCharacterization {
             strategy: SearchStrategy::SearchUntilTrip,
             ate_config: AteConfig::default(),
             recovery: None,
+            device: MemoryDevice::nominal().into(),
         }
+    }
+
+    /// Characterizes a different device backend: every die of the sample
+    /// is instantiated as `device.for_die(die)`, so the campaign's
+    /// structure carries to any registered backend.
+    pub fn with_device(mut self, device: impl Into<Device>) -> Self {
+        self.device = device.into();
+        self
     }
 
     /// Uses an explicit tester configuration (noise/drift injection).
@@ -392,7 +404,7 @@ impl SampleCharacterization {
         span: &SpanTrace,
     ) -> DieResult {
         // Each die goes onto a fresh tester session.
-        let mut ate = Ate::with_config(MemoryDevice::new(die), self.ate_config.clone());
+        let mut ate = Ate::with_config(self.device.for_die(die), self.ate_config.clone());
         let mut corners = Vec::with_capacity(self.corners.len());
         for &conditions in &self.corners {
             let corner_tests: Vec<Test> =

@@ -48,7 +48,7 @@ use cichar_ate::{
     Ate, AteConfig, MeasuredParam, MeasurementLedger, MultiSiteAte, SiteHealthBreaker,
     TesterFaultModel,
 };
-use cichar_dut::{Die, MemoryDevice};
+use cichar_dut::{Device, Die, MemoryDevice};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::RegionOrder;
@@ -233,6 +233,11 @@ struct CampaignOutput {
 pub struct WaferRunner {
     runner: MultiTripRunner,
     config: WaferConfig,
+    /// The device prototype each touchdown session re-dies via
+    /// [`Device::for_die`]. Defaults to the nominal `memory` backend,
+    /// which keeps default campaigns bit-identical to the pre-registry
+    /// engine.
+    device: Device,
 }
 
 impl WaferRunner {
@@ -242,6 +247,7 @@ impl WaferRunner {
         Self {
             runner: MultiTripRunner::new(param),
             config: WaferConfig::default(),
+            device: MemoryDevice::nominal().into(),
         }
     }
 
@@ -251,6 +257,7 @@ impl WaferRunner {
         Self {
             runner,
             config: WaferConfig::default(),
+            device: MemoryDevice::nominal().into(),
         }
     }
 
@@ -258,6 +265,22 @@ impl WaferRunner {
     pub fn with_config(mut self, config: WaferConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Replaces the device prototype the campaign characterizes. Every
+    /// touchdown session is `device.for_die(die)`, so the backend's
+    /// structure (netlist shape, surface constants, …) is shared across
+    /// the wafer while each site carries its own die. The device enters
+    /// the journal fingerprint: a journal recorded under one backend
+    /// refuses to resume under another.
+    pub fn with_device(mut self, device: impl Into<Device>) -> Self {
+        self.device = device.into();
+        self
+    }
+
+    /// The device prototype.
+    pub fn device(&self) -> &Device {
+        &self.device
     }
 
     /// Enables the fault-tolerant recovery ladder on every search.
@@ -427,13 +450,14 @@ impl WaferRunner {
         JournalMeta {
             version: JOURNAL_VERSION,
             fingerprint: format!(
-                "runner:{:?}|shape:{:?}|ate:{:?}|strategy:{:?}|dies:{}|tests:{}",
+                "runner:{:?}|shape:{:?}|ate:{:?}|strategy:{:?}|dies:{}|tests:{}|device:{}",
                 self.runner,
                 shape,
                 ate_config,
                 strategy,
                 dies.len(),
-                tests.len()
+                tests.len(),
+                self.device.descriptor()
             ),
             chunks_total,
         }
@@ -773,7 +797,7 @@ impl WaferRunner {
                 {
                     site_config.faults = *model;
                 }
-                Ate::with_config(MemoryDevice::new(*die), site_config)
+                Ate::with_config(self.device.for_die(*die), site_config)
             })
             .collect();
         let mut touchdown_ate = MultiSiteAte::from_sessions(sessions);

@@ -37,15 +37,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod conformance;
 mod device;
 mod faults;
+mod logic;
+mod netlist;
 mod physics;
 mod process;
+pub mod registry;
 
+pub use backend::{Device, DeviceBackend};
 pub use device::{MemoryDevice, Parametrics};
 pub use faults::{fault_coverage, Fault, FaultSet, FunctionalOutcome, MemorySim, Mismatch};
+pub use logic::LogicDevice;
+pub use netlist::NetlistDevice;
 pub use physics::{ResponseSurface, StressBreakdown};
 pub use process::{Die, Lot, ProcessCorner};
+pub use registry::{device_from_args, BackendSchema, DeviceSpec, ParamSpec, Registry};
 
 use cichar_units::Nanoseconds;
 

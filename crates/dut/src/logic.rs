@@ -1,0 +1,194 @@
+//! Pipelined logic-core backend.
+//!
+//! A scan-tested digital core: `depth` pipeline stages of `stage_ns`
+//! latch-to-latch delay, flushed once per test vector. Its failure
+//! physics are deliberately *different in kind* from both the memory
+//! array and the combinational netlist:
+//!
+//! * IR droop grows **quadratically** with simultaneous-switching
+//!   activity (`ir_gain · sso²`) — the package inductance mechanism —
+//!   where the other backends are linear in SSO;
+//! * resonance only matters when it coincides with bus turnaround
+//!   (a product term), not on its own;
+//! * the retention floor is set by the transistor threshold (`vth`), and
+//!   its stress erosion saturates (`√stress`) instead of growing
+//!   linearly.
+//!
+//! # Examples
+//!
+//! ```
+//! use cichar_dut::{Device, LogicDevice};
+//!
+//! let device: Device = LogicDevice::default().into();
+//! assert_eq!(device.name(), "logic");
+//! assert_eq!(device.stress_axes(), &["ir_droop", "turnaround_resonance", "toggle"]);
+//! ```
+
+use crate::backend::{fnv1a, fnv1a_f64, Device, DeviceBackend, FNV_OFFSET};
+use crate::device::Parametrics;
+use crate::process::Die;
+use cichar_patterns::{PatternFeatures, TestConditions};
+use cichar_units::{Megahertz, Nanoseconds, Volts};
+
+/// A pipelined logic core as a device under test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicDevice {
+    die: Die,
+    depth: u32,
+    stage_ns: f64,
+    ir_gain: f64,
+    vth: f64,
+}
+
+impl LogicDevice {
+    /// Builds the core from its structural parameters on a given die:
+    /// `depth` pipeline stages, `stage_ns` nominal latch-to-latch delay,
+    /// `ir_gain` the quadratic IR-droop stress gain and `vth` the device
+    /// threshold the retention floor sits on.
+    pub fn new(die: Die, depth: u32, stage_ns: f64, ir_gain: f64, vth: f64) -> Self {
+        Self {
+            die,
+            depth: depth.max(1),
+            stage_ns: stage_ns.max(0.05),
+            ir_gain,
+            vth,
+        }
+    }
+
+    /// The default 9-stage core on the nominal die, calibrated so all
+    /// three measured parameters trip inside their characterization
+    /// ranges.
+    pub fn nominal() -> Self {
+        Self::new(Die::nominal(), 9, 0.90, 2.4, 0.62)
+    }
+
+    /// The full pipeline-flush latency (ns) on a typical die at nominal
+    /// conditions — what one scan vector costs.
+    pub fn flush_ns(&self) -> f64 {
+        f64::from(self.depth) * self.stage_ns
+    }
+
+    /// Supply/temperature derating of stage delay (no clock term, so
+    /// `f_max` sweeps keep their single crossing). Gentle slopes keep
+    /// `f_max` above the §4 relax clock across the whole condition box —
+    /// see the matching comment on `NetlistDevice::delay_scale`.
+    fn stage_scale(&self, c: &TestConditions) -> f64 {
+        let dv = 1.8 - c.vdd.value();
+        let dt = (c.temperature.value() - 25.0) / 100.0;
+        (1.0 + 0.12 * dv + 0.035 * dt).max(0.5)
+    }
+}
+
+impl Default for LogicDevice {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl DeviceBackend for LogicDevice {
+    fn name(&self) -> &'static str {
+        "logic"
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("depth", f64::from(self.depth)),
+            ("stage_ns", self.stage_ns),
+            ("ir_gain", self.ir_gain),
+            ("vth", self.vth),
+        ]
+    }
+
+    fn stress_axes(&self) -> &'static [&'static str] {
+        &["ir_droop", "turnaround_resonance", "toggle"]
+    }
+
+    fn die(&self) -> &Die {
+        &self.die
+    }
+
+    fn structural_key(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.name().as_bytes());
+        for (_, v) in self.params() {
+            h = fnv1a_f64(h, v);
+        }
+        h
+    }
+
+    fn for_die(&self, die: Die) -> Box<dyn DeviceBackend> {
+        Box::new(Self { die, ..self.clone() })
+    }
+
+    fn stress_total(&self, f: &PatternFeatures) -> f64 {
+        self.ir_gain * f.dq_sso_mean * f.dq_sso_mean
+            + 1.8 * f.burst_resonance * f.turnaround_density
+            + 0.7 * f.data_toggle_mean
+    }
+
+    fn evaluate_with_stress(&self, stress_total: f64, c: &TestConditions) -> Parametrics {
+        let flush = self.flush_ns() / self.die.speed().max(0.1) * self.stage_scale(c);
+        let droop = self.die.stress_sensitivity() * stress_total;
+        // The capture window is what remains of a generous scan budget
+        // after the flush and the droop-widened settling tail.
+        let t_dq = (44.0 - flush - 1.3 * droop).max(1.0);
+        // One vector per flush: f_max is the reciprocal of the flush plus
+        // droop-added settling.
+        let f_max = (1000.0 / (flush + 0.12 * droop).max(1.0)).max(10.0);
+        // Threshold-referenced retention floor; erosion saturates.
+        let dt = (c.temperature.value() - 25.0) / 100.0;
+        let vdd_min = self.vth + 0.58
+            + self.die.vdd_min_offset()
+            + 0.03 * dt
+            + 0.045 * self.die.stress_sensitivity() * stress_total.max(0.0).sqrt();
+        Parametrics {
+            t_dq: Nanoseconds::new(t_dq),
+            f_max: Megahertz::new(f_max),
+            vdd_min: Volts::new(vdd_min),
+        }
+    }
+}
+
+impl From<LogicDevice> for Device {
+    fn from(device: LogicDevice) -> Self {
+        Device::from_backend(Box::new(device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cichar_patterns::march;
+
+    #[test]
+    fn nominal_parametrics_land_inside_characterization_ranges() {
+        let device = LogicDevice::nominal();
+        let f = PatternFeatures::extract(&march::march_c_minus(64));
+        let p = device.evaluate_features(&f, &TestConditions::nominal());
+        assert!(p.t_dq.value() > 5.0 && p.t_dq.value() < 40.0, "t_dq={}", p.t_dq);
+        assert!(p.f_max.value() > 80.0 && p.f_max.value() < 130.0, "f_max={}", p.f_max);
+        assert!(p.vdd_min.value() > 1.1 && p.vdd_min.value() < 2.1, "vdd_min={}", p.vdd_min);
+    }
+
+    #[test]
+    fn ir_droop_is_quadratic_in_sso() {
+        let device = LogicDevice::nominal();
+        let mut low = PatternFeatures::extract(&march::march_c_minus(64));
+        low.dq_sso_mean = 0.2;
+        low.burst_resonance = 0.0;
+        low.turnaround_density = 0.0;
+        low.data_toggle_mean = 0.0;
+        let mut high = low;
+        high.dq_sso_mean = 0.4;
+        // Doubling SSO quadruples the droop term.
+        assert!((device.stress_total(&high) / device.stress_total(&low) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_key_ignores_die_but_not_parameters() {
+        let nominal = LogicDevice::nominal();
+        let redied = LogicDevice::new(Die::at_corner(crate::ProcessCorner::Fast), 9, 0.90, 2.4, 0.62);
+        assert_eq!(nominal.structural_key(), redied.structural_key());
+        let deeper = LogicDevice::new(Die::nominal(), 10, 0.90, 2.4, 0.62);
+        assert_ne!(nominal.structural_key(), deeper.structural_key());
+    }
+}

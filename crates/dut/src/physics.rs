@@ -168,6 +168,35 @@ impl ResponseSurface {
         Nanoseconds::new(self.t0)
     }
 
+    /// Folds every surface constant into a structural-identity hash
+    /// chain (see [`crate::backend::fnv1a_f64`]). Two surfaces with equal
+    /// keys produce identical stress arithmetic, which is what the
+    /// multi-site shared-stress hoist requires.
+    pub fn structural_key(&self, h: u64) -> u64 {
+        [
+            self.t0,
+            self.w_turnaround,
+            self.w_sso,
+            self.w_address,
+            self.w_row,
+            self.w_resonance,
+            self.w_interaction,
+            self.kv_t0,
+            self.kt_t0,
+            self.kc_t0,
+            self.kv_stress,
+            self.kt_stress,
+            self.kc_stress,
+            self.f0,
+            self.kv_f,
+            self.g_f,
+            self.v0,
+            self.g_v,
+        ]
+        .iter()
+        .fold(h, |h, &v| crate::backend::fnv1a_f64(h, v))
+    }
+
     /// Per-mechanism stress at nominal conditions on the nominal die.
     pub fn stress_breakdown(&self, f: &PatternFeatures) -> StressBreakdown {
         StressBreakdown {

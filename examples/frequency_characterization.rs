@@ -4,17 +4,21 @@
 //!
 //! ```text
 //! cargo run --release --example frequency_characterization
+//! cargo run --release --example frequency_characterization -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, MeasuredParam};
 use cichar::core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar::core::wcr::CharacterizationObjective;
-use cichar::dut::MemoryDevice;
 use cichar::patterns::{march, random, Test, TestConditions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     let mut rng = StdRng::seed_from_u64(80);
     let mut tests: Vec<Test> = march::standard_suite()
         .into_iter()
@@ -23,7 +27,7 @@ fn main() {
     tests.extend((0..12).map(|_| random::random_test_at(&mut rng, TestConditions::nominal())));
 
     // --- eq. (3): pass region below the fail region (f_max) ---
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut ate = Ate::new(device.clone());
     let param = MeasuredParam::MaxFrequency;
     println!(
         "== f_max characterization (eq. 3 orientation: {}) ==",

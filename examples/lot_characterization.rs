@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release --example lot_characterization
 //! cargo run --release --example lot_characterization -- --threads 4
+//! cargo run --release --example lot_characterization -- --device netlist
 //! ```
 //!
 //! Each die is characterized on its own tester session, so the per-die
@@ -21,6 +22,10 @@ use rand::SeedableRng;
 
 fn main() {
     let policy = thread_policy();
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     let tests: Vec<Test> = march::standard_suite()
         .into_iter()
         .map(|(name, p)| Test::deterministic(name, p))
@@ -30,7 +35,8 @@ fn main() {
         MeasuredParam::DataValidTime,
         CharacterizationObjective::drift_to_minimum(20.0),
         corners,
-    );
+    )
+    .with_device(device);
 
     let mut rng = StdRng::seed_from_u64(1405);
     let report = campaign.run_parallel(&Lot::default(), 12, &tests, policy, &mut rng);

@@ -7,6 +7,7 @@
 //! cargo run --release --example multi_param_campaign
 //! cargo run --release --example multi_param_campaign -- --threads 4
 //! cargo run --release --example multi_param_campaign -- --trace campaign.jsonl --manifest campaign.json
+//! cargo run --release --example multi_param_campaign -- --device netlist
 //! ```
 //!
 //! Each parameter's GA fitness evaluation fans out across `--threads`
@@ -17,7 +18,6 @@ use cichar::core::analysis::WeaknessAnalyzer;
 use cichar::core::learning::LearningConfig;
 use cichar::core::multi::{AnalysisTask, MultiParamCampaign};
 use cichar::core::optimization::OptimizationConfig;
-use cichar::dut::MemoryDevice;
 use cichar::genetic::GaConfig;
 use cichar::neural::TrainConfig;
 use cichar::trace::RunManifest;
@@ -26,6 +26,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     let policy = thread_policy();
     let outputs = trace_outputs();
     let tracer = outputs.tracer();
@@ -55,7 +59,7 @@ fn main() {
     )
     .with_screening(500, 12);
 
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut ate = Ate::new(device.clone());
     let mut rng = StdRng::seed_from_u64(3);
     println!(
         "running the figs. 4+5 pipeline once per data-sheet parameter ({} threads)...\n",

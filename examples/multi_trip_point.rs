@@ -4,18 +4,22 @@
 //!
 //! ```text
 //! cargo run --release --example multi_trip_point
+//! cargo run --release --example multi_trip_point -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, MeasuredParam};
 use cichar::core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar::core::report::render_multi_trip;
 use cichar::core::wcr::CharacterizationObjective;
-use cichar::dut::MemoryDevice;
 use cichar::patterns::{march, random, Test, TestConditions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     // The test population: the full deterministic suite plus 20 random
     // tests at the same nominal corner.
     let mut rng = StdRng::seed_from_u64(2005);
@@ -25,7 +29,7 @@ fn main() {
         .collect();
     tests.extend((0..20).map(|_| random::random_test_at(&mut rng, TestConditions::nominal())));
 
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut ate = Ate::new(device.clone());
     let param = MeasuredParam::DataValidTime;
     let runner = MultiTripRunner::new(param);
     let report = runner.run(&mut ate, &tests, SearchStrategy::SearchUntilTrip);

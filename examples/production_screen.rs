@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! cargo run --release --example production_screen
+//! cargo run --release --example production_screen -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, MeasuredParam};
@@ -12,17 +13,21 @@ use cichar::core::compare::{quick_config, Comparison};
 use cichar::core::db::{WorstCaseDatabase, WorstCaseTest};
 use cichar::core::production::{Bin, ProductionProgram};
 use cichar::core::wcr::CharacterizationObjective;
-use cichar::dut::{Lot, MemoryDevice};
+use cichar::dut::Lot;
 use cichar::patterns::{march, Test};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     let objective = CharacterizationObjective::drift_to_minimum(20.0);
 
     // Characterization phase: find the worst-case tests (figs. 4+5).
     println!("characterizing on the golden die...");
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut ate = Ate::new(device.clone());
     let mut rng = StdRng::seed_from_u64(9001);
     let comparison = Comparison::run(&mut ate, &quick_config(), &mut rng);
     println!("{}", comparison.render());
@@ -65,8 +70,8 @@ fn main() {
     let mut wc_good = 0;
     let mut escapes = 0;
     for die in &dies {
-        let mut ate_a = Ate::noiseless(MemoryDevice::new(*die));
-        let mut ate_b = Ate::noiseless(MemoryDevice::new(*die));
+        let mut ate_a = Ate::noiseless(device.for_die(*die));
+        let mut ate_b = Ate::noiseless(device.for_die(*die));
         let a = march_only.screen(&mut ate_a);
         let b = worst_case_program.screen(&mut ate_b);
         march_good += usize::from(a.is_good());

@@ -3,16 +3,21 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, MeasuredParam};
-use cichar::dut::{MemoryDevice, T_DQ_SPEC};
+use cichar::dut::T_DQ_SPEC;
 use cichar::patterns::{march, Test};
 use cichar::search::{BinarySearch, LinearSearch, SearchUntilTrip, SuccessiveApproximation};
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     // Load a nominal die on the tester and pick the production test.
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let mut ate = Ate::new(device.clone());
     let test = Test::deterministic("march_c-", march::march_c_minus(64));
     let param = MeasuredParam::DataValidTime;
     let range = param.generous_range();

@@ -3,10 +3,10 @@
 //!
 //! ```text
 //! cargo run --release --example shmoo_plot
+//! cargo run --release --example shmoo_plot -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, OverlayShmoo, ShmooPlot};
-use cichar::dut::MemoryDevice;
 use cichar::patterns::{march, random, Test, TestConditions};
 use cichar::search::RegionOrder;
 use cichar::units::{Axis, ParamKind};
@@ -14,7 +14,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut ate = Ate::new(MemoryDevice::nominal());
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
+    let mut ate = Ate::new(device.clone());
     let x = Axis::new(ParamKind::StrobeDelay, 16.0, 36.0, 41).expect("static axis");
     let y = Axis::new(ParamKind::SupplyVoltage, 1.5, 2.1, 13).expect("static axis");
 

@@ -7,24 +7,29 @@
 //! cargo run --release --example worst_case_hunt
 //! cargo run --release --example worst_case_hunt -- --fault-rate 0.02
 //! cargo run --release --example worst_case_hunt -- --trace hunt.jsonl --manifest hunt.json --timings
+//! cargo run --release --example worst_case_hunt -- --device netlist
 //! ```
 
 use cichar::ate::{Ate, AteConfig};
 use cichar::bench::{robustness, thread_policy, trace_outputs};
 use cichar::core::compare::{quick_config, Comparison};
 use cichar::core::report::render_timing_diagram;
-use cichar::dut::{MemoryDevice, T_DQ_SPEC};
+use cichar::dut::T_DQ_SPEC;
 use cichar::trace::RunManifest;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let device = cichar::dut::device_from_args(std::env::args().skip(1)).unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    });
     let robustness = robustness();
     let policy = thread_policy();
     let outputs = trace_outputs();
     let tracer = outputs.tracer();
     let mut ate = Ate::with_config(
-        MemoryDevice::nominal(),
+        device.clone(),
         AteConfig {
             faults: robustness.faults,
             ..AteConfig::default()

@@ -135,6 +135,36 @@ fn fig2_campaign_trace_is_golden() {
     });
 }
 
+/// The fig. 2 campaign again, on the registry's `netlist` backend: locks
+/// the gate-level device's seeded synthesis, its trip physics *and* the
+/// registry construction path into a byte-stable fixture. A drift in any
+/// netlist constant, the splitmix gate draws or the schema defaults shows
+/// up here as a diff.
+#[test]
+fn fig2_netlist_campaign_trace_is_golden() {
+    check_golden("fig2_netlist", |policy, tracer| {
+        let device = cichar::dut::Registry::builtin()
+            .create("netlist", &[])
+            .expect("netlist backend registered");
+        let blueprint = ParallelAte::new(
+            device,
+            AteConfig {
+                seed: GOLD_SEED,
+                ..AteConfig::default()
+            },
+        );
+        let runner = MultiTripRunner::new(MeasuredParam::DataValidTime);
+        tracer.phase("dsv");
+        runner.run_parallel_traced(
+            &blueprint,
+            &gold_tests(12),
+            SearchStrategy::SearchUntilTrip,
+            policy,
+            tracer,
+        );
+    });
+}
+
 /// Mini fig. 3: the same suite measured with full-range searches and with
 /// STP, as two phases of one trace.
 #[test]
