@@ -366,6 +366,7 @@ impl SiteHealthBreaker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cichar_dut::MemoryDevice;
     use crate::drift::DriftModel;
     use crate::fault::TesterFaultModel;
     use crate::noise::NoiseModel;

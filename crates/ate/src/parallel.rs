@@ -22,7 +22,7 @@ use cichar_exec::derive_seed;
 ///
 /// ```
 /// use cichar_ate::{AteConfig, ParallelAte};
-/// use cichar_dut::Device;
+/// use cichar_dut::MemoryDevice;
 ///
 /// let blueprint = ParallelAte::new(MemoryDevice::nominal(), AteConfig::default());
 /// let a = blueprint.session(7);
@@ -96,6 +96,7 @@ impl ParallelAte {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cichar_dut::MemoryDevice;
     use crate::params::MeasuredParam;
     use crate::noise::NoiseModel;
     use crate::drift::DriftModel;

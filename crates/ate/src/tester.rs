@@ -638,6 +638,7 @@ impl Ate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cichar_dut::MemoryDevice;
     use cichar_patterns::{march, TestConditions};
     use cichar_search::{BinarySearch, SuccessiveApproximation};
 

@@ -9,6 +9,7 @@
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --manifest out.json --timings
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --sites 4
+//! cargo run --release -p cichar-bench --bin repro_fig2 -- --telemetry tele --heartbeat-every 10
 //! cargo run --release -p cichar-bench --bin repro_fig2 -- --device netlist:levels=16
 //! ```
 //!
@@ -17,7 +18,9 @@
 //! historical single-device campaign bit-for-bit.
 
 use cichar_ate::{AteConfig, MeasuredParam, ParallelAte};
-use cichar_bench::{device_selection, robustness, site_count, thread_policy, trace_outputs, Scale};
+use cichar_bench::{
+    device_selection, robustness, site_count, telemetry_setup, thread_policy, trace_outputs, Scale,
+};
 use cichar_core::dsv::{MultiTripRunner, SearchStrategy};
 use cichar_core::report::render_multi_trip;
 use cichar_core::wafer::{WaferConfig, WaferRunner};
@@ -34,7 +37,17 @@ fn main() {
     let outputs = trace_outputs();
     let sites = site_count();
     let device = device_selection();
-    let tracer = outputs.tracer();
+    let telemetry_cfg = telemetry_setup();
+    let usage = |err: String| -> ! {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    };
+    let tracer = telemetry_cfg
+        .tracer_for(&outputs)
+        .unwrap_or_else(|err| usage(err));
+    let telemetry = telemetry_cfg
+        .build("fig2", &tracer)
+        .unwrap_or_else(|err| usage(err));
     let shown = 24usize;
     let total = scale.random_tests().max(shown);
     let mut rng = StdRng::seed_from_u64(scale.seed());
@@ -70,7 +83,8 @@ fn main() {
             .with_config(WaferConfig {
                 sites,
                 ..WaferConfig::default()
-            });
+            })
+            .with_telemetry(telemetry.clone());
         tracer.phase("dsv");
         let (report, ledger) = wafer
             .run_traced(
@@ -82,6 +96,10 @@ fn main() {
                 &tracer,
             )
             .expect("no spill directory configured, no I/O to fail");
+        let health = telemetry.finish().unwrap_or_else(|err| {
+            eprintln!("error: telemetry sidecar failed: {err}");
+            std::process::exit(1);
+        });
 
         println!(
             "== Fig. 2 reproduction: multiple trip points ({total} random tests, {sites} sites, {} threads) ==\n",
@@ -117,7 +135,8 @@ fn main() {
             if !device.is_default() {
                 manifest = manifest.with_config("device", device.descriptor());
             }
-            let manifest = manifest.capture(&tracer).with_host();
+            let mut manifest = manifest.capture(&tracer).with_host();
+            manifest.health = health;
             println!("\n{}", manifest.render());
             if let Err(err) = outputs.commit(&tracer, &manifest) {
                 eprintln!("error: {err}");
@@ -129,13 +148,18 @@ fn main() {
 
     let blueprint = ParallelAte::new(device.device.clone(), config);
     tracer.phase("dsv");
-    let (report, ledger) = runner.run_parallel_traced(
+    let (report, ledger) = runner.run_parallel_observed(
         &blueprint,
         &tests,
         SearchStrategy::SearchUntilTrip,
         policy,
         &tracer,
+        &telemetry,
     );
+    let health = telemetry.finish().unwrap_or_else(|err| {
+        eprintln!("error: telemetry sidecar failed: {err}");
+        std::process::exit(1);
+    });
 
     println!(
         "== Fig. 2 reproduction: multiple trip points ({total} random tests, {} threads) ==\n",
@@ -176,7 +200,8 @@ fn main() {
         if !device.is_default() {
             manifest = manifest.with_config("device", device.descriptor());
         }
-        let manifest = manifest.capture(&tracer).with_host();
+        let mut manifest = manifest.capture(&tracer).with_host();
+        manifest.health = health;
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

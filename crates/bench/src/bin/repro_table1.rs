@@ -9,10 +9,13 @@
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --trace out.jsonl --manifest out.json
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --manifest out.json --timings
 //! cargo run --release -p cichar-bench --bin repro_table1 -- --device netlist:levels=16
+//! cargo run --release -p cichar-bench --bin repro_table1 -- --telemetry tele
 //! ```
 
 use cichar_ate::{Ate, AteConfig};
-use cichar_bench::{device_selection, robustness, thread_policy, trace_outputs, Scale};
+use cichar_bench::{
+    device_selection, robustness, telemetry_setup, thread_policy, trace_outputs, Scale,
+};
 use cichar_trace::RunManifest;
 use cichar_core::compare::Comparison;
 use rand::rngs::StdRng;
@@ -24,7 +27,17 @@ fn main() {
     let robustness = robustness();
     let outputs = trace_outputs();
     let device = device_selection();
-    let tracer = outputs.tracer();
+    let telemetry_cfg = telemetry_setup();
+    let usage = |err: String| -> ! {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    };
+    let tracer = telemetry_cfg
+        .tracer_for(&outputs)
+        .unwrap_or_else(|err| usage(err));
+    let telemetry = telemetry_cfg
+        .build("table1", &tracer)
+        .unwrap_or_else(|err| usage(err));
     let mut config = scale.compare_config();
     config.optimization.recovery = robustness.recovery;
     let mut ate = Ate::with_config(
@@ -40,7 +53,12 @@ fn main() {
         "== Table 1 reproduction ({scale:?} scale, {} threads) ==\n",
         policy.threads()
     );
-    let comparison = Comparison::run_parallel_traced(&mut ate, &config, policy, &mut rng, &tracer);
+    let comparison =
+        Comparison::run_parallel_observed(&mut ate, &config, policy, &mut rng, &tracer, &telemetry);
+    let health = telemetry.finish().unwrap_or_else(|err| {
+        eprintln!("error: telemetry sidecar failed: {err}");
+        std::process::exit(1);
+    });
     println!("{}", comparison.render());
     println!(
         "paper reference:   March 0.619 / 32.3 ns | Random 0.701 / 28.5 ns | NNGA 0.904 / 22.1 ns"
@@ -70,7 +88,8 @@ fn main() {
                 .with_config("trip_min", min)
                 .with_config("trip_max", trips.iter().copied().fold(min, f64::max));
         }
-        let manifest = manifest.capture(&tracer).with_host();
+        let mut manifest = manifest.capture(&tracer).with_host();
+        manifest.health = health;
         println!("\n{}", manifest.render());
         if let Err(err) = outputs.commit(&tracer, &manifest) {
             eprintln!("error: {err}");

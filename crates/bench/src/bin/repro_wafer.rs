@@ -11,6 +11,7 @@
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --chunk-timeout-ms 250
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --journal /tmp/j --resume
 //! cargo run --release -p cichar-bench --bin repro_wafer -- --device logic
+//! cargo run --release -p cichar-bench --bin repro_wafer -- --telemetry tele --heartbeat-every 10
 //! CICHAR_SCALE=full cargo run --release -p cichar-bench --bin repro_wafer
 //! ```
 //!
@@ -20,8 +21,8 @@
 
 use cichar_ate::{AteConfig, MeasuredParam};
 use cichar_bench::{
-    device_selection, positive_count_from, robustness, site_count, thread_policy, trace_outputs,
-    wafer_durability, Scale,
+    device_selection, positive_count_from, robustness, site_count, telemetry_setup, thread_policy,
+    trace_outputs, wafer_durability, Scale,
 };
 use cichar_core::dsv::SearchStrategy;
 use cichar_core::journal::ResumeStats;
@@ -40,7 +41,17 @@ fn main() {
     let sites = site_count();
     let durability = wafer_durability();
     let device = device_selection();
-    let tracer = outputs.tracer();
+    let telemetry_cfg = telemetry_setup();
+    let usage = |err: String| -> ! {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    };
+    let tracer = telemetry_cfg
+        .tracer_for(&outputs)
+        .unwrap_or_else(|err| usage(err));
+    let telemetry = telemetry_cfg
+        .build("wafer", &tracer)
+        .unwrap_or_else(|err| usage(err));
 
     let (default_dies, tests_per_die) = scale.wafer_shape();
     let die_count = positive_count_from(std::env::args().skip(1), "--dies")
@@ -80,6 +91,7 @@ fn main() {
     if let Some(policy) = robustness.recovery {
         wafer = wafer.with_recovery(policy);
     }
+    wafer = wafer.with_telemetry(telemetry.clone());
 
     tracer.phase("wafer");
     let started = std::time::Instant::now();
@@ -102,6 +114,13 @@ fn main() {
         }
     };
     let elapsed = started.elapsed();
+    let health = match telemetry.finish() {
+        Ok(health) => health,
+        Err(err) => {
+            eprintln!("error: telemetry sidecar failed: {err}");
+            std::process::exit(1);
+        }
+    };
 
     let searches = report.dies * report.tests;
     let trips_per_sec = searches as f64 / elapsed.as_secs_f64().max(1e-9);
@@ -148,6 +167,14 @@ fn main() {
         "  throughput:        {trips_per_sec:.1} trips/s ({:.1} trips/s per core)",
         trips_per_sec / policy.threads() as f64
     );
+    if let (Some(dir), Some(health)) = (telemetry.dir(), &health) {
+        println!(
+            "  telemetry:         {} heartbeats, {} alarms raised -> {}",
+            health.heartbeats,
+            health.alarms_raised,
+            dir.display()
+        );
+    }
     println!("\n{ledger}");
 
     if outputs.enabled() {
@@ -165,6 +192,7 @@ fn main() {
             manifest = manifest.with_config("trip_min", min).with_config("trip_max", max);
         }
         let mut manifest = manifest.capture(&tracer).with_host();
+        manifest.health = health;
         if durability.journal.is_some() {
             let stats = resume_stats.unwrap_or_else(|| ResumeStats {
                 chunks_total: report

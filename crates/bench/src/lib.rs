@@ -17,9 +17,45 @@ use cichar_exec::ExecPolicy;
 use cichar_genetic::GaConfig;
 use cichar_neural::TrainConfig;
 use cichar_search::RetryPolicy;
-use cichar_trace::{ensure_writable, JsonlSink, NullSink, RunManifest, TimedTracer, Tracer};
+use cichar_trace::{
+    ensure_writable, AlarmRule, JsonlSink, NullSink, RunManifest, Telemetry, TimedTracer, Tracer,
+    DEFAULT_HEARTBEAT_EVERY_MS,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Shared strict parser for positive-integer operands. Every count-style
+/// flag (`--threads`, `--sites`, `--dies`, `--chunk-timeout-ms`,
+/// `--heartbeat-every`) routes through this one implementation, so they
+/// all reject `0`, negatives, and junk with the same diagnostic shape.
+pub fn parse_count(flag: &str, raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "invalid {flag} value {raw:?}: expected a positive integer"
+        )),
+    }
+}
+
+/// Shared strict parser for rate-style operands on the unit interval.
+/// The two booleans select which endpoint is admitted, so
+/// `--fault-rate` (`[0, 1)`) and `--site-fault-threshold` (`(0, 1]`)
+/// share one implementation; the diagnostic renders the exact interval.
+pub fn parse_rate(flag: &str, raw: &str, include_zero: bool, include_one: bool) -> Result<f64, String> {
+    let ok = |r: f64| {
+        r.is_finite()
+            && (r > 0.0 || (include_zero && r == 0.0))
+            && (r < 1.0 || (include_one && r == 1.0))
+    };
+    match raw.trim().parse::<f64>() {
+        Ok(r) if ok(r) => Ok(r),
+        _ => Err(format!(
+            "invalid {flag} value {raw:?}: expected a rate in {}0, 1{}",
+            if include_zero { '[' } else { '(' },
+            if include_one { ']' } else { ')' },
+        )),
+    }
+}
 
 /// Execution policy for a repro binary: `--threads N` from the command
 /// line when given, otherwise `CICHAR_THREADS`, otherwise the machine's
@@ -45,12 +81,7 @@ where
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if let Some(raw) = flag_value("--threads", &arg, &mut args)? {
-            return match cichar_exec::parse_thread_count(&raw) {
-                Some(n) => Ok(ExecPolicy::with_threads(n)),
-                None => Err(format!(
-                    "invalid --threads value {raw:?}: expected a positive integer"
-                )),
-            };
+            return parse_count("--threads", &raw).map(|n| ExecPolicy::with_threads(n as usize));
         }
     }
     Ok(ExecPolicy::from_env())
@@ -98,14 +129,7 @@ where
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if let Some(raw) = flag_value("--fault-rate", &arg, &mut args)? {
-            fault_rate = match raw.trim().parse::<f64>() {
-                Ok(r) if (0.0..1.0).contains(&r) => r,
-                _ => {
-                    return Err(format!(
-                        "invalid --fault-rate value {raw:?}: expected a probability in [0, 1)"
-                    ))
-                }
-            };
+            fault_rate = parse_rate("--fault-rate", &raw, true, false)?;
         } else if let Some(raw) = flag_value("--retries", &arg, &mut args)? {
             retries = match raw.trim().parse::<usize>() {
                 Ok(n) => Some(n),
@@ -158,12 +182,7 @@ where
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
         if let Some(raw) = flag_value(flag, &arg, &mut args)? {
-            return match raw.trim().parse::<usize>() {
-                Ok(n) if n > 0 => Ok(Some(n)),
-                _ => Err(format!(
-                    "invalid {flag} value {raw:?}: expected a positive integer"
-                )),
-            };
+            return parse_count(flag, &raw).map(|n| Some(n as usize));
         }
     }
     Ok(None)
@@ -298,24 +317,10 @@ where
         } else if arg == "--resume" {
             durability.resume = true;
         } else if let Some(raw) = flag_value("--chunk-timeout-ms", &arg, &mut args)? {
-            durability.chunk_timeout_ms = match raw.trim().parse::<u64>() {
-                Ok(n) if n > 0 => Some(n),
-                _ => {
-                    return Err(format!(
-                        "invalid --chunk-timeout-ms value {raw:?}: expected a positive integer"
-                    ));
-                }
-            };
+            durability.chunk_timeout_ms = Some(parse_count("--chunk-timeout-ms", &raw)?);
         } else if let Some(raw) = flag_value("--site-fault-threshold", &arg, &mut args)? {
-            durability.site_fault_threshold = match raw.trim().parse::<f64>() {
-                Ok(rate) if rate > 0.0 && rate <= 1.0 => Some(rate),
-                _ => {
-                    return Err(format!(
-                        "invalid --site-fault-threshold value {raw:?}: \
-                         expected a rate in (0, 1]"
-                    ));
-                }
-            };
+            durability.site_fault_threshold =
+                Some(parse_rate("--site-fault-threshold", &raw, false, true)?);
         }
     }
     if durability.resume && durability.journal.is_none() {
@@ -426,6 +431,93 @@ where
         }
     }
     Ok(outputs)
+}
+
+/// Live-telemetry destination for a repro binary: `--telemetry DIR`
+/// arms the deterministic heartbeat stream (`heartbeat.jsonl`) and
+/// OpenMetrics textfile (`metrics.prom`) inside `DIR`;
+/// `--heartbeat-every N` tunes the cadence in **simulated**
+/// milliseconds (default [`DEFAULT_HEARTBEAT_EVERY_MS`]). Everything
+/// telemetry writes stays outside the golden normalized event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySetup {
+    /// Telemetry directory (`--telemetry DIR`); `None` disables.
+    pub dir: Option<PathBuf>,
+    /// Heartbeat cadence override in simulated ms (`--heartbeat-every N`).
+    pub heartbeat_every_ms: Option<u64>,
+}
+
+impl TelemetrySetup {
+    /// Whether `--telemetry` armed the sidecars.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The tracer a telemetry-armed run should observe. Heartbeats read
+    /// the tracer's metrics registry, and a disabled tracer has none —
+    /// so when telemetry is on but no `--trace`/`--manifest`/`--timings`
+    /// output was requested, this substitutes a [`NullSink`]-backed
+    /// enabled tracer (metrics accumulate, no event stream is written).
+    pub fn tracer_for(&self, outputs: &TraceOutputs) -> Result<Tracer, String> {
+        let tracer = outputs.build_tracer()?;
+        if self.enabled() && !tracer.is_enabled() {
+            return Ok(Tracer::new(Arc::new(NullSink)));
+        }
+        Ok(tracer)
+    }
+
+    /// Builds the live [`Telemetry`] handle for `campaign`, observing
+    /// `tracer` (use [`TelemetrySetup::tracer_for`] to obtain one that
+    /// is guaranteed enabled). Disabled setups cost nothing.
+    pub fn build(&self, campaign: &str, tracer: &Tracer) -> Result<Telemetry, String> {
+        match &self.dir {
+            None => Ok(Telemetry::disabled()),
+            Some(dir) => Telemetry::create_with(
+                dir,
+                campaign,
+                tracer.clone(),
+                self.heartbeat_every_ms.unwrap_or(DEFAULT_HEARTBEAT_EVERY_MS),
+                AlarmRule::default_set(),
+            )
+            .map_err(|e| format!("cannot write --telemetry directory {}: {e}", dir.display())),
+        }
+    }
+}
+
+/// Telemetry destination from the command line (`--telemetry DIR`,
+/// `--heartbeat-every N`). Exits with status 2 on an invalid value.
+pub fn telemetry_setup() -> TelemetrySetup {
+    telemetry_setup_from(std::env::args().skip(1)).unwrap_or_else(|err| usage_error(&err))
+}
+
+/// [`telemetry_setup`] over an explicit argument list (testable).
+/// Rejects empty directories, non-positive cadences, and
+/// `--heartbeat-every` without `--telemetry` (there would be nothing to
+/// beat into).
+pub fn telemetry_setup_from<I>(args: I) -> Result<TelemetrySetup, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut setup = TelemetrySetup::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if let Some(dir) = flag_value("--telemetry", &arg, &mut args)? {
+            if dir.trim().is_empty() {
+                return Err(format!(
+                    "invalid --telemetry value {dir:?}: expected a directory path"
+                ));
+            }
+            setup.dir = Some(PathBuf::from(dir));
+        } else if let Some(raw) = flag_value("--heartbeat-every", &arg, &mut args)? {
+            setup.heartbeat_every_ms = Some(parse_count("--heartbeat-every", &raw)?);
+        }
+    }
+    if setup.heartbeat_every_ms.is_some() && setup.dir.is_none() {
+        return Err(String::from(
+            "--heartbeat-every requires --telemetry DIR (there is no heartbeat stream without one)",
+        ));
+    }
+    Ok(setup)
 }
 
 /// The run scale selected through `CICHAR_SCALE`.
@@ -739,6 +831,92 @@ mod tests {
             let err = wafer_durability_from(strings(args)).unwrap_err();
             assert!(err.contains(needle), "{args:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn count_flags_share_one_negative_path() {
+        // Every count-style flag is backed by parse_count, so the same
+        // bad operands are rejected with the same diagnostic everywhere.
+        for raw in ["0", "-3", "junk", "1.5", ""] {
+            for flag in ["--threads", "--sites", "--dies", "--chunk-timeout-ms", "--heartbeat-every"] {
+                let err = parse_count(flag, raw).unwrap_err();
+                assert!(err.contains(flag), "{flag} {raw:?} -> {err}");
+                assert!(err.contains("positive integer"), "{flag} {raw:?} -> {err}");
+            }
+        }
+        assert_eq!(parse_count("--dies", " 640 ").unwrap(), 640);
+    }
+
+    #[test]
+    fn rate_flags_share_one_negative_path_with_exact_intervals() {
+        for raw in ["1.5", "-0.1", "nan", "inf", "nope", ""] {
+            let err = parse_rate("--fault-rate", raw, true, false).unwrap_err();
+            assert!(err.contains("[0, 1)"), "{raw:?} -> {err}");
+            let err = parse_rate("--site-fault-threshold", raw, false, true).unwrap_err();
+            assert!(err.contains("(0, 1]"), "{raw:?} -> {err}");
+        }
+        // Endpoint admission differs per interval and only per interval.
+        assert_eq!(parse_rate("--fault-rate", "0", true, false).unwrap(), 0.0);
+        assert!(parse_rate("--fault-rate", "1", true, false).is_err());
+        assert!(parse_rate("--site-fault-threshold", "0", false, true).is_err());
+        assert_eq!(parse_rate("--site-fault-threshold", "1", false, true).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn telemetry_setup_parses_both_flags_in_both_spellings() {
+        let t = telemetry_setup_from(strings(&["--telemetry", "tele", "--heartbeat-every=10"]))
+            .unwrap();
+        assert_eq!(t.dir.as_deref(), Some(std::path::Path::new("tele")));
+        assert_eq!(t.heartbeat_every_ms, Some(10));
+        assert!(t.enabled());
+        let absent = telemetry_setup_from(strings(&["--threads", "4"])).unwrap();
+        assert_eq!(absent, TelemetrySetup::default());
+        assert!(!absent.enabled());
+        assert!(!absent.build("x", &Tracer::disabled()).unwrap().is_enabled());
+    }
+
+    #[test]
+    fn telemetry_setup_rejects_invalid_values_with_the_flag_name() {
+        for (args, needle) in [
+            (&["--telemetry", ""][..], "--telemetry"),
+            (&["--telemetry"][..], "--telemetry"),
+            (&["--telemetry=d", "--heartbeat-every", "0"][..], "--heartbeat-every"),
+            (&["--telemetry=d", "--heartbeat-every=junk"][..], "--heartbeat-every"),
+            (&["--heartbeat-every", "5"][..], "requires --telemetry"),
+        ] {
+            let err = telemetry_setup_from(strings(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn telemetry_without_trace_outputs_forces_an_enabled_tracer() {
+        let t = telemetry_setup_from(strings(&["--telemetry", "tele"])).unwrap();
+        let outputs = TraceOutputs::default();
+        // Without telemetry the tracer stays disabled (zero overhead)...
+        assert!(!TelemetrySetup::default().tracer_for(&outputs).unwrap().is_enabled());
+        // ...but an armed telemetry dir needs a live metrics registry.
+        let tracer = t.tracer_for(&outputs).unwrap();
+        assert!(tracer.is_enabled());
+        // When a trace output exists already, that tracer is reused as-is.
+        let o = TraceOutputs { timings: true, ..TraceOutputs::default() };
+        assert!(t.tracer_for(&o).unwrap().timings().is_some());
+    }
+
+    #[test]
+    fn telemetry_build_writes_the_sidecars_into_the_directory() {
+        use cichar_trace::{HEARTBEAT_FILE, METRICS_FILE};
+        let dir = std::env::temp_dir().join(format!("cichar_bench_tele_{}", std::process::id()));
+        let t = TelemetrySetup { dir: Some(dir.clone()), heartbeat_every_ms: Some(5) };
+        let tracer = t.tracer_for(&TraceOutputs::default()).unwrap();
+        let telemetry = t.build("selftest", &tracer).expect("tmp is writable");
+        assert!(telemetry.is_enabled());
+        telemetry.tick(|| cichar_trace::Progress::units("selftest", 6_000, 1, 2));
+        let health = telemetry.finish().expect("no io error").expect("enabled");
+        assert!(health.heartbeats >= 1);
+        assert!(dir.join(HEARTBEAT_FILE).exists());
+        assert!(dir.join(METRICS_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

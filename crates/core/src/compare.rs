@@ -22,7 +22,7 @@ use crate::wcr::{CharacterizationObjective, WcrClass};
 use cichar_ate::{Ate, MeasuredParam, ParallelAte};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{march, random, Test, TestConditions};
-use cichar_trace::Tracer;
+use cichar_trace::{Telemetry, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -197,6 +197,22 @@ impl Comparison {
         rng: &mut R,
         tracer: &Tracer,
     ) -> Self {
+        Self::run_parallel_observed(ate, config, policy, rng, tracer, &Telemetry::disabled())
+    }
+
+    /// [`run_parallel_traced`](Self::run_parallel_traced) with live
+    /// telemetry threaded into the measurement-heavy stages: the Random
+    /// row's DSV sweep ticks per merged test, the NN+GA row's fitness
+    /// fold ticks per merged evaluation. The March baseline and the
+    /// learning rounds are too short to heartbeat.
+    pub fn run_parallel_observed<R: Rng + ?Sized>(
+        ate: &mut Ate,
+        config: &CompareConfig,
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+        telemetry: &Telemetry,
+    ) -> Self {
         let runner = MultiTripRunner::new(config.param);
 
         // Row 1 — deterministic March test, the production baseline.
@@ -216,12 +232,13 @@ impl Comparison {
             .map(|_| random::random_test_at(rng, config.conditions))
             .collect();
         let blueprint = ParallelAte::from_ate(ate);
-        let (random_report, random_ledger) = runner.run_parallel_traced(
+        let (random_report, random_ledger) = runner.run_parallel_observed(
             &blueprint,
             &random_tests,
             SearchStrategy::SearchUntilTrip,
             policy,
             tracer,
+            telemetry,
         );
         let random_tp = random_report.min().expect("random tests converge");
         let random_cost = random_ledger.measurements();
@@ -239,13 +256,14 @@ impl Comparison {
         );
         let blueprint = ParallelAte::from_ate(ate);
         let (optimization, ga_ledger) = OptimizationScheme::new(config.optimization.clone())
-            .run_parallel_traced(
+            .run_parallel_observed(
                 &blueprint,
                 &seeds,
                 Some(model.reference_trip_point),
                 policy,
                 rng,
                 tracer,
+                telemetry,
             );
         let nnga_cost = ate.ledger().measurements_since(&baseline) + ga_ledger.measurements();
         let nnga_tp = optimization.best.trip_point;

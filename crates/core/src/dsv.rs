@@ -13,7 +13,7 @@ use cichar_search::{
     trace_is_consistent, RebracketingStp, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
     TripPrediction, WarmStartPlanner,
 };
-use cichar_trace::{SpanTrace, TraceEvent, Tracer};
+use cichar_trace::{Progress, SpanTrace, Telemetry, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -622,6 +622,31 @@ impl MultiTripRunner {
         policy: ExecPolicy,
         tracer: &Tracer,
     ) -> (DsvReport, MeasurementLedger) {
+        self.run_parallel_observed(
+            blueprint,
+            tests,
+            strategy,
+            policy,
+            tracer,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`run_parallel_traced`](Self::run_parallel_traced) with live
+    /// telemetry: the coordinator offers a progress sample after every
+    /// index-ordered merge, so heartbeat cadence rides the same
+    /// deterministic fold points as span absorption. Telemetry lives in a
+    /// parameter — not a runner field — because the wafer journal
+    /// fingerprint embeds this runner's `Debug` output.
+    pub fn run_parallel_observed(
+        &self,
+        blueprint: &ParallelAte,
+        tests: &[Test],
+        strategy: SearchStrategy,
+        policy: ExecPolicy,
+        tracer: &Tracer,
+        telemetry: &Telemetry,
+    ) -> (DsvReport, MeasurementLedger) {
         let param = self.param;
         let (full, rebracket) = self.searches();
 
@@ -660,6 +685,14 @@ impl MultiTripRunner {
                 ledger.merge(&session_ledger);
                 tracer.absorb(span);
                 entries.push(entry);
+                telemetry.tick(|| {
+                    Progress::units(
+                        "dsv",
+                        (ledger.test_time_ms() * 1000.0) as u64,
+                        entries.len() as u64,
+                        tests.len() as u64,
+                    )
+                });
             }
         } else {
             let window = self.rtp_refresh.unwrap_or(tests.len().max(1));
@@ -676,6 +709,14 @@ impl MultiTripRunner {
                     ledger.merge(&session_ledger);
                     tracer.absorb(span);
                     entries.push(entry);
+                    telemetry.tick(|| {
+                        Progress::units(
+                            "dsv",
+                            (ledger.test_time_ms() * 1000.0) as u64,
+                            entries.len() as u64,
+                            tests.len() as u64,
+                        )
+                    });
                     cursor += 1;
                 }
                 // Fan out the anchored remainder of the window.
@@ -687,6 +728,14 @@ impl MultiTripRunner {
                     ledger.merge(&session_ledger);
                     tracer.absorb(span);
                     entries.push(entry);
+                    telemetry.tick(|| {
+                        Progress::units(
+                            "dsv",
+                            (ledger.test_time_ms() * 1000.0) as u64,
+                            entries.len() as u64,
+                            tests.len() as u64,
+                        )
+                    });
                 }
                 rtp = anchor;
                 start = end;

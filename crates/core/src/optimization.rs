@@ -29,7 +29,7 @@ use cichar_patterns::{
 use cichar_search::{
     Probe, RebracketingStp, RegionOrder, RetryPolicy, SearchUntilTrip, SuccessiveApproximation,
 };
-use cichar_trace::{SpanTrace, TraceEvent, Tracer};
+use cichar_trace::{Progress, SpanTrace, Telemetry, TraceEvent, Tracer};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -342,6 +342,33 @@ impl OptimizationScheme {
         rng: &mut R,
         tracer: &Tracer,
     ) -> (OptimizationOutcome, MeasurementLedger) {
+        self.run_parallel_observed(
+            blueprint,
+            seeds,
+            reference_trip_point,
+            policy,
+            rng,
+            tracer,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`run_parallel_traced`](Self::run_parallel_traced) with live
+    /// telemetry: the evaluator offers a progress sample at every
+    /// evaluation-order merge. Telemetry lives in a parameter — not a
+    /// scheme field — because the wafer journal fingerprint embeds
+    /// runner state via `Debug`, and this scheme derives `PartialEq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_parallel_observed<R: Rng + ?Sized>(
+        &self,
+        blueprint: &ParallelAte,
+        seeds: &[Candidate],
+        reference_trip_point: Option<f64>,
+        policy: ExecPolicy,
+        rng: &mut R,
+        tracer: &Tracer,
+        telemetry: &Telemetry,
+    ) -> (OptimizationOutcome, MeasurementLedger) {
         let c = &self.config;
         let seed_individuals: Vec<Individual> = seeds
             .iter()
@@ -357,6 +384,7 @@ impl OptimizationScheme {
             database: WorstCaseDatabase::new(c.database_capacity),
             ledger: MeasurementLedger::new(),
             tracer,
+            telemetry,
         };
         let result = engine.run_seeded_with(seed_individuals, &mut evaluator, rng);
         emit_generations(tracer, &result);
@@ -529,6 +557,7 @@ struct WcrEvaluator<'a> {
     database: WorstCaseDatabase,
     ledger: MeasurementLedger,
     tracer: &'a Tracer,
+    telemetry: &'a Telemetry,
 }
 
 impl FitnessEvaluator for WcrEvaluator<'_> {
@@ -577,12 +606,24 @@ impl FitnessEvaluator for WcrEvaluator<'_> {
         ));
         records
             .into_iter()
-            .map(|(record, span)| {
+            .enumerate()
+            .map(|(i, (record, span))| {
                 self.ledger.merge(&record.ledger);
                 self.tracer.absorb(span);
                 if let Some(entry) = record.entry {
                     self.database.insert(entry);
                 }
+                // Evaluation-order merge = the GA's deterministic fold
+                // point. The total evaluation count is unknown up front
+                // (early stop, stagnation restarts), so it reads as 0.
+                self.telemetry.tick(|| {
+                    Progress::units(
+                        "ga",
+                        (self.ledger.test_time_ms() * 1000.0) as u64,
+                        (base + i + 1) as u64,
+                        0,
+                    )
+                });
                 record.fitness
             })
             .collect()

@@ -52,7 +52,7 @@ use cichar_dut::{Device, Die, MemoryDevice};
 use cichar_exec::ExecPolicy;
 use cichar_patterns::{PatternFeatures, Test};
 use cichar_search::RegionOrder;
-use cichar_trace::{SpanTrace, TraceEvent, Tracer};
+use cichar_trace::{Progress, SpanTrace, Telemetry, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::PathBuf;
@@ -238,6 +238,11 @@ pub struct WaferRunner {
     /// which keeps default campaigns bit-identical to the pre-registry
     /// engine.
     device: Device,
+    /// The live-telemetry handle (disabled by default). Ticked only from
+    /// the coordinator's fold loop — never from workers, never during
+    /// journal replay — and deliberately kept off [`MultiTripRunner`],
+    /// whose `Debug` output is part of the journal fingerprint.
+    telemetry: Telemetry,
 }
 
 impl WaferRunner {
@@ -248,6 +253,7 @@ impl WaferRunner {
             runner: MultiTripRunner::new(param),
             config: WaferConfig::default(),
             device: MemoryDevice::nominal().into(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -258,6 +264,7 @@ impl WaferRunner {
             runner,
             config: WaferConfig::default(),
             device: MemoryDevice::nominal().into(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -281,6 +288,17 @@ impl WaferRunner {
     /// The device prototype.
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// Arms live telemetry: the campaign's coordinator fold loop offers a
+    /// progress sample to `telemetry` after every folded touchdown, and
+    /// heartbeats fire on simulated-ledger-time deadlines. Telemetry is a
+    /// sidecar — it never changes measurement behaviour, the journal
+    /// fingerprint, or the normalized trace stream (alarm events
+    /// excepted, and those occur only when telemetry is armed).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Enables the fault-tolerant recovery ladder on every search.
@@ -683,6 +701,24 @@ impl WaferRunner {
                 );
                 chunk_entries += outcome.entries.len() as u64;
                 chunk_touchdown_count += 1;
+                // One deterministic tick per folded touchdown: the merged
+                // ledger's simulated time is a pure function of the seeded
+                // campaign, so heartbeat cadence is thread-count
+                // invariant. Replay (above) never ticks — a resumed run's
+                // heartbeats cover exactly its live work.
+                self.telemetry.tick(|| Progress {
+                    phase: "wafer",
+                    sim_time_us: (state.merged.test_time_ms() * 1000.0) as u64,
+                    units_done: state.aggregate.entries,
+                    units_total: (dies.len() * tests.len()) as u64,
+                    touchdowns_done: (first_touchdown + i + 1) as u64,
+                    chunks_done: chunk_index as u64,
+                    breaker_open_sites: state
+                        .breaker
+                        .as_ref()
+                        .map(SiteHealthBreaker::open_sites)
+                        .unwrap_or_default(),
+                });
                 if journal.is_some() {
                     records.push(JournalRecord::Touchdown(TouchdownRecord {
                         touchdown: (first_touchdown + i) as u64,

@@ -10,11 +10,12 @@
 //! convergence trajectories.
 
 use cichar_trace::{FaultKind, TraceEvent, TraceRecord};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One finished trip-point search, reassembled from its events.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchAnatomy {
     /// The test index the search belongs to (`None` for campaign-scoped
     /// searches, which the current instrumentation never emits).
@@ -43,7 +44,7 @@ pub struct SearchAnatomy {
 }
 
 /// Summary statistics over one quantity (integer-valued observations).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Stats {
     /// Number of observations.
     pub count: u64,
@@ -81,7 +82,7 @@ impl Stats {
 /// One GA generation's convergence record (fitness trajectory from the
 /// event stream; probe cost is amortized, see
 /// [`TraceAnalysis::ga_amortized_probes_per_generation`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaGeneration {
     /// The generation index (0-based).
     pub generation: u64,
@@ -94,7 +95,7 @@ pub struct GaGeneration {
 }
 
 /// One campaign phase's share of the stream.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PhaseSlice {
     /// The phase name.
     pub phase: String,
@@ -111,7 +112,7 @@ pub struct PhaseSlice {
 
 /// The recovery funnel: injected faults at the top, quarantines at the
 /// bottom.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RecoveryFunnel {
     /// Probe-contact dropouts injected.
     pub faults_dropout: u64,
@@ -159,7 +160,7 @@ struct OpenSearch {
 }
 
 /// The full analysis of one trace stream.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TraceAnalysis {
     /// Records analyzed.
     pub records: u64,
@@ -181,6 +182,12 @@ pub struct TraceAnalysis {
     pub committee: Vec<(u64, u64, f64)>,
     /// Per-phase slices, in phase order.
     pub phases: Vec<PhaseSlice>,
+    /// Health alarms raised by the live telemetry engine.
+    #[serde(default)]
+    pub alarms_raised: u64,
+    /// Health alarms that cleared again.
+    #[serde(default)]
+    pub alarms_cleared: u64,
 }
 
 impl TraceAnalysis {
@@ -327,6 +334,8 @@ impl TraceAnalysis {
                     generation_best: *generation_best,
                     mean: *mean,
                 }),
+                TraceEvent::AlarmRaised { .. } => analysis.alarms_raised += 1,
+                TraceEvent::AlarmCleared { .. } => analysis.alarms_cleared += 1,
                 TraceEvent::CommitteeEpochFinished {
                     epoch,
                     members,
@@ -506,6 +515,14 @@ impl TraceAnalysis {
                 } else {
                     format!(" ({})", quarantined.join(", "))
                 }
+            );
+        }
+
+        if self.alarms_raised > 0 {
+            let _ = writeln!(
+                out,
+                "\nhealth alarms: {} raised, {} cleared",
+                self.alarms_raised, self.alarms_cleared
             );
         }
 
@@ -729,6 +746,29 @@ mod tests {
         ] {
             assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
         }
+    }
+
+    #[test]
+    fn alarm_events_are_counted_and_the_analysis_round_trips_as_json() {
+        let mut records = stream();
+        let n = records.len() as u64;
+        records.push(record(n, None, 70, TraceEvent::AlarmRaised {
+            alarm: "stall_silence".into(),
+            heartbeat: 3,
+            detail: "no probes resolved".into(),
+        }));
+        records.push(record(n + 1, None, 80, TraceEvent::AlarmCleared {
+            alarm: "stall_silence".into(),
+            heartbeat: 4,
+        }));
+        let analysis = TraceAnalysis::from_records(&records);
+        assert_eq!((analysis.alarms_raised, analysis.alarms_cleared), (1, 1));
+        assert!(analysis.render().contains("health alarms: 1 raised, 1 cleared"));
+        // The machine-readable path (`summarize --json`) is the same
+        // struct serialized; it must survive a round trip losslessly.
+        let json = serde_json::to_string(&analysis).expect("serializes");
+        let back: TraceAnalysis = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, analysis);
     }
 
     #[test]

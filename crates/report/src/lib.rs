@@ -13,14 +13,19 @@
 //! - [`diff`] — manifest comparison with a regression gate for CI:
 //!   probe budget, quarantine rate, optional wall time, and trip-point
 //!   extrema, each with a configurable threshold.
+//! - [`watch`] — the live campaign follower: reads the telemetry
+//!   sidecars (`heartbeat.jsonl`, `metrics.prom`) and renders a
+//!   progress/health table.
 //!
-//! The `cichar-report` binary wraps all three as `summarize`,
-//! `perfetto` and `diff` subcommands.
+//! The `cichar-report` binary wraps all four as `summarize`,
+//! `perfetto`, `diff` and `watch` subcommands.
 
 pub mod analysis;
 pub mod diff;
 pub mod perfetto;
+pub mod watch;
 
 pub use analysis::{GaGeneration, PhaseSlice, RecoveryFunnel, SearchAnatomy, Stats, TraceAnalysis};
 pub use diff::{DiffRow, GateConfig, ManifestDiff};
 pub use perfetto::{chrome_trace_from_jsonl, to_chrome_trace, validate_chrome_trace};
+pub use watch::{latest_heartbeat, read_watch_view, render_watch, WatchView};

@@ -1,7 +1,7 @@
 //! The `cichar-report` CLI: trace analytics from the command line.
 //!
 //! ```text
-//! cichar-report summarize <trace.jsonl>
+//! cichar-report summarize <trace.jsonl> [--json]
 //! cichar-report perfetto  <trace.jsonl> [--out <chrome_trace.json>]
 //! cichar-report diff      <baseline.json> <current.json> [--gate]
 //!                         [--max-probe-growth-pct X]
@@ -12,25 +12,32 @@
 //!                         [--max-throughput-drop-pct X]
 //!                         [--max-peak-rss-growth-pct X]
 //!                         [--max-recovery-overhead-pct X]
+//! cichar-report watch     <telemetry-dir> [--once] [--json]
+//!                         [--interval-ms N]
 //! ```
 //!
 //! Exit codes follow the repro-binary convention: `0` success, `1` gate
 //! breach (`diff --gate` only), `2` usage error (bad flag, unreadable
 //! input, unwritable output).
 
-use cichar_report::{to_chrome_trace, validate_chrome_trace, GateConfig, ManifestDiff, TraceAnalysis};
+use cichar_report::{
+    read_watch_view, render_watch, to_chrome_trace, validate_chrome_trace, GateConfig,
+    ManifestDiff, TraceAnalysis,
+};
 use cichar_trace::{RunManifest, TraceRecord};
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff> ...
-  summarize <trace.jsonl>                      search-anatomy summary table
+const USAGE: &str = "usage: cichar-report <summarize|perfetto|diff|watch> ...
+  summarize <trace.jsonl> [--json]             search-anatomy summary table
   perfetto  <trace.jsonl> [--out <file.json>]  Chrome trace-event export
   diff <baseline.json> <current.json> [--gate] manifest comparison
        [--max-probe-growth-pct X] [--max-probes-per-trip-growth-pct X]
        [--max-quarantine-delta-pts X] [--max-wall-growth-pct X]
        [--max-extrema-drift-pct X] [--max-throughput-drop-pct X]
-       [--max-peak-rss-growth-pct X] [--max-recovery-overhead-pct X]";
+       [--max-peak-rss-growth-pct X] [--max-recovery-overhead-pct X]
+  watch <telemetry-dir> [--once] [--json]      live progress/health follower
+        [--interval-ms N]                      (--json emits raw heartbeats)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +59,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "summarize" => summarize(rest),
         "perfetto" => perfetto(rest),
         "diff" => diff(rest),
+        "watch" => watch(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -61,12 +69,100 @@ fn read_input(path: &str) -> Result<String, String> {
 }
 
 fn summarize(args: &[String]) -> Result<ExitCode, String> {
-    let [path] = args else {
-        return Err(String::from("summarize takes exactly one trace path"));
-    };
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    for arg in args {
+        if arg == "--json" {
+            json = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    let path = path.ok_or_else(|| String::from("summarize takes exactly one trace path"))?;
     let analysis = TraceAnalysis::from_jsonl(&read_input(path)?);
-    print!("{}", analysis.render());
+    if json {
+        // The machine-readable form is the same analysis struct
+        // serialized — field for field what `render` prints.
+        let text = serde_json::to_string_pretty(&analysis)
+            .map_err(|e| format!("serialization failed: {e}"))?;
+        println!("{text}");
+    } else {
+        print!("{}", analysis.render());
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+fn watch(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<&str> = None;
+    let mut once = false;
+    let mut json = false;
+    let mut interval_ms = 500u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--once" {
+            once = true;
+        } else if arg == "--json" {
+            json = true;
+        } else if let Some(v) = flag_value("--interval-ms", arg, &mut iter)? {
+            interval_ms = match v.trim().parse::<u64>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    return Err(format!(
+                        "invalid --interval-ms value {v:?}: expected a positive integer"
+                    ))
+                }
+            };
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}"));
+        } else if dir.is_none() {
+            dir = Some(arg);
+        } else {
+            return Err(format!("unexpected argument {arg:?}"));
+        }
+    }
+    let dir = Path::new(dir.ok_or_else(|| String::from("watch takes a telemetry directory"))?);
+
+    // Follow mode re-reads the sidecars and redraws whenever a new
+    // heartbeat lands; `--once` renders exactly one frame (waiting for
+    // the first heartbeat is the campaign's job, not ours).
+    let mut last_seq: Option<u64> = None;
+    loop {
+        let view = read_watch_view(dir)?;
+        match view {
+            Some(view) => {
+                let fresh = last_seq != Some(view.heartbeat.seq);
+                last_seq = Some(view.heartbeat.seq);
+                if fresh {
+                    if json {
+                        let text = serde_json::to_string(&view.heartbeat)
+                            .map_err(|e| format!("serialization failed: {e}"))?;
+                        println!("{text}");
+                    } else {
+                        if !once {
+                            // ANSI clear + home: redraw in place.
+                            print!("\x1b[2J\x1b[H");
+                        }
+                        print!("{}", render_watch(&view));
+                    }
+                }
+            }
+            None if once => {
+                return Err(format!(
+                    "no heartbeats yet in {} (is the campaign running with --telemetry?)",
+                    dir.display()
+                ))
+            }
+            None => {}
+        }
+        if once {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 fn perfetto(args: &[String]) -> Result<ExitCode, String> {

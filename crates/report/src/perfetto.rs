@@ -257,6 +257,24 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> Value {
                     ]),
                 ));
             }
+            TraceEvent::AlarmRaised { alarm, detail, .. } => {
+                events.push(instant_event(
+                    &format!("alarm raised: {alarm}"),
+                    "health",
+                    0,
+                    record.ts_us,
+                    obj(vec![("alarm", s(alarm)), ("detail", s(detail))]),
+                ));
+            }
+            TraceEvent::AlarmCleared { alarm, .. } => {
+                events.push(instant_event(
+                    &format!("alarm cleared: {alarm}"),
+                    "health",
+                    0,
+                    record.ts_us,
+                    obj(vec![("alarm", s(alarm))]),
+                ));
+            }
             _ => {}
         }
     }

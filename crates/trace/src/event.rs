@@ -188,6 +188,23 @@ pub enum TraceEvent {
         /// Mean fitness of this generation.
         mean: f64,
     },
+    /// A health alarm latched on: a telemetry
+    /// [`AlarmRule`](crate::AlarmRule) started firing at a heartbeat.
+    AlarmRaised {
+        /// The alarm identifier (`fault_rate_spike`, `stall_silence`, …).
+        alarm: String,
+        /// The heartbeat sequence number the alarm raised at.
+        heartbeat: u64,
+        /// The rule's human-readable detail at raise time.
+        detail: String,
+    },
+    /// A health alarm released: the rule stopped firing.
+    AlarmCleared {
+        /// The alarm identifier.
+        alarm: String,
+        /// The heartbeat sequence number the alarm cleared at.
+        heartbeat: u64,
+    },
     /// A committee learning round finished.
     CommitteeEpochFinished {
         /// The learning round (0-based).

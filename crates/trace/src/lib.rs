@@ -52,12 +52,21 @@ mod event;
 mod manifest;
 mod metrics;
 mod sink;
+mod telemetry;
 mod timing;
 mod tracer;
 
 pub use event::{normalize_jsonl, FaultKind, TraceEvent, TraceRecord, TraceVerdict};
-pub use manifest::{describe_version, ensure_writable, peak_rss_bytes, RecoverySection, RunManifest};
+pub use manifest::{
+    describe_version, ensure_writable, peak_rss_bytes, peak_rss_bytes_from, RecoverySection,
+    RunManifest,
+};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use telemetry::{
+    parse_openmetrics, render_openmetrics, AlarmIncident, AlarmRule, HealthSection,
+    HeartbeatSnapshot, Progress, Telemetry, DEFAULT_HEARTBEAT_EVERY_MS, HEARTBEAT_FILE,
+    METRICS_FILE,
+};
 pub use timing::{PhaseTiming, SpanClock, TimingRegistry, TimingSnapshot, UNPHASED};
 pub use tracer::{PhaseSummary, SpanTrace, TimedTracer, Tracer};

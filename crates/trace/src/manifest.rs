@@ -1,6 +1,7 @@
 //! Run manifests: the one-file summary artifact of a traced campaign.
 
 use crate::metrics::MetricsSnapshot;
+use crate::telemetry::HealthSection;
 use crate::timing::TimingSnapshot;
 use crate::tracer::{PhaseSummary, Tracer};
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,11 @@ pub struct RunManifest {
     /// manifests written before the section existed.
     #[serde(default)]
     pub recovery: Option<RecoverySection>,
+    /// Live-telemetry health accounting: heartbeats emitted and alarms
+    /// raised/cleared. `None` for runs without `--telemetry` and parses
+    /// from manifests written before the section existed.
+    #[serde(default)]
+    pub health: Option<HealthSection>,
 }
 
 /// The durability section of a [`RunManifest`]: journal-replay and
@@ -94,6 +100,7 @@ impl RunManifest {
             hardware_threads: None,
             peak_rss_bytes: None,
             recovery: None,
+            health: None,
         }
     }
 
@@ -225,9 +232,13 @@ impl RunManifest {
             let hw = self
                 .hardware_threads
                 .map_or("unknown".to_string(), |n| n.to_string());
-            let rss = self
-                .peak_rss_bytes
-                .map_or("unknown".to_string(), |b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64));
+            // RSS accounting is best-effort: hosts without a /proc VmHWM
+            // counter record None, and the manifest says so explicitly
+            // rather than implying a missing measurement step.
+            let rss = self.peak_rss_bytes.map_or(
+                "unavailable (no VmHWM counter on this host)".to_string(),
+                |b| format!("{:.1} MiB", b as f64 / (1 << 20) as f64),
+            );
             let _ = writeln!(out, "  host: {hw} hardware threads | peak rss: {rss}");
         }
         let _ = writeln!(
@@ -256,6 +267,20 @@ impl RunManifest {
                     String::new()
                 } else {
                     format!(" | quarantined sites: {:?}", rec.quarantined_sites)
+                }
+            );
+        }
+        if let Some(health) = &self.health {
+            let _ = writeln!(
+                out,
+                "  health: {} heartbeats | {} alarms raised, {} cleared{}",
+                health.heartbeats,
+                health.alarms_raised,
+                health.alarms_cleared,
+                if health.active_alarms.is_empty() {
+                    String::new()
+                } else {
+                    format!(" | still active: {}", health.active_alarms.join(", "))
                 }
             );
         }
@@ -291,9 +316,18 @@ impl RunManifest {
 /// The process's peak resident set size in bytes, read from the
 /// platform's high-water-mark counter (Linux `VmHWM`). `None` where the
 /// counter is unavailable — callers treat memory accounting as an
-/// optional metric, never a hard requirement.
+/// optional metric, never a hard requirement, and the manifest renders an
+/// explicit "unavailable" note instead of failing.
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    peak_rss_bytes_from(Path::new("/proc/self/status"))
+}
+
+/// Parses the `VmHWM:` high-water mark out of a `/proc/<pid>/status`-shaped
+/// file. Split out of [`peak_rss_bytes`] so the degradation paths — no
+/// `/proc` filesystem, a status file without the counter, a malformed
+/// value — are testable on any host: every failure degrades to `None`.
+pub fn peak_rss_bytes_from(path: &Path) -> Option<u64> {
+    let status = std::fs::read_to_string(path).ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kib * 1024)
@@ -405,18 +439,22 @@ mod tests {
             .replace(",\"timings\":null", "")
             .replace(",\"hardware_threads\":null", "")
             .replace(",\"peak_rss_bytes\":null", "")
-            .replace(",\"recovery\":null", "");
+            .replace(",\"recovery\":null", "")
+            .replace(",\"health\":null", "");
         assert!(!json.contains("timings"), "{json}");
         assert!(!json.contains("hardware_threads"), "{json}");
         assert!(!json.contains("recovery"), "{json}");
+        assert!(!json.contains("health"), "{json}");
         let back: RunManifest = serde_json::from_str(&json).expect("old manifests parse");
         assert_eq!(back.timings, None);
         assert_eq!(back.hardware_threads, None);
         assert_eq!(back.peak_rss_bytes, None);
         assert_eq!(back.recovery, None);
+        assert_eq!(back.health, None);
         assert!(!back.render().contains("span timings"));
         assert!(!back.render().contains("host:"));
         assert!(!back.render().contains("durability:"));
+        assert!(!back.render().contains("health:"));
     }
 
     #[test]
@@ -478,6 +516,64 @@ mod tests {
         assert_eq!(manifest.probes_per_trip(), Some(10.0));
         let table = manifest.render();
         assert!(table.contains("10.00 non-speculative probes/trip"), "{table}");
+    }
+
+    #[test]
+    fn health_section_round_trips_and_renders() {
+        use crate::telemetry::AlarmIncident;
+
+        let mut manifest = RunManifest::new("wafer", 9, 8);
+        manifest.health = Some(HealthSection {
+            heartbeats: 12,
+            alarms_raised: 2,
+            alarms_cleared: 1,
+            active_alarms: vec![String::from("stall_silence")],
+            incidents: vec![AlarmIncident {
+                alarm: String::from("stall_silence"),
+                raised_at: 7,
+                cleared_at: None,
+                detail: String::from("no probe resolved for 20.0 simulated ms"),
+            }],
+        });
+        let json = serde_json::to_string(&manifest).expect("serializes");
+        let back: RunManifest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, manifest);
+        let table = manifest.render();
+        assert!(table.contains("health: 12 heartbeats"), "{table}");
+        assert!(table.contains("2 alarms raised, 1 cleared"), "{table}");
+        assert!(table.contains("still active: stall_silence"), "{table}");
+    }
+
+    #[test]
+    fn peak_rss_reader_degrades_to_none_off_linux_shapes() {
+        let dir = std::env::temp_dir().join("cichar_rss_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        // No /proc at all: the status file simply does not exist.
+        assert_eq!(peak_rss_bytes_from(&dir.join("no_such_status")), None);
+        // A status file without the VmHWM counter (e.g. a non-Linux shim).
+        let no_counter = dir.join("status_no_vmhwm");
+        std::fs::write(&no_counter, "Name:\tcichar\nVmRSS:\t 10 kB\n").expect("writable");
+        assert_eq!(peak_rss_bytes_from(&no_counter), None);
+        // A malformed value degrades instead of panicking.
+        let malformed = dir.join("status_malformed");
+        std::fs::write(&malformed, "VmHWM:\tlots kB\n").expect("writable");
+        assert_eq!(peak_rss_bytes_from(&malformed), None);
+        // The genuine shape parses (kB -> bytes).
+        let good = dir.join("status_good");
+        std::fs::write(&good, "Name:\tcichar\nVmHWM:\t  2048 kB\n").expect("writable");
+        assert_eq!(peak_rss_bytes_from(&good), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn render_notes_rss_unavailability_instead_of_dropping_the_host_line() {
+        let mut manifest = RunManifest::new("wafer", 1, 4);
+        manifest.hardware_threads = Some(8);
+        manifest.peak_rss_bytes = None;
+        let table = manifest.render();
+        assert!(
+            table.contains("peak rss: unavailable (no VmHWM counter on this host)"),
+            "{table}"
+        );
     }
 
     #[test]

@@ -199,6 +199,10 @@ registry! {
     watchdog_timeouts,
     /// Site health circuit breakers latched open.
     breaker_trips,
+    /// Health alarms raised by the live telemetry engine.
+    alarms_raised,
+    /// Health alarms cleared by the live telemetry engine.
+    alarms_cleared,
 }
 
 impl MetricsSnapshot {
@@ -375,8 +379,11 @@ mod tests {
         let legacy = json
             .replace(",\"faults_stall\":0", "")
             .replace(",\"watchdog_timeouts\":0", "")
-            .replace(",\"breaker_trips\":0", "");
+            .replace(",\"breaker_trips\":0", "")
+            .replace(",\"alarms_raised\":0", "")
+            .replace(",\"alarms_cleared\":0", "");
         assert!(!legacy.contains("watchdog_timeouts"), "{legacy}");
+        assert!(!legacy.contains("alarms_raised"), "{legacy}");
         let back: MetricsSnapshot = serde_json::from_str(&legacy).expect("parses");
         assert_eq!(back, MetricsSnapshot::default());
     }

@@ -458,6 +458,8 @@ impl TracerCore {
             TraceEvent::SiteBreakerTripped { .. } => bump(&c.breaker_trips, 1),
             TraceEvent::GaGenerationEvaluated { .. } => bump(&c.ga_generations, 1),
             TraceEvent::CommitteeEpochFinished { .. } => bump(&c.committee_epochs, 1),
+            TraceEvent::AlarmRaised { .. } => bump(&c.alarms_raised, 1),
+            TraceEvent::AlarmCleared { .. } => bump(&c.alarms_cleared, 1),
         }
     }
 }

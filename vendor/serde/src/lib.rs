@@ -315,6 +315,24 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected map")),
+        }
+    }
+}
+
 macro_rules! tuple_impl {
     ($(($($t:ident . $idx:tt),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -363,6 +381,17 @@ mod tests {
         let v: Vec<Option<(f64, f64)>> = vec![Some((1.0, 2.0)), None];
         let back = Vec::<Option<(f64, f64)>>::from_value(&v.to_value()).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_keyed_maps_round_trip_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        assert_eq!(v.as_map().unwrap()[0].0, "a", "BTreeMap iterates sorted");
+        let back = std::collections::BTreeMap::<String, u64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]
